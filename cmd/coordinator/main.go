@@ -1,0 +1,92 @@
+// Command coordinator runs the SAPS-PSGD coordinator (Algorithm 1) as a TCP
+// server: it registers -n workers, drives -rounds communication rounds of
+// adaptive peer selection + mask-seed broadcast, and writes the collected
+// final model to -out (gob-encoded []float64).
+//
+// Example (six terminals):
+//
+//	coordinator -addr 127.0.0.1:7000 -n 4 -rounds 100 -arch mnist-cnn
+//	worker -coordinator 127.0.0.1:7000   # ×4
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/rng"
+	"sapspsgd/internal/transport"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7000", "listen address")
+		n           = flag.Int("n", 4, "number of workers")
+		rounds      = flag.Int("rounds", 100, "communication rounds T")
+		arch        = flag.String("arch", "mnist-cnn", "model: mlp|mnist-cnn|cifar-cnn|resnet")
+		width       = flag.Float64("width", 0.25, "model width multiplier")
+		size        = flag.Int("size", 16, "input spatial size (divisible by 4)")
+		channels    = flag.Int("channels", 1, "input channels")
+		classes     = flag.Int("classes", 10, "classes")
+		samples     = flag.Int("samples", 2048, "total training samples")
+		lr          = flag.Float64("lr", 0.05, "learning rate")
+		batch       = flag.Int("batch", 16, "batch size")
+		compression = flag.Float64("c", 100, "compression ratio c")
+		localSteps  = flag.Int("local-steps", 1, "local SGD steps per round")
+		nonIID      = flag.Bool("non-iid", false, "label-sharded non-IID partition")
+		seed        = flag.Uint64("seed", 1, "global seed")
+		bthres      = flag.Float64("bthres", 0, "bandwidth threshold B_thres (MB/s)")
+		tthres      = flag.Int("tthres", 10, "recency window T_thres (rounds)")
+		measure     = flag.Bool("measure", false, "probe pairwise worker bandwidth before training (paper §II-C fn.3)")
+		probeKB     = flag.Int("probe-kb", 64, "probe payload size in KiB when -measure is set")
+		out         = flag.String("out", "model.gob", "output file for the final model")
+	)
+	flag.Parse()
+
+	spec := transport.TaskSpec{
+		Arch: *arch, C: *channels, H: *size, W: *size, Classes: *classes,
+		Width: *width, Hidden: []int{64}, Samples: *samples, DataSeed: *seed + 100,
+		NonIID: *nonIID, LR: *lr, Batch: *batch, Compression: *compression,
+		LocalSteps: *localSteps, Rounds: *rounds, Seed: *seed,
+	}
+	srv := &transport.CoordinatorServer{
+		N:    *n,
+		Task: spec,
+		// Without real link measurements, the coordinator assumes a random
+		// uniform environment; in production each worker pair would report
+		// measured speeds (paper §II-C footnote 3).
+		BW:         netsim.RandomUniform(*n, 1, 5, rng.New(*seed)),
+		Measure:    *measure,
+		ProbeBytes: *probeKB << 10,
+		Cfg: core.Config{
+			Workers: *n, Compression: *compression, LR: *lr, Batch: *batch,
+			LocalSteps: *localSteps,
+			Gossip:     gossip.Config{BThres: *bthres, TThres: *tthres},
+			Seed:       *seed,
+		},
+		Logf: log.Printf,
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("coordinator listening on %s, waiting for %d workers", bound, *n)
+	params, err := srv.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(params); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final model (%d parameters) written to %s\n", len(params), *out)
+}

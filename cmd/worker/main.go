@@ -1,0 +1,30 @@
+// Command worker runs one SAPS-PSGD training peer (Algorithm 2) as a TCP
+// client: it registers with the coordinator, receives the task spec and its
+// rank, regenerates its data shard locally, and trains — exchanging
+// sparsified models peer-to-peer each round.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"sapspsgd/internal/transport"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "127.0.0.1:7000", "coordinator address")
+		peerAddr    = flag.String("peer-addr", "127.0.0.1:0", "address to listen on for peer exchanges")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	wc := &transport.WorkerClient{}
+	if !*quiet {
+		wc.Logf = log.Printf
+	}
+	if _, err := wc.Run(*coordinator, *peerAddr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("worker %d finished", wc.Rank())
+}

@@ -1,0 +1,35 @@
+// Comparison: the paper's seven-algorithm evaluation (Fig. 3/4/6, Tables
+// III/IV) on a laptop-scale workload — 16 workers, scaled MNIST-CNN,
+// identical data and initialization for every algorithm.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sapspsgd/internal/experiments"
+)
+
+func main() {
+	w := experiments.MNISTWorkload().WithRounds(120)
+	const n = 16
+	fmt.Printf("workload %s (%s): %d workers, %d rounds\n\n", w.Name, w.PaperName, n, w.Rounds)
+
+	start := time.Now()
+	suite := experiments.ConvergenceSuite{Workload: w, N: n, Seed: 7, EvalEvery: 30}
+	results, err := suite.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("all 7 algorithms trained in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	experiments.Table3(w.Name, results).WriteMarkdown(os.Stdout)
+	fmt.Println()
+	experiments.Table4(w.Name, 0.85, results).WriteMarkdown(os.Stdout)
+	fmt.Println()
+	experiments.TrafficSummary(results).WriteMarkdown(os.Stdout)
+}

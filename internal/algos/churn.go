@@ -1,0 +1,175 @@
+package algos
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/compress"
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/rng"
+)
+
+// ChurnModel describes per-round worker availability dynamics: an active
+// worker leaves with probability LeaveProb, an inactive one rejoins with
+// probability JoinProb. At least MinActive workers are always kept active
+// (the longest-absent workers are recalled first).
+type ChurnModel struct {
+	LeaveProb float64
+	JoinProb  float64
+	MinActive int
+}
+
+func (c ChurnModel) validate(n int) {
+	if c.LeaveProb < 0 || c.LeaveProb >= 1 || c.JoinProb <= 0 || c.JoinProb > 1 {
+		panic(fmt.Sprintf("algos: churn probabilities %v/%v", c.LeaveProb, c.JoinProb))
+	}
+	if c.MinActive < 2 || c.MinActive > n {
+		panic(fmt.Sprintf("algos: MinActive %d of %d", c.MinActive, n))
+	}
+}
+
+// SAPSChurn is SAPS-PSGD under dynamic membership: each round a random
+// subset of workers is offline — they neither train nor communicate, and
+// the coordinator matches only the present workers (paper §I: workers "may
+// join/leave the training randomly due to the battery power, network
+// connection, ..."). Returning workers are re-synchronized by the gossip
+// itself; no special recovery protocol is needed.
+type SAPSChurn struct {
+	workers []*core.Worker
+	coord   *core.Coordinator
+	fleet   *Fleet
+	churn   ChurnModel
+	rnd     *rng.Source
+	active  []bool
+	absent  []int // rounds since last active (for MinActive recall)
+	// ActiveHistory records the number of active workers each round.
+	ActiveHistory []int
+}
+
+// NewSAPSChurn builds SAPS-PSGD with the given churn model.
+func NewSAPSChurn(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config, churn ChurnModel) *SAPSChurn {
+	churn.validate(fc.N)
+	f := NewFleet(fc)
+	s := &SAPSChurn{
+		fleet:  f,
+		churn:  churn,
+		rnd:    rng.New(cfg.Seed).Derive(0xc4012),
+		active: make([]bool, f.N),
+		absent: make([]int, f.N),
+	}
+	for i := range s.active {
+		s.active[i] = true
+	}
+	s.workers = make([]*core.Worker, f.N)
+	for i := 0; i < f.N; i++ {
+		s.workers[i] = core.NewWorker(i, f.Models[i], fc.Shards[i], cfg)
+	}
+	s.coord = core.NewCoordinator(bw, cfg)
+	return s
+}
+
+// Name implements Algorithm.
+func (s *SAPSChurn) Name() string { return "SAPS-PSGD(churn)" }
+
+// Models implements Algorithm.
+func (s *SAPSChurn) Models() []*nn.Model { return s.fleet.Models }
+
+// step churn: flip availability, then enforce MinActive by recalling the
+// longest-absent workers.
+func (s *SAPSChurn) updateMembership() {
+	for i := range s.active {
+		if s.active[i] {
+			if s.rnd.Bernoulli(s.churn.LeaveProb) {
+				s.active[i] = false
+			}
+		} else if s.rnd.Bernoulli(s.churn.JoinProb) {
+			s.active[i] = true
+		}
+	}
+	count := 0
+	for _, a := range s.active {
+		if a {
+			count++
+		}
+	}
+	for count < s.churn.MinActive {
+		// Recall the longest-absent worker.
+		best, bestAbsent := -1, -1
+		for i, a := range s.active {
+			if !a && s.absent[i] > bestAbsent {
+				best, bestAbsent = i, s.absent[i]
+			}
+		}
+		s.active[best] = true
+		count++
+	}
+	for i, a := range s.active {
+		if a {
+			s.absent[i] = 0
+		} else {
+			s.absent[i]++
+		}
+	}
+}
+
+// Step implements Algorithm.
+func (s *SAPSChurn) Step(round int, led *netsim.Ledger) float64 {
+	s.updateMembership()
+	nActive := 0
+	for _, a := range s.active {
+		if a {
+			nActive++
+		}
+	}
+	s.ActiveHistory = append(s.ActiveHistory, nActive)
+
+	plan := s.coord.PlanActive(round, s.active)
+
+	losses := make([]float64, s.fleet.N)
+	s.fleet.Parallel(func(i int) float64 {
+		if !s.active[i] {
+			return 0
+		}
+		losses[i] = s.workers[i].LocalSGD()
+		s.workers[i].RoundMask(plan.Seed, plan.Round)
+		return 0
+	})
+	payloads := make([][]float64, s.fleet.N)
+	s.fleet.Parallel(func(i int) float64 {
+		if s.active[i] && plan.Peer[i] != -1 {
+			payloads[i] = s.workers[i].MaskedPayload()
+		}
+		return 0
+	})
+	for i, peer := range plan.Peer {
+		if peer > i {
+			led.Exchange(i, peer, compress.MaskedBytes(len(payloads[i])), compress.MaskedBytes(len(payloads[peer])))
+		}
+	}
+	s.fleet.Parallel(func(i int) float64 {
+		if peer := plan.Peer[i]; peer != -1 {
+			s.workers[i].MergePeer(payloads[peer])
+		}
+		return 0
+	})
+	led.EndRound()
+
+	total, k := 0.0, 0
+	for i, a := range s.active {
+		if a {
+			total += losses[i]
+			k++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return total / float64(k)
+}
+
+var _ Algorithm = (*SAPSChurn)(nil)
+
+// Active exposes the current membership (matched pairs must both be active;
+// verified by the tests).
+func (s *SAPSChurn) Active() []bool { return s.active }

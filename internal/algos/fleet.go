@@ -1,0 +1,125 @@
+// Package algos implements the seven training algorithms the paper
+// evaluates — SAPS-PSGD and its six comparators (PSGD all-reduce,
+// TopK-PSGD, FedAvg, S-FedAvg, D-PSGD, DCD-PSGD) plus the RandomChoose
+// matching ablation — behind a common Algorithm interface consumed by the
+// trainer harness. Every algorithm accounts its exact wire traffic in a
+// netsim.Ledger so the Fig. 4/6 and Table IV comparisons are byte-accurate.
+package algos
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/nn"
+)
+
+// Algorithm is one distributed training scheme, driven round by round.
+// Implementations are not safe for concurrent use.
+type Algorithm interface {
+	// Name returns the paper's name for the algorithm.
+	Name() string
+	// Step executes one synchronous communication round: local compute for
+	// every worker plus all model/gradient exchanges, recorded in the
+	// ledger (which must wrap the same bandwidth environment the algorithm
+	// was constructed with). It returns the mean local training loss.
+	Step(round int, led *netsim.Ledger) float64
+	// Models returns the live models whose parameter average is the
+	// algorithm's current global model (a single server model for
+	// centralized schemes).
+	Models() []*nn.Model
+}
+
+// FleetConfig is the shared construction recipe for the decentralized
+// algorithms: n workers with identical initial parameters and per-worker
+// data shards.
+type FleetConfig struct {
+	N       int
+	Factory func() *nn.Model // must produce identically initialized models
+	Shards  []*dataset.Dataset
+	LR      float64
+	Batch   int
+	Seed    uint64
+}
+
+func (c FleetConfig) validate() {
+	if c.N < 2 {
+		panic(fmt.Sprintf("algos: fleet of %d", c.N))
+	}
+	if len(c.Shards) != c.N {
+		panic(fmt.Sprintf("algos: %d shards for %d workers", len(c.Shards), c.N))
+	}
+	if c.Factory == nil {
+		panic("algos: nil model factory")
+	}
+	if c.LR <= 0 || c.Batch < 1 {
+		panic("algos: bad LR/batch")
+	}
+}
+
+// Fleet is the shared worker plumbing.
+type Fleet struct {
+	N       int
+	Models  []*nn.Model
+	Opts    []*nn.SGD
+	Loaders []*dataset.Loader
+	Dim     int
+}
+
+// NewFleet builds the workers. All models come from the same factory so
+// X₀ is identical across workers (the paper's initial-consensus condition).
+func NewFleet(cfg FleetConfig) *Fleet {
+	cfg.validate()
+	f := &Fleet{N: cfg.N}
+	for i := 0; i < cfg.N; i++ {
+		m := cfg.Factory()
+		if i == 0 {
+			f.Dim = m.ParamCount()
+		} else if m.ParamCount() != f.Dim {
+			panic("algos: factory produced models of different sizes")
+		}
+		f.Models = append(f.Models, m)
+		f.Opts = append(f.Opts, &nn.SGD{LR: cfg.LR})
+		f.Loaders = append(f.Loaders, dataset.NewLoader(cfg.Shards[i], cfg.Batch, cfg.Seed+uint64(i)*104729))
+	}
+	return f
+}
+
+// Parallel runs fn(i) for every worker concurrently (bounded by GOMAXPROCS)
+// and returns the mean of the returned values. Worker state is disjoint, so
+// this is safe as long as fn(i) touches only worker i.
+func (f *Fleet) Parallel(fn func(i int) float64) float64 {
+	results := make([]float64, f.N)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < f.N; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			results[i] = fn(i)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, v := range results {
+		sum += v
+	}
+	return sum / float64(f.N)
+}
+
+// GradStep computes gradients for worker i on its next minibatch without
+// applying them, returning the loss. Gradients remain in Models[i].
+func (f *Fleet) GradStep(i int) float64 {
+	xs, ys := f.Loaders[i].Next()
+	return nn.ComputeGrads(f.Models[i], xs, ys)
+}
+
+// SGDStep runs one full local SGD step for worker i and returns the loss.
+func (f *Fleet) SGDStep(i int) float64 {
+	xs, ys := f.Loaders[i].Next()
+	return nn.TrainBatch(f.Models[i], f.Opts[i], xs, ys)
+}

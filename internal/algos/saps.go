@@ -1,0 +1,162 @@
+package algos
+
+import (
+	"sapspsgd/internal/compress"
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/rng"
+	"sapspsgd/internal/trace"
+)
+
+// SAPS is the paper's algorithm: local SGD + shared-seed sparsified
+// single-peer gossip with adaptive (bandwidth-aware, recency-constrained)
+// peer selection.
+type SAPS struct {
+	workers []*core.Worker
+	coord   *core.Coordinator
+	models  []*nn.Model
+	fleet   *Fleet
+	// LastMatchedBandwidth is the mean bandwidth (MB/s) over the pairs
+	// matched in the most recent round — the Fig. 5 series.
+	LastMatchedBandwidth float64
+	// Trace, when set, records one event per round (matching, bandwidths,
+	// forced-reconnection flag, payload size, loss).
+	Trace *trace.Recorder
+	bw    *netsim.Bandwidth
+}
+
+// NewSAPS builds the algorithm over the bandwidth environment bw.
+func NewSAPS(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config) *SAPS {
+	f := NewFleet(fc)
+	s := &SAPS{fleet: f, bw: bw, models: f.Models}
+	// core.NewWorker builds its own loader; the fleet's models are shared so
+	// evaluation sees the live parameters.
+	s.workers = make([]*core.Worker, f.N)
+	for i := 0; i < f.N; i++ {
+		s.workers[i] = core.NewWorker(i, f.Models[i], fc.Shards[i], cfg)
+	}
+	s.coord = core.NewCoordinator(bw, cfg)
+	return s
+}
+
+// Name implements Algorithm.
+func (s *SAPS) Name() string { return "SAPS-PSGD" }
+
+// Models implements Algorithm.
+func (s *SAPS) Models() []*nn.Model { return s.models }
+
+// Step implements Algorithm: Algorithm 1 (coordinator) + Algorithm 2
+// (workers) for one round.
+func (s *SAPS) Step(round int, led *netsim.Ledger) float64 {
+	plan := s.coord.Plan(round)
+
+	// Local SGD in parallel (Algorithm 2 line 5).
+	loss := s.fleet.Parallel(func(i int) float64 {
+		return s.workers[i].LocalSGD()
+	})
+
+	// Shared mask + payload extraction (lines 6–7), parallel per worker.
+	payloads := make([][]float64, s.fleet.N)
+	s.fleet.Parallel(func(i int) float64 {
+		s.workers[i].RoundMask(plan.Seed, plan.Round)
+		payloads[i] = s.workers[i].MaskedPayload()
+		return 0
+	})
+
+	// Pairwise exchange + masked average (lines 8–10), with traffic
+	// accounting per matched pair.
+	for i, peer := range plan.Peer {
+		if peer > i {
+			bytes := compress.MaskedBytes(len(payloads[i]))
+			led.Exchange(i, peer, bytes, compress.MaskedBytes(len(payloads[peer])))
+		}
+	}
+	s.fleet.Parallel(func(i int) float64 {
+		if peer := plan.Peer[i]; peer != -1 {
+			s.workers[i].MergePeer(payloads[peer])
+		}
+		return 0
+	})
+
+	s.LastMatchedBandwidth = gossip.MeanMatchedBandwidth(plan.Matching(), s.bw)
+	if s.Trace != nil {
+		payload := int64(0)
+		if len(payloads) > 0 {
+			payload = compress.MaskedBytes(len(payloads[0]))
+		}
+		s.Trace.Record(round, plan.Matching(), s.bw, plan.Forced, payload, s.fleet.N, loss)
+	}
+	led.EndRound()
+	return loss
+}
+
+var _ Algorithm = (*SAPS)(nil)
+
+// RandomChoose is SAPS with the adaptive peer selection replaced by a
+// uniformly random maximum matching each round — the paper's RandomChoose
+// comparison in Fig. 5. Sparsification and masked averaging are unchanged.
+type RandomChoose struct {
+	workers []*core.Worker
+	fleet   *Fleet
+	bw      *netsim.Bandwidth
+	rnd     *rng.Source
+	seedSrc *rng.Source
+	// LastMatchedBandwidth mirrors SAPS.LastMatchedBandwidth.
+	LastMatchedBandwidth float64
+}
+
+// NewRandomChoose builds the random-matching variant.
+func NewRandomChoose(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config) *RandomChoose {
+	f := NewFleet(fc)
+	rc := &RandomChoose{
+		fleet:   f,
+		bw:      bw,
+		rnd:     rng.New(cfg.Seed).Derive(0x7a4d01),
+		seedSrc: rng.New(cfg.Seed).Derive(0x7a4d02),
+	}
+	rc.workers = make([]*core.Worker, f.N)
+	for i := 0; i < f.N; i++ {
+		rc.workers[i] = core.NewWorker(i, f.Models[i], fc.Shards[i], cfg)
+	}
+	return rc
+}
+
+// Name implements Algorithm.
+func (rc *RandomChoose) Name() string { return "RandomChoose" }
+
+// Models implements Algorithm.
+func (rc *RandomChoose) Models() []*nn.Model { return rc.fleet.Models }
+
+// Step implements Algorithm.
+func (rc *RandomChoose) Step(round int, led *netsim.Ledger) float64 {
+	match := gossip.RandomMatching(rc.fleet.N, rc.rnd)
+	seed := rc.seedSrc.Uint64()
+
+	loss := rc.fleet.Parallel(func(i int) float64 {
+		return rc.workers[i].LocalSGD()
+	})
+	payloads := make([][]float64, rc.fleet.N)
+	rc.fleet.Parallel(func(i int) float64 {
+		rc.workers[i].RoundMask(seed, round)
+		payloads[i] = rc.workers[i].MaskedPayload()
+		return 0
+	})
+	for i, peer := range match {
+		if peer > i {
+			led.Exchange(i, peer, compress.MaskedBytes(len(payloads[i])), compress.MaskedBytes(len(payloads[peer])))
+		}
+	}
+	rc.fleet.Parallel(func(i int) float64 {
+		if peer := match[i]; peer != -1 {
+			rc.workers[i].MergePeer(payloads[peer])
+		}
+		return 0
+	})
+	rc.LastMatchedBandwidth = gossip.MeanMatchedBandwidth(match, rc.bw)
+	led.EndRound()
+	return loss
+}
+
+var _ Algorithm = (*RandomChoose)(nil)

@@ -1,0 +1,104 @@
+package algos
+
+import (
+	"testing"
+
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/rng"
+	"sapspsgd/internal/topology"
+)
+
+func TestDPSGDTopologyVariantsLearn(t *testing.T) {
+	const n, rounds = 8, 150
+	tops := []Topology{
+		topology.Ring(n),
+		topology.Torus(2, 4),
+		topology.Hypercube(3),
+		topology.RandomRegular(n, 3, rng.New(4)),
+	}
+	for _, tp := range tops {
+		tp := tp
+		t.Run(tp.Name, func(t *testing.T) {
+			t.Parallel()
+			fc, bw, va := testSetup(t, n)
+			alg := NewDPSGDTopology(fc, tp)
+			acc, led := runRounds(t, alg, bw, va, rounds)
+			if acc < 0.75 {
+				t.Fatalf("%s accuracy %v", tp.Name, acc)
+			}
+			if !led.ConservationOK() {
+				t.Fatal("conservation")
+			}
+		})
+	}
+}
+
+func TestDPSGDTopologyTrafficScalesWithDegree(t *testing.T) {
+	const n, rounds = 8, 10
+	run := func(tp Topology) float64 {
+		fc, bw, _ := testSetup(t, n)
+		alg := NewDPSGDTopology(fc, tp)
+		led := netsim.NewLedger(bw)
+		for r := 0; r < rounds; r++ {
+			alg.Step(r, led)
+		}
+		return led.MeanWorkerTrafficMB()
+	}
+	ring := run(topology.Ring(n))      // degree 2
+	cube := run(topology.Hypercube(3)) // degree 3
+	if cube <= ring {
+		t.Fatalf("hypercube traffic %v not above ring %v", cube, ring)
+	}
+	ratio := cube / ring
+	if ratio < 1.3 || ratio > 1.7 { // 3/2 = 1.5
+		t.Fatalf("traffic ratio %v, want ~1.5", ratio)
+	}
+}
+
+func TestDPSGDTopologyConsensusFasterOnExpander(t *testing.T) {
+	// After the same number of rounds, the hypercube's consensus error must
+	// be below the ring's (more edges, faster mixing).
+	const n, rounds = 8, 60
+	consensusOf := func(tp Topology) float64 {
+		fc, bw, _ := testSetup(t, n)
+		// Non-IID shards exaggerate drift so the comparison is crisp.
+		alg := NewDPSGDTopology(fc, tp)
+		led := netsim.NewLedger(bw)
+		for r := 0; r < rounds; r++ {
+			alg.Step(r, led)
+		}
+		models := alg.Models()
+		dim := models[0].ParamCount()
+		mean := make([]float64, dim)
+		for _, m := range models {
+			for j, v := range m.FlatParams(nil) {
+				mean[j] += v / float64(len(models))
+			}
+		}
+		tot := 0.0
+		for _, m := range models {
+			for j, v := range m.FlatParams(nil) {
+				d := v - mean[j]
+				tot += d * d
+			}
+		}
+		return tot
+	}
+	ring := consensusOf(topology.Ring(n))
+	cube := consensusOf(topology.Hypercube(3))
+	if cube >= ring {
+		t.Fatalf("hypercube consensus error %v not below ring %v", cube, ring)
+	}
+}
+
+func TestDPSGDTopologyValidation(t *testing.T) {
+	fc, _, _ := testSetup(t, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("size mismatch accepted")
+			}
+		}()
+		NewDPSGDTopology(fc, topology.Ring(8))
+	}()
+}

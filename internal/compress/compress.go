@@ -1,0 +1,113 @@
+// Package compress implements the model/gradient compression operators used
+// by SAPS-PSGD and by the baselines it is compared against:
+//
+//   - shared-seed random masking (Eq. (2)–(3) of the paper) — the SAPS
+//     sparsifier, whose mask is regenerated from a broadcast seed so only the
+//     surviving values cross the wire;
+//   - Top-k sparsification with error feedback (TopK-PSGD, DGC-style);
+//   - random-k sparsification (S-FedAvg's random structured updates, and the
+//     difference compressor for DCD-PSGD).
+//
+// Every operator reports its exact wire size so the traffic ledgers in the
+// experiment harness are byte-accurate.
+package compress
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/rng"
+)
+
+// Wire format constants. The paper's models are float32 and indices fit in
+// 32 bits, so a transmitted value costs 4 bytes and an explicit index costs
+// another 4. Computation stays float64; only accounting uses these.
+const (
+	BytesPerValue = 4
+	BytesPerIndex = 4
+)
+
+// DenseBytes returns the wire size of a dense n-parameter model.
+func DenseBytes(n int) int64 { return int64(n) * BytesPerValue }
+
+// MaskedBytes returns the wire size of k surviving values under a shared
+// mask: no indices are transmitted because both sides regenerate the mask
+// from the shared seed.
+func MaskedBytes(k int) int64 { return int64(k) * BytesPerValue }
+
+// SparseBytes returns the wire size of k (index, value) pairs for
+// compressors whose support must be transmitted explicitly (Top-k, random-k
+// without a shared seed).
+func SparseBytes(k int) int64 { return int64(k) * (BytesPerValue + BytesPerIndex) }
+
+// Mask generates the round-t Bernoulli(1/c) mask of length n from the shared
+// seed, exactly as every worker does in Algorithm 2 line 6.
+func Mask(seed uint64, round, n int, c float64) []bool {
+	if c < 1 {
+		panic(fmt.Sprintf("compress: compression ratio %v < 1", c))
+	}
+	return rng.MaskSeed(seed, round, n, 1/c)
+}
+
+// CountOnes returns the number of true entries of mask.
+func CountOnes(mask []bool) int {
+	k := 0
+	for _, b := range mask {
+		if b {
+			k++
+		}
+	}
+	return k
+}
+
+// Extract packs x's masked coordinates into a fresh slice, in index order.
+// This is the payload a SAPS worker sends: values only.
+func Extract(x []float64, mask []bool) []float64 {
+	out := make([]float64, 0, len(x)/8)
+	for i, on := range mask {
+		if on {
+			out = append(out, x[i])
+		}
+	}
+	return out
+}
+
+// Scatter writes packed values back into the masked coordinates of dst and
+// returns the number of values consumed. It panics if vals is shorter than
+// the mask's population count.
+func Scatter(dst []float64, mask []bool, vals []float64) int {
+	j := 0
+	for i, on := range mask {
+		if on {
+			dst[i] = vals[j]
+			j++
+		}
+	}
+	return j
+}
+
+// SparseVec is an explicit-support sparse vector in a dense space of
+// dimension N.
+type SparseVec struct {
+	N   int
+	Idx []int32
+	Val []float64
+}
+
+// WireBytes returns the exact transmission size of the sparse vector.
+func (s SparseVec) WireBytes() int64 { return SparseBytes(len(s.Idx)) }
+
+// Dense expands the sparse vector to a dense slice.
+func (s SparseVec) Dense() []float64 {
+	out := make([]float64, s.N)
+	for i, idx := range s.Idx {
+		out[idx] = s.Val[i]
+	}
+	return out
+}
+
+// AddTo accumulates scale * s into dst.
+func (s SparseVec) AddTo(dst []float64, scale float64) {
+	for i, idx := range s.Idx {
+		dst[idx] += scale * s.Val[i]
+	}
+}

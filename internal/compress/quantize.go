@@ -1,0 +1,100 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"sapspsgd/internal/rng"
+)
+
+// QSGD implements the stochastic uniform quantizer of Alistarh et al.
+// (QSGD), one of the quantization baselines the paper's related-work section
+// positions sparsification against. A vector is encoded as its l2 norm plus
+// per-coordinate sign and an s-level stochastically rounded magnitude.
+//
+// Wire cost: 4 bytes for the norm + ceil(log2(2s+1)) bits per coordinate —
+// at most a 32/bits compression of the dense payload, far weaker than the
+// 100× the mask sparsifier reaches (the paper's argument for
+// sparsification).
+type QSGD struct {
+	// Levels is s, the number of positive quantization levels (e.g. 1 for
+	// ternary, 127 for 8-bit).
+	Levels int
+	rnd    *rng.Source
+}
+
+// NewQSGD builds a quantizer with the given level count and seed.
+func NewQSGD(levels int, seed uint64) *QSGD {
+	if levels < 1 {
+		panic(fmt.Sprintf("compress: QSGD levels %d", levels))
+	}
+	return &QSGD{Levels: levels, rnd: rng.New(seed)}
+}
+
+// Quantized is a QSGD-encoded vector.
+type Quantized struct {
+	Norm float64
+	// Codes holds signed level indices in [-Levels, +Levels].
+	Codes  []int16
+	Levels int
+}
+
+// Quantize encodes x with stochastic rounding; the expectation of Decode
+// equals x (unbiasedness, verified by the tests).
+func (q *QSGD) Quantize(x []float64) Quantized {
+	out := Quantized{Codes: make([]int16, len(x)), Levels: q.Levels}
+	norm := 0.0
+	for _, v := range x {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	out.Norm = norm
+	if norm == 0 {
+		return out
+	}
+	s := float64(q.Levels)
+	for i, v := range x {
+		a := math.Abs(v) / norm * s // in [0, s]
+		lo := math.Floor(a)
+		code := lo
+		if q.rnd.Float64() < a-lo {
+			code = lo + 1
+		}
+		if v < 0 {
+			code = -code
+		}
+		out.Codes[i] = int16(code)
+	}
+	return out
+}
+
+// Decode reconstructs the (unbiased) estimate of the original vector.
+func (qv Quantized) Decode() []float64 {
+	out := make([]float64, len(qv.Codes))
+	if qv.Norm == 0 {
+		return out
+	}
+	s := float64(qv.Levels)
+	for i, c := range qv.Codes {
+		out[i] = qv.Norm * float64(c) / s
+	}
+	return out
+}
+
+// WireBytes returns the exact encoded size: 4 bytes of norm plus the
+// bit-packed codes.
+func (qv Quantized) WireBytes() int64 {
+	bitsPerCode := bitsFor(2*qv.Levels + 1)
+	return 4 + int64((len(qv.Codes)*bitsPerCode+7)/8)
+}
+
+func bitsFor(values int) int {
+	bits := 0
+	for v := values - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		return 1
+	}
+	return bits
+}

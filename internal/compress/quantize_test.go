@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sapspsgd/internal/rng"
+)
+
+func TestQSGDRoundTripShape(t *testing.T) {
+	q := NewQSGD(4, 1)
+	x := []float64{1, -2, 0, 0.5}
+	enc := q.Quantize(x)
+	dec := enc.Decode()
+	if len(dec) != len(x) {
+		t.Fatal("length")
+	}
+	// Signs must be preserved for clearly nonzero entries.
+	if dec[0] < 0 || dec[1] > 0 {
+		t.Fatalf("signs broken: %v", dec)
+	}
+}
+
+func TestQSGDZeroVector(t *testing.T) {
+	q := NewQSGD(4, 1)
+	enc := q.Quantize(make([]float64, 8))
+	if enc.Norm != 0 {
+		t.Fatal("norm")
+	}
+	for _, v := range enc.Decode() {
+		if v != 0 {
+			t.Fatal("zero vector must decode to zero")
+		}
+	}
+}
+
+func TestQSGDUnbiased(t *testing.T) {
+	// E[Decode(Quantize(x))] == x: average many independent encodings.
+	q := NewQSGD(2, 7)
+	r := rng.New(3)
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	const trials = 20000
+	mean := make([]float64, len(x))
+	for tr := 0; tr < trials; tr++ {
+		dec := q.Quantize(x).Decode()
+		for i, v := range dec {
+			mean[i] += v / trials
+		}
+	}
+	for i := range x {
+		if math.Abs(mean[i]-x[i]) > 0.05 {
+			t.Fatalf("coord %d: mean %v vs true %v", i, mean[i], x[i])
+		}
+	}
+}
+
+func TestQSGDCodesWithinRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		levels := 1 + r.Intn(127)
+		q := NewQSGD(levels, seed)
+		x := make([]float64, 1+r.Intn(100))
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		enc := q.Quantize(x)
+		for _, c := range enc.Codes {
+			if int(c) > levels || int(c) < -levels {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQSGDWireBytes(t *testing.T) {
+	// levels=1 → 3 values → 2 bits/code. 16 codes → 4 bytes + 4 norm = 8.
+	q := NewQSGD(1, 1)
+	enc := q.Quantize(make([]float64, 16))
+	if got := enc.WireBytes(); got != 8 {
+		t.Fatalf("WireBytes = %d, want 8", got)
+	}
+	// levels=127 → 255 values → 8 bits/code. 10 codes → 10 bytes + 4.
+	q2 := NewQSGD(127, 1)
+	enc2 := q2.Quantize(make([]float64, 10))
+	if got := enc2.WireBytes(); got != 14 {
+		t.Fatalf("WireBytes = %d, want 14", got)
+	}
+}
+
+func TestQSGDCompressionWeakerThanMask(t *testing.T) {
+	// The paper's argument: quantization saturates at 32× while mask
+	// sparsification reaches c=100 and beyond. Dense float32 payload of n
+	// values = 4n bytes; ternary QSGD ≈ n/4 bytes (16×); mask c=100 = 0.04n.
+	const n = 10000
+	q := NewQSGD(1, 1)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	qBytes := q.Quantize(x).WireBytes()
+	maskBytes := MaskedBytes(n / 100)
+	if qBytes <= maskBytes {
+		t.Fatalf("QSGD %d bytes unexpectedly below mask-c100 %d bytes", qBytes, maskBytes)
+	}
+	if qBytes >= DenseBytes(n) {
+		t.Fatalf("QSGD %d bytes not below dense %d", qBytes, DenseBytes(n))
+	}
+}
+
+func TestQSGDBadLevelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQSGD(0, 1)
+}

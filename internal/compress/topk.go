@@ -1,0 +1,186 @@
+package compress
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/rng"
+)
+
+// TopK selects the k entries of x with largest absolute value and returns
+// them as a SparseVec. Selection uses an in-place quickselect over a copy of
+// the magnitudes (expected O(n)); index order of the result is ascending.
+func TopK(x []float64, k int) SparseVec {
+	n := len(x)
+	if k < 0 {
+		panic(fmt.Sprintf("compress: negative k %d", k))
+	}
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return SparseVec{N: n}
+	}
+	if k == n {
+		out := SparseVec{N: n, Idx: make([]int32, n), Val: make([]float64, n)}
+		for i := range x {
+			out.Idx[i] = int32(i)
+			out.Val[i] = x[i]
+		}
+		return out
+	}
+
+	// Quickselect the k-th largest magnitude.
+	mags := make([]float64, n)
+	for i, v := range x {
+		if v < 0 {
+			mags[i] = -v
+		} else {
+			mags[i] = v
+		}
+	}
+	thresh := quickselectDesc(mags, k)
+
+	// First pass: take strictly-greater entries; second: fill with equals.
+	out := SparseVec{N: n, Idx: make([]int32, 0, k), Val: make([]float64, 0, k)}
+	for i, v := range x {
+		m := v
+		if m < 0 {
+			m = -m
+		}
+		if m > thresh {
+			out.Idx = append(out.Idx, int32(i))
+			out.Val = append(out.Val, v)
+		}
+	}
+	for i, v := range x {
+		if len(out.Idx) == k {
+			break
+		}
+		m := v
+		if m < 0 {
+			m = -m
+		}
+		if m == thresh {
+			out.Idx = append(out.Idx, int32(i))
+			out.Val = append(out.Val, v)
+		}
+	}
+	sortSparseByIndex(&out)
+	return out
+}
+
+// quickselectDesc returns the k-th largest value of a (1-based k), mutating a.
+func quickselectDesc(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	target := k - 1 // index in descending order
+	// Deterministic pseudo-random pivots via a tiny LCG keep adversarial
+	// inputs from degrading to O(n^2).
+	state := uint64(0x9e3779b97f4a7c15)
+	for {
+		if lo == hi {
+			return a[lo]
+		}
+		state = state*6364136223846793005 + 1442695040888963407
+		p := lo + int(state%uint64(hi-lo+1))
+		a[p], a[hi] = a[hi], a[p]
+		pivot := a[hi]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if a[i] > pivot {
+				a[i], a[store] = a[store], a[i]
+				store++
+			}
+		}
+		a[store], a[hi] = a[hi], a[store]
+		switch {
+		case target == store:
+			return a[store]
+		case target < store:
+			hi = store - 1
+		default:
+			lo = store + 1
+		}
+	}
+}
+
+func sortSparseByIndex(s *SparseVec) {
+	// Insertion sort is fine: the vectors are built nearly sorted (two
+	// ascending passes), so this is close to O(k).
+	for i := 1; i < len(s.Idx); i++ {
+		ji, jv := s.Idx[i], s.Val[i]
+		j := i - 1
+		for j >= 0 && s.Idx[j] > ji {
+			s.Idx[j+1] = s.Idx[j]
+			s.Val[j+1] = s.Val[j]
+			j--
+		}
+		s.Idx[j+1] = ji
+		s.Val[j+1] = jv
+	}
+}
+
+// ErrorFeedback wraps a sparsifying compressor with the residual-accumulation
+// scheme ("error compensation") that Top-k sparsification needs for
+// convergence: coordinates dropped this round are added back to the input of
+// the next round.
+type ErrorFeedback struct {
+	residual []float64
+	scratch  []float64
+}
+
+// NewErrorFeedback returns an error-feedback accumulator for n-dimensional
+// inputs.
+func NewErrorFeedback(n int) *ErrorFeedback {
+	return &ErrorFeedback{residual: make([]float64, n), scratch: make([]float64, n)}
+}
+
+// CompressTopK adds the residual to x, selects the top k entries of the sum
+// for transmission, and stores what was left behind as the new residual. The
+// input slice is not modified.
+func (e *ErrorFeedback) CompressTopK(x []float64, k int) SparseVec {
+	if len(x) != len(e.residual) {
+		panic("compress: ErrorFeedback dimension mismatch")
+	}
+	for i, v := range x {
+		e.scratch[i] = v + e.residual[i]
+	}
+	s := TopK(e.scratch, k)
+	copy(e.residual, e.scratch)
+	for _, idx := range s.Idx {
+		e.residual[idx] = 0
+	}
+	return s
+}
+
+// Residual exposes the current residual (for tests and diagnostics).
+func (e *ErrorFeedback) Residual() []float64 { return e.residual }
+
+// RandomK selects k coordinates uniformly at random (without replacement)
+// using the given RNG and returns them with their values. Unlike the shared-
+// mask scheme, the support is explicit, so the wire cost includes indices.
+func RandomK(x []float64, k int, r *rng.Source) SparseVec {
+	n := len(x)
+	if k > n {
+		k = n
+	}
+	out := SparseVec{N: n, Idx: make([]int32, 0, k), Val: make([]float64, 0, k)}
+	if k == 0 {
+		return out
+	}
+	// Floyd's sampling: k uniform draws without replacement in O(k).
+	chosen := make(map[int32]bool, k)
+	for j := n - k; j < n; j++ {
+		t := int32(r.Intn(j + 1))
+		if chosen[t] {
+			t = int32(j)
+		}
+		chosen[t] = true
+	}
+	for i := int32(0); int(i) < n; i++ {
+		if chosen[i] {
+			out.Idx = append(out.Idx, i)
+			out.Val = append(out.Val, x[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/rng"
+	"sapspsgd/internal/tensor"
+)
+
+func testConfig(n int) Config {
+	return Config{
+		Workers:     n,
+		Compression: 4,
+		LR:          0.05,
+		Batch:       8,
+		LocalSteps:  1,
+		Gossip:      gossip.Config{BThres: 0, TThres: 5},
+		Seed:        3,
+	}
+}
+
+func buildWorkers(t *testing.T, n int, cfg Config) []*Worker {
+	t.Helper()
+	tr, _ := dataset.TinyTask(200, 3, 5)
+	shards := dataset.PartitionIID(tr, n, 1)
+	ws := make([]*Worker, n)
+	for i := range ws {
+		model := nn.NewMLP(tr.Dim(), []int{8}, 3, cfg.Seed) // same init everywhere
+		ws[i] = NewWorker(i, model, shards[i], cfg)
+	}
+	return ws
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.Workers = 1 },
+		func(c *Config) { c.Compression = 0.5 },
+		func(c *Config) { c.LR = 0 },
+		func(c *Config) { c.Batch = 0 },
+		func(c *Config) { c.LocalSteps = 0 },
+		func(c *Config) { c.Gossip.TThres = 0 },
+	}
+	for i, mutate := range bads {
+		c := testConfig(4)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestWorkersShareMask(t *testing.T) {
+	cfg := testConfig(4)
+	ws := buildWorkers(t, 4, cfg)
+	ref := ws[0].RoundMask(99, 7)
+	for _, w := range ws[1:] {
+		m := w.RoundMask(99, 7)
+		for i := range m {
+			if m[i] != ref[i] {
+				t.Fatalf("worker %d mask differs at %d", w.Rank, i)
+			}
+		}
+	}
+}
+
+func TestMaskedExchangeAveragesExactly(t *testing.T) {
+	cfg := testConfig(2)
+	ws := buildWorkers(t, 2, cfg)
+	// Give the two workers different known parameters.
+	n := ws[0].Model.ParamCount()
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(2 * i)
+	}
+	ws[0].Model.SetFlatParams(a)
+	ws[1].Model.SetFlatParams(b)
+
+	mask := ws[0].RoundMask(5, 1)
+	ws[1].RoundMask(5, 1)
+	pa := ws[0].MaskedPayload()
+	pb := ws[1].MaskedPayload()
+	ws[0].MergePeer(pb)
+	ws[1].MergePeer(pa)
+
+	ga := ws[0].Params()
+	gb := ws[1].Params()
+	for i := range ga {
+		if mask[i] {
+			want := (a[i] + b[i]) / 2
+			if ga[i] != want || gb[i] != want {
+				t.Fatalf("masked coord %d: %v/%v, want %v", i, ga[i], gb[i], want)
+			}
+		} else {
+			if ga[i] != a[i] || gb[i] != b[i] {
+				t.Fatalf("unmasked coord %d modified", i)
+			}
+		}
+	}
+}
+
+func TestMergePeerConservesMean(t *testing.T) {
+	// The pairwise masked average must conserve the two-worker parameter sum
+	// — the doubly stochastic invariant behind Theorem 1.
+	cfg := testConfig(2)
+	ws := buildWorkers(t, 2, cfg)
+	r := rng.New(9)
+	n := ws[0].Model.ParamCount()
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	ws[0].Model.SetFlatParams(a)
+	ws[1].Model.SetFlatParams(b)
+	sumBefore := tensor.Sum(a) + tensor.Sum(b)
+
+	ws[0].RoundMask(11, 2)
+	ws[1].RoundMask(11, 2)
+	pa := ws[0].MaskedPayload()
+	pb := ws[1].MaskedPayload()
+	ws[0].MergePeer(pb)
+	ws[1].MergePeer(pa)
+
+	sumAfter := tensor.Sum(ws[0].Params()) + tensor.Sum(ws[1].Params())
+	if math.Abs(sumAfter-sumBefore) > 1e-9 {
+		t.Fatalf("sum drifted: %v -> %v", sumBefore, sumAfter)
+	}
+}
+
+func TestMergePeerWrongLenPanics(t *testing.T) {
+	cfg := testConfig(2)
+	ws := buildWorkers(t, 2, cfg)
+	ws[0].RoundMask(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ws[0].MergePeer(make([]float64, 1e6))
+}
+
+func TestPayloadBeforeMaskPanics(t *testing.T) {
+	cfg := testConfig(2)
+	ws := buildWorkers(t, 2, cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ws[0].MaskedPayload()
+}
+
+func TestGossipOnlyConsensus(t *testing.T) {
+	// With learning disabled (no SGD), repeated masked gossip must drive all
+	// workers to consensus — Theorem 1 with G = 0. This exercises the full
+	// coordinator+worker loop.
+	const n = 8
+	cfg := testConfig(n)
+	cfg.Compression = 2 // denser masks make the test fast
+	ws := buildWorkers(t, n, cfg)
+	// Distinct starting points.
+	r := rng.New(13)
+	for _, w := range ws {
+		p := w.Params()
+		for i := range p {
+			p[i] = r.NormFloat64()
+		}
+		w.Model.SetFlatParams(p)
+	}
+	bw := netsim.RandomUniform(n, 1, 5, rng.New(2))
+	coord := NewCoordinator(bw, cfg)
+
+	disagreement := func() float64 {
+		dim := ws[0].Model.ParamCount()
+		mean := make([]float64, dim)
+		for _, w := range ws {
+			tensor.Axpy(1/float64(n), w.Params(), mean)
+		}
+		total := 0.0
+		for _, w := range ws {
+			d := w.Disagreement(mean)
+			total += d * d
+		}
+		return total
+	}
+
+	before := disagreement()
+	for round := 0; round < 150; round++ {
+		plan := coord.Plan(round)
+		for _, w := range ws {
+			w.RoundMask(plan.Seed, plan.Round)
+		}
+		payloads := make([][]float64, n)
+		for i, w := range ws {
+			payloads[i] = w.MaskedPayload()
+		}
+		for i, w := range ws {
+			if peer := plan.Peer[i]; peer != -1 {
+				w.MergePeer(payloads[peer])
+			}
+		}
+	}
+	after := disagreement()
+	if after > before*1e-3 {
+		t.Fatalf("disagreement %v -> %v: gossip did not contract", before, after)
+	}
+}
+
+func TestConsensusRateMatchesLemma2(t *testing.T) {
+	// Lemma 2 predicts contraction of E‖x − x̄‖² by (q + pρ²) per round.
+	// Measure the empirical contraction of scalar gossip under the
+	// generator's matchings and compare with the prediction computed from
+	// the sampled Ws (allowing generous tolerance: single sample path).
+	const n = 14
+	bw := netsim.FourteenCities()
+	gcfg := gossip.Config{BThres: 0.2, TThres: 5}
+	gen := gossip.NewGenerator(bw, gcfg, 7)
+	const p = 0.25 // mask keep probability
+	const rounds = 400
+
+	r := rng.New(31)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	dis := func(x []float64) float64 {
+		mean := tensor.Mean(x)
+		s := 0.0
+		for _, v := range x {
+			s += (v - mean) * (v - mean)
+		}
+		return s
+	}
+	d0 := dis(x)
+	maskRng := rng.New(77)
+	for t2 := 0; t2 < rounds; t2++ {
+		round := gen.Next(t2)
+		if !maskRng.Bernoulli(p) {
+			continue // this scalar coordinate not exchanged this round
+		}
+		for v, pr := range round.Match {
+			if pr > v {
+				avg := 0.5 * (x[v] + x[pr])
+				x[v], x[pr] = avg, avg
+			}
+		}
+	}
+	dT := dis(x)
+	if dT > d0*1e-4 {
+		t.Fatalf("scalar gossip did not contract: %v -> %v over %d rounds", d0, dT, rounds)
+	}
+}
+
+func TestCoordinatorPlansDeterministic(t *testing.T) {
+	bw := netsim.RandomUniform(8, 1, 5, rng.New(4))
+	cfg := testConfig(8)
+	a := NewCoordinator(bw, cfg)
+	b := NewCoordinator(bw, cfg)
+	for round := 0; round < 20; round++ {
+		pa := a.Plan(round)
+		pb := b.Plan(round)
+		if pa.Seed != pb.Seed {
+			t.Fatal("seeds diverge")
+		}
+		for i := range pa.Peer {
+			if pa.Peer[i] != pb.Peer[i] {
+				t.Fatal("peers diverge")
+			}
+		}
+	}
+}

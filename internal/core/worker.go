@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/compress"
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/tensor"
+)
+
+// Worker is one SAPS-PSGD training peer (Algorithm 2). It owns a model, an
+// optimizer, and a shard of the training data. It is not safe for concurrent
+// use; the harness gives each goroutine its own Worker.
+type Worker struct {
+	Rank  int
+	Model *nn.Model
+	Opt   *nn.SGD
+	// Loader yields this worker's local minibatches (D_p in the paper).
+	Loader *dataset.Loader
+
+	cfg Config
+
+	flat []float64 // scratch for the flat parameter vector
+	mask []bool    // scratch for the round mask
+}
+
+// NewWorker assembles a worker from its already-constructed model and data
+// shard. All workers must be built from the same model seed so that
+// ‖X₀ − X̄₀1ᵀ‖² = 0 (the paper's zero-initial-disagreement condition).
+func NewWorker(rank int, model *nn.Model, shard *dataset.Dataset, cfg Config) *Worker {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Worker{
+		Rank:   rank,
+		Model:  model,
+		Opt:    &nn.SGD{LR: cfg.LR},
+		Loader: dataset.NewLoader(shard, cfg.Batch, cfg.Seed+uint64(rank)*7919),
+		cfg:    cfg,
+	}
+}
+
+// LocalSGD runs the configured number of local minibatch SGD steps
+// (Algorithm 2 line 5) and returns the mean training loss.
+func (w *Worker) LocalSGD() float64 {
+	total := 0.0
+	for s := 0; s < w.cfg.LocalSteps; s++ {
+		xs, ys := w.Loader.Next()
+		total += nn.TrainBatch(w.Model, w.Opt, xs, ys)
+	}
+	return total / float64(w.cfg.LocalSteps)
+}
+
+// RoundMask regenerates the shared round mask from the coordinator's seed
+// (Algorithm 2 line 6). Every worker calls this with identical arguments and
+// obtains an identical mask.
+func (w *Worker) RoundMask(seed uint64, round int) []bool {
+	n := w.Model.ParamCount()
+	w.mask = compress.Mask(seed, round, n, w.cfg.Compression)
+	return w.mask
+}
+
+// MaskedPayload extracts the worker's sparsified model x̃ = x ∘ m as a packed
+// value slice (Algorithm 2 line 7) — the message sent to the peer. The wire
+// cost is compress.MaskedBytes(len(payload)).
+func (w *Worker) MaskedPayload() []float64 {
+	if w.mask == nil {
+		panic("core: MaskedPayload before RoundMask")
+	}
+	w.flat = w.Model.FlatParams(w.flat)
+	return compress.Extract(w.flat, w.mask)
+}
+
+// MergePeer applies the masked gossip average of Eq. (7) with the pairwise
+// doubly stochastic W: masked coordinates become the mean of the local and
+// peer values; unmasked coordinates are untouched (Algorithm 2 line 10).
+func (w *Worker) MergePeer(peerVals []float64) {
+	if w.mask == nil {
+		panic("core: MergePeer before RoundMask")
+	}
+	k := compress.CountOnes(w.mask)
+	if len(peerVals) != k {
+		panic(fmt.Sprintf("core: peer payload %d values, mask has %d", len(peerVals), k))
+	}
+	w.flat = w.Model.FlatParams(w.flat)
+	j := 0
+	for i, on := range w.mask {
+		if on {
+			w.flat[i] = 0.5 * (w.flat[i] + peerVals[j])
+			j++
+		}
+	}
+	w.Model.SetFlatParams(w.flat)
+}
+
+// PayloadLen returns the number of values the current mask transmits.
+func (w *Worker) PayloadLen() int { return compress.CountOnes(w.mask) }
+
+// Params returns the worker's current flat parameter vector (a copy).
+func (w *Worker) Params() []float64 { return w.Model.FlatParams(nil) }
+
+// Disagreement returns ‖x_w − ref‖₂, used by the consensus tests.
+func (w *Worker) Disagreement(ref []float64) float64 {
+	w.flat = w.Model.FlatParams(w.flat)
+	diff := make([]float64, len(ref))
+	tensor.Sub(diff, w.flat, ref)
+	return tensor.Norm2(diff)
+}

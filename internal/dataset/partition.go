@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/rng"
+)
+
+// PartitionIID splits d into n shards of (nearly) equal size after a seeded
+// shuffle. Shards share the parent's image geometry and class count.
+func PartitionIID(d *Dataset, n int, seed uint64) []*Dataset {
+	if n < 1 {
+		panic(fmt.Sprintf("dataset: PartitionIID with n=%d", n))
+	}
+	r := rng.New(seed)
+	idx := r.Perm(len(d.Samples))
+	shards := make([]*Dataset, n)
+	for w := 0; w < n; w++ {
+		shards[w] = emptyLike(d, fmt.Sprintf("%s/worker%d", d.Name, w))
+	}
+	for pos, i := range idx {
+		w := pos % n
+		shards[w].Samples = append(shards[w].Samples, d.Samples[i])
+	}
+	return shards
+}
+
+// PartitionByLabel produces a non-IID partition in the federated-learning
+// style: samples are sorted by label into contiguous shards and each worker
+// receives shardsPerWorker of them, so most workers see only a few classes.
+// This reproduces the data heterogeneity (ζ² > 0 in Assumption 4) under
+// which decentralized methods are evaluated.
+func PartitionByLabel(d *Dataset, n, shardsPerWorker int, seed uint64) []*Dataset {
+	if n < 1 || shardsPerWorker < 1 {
+		panic(fmt.Sprintf("dataset: PartitionByLabel n=%d spw=%d", n, shardsPerWorker))
+	}
+	r := rng.New(seed)
+	// Stable ordering by label, randomized within a label.
+	byLabel := make([][]int, d.Classes)
+	for i, s := range d.Samples {
+		byLabel[s.Label] = append(byLabel[s.Label], i)
+	}
+	var order []int
+	for _, idxs := range byLabel {
+		r.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		order = append(order, idxs...)
+	}
+	totalShards := n * shardsPerWorker
+	shardSize := len(order) / totalShards
+	if shardSize == 0 {
+		panic("dataset: too few samples for requested shards")
+	}
+	shardIDs := r.Perm(totalShards)
+	shards := make([]*Dataset, n)
+	for w := 0; w < n; w++ {
+		shards[w] = emptyLike(d, fmt.Sprintf("%s/worker%d-noniid", d.Name, w))
+		for s := 0; s < shardsPerWorker; s++ {
+			id := shardIDs[w*shardsPerWorker+s]
+			lo := id * shardSize
+			hi := lo + shardSize
+			if id == totalShards-1 {
+				hi = len(order) // last shard absorbs the remainder
+			}
+			for _, i := range order[lo:hi] {
+				shards[w].Samples = append(shards[w].Samples, d.Samples[i])
+			}
+		}
+	}
+	return shards
+}
+
+func emptyLike(d *Dataset, name string) *Dataset {
+	return &Dataset{Name: name, C: d.C, H: d.H, W: d.W, Classes: d.Classes}
+}
+
+// Loader yields minibatches cyclically, reshuffling at each epoch boundary.
+type Loader struct {
+	d     *Dataset
+	batch int
+	r     *rng.Source
+	order []int
+	pos   int
+	// Epochs counts completed passes over the shard.
+	Epochs int
+}
+
+// NewLoader returns a loader with the given batch size. Batch is clamped to
+// the dataset size.
+func NewLoader(d *Dataset, batch int, seed uint64) *Loader {
+	if d.Len() == 0 {
+		panic("dataset: loader over empty dataset")
+	}
+	if batch < 1 {
+		panic(fmt.Sprintf("dataset: batch %d < 1", batch))
+	}
+	if batch > d.Len() {
+		batch = d.Len()
+	}
+	l := &Loader{d: d, batch: batch, r: rng.New(seed)}
+	l.reshuffle()
+	return l
+}
+
+func (l *Loader) reshuffle() {
+	l.order = l.r.Perm(l.d.Len())
+	l.pos = 0
+}
+
+// Next returns the next minibatch (views into the dataset, not copies).
+func (l *Loader) Next() (xs [][]float64, labels []int) {
+	xs = make([][]float64, 0, l.batch)
+	labels = make([]int, 0, l.batch)
+	for len(xs) < l.batch {
+		if l.pos == len(l.order) {
+			l.Epochs++
+			l.reshuffle()
+		}
+		s := l.d.Samples[l.order[l.pos]]
+		l.pos++
+		xs = append(xs, s.X)
+		labels = append(labels, s.Label)
+	}
+	return xs, labels
+}
+
+// BatchesPerEpoch returns the number of Next calls per full pass.
+func (l *Loader) BatchesPerEpoch() int {
+	b := l.d.Len() / l.batch
+	if b == 0 {
+		return 1
+	}
+	return b
+}
+
+// LabelHistogram counts samples per class — used by the non-IID tests.
+func LabelHistogram(d *Dataset) []int {
+	h := make([]int, d.Classes)
+	for _, s := range d.Samples {
+		h[s.Label]++
+	}
+	return h
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCompressionSweepTrafficScales(t *testing.T) {
+	w := quickWorkload().WithRounds(40)
+	tb, err := CompressionSweep(w, 4, []float64{2, 8}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Traffic at c=2 must be ~4× the traffic at c=8.
+	t2, err := strconv.ParseFloat(tb.Rows[0][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := strconv.ParseFloat(tb.Rows[1][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t2 / t8
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("traffic ratio c2/c8 = %v, want ~4", ratio)
+	}
+}
+
+func TestPeerSelectionAblation(t *testing.T) {
+	w := quickWorkload().WithRounds(30)
+	tb, err := PeerSelectionAblation(w, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tb.WriteMarkdown(&sb)
+	for _, name := range []string{"SAPS-PSGD", "RandomChoose", "churn"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Fatalf("missing %s:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestLocalStepsSweep(t *testing.T) {
+	w := quickWorkload().WithRounds(40)
+	tb, err := LocalStepsSweep(w, 4, []int{1, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// 4 local steps with constant gradient work → 1/4 the rounds → ~1/4 the
+	// traffic.
+	t1, _ := strconv.ParseFloat(tb.Rows[0][3], 64)
+	t4, _ := strconv.ParseFloat(tb.Rows[1][3], 64)
+	if t4 >= t1 {
+		t.Fatalf("local-steps=4 traffic %v not below local-steps=1 traffic %v", t4, t1)
+	}
+	if _, err := LocalStepsSweep(w, 4, []int{0}, 7); err == nil {
+		t.Fatal("zero local steps accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/metrics"
+)
+
+// CostRow is one row of Table I: the symbolic per-algorithm communication
+// cost together with the feature flags the paper lists (sparsification
+// support, client-bandwidth awareness, robustness to network dynamics).
+type CostRow struct {
+	Algorithm      string
+	ServerCost     string
+	WorkerCost     string
+	Sparsification bool
+	ConsidersBW    bool
+	Robust         bool
+	// serverFn/workerFn evaluate the symbolic cost in transmitted values
+	// for concrete (n, N, c, T, np).
+	serverFn func(p CostParams) float64
+	workerFn func(p CostParams) float64
+}
+
+// CostParams instantiates the symbolic costs.
+type CostParams struct {
+	N  int     // model size (parameters)
+	n  int     // workers
+	C  float64 // compression ratio
+	T  int     // rounds
+	Np int     // max neighbors (decentralized)
+}
+
+// NewCostParams builds cost parameters.
+func NewCostParams(workers, modelSize int, c float64, rounds, np int) CostParams {
+	return CostParams{N: modelSize, n: workers, C: c, T: rounds, Np: np}
+}
+
+// CostModel returns Table I exactly as the paper states it.
+func CostModel() []CostRow {
+	return []CostRow{
+		{
+			Algorithm: "PS-PSGD", ServerCost: "2NnT", WorkerCost: "2NT",
+			serverFn: func(p CostParams) float64 { return 2 * float64(p.N) * float64(p.n) * float64(p.T) },
+			workerFn: func(p CostParams) float64 { return 2 * float64(p.N) * float64(p.T) },
+		},
+		{
+			Algorithm: "PSGD (all-reduce)", ServerCost: "-", WorkerCost: "2NT",
+			workerFn: func(p CostParams) float64 { return 2 * float64(p.N) * float64(p.T) },
+		},
+		{
+			Algorithm: "TopK-PSGD", ServerCost: "-", WorkerCost: "2n(N/c)T", Sparsification: true,
+			workerFn: func(p CostParams) float64 {
+				return 2 * float64(p.n) * float64(p.N) / p.C * float64(p.T)
+			},
+		},
+		{
+			Algorithm: "FedAvg", ServerCost: "2NnT", WorkerCost: "2NT",
+			serverFn: func(p CostParams) float64 { return 2 * float64(p.N) * float64(p.n) * float64(p.T) },
+			workerFn: func(p CostParams) float64 { return 2 * float64(p.N) * float64(p.T) },
+		},
+		{
+			Algorithm: "S-FedAvg", ServerCost: "(N+2N/c)nT", WorkerCost: "(N+2N/c)T", Sparsification: true,
+			serverFn: func(p CostParams) float64 {
+				return (float64(p.N) + 2*float64(p.N)/p.C) * float64(p.n) * float64(p.T)
+			},
+			workerFn: func(p CostParams) float64 {
+				return (float64(p.N) + 2*float64(p.N)/p.C) * float64(p.T)
+			},
+		},
+		{
+			Algorithm: "D-PSGD", ServerCost: "N", WorkerCost: "4·np·NT",
+			serverFn: func(p CostParams) float64 { return float64(p.N) },
+			workerFn: func(p CostParams) float64 {
+				return 4 * float64(p.Np) * float64(p.N) * float64(p.T)
+			},
+		},
+		{
+			Algorithm: "DCD-PSGD", ServerCost: "N", WorkerCost: "4·np·(N/c)T", Sparsification: true,
+			serverFn: func(p CostParams) float64 { return float64(p.N) },
+			workerFn: func(p CostParams) float64 {
+				return 4 * float64(p.Np) * float64(p.N) / p.C * float64(p.T)
+			},
+		},
+		{
+			Algorithm: "SAPS-PSGD", ServerCost: "N", WorkerCost: "2(N/c)T",
+			Sparsification: true, ConsidersBW: true, Robust: true,
+			serverFn: func(p CostParams) float64 { return float64(p.N) },
+			workerFn: func(p CostParams) float64 { return 2 * float64(p.N) / p.C * float64(p.T) },
+		},
+	}
+}
+
+// WorkerCostValues evaluates every algorithm's symbolic worker cost (in
+// transmitted values) for the given parameters — used by the tests that tie
+// the measured ledgers back to Table I.
+func WorkerCostValues(p CostParams) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range CostModel() {
+		if r.workerFn != nil {
+			out[r.Algorithm] = r.workerFn(p)
+		}
+	}
+	return out
+}
+
+// Table1 renders Table I with both the symbolic costs and a concrete
+// instantiation.
+func Table1(p CostParams) *metrics.Table {
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Table I: communication cost (n=%d, N=%d, c=%.0f, T=%d, np=%d)", p.n, p.N, p.C, p.T, p.Np),
+		"Algorithm", "Server cost", "Worker cost", "Worker cost (MB)", "SP.", "C.B.", "R.")
+	for _, r := range CostModel() {
+		mb := "-"
+		if r.workerFn != nil {
+			mb = metrics.F(r.workerFn(p) * 4 / 1e6) // 4 bytes per value
+		}
+		t.Add(r.Algorithm, r.ServerCost, r.WorkerCost, mb, yn(r.Sparsification), yn(r.ConsidersBW), yn(r.Robust))
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/metrics"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/spectral"
+	"sapspsgd/internal/tensor"
+)
+
+// SpectralDiagnostics quantifies the theory section's quantities for a given
+// environment and Algorithm 3 configuration: the second largest eigenvalue ρ
+// of the empirical E[WᵀW] (Assumption 3 requires ρ < 1), the Lemma 2 mixing
+// rate (q + p·ρ²), and the mean matched bandwidth — exposing the
+// communication-efficiency vs mixing-speed trade-off the paper discusses in
+// §II-C.
+type SpectralDiagnostics struct {
+	Rho          float64
+	MixingRate   float64 // for the given mask keep-probability
+	MeanMatched  float64 // MB/s
+	ForcedRounds int     // rounds where connectivity had to be restored
+	Samples      int
+}
+
+// DiagnoseGossip samples `rounds` gossip matrices from Algorithm 3 and
+// computes the diagnostics. keepP is the mask keep-probability 1/c.
+func DiagnoseGossip(bw *netsim.Bandwidth, cfg gossip.Config, keepP float64, rounds int, seed uint64) SpectralDiagnostics {
+	gen := gossip.NewGenerator(bw, cfg, seed)
+	var ws []*tensor.Matrix
+	total := 0.0
+	forced := 0
+	for t := 0; t < rounds; t++ {
+		r := gen.Next(t)
+		ws = append(ws, r.W)
+		total += gossip.MeanMatchedBandwidth(r.Match, bw)
+		if r.Forced {
+			forced++
+		}
+	}
+	rho := spectral.RhoOfExpectedWtW(ws, 400)
+	return SpectralDiagnostics{
+		Rho:          rho,
+		MixingRate:   spectral.MixingRate(keepP, rho),
+		MeanMatched:  total / float64(rounds),
+		ForcedRounds: forced,
+		Samples:      rounds,
+	}
+}
+
+// SpectralSweep renders the TThres trade-off table for an environment: as
+// the recency window grows, matched bandwidth rises while mixing slows
+// (ρ grows toward 1).
+func SpectralSweep(bw *netsim.Bandwidth, bThres float64, keepP float64, tThresValues []int, rounds int, seed uint64) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Spectral diagnostics sweep (B_thres=%.1f MB/s, p=%.3f, %d rounds)", bThres, keepP, rounds),
+		"T_thres", "rho(E[WtW])", "mixing rate (q+p·rho²)", "matched MB/s", "forced rounds")
+	for _, tt := range tThresValues {
+		d := DiagnoseGossip(bw, gossip.Config{BThres: bThres, TThres: tt}, keepP, rounds, seed)
+		t.Add(fmt.Sprintf("%d", tt), metrics.F(d.Rho), metrics.F(d.MixingRate),
+			metrics.F(d.MeanMatched), fmt.Sprintf("%d", d.ForcedRounds))
+	}
+	return t
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/netsim"
+)
+
+func TestDiagnoseGossipSaneValues(t *testing.T) {
+	bw := netsim.FourteenCities()
+	d := DiagnoseGossip(bw, gossip.Config{BThres: 2, TThres: 5}, 0.01, 100, 3)
+	if d.Rho <= 0 || d.Rho >= 1 {
+		t.Fatalf("rho = %v, want (0,1)", d.Rho)
+	}
+	if d.MixingRate <= 0.98 || d.MixingRate >= 1 {
+		// keepP=0.01 → mixing rate just below 1.
+		t.Fatalf("mixing rate = %v", d.MixingRate)
+	}
+	if d.MeanMatched <= 0 {
+		t.Fatalf("matched bandwidth %v", d.MeanMatched)
+	}
+	if d.Samples != 100 {
+		t.Fatal("samples")
+	}
+}
+
+func TestSpectralSweepTradeoff(t *testing.T) {
+	// A tighter recency window (small TThres) forces reconnection more
+	// often and keeps ρ bounded; both configurations must certify
+	// Assumption 3 (ρ < 1).
+	bw := netsim.FourteenCities()
+	sweep := []int{2, 20}
+	small := DiagnoseGossip(bw, gossip.Config{BThres: 5, TThres: sweep[0]}, 0.01, 150, 7)
+	large := DiagnoseGossip(bw, gossip.Config{BThres: 5, TThres: sweep[1]}, 0.01, 150, 7)
+	if large.ForcedRounds > small.ForcedRounds {
+		t.Fatalf("larger window forced reconnection more often (%d vs %d)", large.ForcedRounds, small.ForcedRounds)
+	}
+	for _, d := range []SpectralDiagnostics{small, large} {
+		if d.Rho <= 0 || d.Rho >= 1 {
+			t.Fatalf("rho = %v violates Assumption 3", d.Rho)
+		}
+	}
+	tb := SpectralSweep(bw, 5, 0.01, sweep, 60, 7)
+	var sb strings.Builder
+	tb.WriteMarkdown(&sb)
+	if !strings.Contains(sb.String(), "rho") || len(tb.Rows) != 2 {
+		t.Fatalf("sweep table:\n%s", sb.String())
+	}
+}
+
+func TestTightRecencyWindowStillMixes(t *testing.T) {
+	// Regression test for a real failure mode found during this
+	// reproduction: with TThres=2 a purely deterministic bandwidth-greedy
+	// matcher alternates between two fixed matchings whose union is
+	// disconnected, giving rho(E[WᵀW]) exactly 1 (no consensus possible).
+	// The randomized greedy (bucketed weights + random skips) must keep
+	// rho strictly below 1 even at the tightest window.
+	bw := netsim.FourteenCities()
+	d := DiagnoseGossip(bw, gossip.Config{BThres: 2, TThres: 2}, 0.01, 300, 7)
+	if d.Rho >= 1-1e-6 {
+		t.Fatalf("rho = %v at TThres=2 — matching randomization regressed", d.Rho)
+	}
+}
+
+func TestNonIIDSuiteRuns(t *testing.T) {
+	suite := ConvergenceSuite{
+		Workload:   quickWorkload().WithRounds(40),
+		N:          4,
+		Seed:       5,
+		EvalEvery:  20,
+		Algorithms: []string{"SAPS-PSGD", "D-PSGD"},
+		NonIID:     true,
+	}
+	results, err := suite.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Final().ValAcc < 0.3 {
+			t.Fatalf("%s non-IID accuracy %v", r.Algorithm, r.Final().ValAcc)
+		}
+	}
+}
+
+func TestExtensionAlgorithmsBuild(t *testing.T) {
+	w := quickWorkload()
+	bw := EnvN(4, 1)
+	for _, name := range []string{"RandomChoose", "PS-PSGD", "QSGD-PSGD", "SAPS-PSGD(churn)"} {
+		alg, err := BuildAlgorithm(name, w, 4, bw, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if alg.Name() != name {
+			t.Fatalf("name %q != %q", alg.Name(), name)
+		}
+	}
+}

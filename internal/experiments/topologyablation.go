@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/algos"
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/metrics"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/rng"
+	"sapspsgd/internal/spectral"
+	"sapspsgd/internal/topology"
+	"sapspsgd/internal/trainer"
+)
+
+// TopologyAblation compares D-PSGD across static topologies and SAPS-PSGD's
+// dynamic matching on one workload: spectral gap, per-worker traffic, final
+// accuracy, and simulated communication time. It quantifies the §II-C
+// trade-off — more neighbors mix faster but cost proportionally more — and
+// shows where single-peer sparsified gossip sits on that frontier.
+func TopologyAblation(w Workload, n int, seed uint64) (*metrics.Table, error) {
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("experiments: topology ablation needs a power-of-two n for the hypercube, got %d", n)
+	}
+	d := 0
+	for v := n; v > 1; v >>= 1 {
+		d++
+	}
+	tops := []topology.Topology{
+		topology.Ring(n),
+		topology.Hypercube(d),
+		topology.RandomRegular(n, 3, rng.New(seed)),
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("Topology ablation (%s, %d workers, %d rounds)", w.Name, n, w.Rounds),
+		"Variant", "ρ(W)", "Final accuracy", "Traffic (MB/worker)", "Comm time (s)")
+
+	bw := EnvN(n, seed)
+	_, valid := w.Dataset()
+	tr, _ := w.Dataset()
+	newFleetCfg := func() algos.FleetConfig {
+		return algos.FleetConfig{
+			N:       n,
+			Factory: func() *nn.Model { return w.Factory(seed) },
+			Shards:  dataset.PartitionIID(tr, n, seed),
+			LR:      w.LR,
+			Batch:   w.Batch,
+			Seed:    seed,
+		}
+	}
+
+	for _, tp := range tops {
+		rho := spectral.SecondLargestEigenvalue(topology.MetropolisW(tp), 500)
+		alg := algos.NewDPSGDTopology(newFleetCfg(), tp)
+		res := trainer.Run(alg, bw, trainer.Config{
+			Rounds: w.Rounds, EvalEvery: w.Rounds / 4, Valid: valid,
+		})
+		f := res.Final()
+		t.Add(alg.Name(), metrics.F(rho), metrics.Pct(f.ValAcc), metrics.F(f.TrafficMB), metrics.F(f.TimeSec))
+	}
+
+	// SAPS for reference: its "topology" is the dynamic matching; report the
+	// measured ρ of its sampled gossip matrices instead.
+	saps, err := BuildAlgorithm("SAPS-PSGD", w, n, bw, seed)
+	if err != nil {
+		return nil, err
+	}
+	diag := DiagnoseGossip(bw, defaultGossipConfig(bw), 1/w.ratios().SAPS, 100, seed)
+	res := trainer.Run(saps, bw, trainer.Config{
+		Rounds: w.Rounds, EvalEvery: w.Rounds / 4, Valid: valid,
+	})
+	f := res.Final()
+	t.Add("SAPS-PSGD (dynamic)", metrics.F(diag.Rho), metrics.Pct(f.ValAcc), metrics.F(f.TrafficMB), metrics.F(f.TimeSec))
+	return t, nil
+}

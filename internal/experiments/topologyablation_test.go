@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTopologyAblation(t *testing.T) {
+	w := quickWorkload().WithRounds(30)
+	tb, err := TopologyAblation(w, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 { // ring, hypercube, random-regular, SAPS
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var sb strings.Builder
+	tb.WriteMarkdown(&sb)
+	out := sb.String()
+	for _, name := range []string{"ring", "hypercube", "random-3-regular", "SAPS-PSGD (dynamic)"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s:\n%s", name, out)
+		}
+	}
+	// The hypercube must have smaller rho than the ring, and SAPS must have
+	// the lowest traffic.
+	rho := map[string]float64{}
+	traffic := map[string]float64{}
+	for _, row := range tb.Rows {
+		r, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("rho cell %q", row[1])
+		}
+		tr, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("traffic cell %q", row[3])
+		}
+		rho[row[0]] = r
+		traffic[row[0]] = tr
+	}
+	if rho["D-PSGD(hypercube-3)"] >= rho["D-PSGD(ring-8)"] {
+		t.Fatalf("hypercube rho %v not below ring %v", rho["D-PSGD(hypercube-3)"], rho["D-PSGD(ring-8)"])
+	}
+	saps := traffic["SAPS-PSGD (dynamic)"]
+	for name, v := range traffic {
+		if name != "SAPS-PSGD (dynamic)" && saps >= v {
+			t.Fatalf("SAPS traffic %v not below %s traffic %v", saps, name, v)
+		}
+	}
+}
+
+func TestTopologyAblationRequiresPowerOfTwo(t *testing.T) {
+	if _, err := TopologyAblation(quickWorkload(), 6, 1); err == nil {
+		t.Fatal("non-power-of-two n accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package gossip
+
+import (
+	"testing"
+
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/rng"
+)
+
+func TestNextActiveExcludesInactive(t *testing.T) {
+	bw := netsim.RandomUniform(8, 1, 5, rng.New(3))
+	g := NewGenerator(bw, Config{BThres: 0, TThres: 5}, 7)
+	active := []bool{true, true, false, true, false, true, true, true}
+	for round := 0; round < 40; round++ {
+		r := g.NextActive(round, active)
+		if !r.Match.Valid(8) {
+			t.Fatalf("round %d invalid", round)
+		}
+		for v, p := range r.Match {
+			if p != -1 && (!active[v] || !active[p]) {
+				t.Fatalf("round %d matched inactive worker: %d-%d", round, v, p)
+			}
+		}
+		// 6 active workers → 3 pairs possible every round on a complete
+		// bandwidth graph.
+		if r.Match.Size() != 3 {
+			t.Fatalf("round %d: size %d, want 3", round, r.Match.Size())
+		}
+	}
+}
+
+func TestNextActiveOddActiveCount(t *testing.T) {
+	bw := netsim.RandomUniform(5, 1, 5, rng.New(3))
+	g := NewGenerator(bw, Config{BThres: 0, TThres: 5}, 7)
+	active := []bool{true, true, true, false, false}
+	r := g.NextActive(0, active)
+	if r.Match.Size() != 1 {
+		t.Fatalf("3 active workers should match 1 pair, got %d", r.Match.Size())
+	}
+	unmatchedActive := 0
+	for v, p := range r.Match {
+		if p == -1 && active[v] {
+			unmatchedActive++
+		}
+	}
+	if unmatchedActive != 1 {
+		t.Fatalf("%d unmatched active workers, want 1", unmatchedActive)
+	}
+	// W must still be doubly stochastic: unmatched and inactive workers
+	// keep their model.
+	if !r.W.IsDoublyStochastic(1e-12) {
+		t.Fatal("W not doubly stochastic under churn")
+	}
+}
+
+func TestNextActiveAllButOneInactive(t *testing.T) {
+	bw := netsim.RandomUniform(4, 1, 5, rng.New(3))
+	g := NewGenerator(bw, Config{BThres: 0, TThres: 5}, 7)
+	active := []bool{true, false, false, false}
+	r := g.NextActive(0, active)
+	if r.Match.Size() != 0 {
+		t.Fatalf("single active worker cannot be matched, got %d pairs", r.Match.Size())
+	}
+}
+
+func TestNextActiveRecoversConnectivityAfterAbsence(t *testing.T) {
+	// Worker 0 is absent for many rounds; when it returns, the stale RC
+	// graph must not block matching and 0 must eventually be matched again.
+	bw := netsim.RandomUniform(6, 1, 5, rng.New(9))
+	g := NewGenerator(bw, Config{BThres: 2, TThres: 4}, 11)
+	absent := []bool{false, true, true, true, true, true}
+	for round := 0; round < 30; round++ {
+		g.NextActive(round, absent)
+	}
+	matchedZero := false
+	for round := 30; round < 50; round++ {
+		r := g.NextActive(round, nil) // everyone back
+		if r.Match[0] != -1 {
+			matchedZero = true
+			break
+		}
+	}
+	if !matchedZero {
+		t.Fatal("returning worker was never matched in 20 rounds")
+	}
+}

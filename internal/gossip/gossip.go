@@ -1,0 +1,306 @@
+// Package gossip implements the gossip-matrix machinery of SAPS-PSGD:
+// Algorithm 3 (GenerateGossipMatrix) with its recency-constrained,
+// bandwidth-aware maximum matching, plus the static topologies used by the
+// baselines (ring for D-PSGD/DCD-PSGD, uniform random matching for the
+// RandomChoose comparison) and conversions to doubly stochastic matrices.
+package gossip
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/graph"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/rng"
+	"sapspsgd/internal/tensor"
+)
+
+// Config carries the two knobs of Algorithm 3.
+type Config struct {
+	// BThres is the bandwidth threshold (MB/s) defining the filtered matrix
+	// B*: only links at least this fast are eligible while the
+	// recently-connected graph stays connected (Algorithm 1, lines 9–12).
+	BThres float64
+	// TThres is the communication iteration gap: an edge used within the
+	// last TThres rounds counts as "recently connected" (RC). Smaller values
+	// force re-connection more often (faster mixing, lower bandwidth);
+	// larger values favor bandwidth. Must be >= 1.
+	TThres int
+}
+
+// Round is the output of one gossip-matrix generation: the peer matching and
+// its doubly stochastic matrix W_t.
+type Round struct {
+	Match graph.Matching
+	W     *tensor.Matrix
+	// Forced reports whether this round had to inject connectivity-restoring
+	// edges (the RC graph had gone stale/disconnected).
+	Forced bool
+}
+
+// Generator produces the per-round gossip matchings for a fixed bandwidth
+// environment, maintaining the timestamp matrix R across rounds. It is the
+// coordinator-side state of Algorithm 3.
+type Generator struct {
+	bw   *netsim.Bandwidth
+	cfg  Config
+	seed uint64
+	// lastUsed is the timestamp matrix R: lastUsed[i][j] is the last round
+	// in which edge (i,j) carried an exchange, or -1 if never.
+	lastUsed [][]int
+}
+
+// NewGenerator returns a Generator over the environment bw. The seed drives
+// the RandomlyMaxMatch randomization; generators constructed with equal
+// arguments produce identical matching sequences.
+func NewGenerator(bw *netsim.Bandwidth, cfg Config, seed uint64) *Generator {
+	if cfg.TThres < 1 {
+		panic(fmt.Sprintf("gossip: TThres %d < 1", cfg.TThres))
+	}
+	n := bw.N
+	last := make([][]int, n)
+	for i := range last {
+		last[i] = make([]int, n)
+		for j := range last[i] {
+			last[i][j] = -1
+		}
+	}
+	return &Generator{bw: bw, cfg: cfg, seed: seed, lastUsed: last}
+}
+
+// rcGraph builds the graph of recently-connected edges at round t.
+func (g *Generator) rcGraph(t int) *graph.Graph {
+	rc := graph.New(g.bw.N)
+	for i := 0; i < g.bw.N; i++ {
+		for j := i + 1; j < g.bw.N; j++ {
+			if g.lastUsed[i][j] > t-g.cfg.TThres {
+				rc.AddEdge(i, j)
+			}
+		}
+	}
+	return rc
+}
+
+// Next runs Algorithm 3 for round t and returns the matching, its gossip
+// matrix, and updates the timestamp matrix R.
+func (g *Generator) Next(t int) Round { return g.NextActive(t, nil) }
+
+// NextActive is Next restricted to the currently active workers (nil means
+// all active). Inactive workers are excluded from matching entirely — the
+// federated-dynamics case the paper motivates (§I: workers "may join/leave
+// the training randomly"). Connectivity bookkeeping (the RC graph) also
+// restricts to active workers, so a long-absent worker cannot block the
+// recency check.
+func (g *Generator) NextActive(t int, active []bool) Round {
+	n := g.bw.N
+	rnd := rng.New(g.seed).Derive(uint64(t) + 0x90551b)
+	isActive := func(i int) bool { return active == nil || active[i] }
+
+	rc := g.rcGraph(t)
+	// Restrict the connectivity question to active workers: build the
+	// induced subgraph's component structure over active vertices only.
+	connected := activeConnected(rc, active)
+
+	var candidate []graph.WeightedEdge
+	forced := false
+	if connected {
+		// Line 2: E = B* — the bandwidth-filtered graph.
+		for _, e := range g.bw.Edges(g.cfg.BThres) {
+			if isActive(e.U) && isActive(e.V) {
+				candidate = append(candidate, e)
+			}
+		}
+	} else {
+		// Lines 4: connect the RC components using any available links.
+		forced = true
+		comps := rc.Components()
+		compOf := make([]int, n)
+		for ci, comp := range comps {
+			for _, v := range comp {
+				compOf[v] = ci
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !isActive(i) {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if isActive(j) && compOf[i] != compOf[j] && g.bw.MBps(i, j) > 0 {
+					candidate = append(candidate, graph.WeightedEdge{U: i, V: j, Weight: g.bw.MBps(i, j)})
+				}
+			}
+		}
+	}
+
+	// Line 5: bandwidth-preferring maximum match on the candidate edges.
+	match := graph.BandwidthAwareMaximumMatching(n, candidate, rnd)
+
+	// Lines 6–8: complete the matching over still-unmatched active workers
+	// using the unfiltered bandwidth matrix.
+	if match.Size() < n/2 {
+		var extra []graph.WeightedEdge
+		for i := 0; i < n; i++ {
+			if match[i] != -1 || !isActive(i) {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if isActive(j) && match[j] == -1 && g.bw.MBps(i, j) > 0 {
+					extra = append(extra, graph.WeightedEdge{U: i, V: j, Weight: g.bw.MBps(i, j)})
+				}
+			}
+		}
+		second := graph.BandwidthAwareMaximumMatching(n, extra, rnd)
+		for v, p := range second {
+			if p > v && match[v] == -1 && match[p] == -1 {
+				match[v] = p
+				match[p] = v
+			}
+		}
+	}
+
+	// Record timestamps for the edges used this round.
+	for v, p := range match {
+		if p > v {
+			g.lastUsed[v][p] = t
+			g.lastUsed[p][v] = t
+		}
+	}
+
+	return Round{Match: match, W: MatchingW(match), Forced: forced}
+}
+
+// LastUsed exposes R[i][j] (for tests and diagnostics).
+func (g *Generator) LastUsed(i, j int) int { return g.lastUsed[i][j] }
+
+// activeConnected reports whether the active-induced subgraph of rc is
+// connected (vacuously true for fewer than two active vertices).
+func activeConnected(rc *graph.Graph, active []bool) bool {
+	if active == nil {
+		return rc.IsConnected()
+	}
+	var start = -1
+	count := 0
+	for i := 0; i < rc.N; i++ {
+		if active[i] {
+			count++
+			if start == -1 {
+				start = i
+			}
+		}
+	}
+	if count <= 1 {
+		return true
+	}
+	seen := make([]bool, rc.N)
+	stack := []int{start}
+	seen[start] = true
+	reached := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range rc.Neighbors(v) {
+			if active[w] && !seen[w] {
+				seen[w] = true
+				reached++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return reached == count
+}
+
+// MatchingW converts a matching into the doubly stochastic gossip matrix of
+// Algorithm 3's GenerateW: matched pairs average (W_ii = W_jj = W_ij = W_ji
+// = 1/2); unmatched workers keep their model (W_ii = 1).
+func MatchingW(m graph.Matching) *tensor.Matrix {
+	n := len(m)
+	w := tensor.NewMatrix(n, n)
+	for v, p := range m {
+		switch {
+		case p == -1:
+			w.Set(v, v, 1)
+		default:
+			w.Set(v, v, 0.5)
+			w.Set(v, p, 0.5)
+		}
+	}
+	return w
+}
+
+// RandomMatching returns a uniformly random maximum matching of the complete
+// graph on n vertices — the paper's RandomChoose baseline ("another way to
+// choose the communication peers ... randomly do maximum match").
+func RandomMatching(n int, rnd *rng.Source) graph.Matching {
+	perm := rnd.Perm(n)
+	m := make(graph.Matching, n)
+	for i := range m {
+		m[i] = -1
+	}
+	for i := 0; i+1 < n; i += 2 {
+		a, b := perm[i], perm[i+1]
+		m[a] = b
+		m[b] = a
+	}
+	return m
+}
+
+// RingW returns the static ring gossip matrix used by D-PSGD and DCD-PSGD in
+// the paper's experiments: worker i averages with its two ring neighbors
+// (weights 1/3 each, 1/3 self).
+func RingW(n int) *tensor.Matrix {
+	w := tensor.NewMatrix(n, n)
+	if n == 1 {
+		w.Set(0, 0, 1)
+		return w
+	}
+	if n == 2 {
+		// Degenerate ring: the two neighbors coincide.
+		w.Set(0, 0, 0.5)
+		w.Set(0, 1, 0.5)
+		w.Set(1, 0, 0.5)
+		w.Set(1, 1, 0.5)
+		return w
+	}
+	for i := 0; i < n; i++ {
+		w.Set(i, i, 1.0/3)
+		w.Set(i, (i+1)%n, 1.0/3)
+		w.Set(i, (i+n-1)%n, 1.0/3)
+	}
+	return w
+}
+
+// RingNeighbors returns the two ring neighbors of worker i among n workers.
+func RingNeighbors(i, n int) (prev, next int) {
+	return (i + n - 1) % n, (i + 1) % n
+}
+
+// MeanMatchedBandwidth returns the mean bandwidth (MB/s) over the matched
+// pairs — the per-iteration series plotted in Fig. 5. It returns 0 for an
+// empty matching.
+func MeanMatchedBandwidth(m graph.Matching, bw *netsim.Bandwidth) float64 {
+	sum, k := 0.0, 0
+	for v, p := range m {
+		if p > v {
+			sum += bw.MBps(v, p)
+			k++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return sum / float64(k)
+}
+
+// RingMeanBandwidth returns the mean link bandwidth along the canonical ring
+// 0→1→…→n-1→0, the quantity the paper averages over 5000 random matrices for
+// the D-PSGD/DCD-PSGD rows of Fig. 5.
+func RingMeanBandwidth(bw *netsim.Bandwidth) float64 {
+	n := bw.N
+	if n < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += bw.MBps(i, (i+1)%n)
+	}
+	return sum / float64(n)
+}

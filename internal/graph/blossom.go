@@ -1,0 +1,218 @@
+package graph
+
+import "sapspsgd/internal/rng"
+
+// Matching maps each vertex to its partner, or -1 if unmatched. It always has
+// length N of the graph it was computed on.
+type Matching []int
+
+// Size returns the number of matched pairs.
+func (m Matching) Size() int {
+	n := 0
+	for v, p := range m {
+		if p > v {
+			n++
+		}
+	}
+	return n
+}
+
+// Pairs returns the matched pairs with u < v, sorted by u.
+func (m Matching) Pairs() [][2]int {
+	out := make([][2]int, 0, len(m)/2)
+	for v, p := range m {
+		if p > v {
+			out = append(out, [2]int{v, p})
+		}
+	}
+	return out
+}
+
+// Valid reports whether m is a consistent matching on a graph with n
+// vertices: symmetric and within range.
+func (m Matching) Valid(n int) bool {
+	if len(m) != n {
+		return false
+	}
+	for v, p := range m {
+		if p == -1 {
+			continue
+		}
+		if p < 0 || p >= n || p == v || m[p] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// blossomSolver implements Edmonds' maximum cardinality matching for general
+// graphs in O(V^3). The structure follows the classic contraction-free
+// formulation: a BFS forest is grown from each unmatched root; odd cycles
+// (blossoms) are contracted implicitly by re-basing vertices.
+type blossomSolver struct {
+	g       *Graph
+	match   []int
+	parent  []int
+	base    []int
+	queue   []int
+	used    []bool
+	inPath  []bool
+	lcaMark []bool
+}
+
+// MaximumMatching computes a maximum cardinality matching of g using Edmonds'
+// blossom algorithm. If rnd is non-nil, the vertex processing order and the
+// neighbor iteration order are randomized — this is the paper's
+// RandomlyMaxMatch ("by randomly starting from different node in a graph").
+// The result is deterministic for a given rnd state.
+func MaximumMatching(g *Graph, rnd *rng.Source) Matching {
+	return AugmentToMaximum(g, nil, rnd)
+}
+
+// AugmentToMaximum grows an initial matching (nil means empty) to a maximum
+// cardinality matching; vertices matched in the initial matching remain
+// matched (augmenting paths only flip partners, never expose a vertex). This
+// is how the bandwidth-greedy seed matching is completed to a perfect-as-
+// possible matching without sacrificing its high-bandwidth pairs.
+func AugmentToMaximum(g *Graph, initial Matching, rnd *rng.Source) Matching {
+	n := g.N
+	s := &blossomSolver{
+		g:       g,
+		match:   make([]int, n),
+		parent:  make([]int, n),
+		base:    make([]int, n),
+		used:    make([]bool, n),
+		inPath:  make([]bool, n),
+		lcaMark: make([]bool, n),
+	}
+	for i := range s.match {
+		s.match[i] = -1
+	}
+	if initial != nil {
+		copy(s.match, initial)
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	adj := g.adj
+	if rnd != nil {
+		rnd.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// Copy-and-shuffle adjacency so neighbor exploration order (and hence
+		// tie-breaking among equal-cardinality matchings) is randomized.
+		adj = make([][]int, n)
+		for v := range adj {
+			a := make([]int, len(g.adj[v]))
+			copy(a, g.adj[v])
+			rnd.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+			adj[v] = a
+		}
+	}
+	sg := &Graph{N: n, adj: adj, has: g.has}
+	s.g = sg
+
+	for _, v := range order {
+		if s.match[v] == -1 {
+			if end := s.findPath(v); end != -1 {
+				s.augment(end)
+			}
+		}
+	}
+	return Matching(s.match)
+}
+
+// lca finds the lowest common ancestor of a and b in the alternating forest,
+// walking via blossom bases.
+func (s *blossomSolver) lca(a, b int) int {
+	for i := range s.lcaMark {
+		s.lcaMark[i] = false
+	}
+	for {
+		a = s.base[a]
+		s.lcaMark[a] = true
+		if s.match[a] == -1 {
+			break
+		}
+		a = s.parent[s.match[a]]
+	}
+	for {
+		b = s.base[b]
+		if s.lcaMark[b] {
+			return b
+		}
+		b = s.parent[s.match[b]]
+	}
+}
+
+// markPath marks all blossom bases on the path from v down to base b and
+// rewires parents through child so the contracted blossom stays traversable.
+func (s *blossomSolver) markPath(v, b, child int) {
+	for s.base[v] != b {
+		s.inPath[s.base[v]] = true
+		s.inPath[s.base[s.match[v]]] = true
+		s.parent[v] = child
+		child = s.match[v]
+		v = s.parent[s.match[v]]
+	}
+}
+
+// findPath grows a BFS alternating tree from root and returns the free vertex
+// terminating an augmenting path, or -1 if none exists.
+func (s *blossomSolver) findPath(root int) int {
+	n := s.g.N
+	for i := 0; i < n; i++ {
+		s.used[i] = false
+		s.parent[i] = -1
+		s.base[i] = i
+	}
+	s.used[root] = true
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, root)
+
+	for qi := 0; qi < len(s.queue); qi++ {
+		v := s.queue[qi]
+		for _, to := range s.g.adj[v] {
+			if s.base[v] == s.base[to] || s.match[v] == to {
+				continue
+			}
+			if to == root || (s.match[to] != -1 && s.parent[s.match[to]] != -1) {
+				// Odd cycle: contract the blossom rooted at the LCA.
+				curBase := s.lca(v, to)
+				for i := 0; i < n; i++ {
+					s.inPath[i] = false
+				}
+				s.markPath(v, curBase, to)
+				s.markPath(to, curBase, v)
+				for i := 0; i < n; i++ {
+					if s.inPath[s.base[i]] {
+						s.base[i] = curBase
+						if !s.used[i] {
+							s.used[i] = true
+							s.queue = append(s.queue, i)
+						}
+					}
+				}
+			} else if s.parent[to] == -1 {
+				s.parent[to] = v
+				if s.match[to] == -1 {
+					return to
+				}
+				s.used[s.match[to]] = true
+				s.queue = append(s.queue, s.match[to])
+			}
+		}
+	}
+	return -1
+}
+
+// augment flips matched/unmatched edges along the found path ending at v.
+func (s *blossomSolver) augment(v int) {
+	for v != -1 {
+		pv := s.parent[v]
+		next := s.match[pv]
+		s.match[v] = pv
+		s.match[pv] = v
+		v = next
+	}
+}

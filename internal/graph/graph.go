@@ -1,0 +1,142 @@
+// Package graph provides the graph algorithms behind SAPS-PSGD's adaptive
+// peer selection (Algorithm 3 of the paper): connectivity tests, connected
+// components, and maximum matching in general graphs via Edmonds' blossom
+// algorithm — the paper's stated matching primitive ("we exploit the blossom
+// algorithm [33] to solve the problem of maximum match in a general graph").
+package graph
+
+import "fmt"
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj [][]int
+	has []map[int]bool
+}
+
+// New returns an empty undirected graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	g := &Graph{N: n, adj: make([][]int, n), has: make([]map[int]bool, n)}
+	for i := range g.has {
+		g.has[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// AddEdge inserts the undirected edge (u, v). Self-loops and duplicate edges
+// are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return
+	}
+	if g.has[u][v] {
+		return
+	}
+	g.has[u][v] = true
+	g.has[v][u] = true
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.N {
+		return false
+	}
+	return g.has[u][v]
+}
+
+// Neighbors returns the adjacency list of v (shared storage; do not mutate).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Edges returns all undirected edges (u < v).
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.EdgeCount())
+	for u, a := range g.adj {
+		for _, v := range a {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// FromAdjacency builds a graph from a boolean adjacency matrix, reading the
+// upper triangle.
+func FromAdjacency(a [][]bool) *Graph {
+	g := New(len(a))
+	for i := range a {
+		for j := i + 1; j < len(a[i]); j++ {
+			if a[i][j] || a[j][i] {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// IsConnected reports whether the graph is connected (vacuously true for
+// n <= 1). This is the IfConnected check of Algorithm 3 applied to the
+// recently-connected edge set.
+func (g *Graph) IsConnected() bool {
+	if g.N <= 1 {
+		return true
+	}
+	seen := make([]bool, g.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.N
+}
+
+// Components returns the connected components as vertex lists, in order of
+// smallest contained vertex (FindConnectedSubgraph in Algorithm 3).
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N)
+	var comps [][]int
+	for s := 0; s < g.N; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		stack := []int{s}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+					stack = append(stack, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

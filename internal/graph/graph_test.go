@@ -1,0 +1,382 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sapspsgd/internal/rng"
+)
+
+func ring(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeDedup(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 0) // self loop ignored
+	g.AddEdge(0, 5) // out of range ignored
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"empty", New(0), true},
+		{"single", New(1), true},
+		{"twoIsolated", New(2), false},
+		{"ring8", ring(8), true},
+		{"path", func() *Graph {
+			g := New(4)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(2, 3)
+			return g
+		}(), true},
+		{"twoTriangles", func() *Graph {
+			g := New(6)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(2, 0)
+			g.AddEdge(3, 4)
+			g.AddEdge(4, 5)
+			g.AddEdge(5, 3)
+			return g
+		}(), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.IsConnected(); got != tc.want {
+				t.Fatalf("IsConnected = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5, 6 isolated
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 2 {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestUnionFindMatchesBFSConnectivity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		g := New(n)
+		uf := NewUnionFind(n)
+		edges := r.Intn(2 * n)
+		for i := 0; i < edges; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			g.AddEdge(u, v)
+			if u != v {
+				uf.Union(u, v)
+			}
+		}
+		// Isolated-vertex-aware comparison: number of UF sets must equal the
+		// number of graph components.
+		return uf.Sets() == len(g.Components())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximumMatchingRing(t *testing.T) {
+	tests := []struct {
+		n, want int
+	}{
+		{2, 1}, {3, 1}, {4, 2}, {5, 2}, {8, 4}, {9, 4}, {32, 16},
+	}
+	for _, tc := range tests {
+		g := ring(tc.n)
+		m := MaximumMatching(g, nil)
+		if !m.Valid(tc.n) {
+			t.Fatalf("n=%d: invalid matching %v", tc.n, m)
+		}
+		if m.Size() != tc.want {
+			t.Fatalf("n=%d: matching size %d, want %d", tc.n, m.Size(), tc.want)
+		}
+		for v, p := range m {
+			if p != -1 && !g.HasEdge(v, p) {
+				t.Fatalf("n=%d: matched non-edge (%d,%d)", tc.n, v, p)
+			}
+		}
+	}
+}
+
+func TestMaximumMatchingPetersen(t *testing.T) {
+	// The Petersen graph has a perfect matching (5 edges) but is not
+	// bipartite — a classic blossom stress case.
+	g := New(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	for _, e := range append(append(outer, inner...), spokes...) {
+		g.AddEdge(e[0], e[1])
+	}
+	m := MaximumMatching(g, nil)
+	if !m.Valid(10) || m.Size() != 5 {
+		t.Fatalf("Petersen matching size %d, want 5 (%v)", m.Size(), m)
+	}
+}
+
+func TestMaximumMatchingOddBlossoms(t *testing.T) {
+	// Two triangles joined by a bridge: maximum matching is 3.
+	g := New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	m := MaximumMatching(g, nil)
+	if m.Size() != 3 {
+		t.Fatalf("matching size %d, want 3", m.Size())
+	}
+}
+
+func TestMaximumMatchingStar(t *testing.T) {
+	// A star can only match one pair regardless of leaves.
+	g := New(6)
+	for i := 1; i < 6; i++ {
+		g.AddEdge(0, i)
+	}
+	m := MaximumMatching(g, nil)
+	if m.Size() != 1 {
+		t.Fatalf("star matching size %d, want 1", m.Size())
+	}
+}
+
+// bruteForceMaxMatching enumerates all matchings on small graphs.
+func bruteForceMaxMatching(g *Graph) int {
+	edges := g.Edges()
+	best := 0
+	var recurse func(i int, used uint32, size int)
+	recurse = func(i int, used uint32, size int) {
+		if size > best {
+			best = size
+		}
+		for j := i; j < len(edges); j++ {
+			u, v := edges[j][0], edges[j][1]
+			if used&(1<<u) != 0 || used&(1<<v) != 0 {
+				continue
+			}
+			recurse(j+1, used|1<<u|1<<v, size+1)
+		}
+	}
+	recurse(0, 0, 0)
+	return best
+}
+
+func TestMaximumMatchingAgainstBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(9) // up to 10 vertices
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Bernoulli(0.4) {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		m := MaximumMatching(g, r)
+		if !m.Valid(n) {
+			return false
+		}
+		for v, p := range m {
+			if p != -1 && !g.HasEdge(v, p) {
+				return false
+			}
+		}
+		return m.Size() == bruteForceMaxMatching(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAugmentToMaximumKeepsSeededVerticesMatched(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(12)
+		g := New(n)
+		var edges []WeightedEdge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Bernoulli(0.5) {
+					g.AddEdge(i, j)
+					edges = append(edges, WeightedEdge{U: i, V: j, Weight: r.Float64()})
+				}
+			}
+		}
+		seeded := GreedyWeightedMatching(n, edges, nil)
+		final := AugmentToMaximum(g, seeded, r)
+		if !final.Valid(n) {
+			return false
+		}
+		// Every vertex matched by the seed stays matched.
+		for v, p := range seeded {
+			if p != -1 && final[v] == -1 {
+				return false
+			}
+		}
+		// And the final matching is maximum.
+		return final.Size() == bruteForceMaxMatching(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyWeightedMatchingPrefersHeavyEdge(t *testing.T) {
+	// Triangle with one heavy edge: greedy must take the heavy edge.
+	edges := []WeightedEdge{
+		{U: 0, V: 1, Weight: 10},
+		{U: 1, V: 2, Weight: 1},
+		{U: 0, V: 2, Weight: 1},
+	}
+	m := GreedyWeightedMatching(3, edges, nil)
+	if m[0] != 1 || m[1] != 0 || m[2] != -1 {
+		t.Fatalf("greedy matching = %v", m)
+	}
+	if w := MatchingWeight(m, func(u, v int) float64 { return 10 }); w != 10 {
+		t.Fatalf("MatchingWeight = %v", w)
+	}
+}
+
+func TestBandwidthAwareMaximumMatchingIsMaximumAndHeavy(t *testing.T) {
+	// Path 0-1-2-3 with weights 1, 100, 1. Max cardinality is 2 and must use
+	// edges (0,1) and (2,3) — the bandwidth-aware matching cannot keep the
+	// heavy middle edge AND stay maximum, so cardinality wins.
+	edges := []WeightedEdge{
+		{U: 0, V: 1, Weight: 1},
+		{U: 1, V: 2, Weight: 100},
+		{U: 2, V: 3, Weight: 1},
+	}
+	m := BandwidthAwareMaximumMatching(4, edges, nil)
+	if m.Size() != 2 {
+		t.Fatalf("size = %d, want 2", m.Size())
+	}
+	if m[0] != 1 || m[2] != 3 {
+		t.Fatalf("matching = %v, want 0-1, 2-3", m)
+	}
+}
+
+func TestBandwidthAwareChoosesHeavyWhenFree(t *testing.T) {
+	// Complete graph on 4 vertices; edge (0,1) and (2,3) heavy. The
+	// bandwidth-aware matching should pick exactly those.
+	var edges []WeightedEdge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			w := 1.0
+			if (i == 0 && j == 1) || (i == 2 && j == 3) {
+				w = 50
+			}
+			edges = append(edges, WeightedEdge{U: i, V: j, Weight: w})
+		}
+	}
+	m := BandwidthAwareMaximumMatching(4, edges, nil)
+	if m[0] != 1 || m[2] != 3 {
+		t.Fatalf("matching = %v, want heavy pairs", m)
+	}
+}
+
+func TestMinMatchedWeight(t *testing.T) {
+	m := Matching{1, 0, 3, 2}
+	w := func(u, v int) float64 {
+		if u == 0 {
+			return 5
+		}
+		return 2
+	}
+	if got := MinMatchedWeight(m, w); got != 2 {
+		t.Fatalf("MinMatchedWeight = %v, want 2", got)
+	}
+	empty := Matching{-1, -1}
+	if got := MinMatchedWeight(empty, w); got != 0 {
+		t.Fatalf("MinMatchedWeight(empty) = %v, want 0", got)
+	}
+}
+
+func TestRandomizedMatchingVariesAcrossSeeds(t *testing.T) {
+	// On a complete graph many maximum matchings exist; RandomlyMaxMatch
+	// should not always return the same one.
+	g := complete(8)
+	seen := map[string]bool{}
+	for seed := uint64(0); seed < 20; seed++ {
+		m := MaximumMatching(g, rng.New(seed))
+		if m.Size() != 4 {
+			t.Fatalf("complete(8) matching size %d", m.Size())
+		}
+		key := ""
+		for _, p := range m {
+			key += string(rune('a' + p))
+		}
+		seen[key] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("randomized matching produced only %d distinct matchings", len(seen))
+	}
+}
+
+func BenchmarkBlossomN32Dense(b *testing.B) {
+	g := complete(32)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximumMatching(g, r)
+	}
+}
+
+func BenchmarkBlossomN64Sparse(b *testing.B) {
+	r := rng.New(2)
+	g := New(64)
+	for i := 0; i < 64; i++ {
+		for j := i + 1; j < 64; j++ {
+			if r.Bernoulli(0.1) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximumMatching(g, r)
+	}
+}

@@ -1,0 +1,123 @@
+// Package metrics provides the small table/series rendering helpers the
+// experiment drivers use to print paper-style outputs (markdown tables and
+// CSV series).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple string table rendered as markdown or CSV.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; the cell count must match the header count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("metrics: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteMarkdown renders the table with aligned pipes.
+func (t *Table) WriteMarkdown(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	writeRow(t.Headers)
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(seps)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// WriteCSV renders the table as comma-separated values (cells containing
+// commas are quoted).
+func (t *Table) WriteCSV(w io.Writer) {
+	writeCSVRow(w, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		out[i] = c
+	}
+	fmt.Fprintln(w, strings.Join(out, ","))
+}
+
+// F formats a float compactly (trailing zeros trimmed, 4 significant
+// decimals).
+func F(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 4, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Pct formats a fraction as a percentage with 2 decimals.
+func Pct(v float64) string { return strconv.FormatFloat(100*v, 'f', 2, 64) + "%" }
+
+// MB formats a byte count as megabytes.
+func MB(bytes int64) string { return F(float64(bytes)/1e6) + " MB" }
+
+// Series renders named float series as CSV: one column per series, one row
+// per index (series may have different lengths; missing cells are empty).
+func Series(w io.Writer, names []string, series map[string][]float64) {
+	writeCSVRow(w, append([]string{"index"}, names...))
+	maxLen := 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := []string{strconv.Itoa(i)}
+		for _, n := range names {
+			s := series[n]
+			if i < len(s) {
+				row = append(row, F(s[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		writeCSVRow(w, row)
+	}
+}

@@ -1,0 +1,184 @@
+// Package netsim models the communication fabric between workers: pairwise
+// bandwidth matrices (including the paper's measured 14-city matrix of
+// Fig. 1), the threshold filtering of Algorithm 1, and byte/time ledgers
+// that account for every message the training algorithms exchange.
+package netsim
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/graph"
+	"sapspsgd/internal/rng"
+)
+
+// Bandwidth holds a symmetric pairwise bandwidth matrix in MB/s. As in the
+// paper (§II-C), the effective bandwidth of a link is the minimum of the two
+// directions: B_ij = B_ji = min(B_ij, B_ji).
+type Bandwidth struct {
+	N    int
+	mbps []float64 // row-major N×N, symmetric, zero diagonal
+}
+
+// NewBandwidth builds a symmetric Bandwidth from a possibly asymmetric
+// matrix of link speeds in MB/s, applying the min() symmetrization.
+func NewBandwidth(raw [][]float64) *Bandwidth {
+	n := len(raw)
+	b := &Bandwidth{N: n, mbps: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		if len(raw[i]) != n {
+			panic(fmt.Sprintf("netsim: row %d has %d entries, want %d", i, len(raw[i]), n))
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := raw[i][j]
+			if raw[j][i] < v {
+				v = raw[j][i]
+			}
+			if v < 0 {
+				v = 0
+			}
+			b.mbps[i*n+j] = v
+		}
+	}
+	return b
+}
+
+// MBps returns the symmetric link bandwidth between workers i and j in
+// megabytes per second (0 for i == j).
+func (b *Bandwidth) MBps(i, j int) float64 { return b.mbps[i*b.N+j] }
+
+// Filter returns the thresholded adjacency B* of Algorithm 1 (lines 9–12):
+// an edge exists iff the link bandwidth is at least thresh MB/s.
+func (b *Bandwidth) Filter(thresh float64) [][]bool {
+	out := make([][]bool, b.N)
+	for i := range out {
+		out[i] = make([]bool, b.N)
+		for j := range out[i] {
+			out[i][j] = i != j && b.MBps(i, j) >= thresh
+		}
+	}
+	return out
+}
+
+// Edges returns all links with bandwidth at least thresh as weighted edges
+// (weight = bandwidth in MB/s), with U < V.
+func (b *Bandwidth) Edges(thresh float64) []graph.WeightedEdge {
+	var out []graph.WeightedEdge
+	for i := 0; i < b.N; i++ {
+		for j := i + 1; j < b.N; j++ {
+			if w := b.MBps(i, j); w >= thresh && w > 0 {
+				out = append(out, graph.WeightedEdge{U: i, V: j, Weight: w})
+			}
+		}
+	}
+	return out
+}
+
+// FilterGraph returns the thresholded connectivity as a graph.Graph.
+func (b *Bandwidth) FilterGraph(thresh float64) *graph.Graph {
+	g := graph.New(b.N)
+	for _, e := range b.Edges(thresh) {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// MeanBandwidth returns the mean off-diagonal link bandwidth.
+func (b *Bandwidth) MeanBandwidth() float64 {
+	if b.N < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			if i != j {
+				sum += b.MBps(i, j)
+			}
+		}
+	}
+	return sum / float64(b.N*(b.N-1))
+}
+
+// Cities lists the 14 data-center locations of Fig. 1, in matrix order.
+var Cities = []string{
+	"AliBeijing", "AliShanghai", "AliShenzhen", "AliZhangjiakou",
+	"AmaColumbus", "AmaDublin", "AmaFrankfurtamMain", "AmaLondon",
+	"AmaMontreal", "AmaMumbai", "AmaParis", "AmaPortland",
+	"AmaSanFrancisco", "AmaSaoPaulo",
+}
+
+// fig1Mbits is the measured inter-city network speed matrix of Fig. 1 in
+// Mbits/s, transcribed from the paper (rows/columns ordered as Cities;
+// diagonal entries were reported as NaN and are stored as 0 here).
+var fig1Mbits = [14][14]float64{
+	{0, 1.3, 1.5, 1.2, 1.6, 1.6, 1.5, 1.6, 1.7, 1.4, 1.7, 1.5, 1.6, 1.5},
+	{1.3, 0, 1.5, 1.2, 1.5, 1.5, 1.5, 1.6, 1.5, 1.2, 1.5, 1.5, 1.4, 1.6},
+	{1.4, 1.3, 0, 1.3, 1.5, 1.6, 1.4, 1.7, 1.3, 1.6, 1.7, 1.4, 1.6, 1.4},
+	{1.2, 1.3, 1.4, 0, 1.5, 1.4, 1.5, 1.5, 1.5, 1.2, 1.5, 1.6, 1.6, 1.6},
+	{11.0, 2.2, 27.7, 6.8, 0, 82.5, 73.1, 82.2, 132.5, 49.1, 69.5, 84.8, 98.0, 57.4},
+	{6.8, 1.1, 20.2, 4.7, 82.6, 0, 129.2, 269.2, 78.3, 73.3, 147.1, 50.3, 54.4, 37.0},
+	{27.3, 1.1, 15.1, 21.8, 83.2, 184.8, 0, 331.2, 86.4, 76.8, 261.1, 62.4, 70.6, 42.3},
+	{0.2, 13.9, 27.6, 14.8, 60.8, 195.3, 276.2, 0, 63.3, 75.4, 323.1, 50.3, 62.6, 39.8},
+	{0.2, 16.9, 5.7, 1.1, 166.8, 83.9, 64.0, 61.6, 0, 40.7, 54.0, 80.4, 65.9, 39.1},
+	{36.2, 27.4, 1.7, 22.0, 37.5, 48.6, 54.7, 50.0, 35.8, 0, 45.0, 33.5, 39.0, 22.5},
+	{36.0, 0.6, 16.8, 21.1, 27.9, 115.1, 247.8, 317.4, 51.6, 47.5, 0, 48.1, 36.8, 24.4},
+	{15.6, 28.6, 10.6, 8.1, 94.8, 45.4, 43.8, 46.3, 70.4, 27.0, 45.8, 0, 172.9, 39.4},
+	{2.3, 3.9, 22.5, 5.7, 78.3, 45.6, 32.7, 34.5, 47.3, 23.2, 23.7, 134.5, 0, 31.2},
+	{0.1, 15.1, 8.2, 15.4, 41.8, 32.7, 39.9, 37.9, 59.6, 25.0, 38.4, 38.2, 39.9, 0},
+}
+
+// FourteenCities returns the Fig. 1 bandwidth matrix converted to MB/s
+// (Mbits/s ÷ 8) and min()-symmetrized — the 14-worker environment of the
+// paper's bandwidth-utilization experiment (Fig. 5a).
+func FourteenCities() *Bandwidth {
+	raw := make([][]float64, 14)
+	for i := range raw {
+		raw[i] = make([]float64, 14)
+		for j := range raw[i] {
+			raw[i][j] = fig1Mbits[i][j] / 8
+		}
+	}
+	return NewBandwidth(raw)
+}
+
+// RandomUniform returns an n-worker environment whose pairwise bandwidths
+// are drawn uniformly from (lo, hi] MB/s, as in the paper's 32-worker
+// environment ((0, 5] MB/s, Fig. 5b). The draw is symmetric by construction.
+func RandomUniform(n int, lo, hi float64, r *rng.Source) *Bandwidth {
+	raw := make([][]float64, n)
+	for i := range raw {
+		raw[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := lo + (hi-lo)*(1-r.Float64()) // (lo, hi]
+			raw[i][j] = v
+			raw[j][i] = v
+		}
+	}
+	return NewBandwidth(raw)
+}
+
+// Clustered returns an environment with dense fast links inside clusters and
+// slow links across them — a synthetic stand-in for multi-region
+// deployments, used by ablation benches.
+func Clustered(n, clusters int, fast, slow float64, r *rng.Source) *Bandwidth {
+	raw := make([][]float64, n)
+	for i := range raw {
+		raw[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			base := slow
+			if i%clusters == j%clusters {
+				base = fast
+			}
+			v := base * (0.5 + r.Float64()) // ±50% jitter
+			raw[i][j] = v
+			raw[j][i] = v
+		}
+	}
+	return NewBandwidth(raw)
+}

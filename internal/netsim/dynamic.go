@@ -1,0 +1,50 @@
+package netsim
+
+import "sapspsgd/internal/rng"
+
+// DynamicBandwidth models time-varying link speeds: each round, every link's
+// bandwidth is its base value scaled by an independent multiplicative jitter
+// in [1-Jitter, 1+Jitter]. This exercises the robustness the paper motivates
+// — "the bandwidth between two workers may also vary" — and lets the
+// ablation benches measure how adaptive peer selection tracks a moving
+// target. Advance with Tick; the snapshot is exposed as a *Bandwidth.
+type DynamicBandwidth struct {
+	base    *Bandwidth
+	current *Bandwidth
+	// Jitter is the half-width of the per-round multiplicative noise
+	// (0.3 = ±30%). Must lie in [0, 1).
+	Jitter float64
+	rnd    *rng.Source
+}
+
+// NewDynamicBandwidth wraps base with per-round jitter.
+func NewDynamicBandwidth(base *Bandwidth, jitter float64, seed uint64) *DynamicBandwidth {
+	if jitter < 0 || jitter >= 1 {
+		panic("netsim: jitter must be in [0,1)")
+	}
+	d := &DynamicBandwidth{base: base, Jitter: jitter, rnd: rng.New(seed)}
+	d.Tick()
+	return d
+}
+
+// Tick resamples the jitter, producing the next round's snapshot.
+func (d *DynamicBandwidth) Tick() *Bandwidth {
+	n := d.base.N
+	cur := &Bandwidth{N: n, mbps: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			scale := 1 + d.Jitter*(2*d.rnd.Float64()-1)
+			v := d.base.MBps(i, j) * scale
+			cur.mbps[i*n+j] = v
+			cur.mbps[j*n+i] = v
+		}
+	}
+	d.current = cur
+	return cur
+}
+
+// Current returns the latest snapshot.
+func (d *DynamicBandwidth) Current() *Bandwidth { return d.current }
+
+// Base returns the underlying static environment.
+func (d *DynamicBandwidth) Base() *Bandwidth { return d.base }

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"sapspsgd/internal/rng"
+)
+
+func TestDynamicBandwidthJitterBounds(t *testing.T) {
+	base := RandomUniform(8, 2, 4, rng.New(1))
+	d := NewDynamicBandwidth(base, 0.3, 5)
+	for tick := 0; tick < 20; tick++ {
+		cur := d.Tick()
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if i == j {
+					if cur.MBps(i, j) != 0 {
+						t.Fatal("diagonal")
+					}
+					continue
+				}
+				ratio := cur.MBps(i, j) / base.MBps(i, j)
+				if ratio < 0.7-1e-9 || ratio > 1.3+1e-9 {
+					t.Fatalf("jitter ratio %v out of [0.7, 1.3]", ratio)
+				}
+				if cur.MBps(i, j) != cur.MBps(j, i) {
+					t.Fatal("asymmetric after jitter")
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicBandwidthVaries(t *testing.T) {
+	base := RandomUniform(4, 2, 4, rng.New(1))
+	d := NewDynamicBandwidth(base, 0.3, 5)
+	a := d.Current().MBps(0, 1)
+	changed := false
+	for tick := 0; tick < 10; tick++ {
+		if math.Abs(d.Tick().MBps(0, 1)-a) > 1e-12 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("bandwidth never changed across ticks")
+	}
+	if d.Base() != base {
+		t.Fatal("Base lost")
+	}
+}
+
+func TestDynamicBandwidthBadJitterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDynamicBandwidth(RandomUniform(2, 1, 2, rng.New(1)), 1.0, 1)
+}

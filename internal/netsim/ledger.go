@@ -1,0 +1,137 @@
+package netsim
+
+import "fmt"
+
+// Ledger accounts for every byte each worker sends and receives and converts
+// payloads into simulated communication time using a Bandwidth environment.
+// Rounds are synchronous (as in the paper): a round's wall time is the
+// maximum over workers of that worker's communication time in the round.
+type Ledger struct {
+	bw *Bandwidth
+	// LatencySec, when set, adds a fixed per-message latency to each
+	// exchange direction and server transfer — a realism extension beyond
+	// the paper's pure-bandwidth time model (geo-distributed RTTs are tens
+	// of milliseconds, which matters for the small control-size payloads
+	// SAPS sends at high compression ratios).
+	LatencySec float64
+	// Cumulative per-worker totals.
+	sentBytes []int64
+	recvBytes []int64
+	// Per-round scratch.
+	roundTime []float64
+	// Accumulated simulated wall-clock communication time (seconds).
+	totalTime float64
+	// Server-side traffic for centralized baselines (bytes).
+	serverSent int64 // bytes the server sent (workers' downstream)
+	serverRecv int64 // bytes the server received (workers' upstream)
+	rounds     int
+}
+
+// NewLedger returns a ledger over the given bandwidth environment.
+func NewLedger(bw *Bandwidth) *Ledger {
+	return &Ledger{
+		bw:        bw,
+		sentBytes: make([]int64, bw.N),
+		recvBytes: make([]int64, bw.N),
+		roundTime: make([]float64, bw.N),
+	}
+}
+
+// Exchange records a bidirectional transfer between workers i and j in the
+// current round: i sends sendBytes to j and receives recvBytes from j. Both
+// directions ride the same (symmetric) link, and each worker's round time
+// grows by its transfer volume over the link bandwidth.
+func (l *Ledger) Exchange(i, j int, sendBytes, recvBytes int64) {
+	if i == j {
+		panic(fmt.Sprintf("netsim: self exchange on worker %d", i))
+	}
+	l.sentBytes[i] += sendBytes
+	l.recvBytes[j] += sendBytes
+	l.sentBytes[j] += recvBytes
+	l.recvBytes[i] += recvBytes
+	mbps := l.bw.MBps(i, j)
+	if mbps > 0 {
+		secs := float64(sendBytes+recvBytes)/(mbps*1e6) + l.LatencySec
+		l.roundTime[i] += secs
+		l.roundTime[j] += secs
+	} else {
+		// A zero-bandwidth link should never carry traffic; make it visible.
+		panic(fmt.Sprintf("netsim: exchange over zero-bandwidth link %d-%d", i, j))
+	}
+}
+
+// ServerTransfer records traffic between worker i and a central server (used
+// by the PS-architecture baselines). serverMBps is the server's link speed to
+// that worker.
+func (l *Ledger) ServerTransfer(i int, upBytes, downBytes int64, serverMBps float64) {
+	l.sentBytes[i] += upBytes
+	l.recvBytes[i] += downBytes
+	l.serverRecv += upBytes
+	l.serverSent += downBytes
+	if serverMBps > 0 {
+		l.roundTime[i] += float64(upBytes+downBytes)/(serverMBps*1e6) + l.LatencySec
+	}
+}
+
+// EndRound closes the current round, adding its wall time (max over workers)
+// to the cumulative total, and returns that wall time in seconds.
+func (l *Ledger) EndRound() float64 {
+	maxT := 0.0
+	for i, t := range l.roundTime {
+		if t > maxT {
+			maxT = t
+		}
+		l.roundTime[i] = 0
+	}
+	l.totalTime += maxT
+	l.rounds++
+	return maxT
+}
+
+// Rounds returns the number of completed rounds.
+func (l *Ledger) Rounds() int { return l.rounds }
+
+// TotalTime returns the cumulative simulated communication time in seconds.
+func (l *Ledger) TotalTime() float64 { return l.totalTime }
+
+// WorkerBytes returns the cumulative bytes sent and received by worker i.
+func (l *Ledger) WorkerBytes(i int) (sent, recv int64) {
+	return l.sentBytes[i], l.recvBytes[i]
+}
+
+// ServerBytes returns the cumulative traffic through the central server
+// (bytes sent plus received).
+func (l *Ledger) ServerBytes() int64 { return l.serverSent + l.serverRecv }
+
+// MaxWorkerTraffic returns the largest sent+received total over workers —
+// the per-worker communication size the paper plots in Fig. 4.
+func (l *Ledger) MaxWorkerTraffic() int64 {
+	var m int64
+	for i := range l.sentBytes {
+		if t := l.sentBytes[i] + l.recvBytes[i]; t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// MeanWorkerTrafficMB returns the mean per-worker traffic in megabytes.
+func (l *Ledger) MeanWorkerTrafficMB() float64 {
+	var sum int64
+	for i := range l.sentBytes {
+		sum += l.sentBytes[i] + l.recvBytes[i]
+	}
+	return float64(sum) / float64(len(l.sentBytes)) / 1e6
+}
+
+// ConservationOK verifies that every byte sent by some party was received by
+// another: workers' sent + server's sent == workers' received + server's
+// received. A ledger sanity invariant checked by the integration tests.
+func (l *Ledger) ConservationOK() bool {
+	var s, r int64
+	for i := range l.sentBytes {
+		s += l.sentBytes[i]
+		r += l.recvBytes[i]
+	}
+	return s+l.serverSent == r+l.serverRecv
+}

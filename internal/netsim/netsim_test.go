@@ -1,0 +1,268 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sapspsgd/internal/rng"
+)
+
+func TestFourteenCitiesShape(t *testing.T) {
+	bw := FourteenCities()
+	if bw.N != 14 || len(Cities) != 14 {
+		t.Fatalf("N = %d", bw.N)
+	}
+	for i := 0; i < 14; i++ {
+		if bw.MBps(i, i) != 0 {
+			t.Fatalf("diagonal %d not zero", i)
+		}
+		for j := 0; j < 14; j++ {
+			if bw.MBps(i, j) != bw.MBps(j, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFourteenCitiesKnownValues(t *testing.T) {
+	bw := FourteenCities()
+	// AliBeijing <-> AliShanghai: min(1.3, 1.3)/8 MB/s.
+	if got, want := bw.MBps(0, 1), 1.3/8; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Beijing-Shanghai = %v, want %v", got, want)
+	}
+	// AmaFrankfurt <-> AmaLondon: min(331.2, 276.2)/8.
+	if got, want := bw.MBps(6, 7), 276.2/8; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Frankfurt-London = %v, want %v", got, want)
+	}
+	// AliBeijing <-> AmaLondon is the paper's bottleneck link: min(1.6, 0.2)/8.
+	if got, want := bw.MBps(0, 7), 0.2/8; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Beijing-London = %v, want %v", got, want)
+	}
+}
+
+func TestRandomUniformRange(t *testing.T) {
+	r := rng.New(1)
+	bw := RandomUniform(32, 0, 5, r)
+	if bw.N != 32 {
+		t.Fatal("N")
+	}
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			v := bw.MBps(i, j)
+			if i == j {
+				if v != 0 {
+					t.Fatal("diagonal")
+				}
+				continue
+			}
+			if v <= 0 || v > 5 {
+				t.Fatalf("bandwidth %v out of (0,5]", v)
+			}
+			if v != bw.MBps(j, i) {
+				t.Fatal("asymmetric")
+			}
+		}
+	}
+}
+
+func TestFilterAndEdges(t *testing.T) {
+	bw := NewBandwidth([][]float64{
+		{0, 10, 1},
+		{10, 0, 5},
+		{1, 5, 0},
+	})
+	adj := bw.Filter(4)
+	if !adj[0][1] || !adj[1][2] || adj[0][2] || adj[0][0] {
+		t.Fatalf("Filter wrong: %v", adj)
+	}
+	edges := bw.Edges(4)
+	if len(edges) != 2 {
+		t.Fatalf("Edges = %v", edges)
+	}
+	g := bw.FilterGraph(4)
+	if !g.IsConnected() {
+		t.Fatal("filtered graph should be connected at thresh 4")
+	}
+	if g2 := bw.FilterGraph(100); g2.IsConnected() {
+		t.Fatal("filtered graph should be disconnected at thresh 100")
+	}
+}
+
+func TestSymmetrizationUsesMin(t *testing.T) {
+	bw := NewBandwidth([][]float64{
+		{0, 9},
+		{3, 0},
+	})
+	if bw.MBps(0, 1) != 3 || bw.MBps(1, 0) != 3 {
+		t.Fatalf("min symmetrization failed: %v", bw.MBps(0, 1))
+	}
+}
+
+func TestClusteredFasterInside(t *testing.T) {
+	r := rng.New(2)
+	bw := Clustered(16, 4, 100, 1, r)
+	// Same cluster (i%4 == j%4) should on average be much faster.
+	var inSum, outSum float64
+	var inN, outN int
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			if i%4 == j%4 {
+				inSum += bw.MBps(i, j)
+				inN++
+			} else {
+				outSum += bw.MBps(i, j)
+				outN++
+			}
+		}
+	}
+	if inSum/float64(inN) < 10*outSum/float64(outN) {
+		t.Fatalf("intra-cluster %v not >> inter-cluster %v", inSum/float64(inN), outSum/float64(outN))
+	}
+}
+
+func TestLedgerExchange(t *testing.T) {
+	bw := NewBandwidth([][]float64{
+		{0, 2},
+		{2, 0},
+	})
+	l := NewLedger(bw)
+	l.Exchange(0, 1, 1e6, 1e6) // 1MB each way over a 2MB/s link
+	rt := l.EndRound()
+	if math.Abs(rt-1.0) > 1e-9 { // 2MB total / 2MB/s = 1s for each endpoint
+		t.Fatalf("round time = %v, want 1.0", rt)
+	}
+	s0, r0 := l.WorkerBytes(0)
+	s1, r1 := l.WorkerBytes(1)
+	if s0 != 1e6 || r0 != 1e6 || s1 != 1e6 || r1 != 1e6 {
+		t.Fatalf("bytes: %d %d %d %d", s0, r0, s1, r1)
+	}
+	if !l.ConservationOK() {
+		t.Fatal("conservation violated")
+	}
+	if l.Rounds() != 1 || l.TotalTime() != rt {
+		t.Fatal("round accounting")
+	}
+}
+
+func TestLedgerRoundTimeIsMax(t *testing.T) {
+	bw := NewBandwidth([][]float64{
+		{0, 10, 1},
+		{10, 0, 1},
+		{1, 1, 0},
+	})
+	l := NewLedger(bw)
+	l.Exchange(0, 1, 1e6, 1e6) // fast pair: 0.2s
+	l.Exchange(0, 2, 1e6, 0)   // slow link: adds 1s to workers 0 and 2
+	rt := l.EndRound()
+	if math.Abs(rt-1.2) > 1e-9 { // worker 0: 0.2 + 1.0
+		t.Fatalf("round time = %v, want 1.2", rt)
+	}
+}
+
+func TestLedgerServerTransfer(t *testing.T) {
+	bw := NewBandwidth([][]float64{{0, 1}, {1, 0}})
+	l := NewLedger(bw)
+	l.ServerTransfer(0, 500, 1500, 2)
+	if l.ServerBytes() != 2000 {
+		t.Fatalf("ServerBytes = %d", l.ServerBytes())
+	}
+	if !l.ConservationOK() {
+		t.Fatal("server conservation violated")
+	}
+	rt := l.EndRound()
+	if math.Abs(rt-0.001) > 1e-9 { // 2000B / 2MB/s
+		t.Fatalf("round time = %v", rt)
+	}
+}
+
+func TestLedgerSelfExchangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l := NewLedger(NewBandwidth([][]float64{{0, 1}, {1, 0}}))
+	l.Exchange(0, 0, 1, 1)
+}
+
+func TestLedgerZeroBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l := NewLedger(NewBandwidth([][]float64{{0, 0}, {0, 0}}))
+	l.Exchange(0, 1, 1, 1)
+}
+
+func TestLedgerConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(10)
+		bw := RandomUniform(n, 1, 5, r)
+		l := NewLedger(bw)
+		for round := 0; round < 5; round++ {
+			for k := 0; k < 3; k++ {
+				i := r.Intn(n)
+				j := r.Intn(n)
+				if i == j {
+					continue
+				}
+				l.Exchange(i, j, int64(r.Intn(1000)), int64(r.Intn(1000)))
+			}
+			l.ServerTransfer(r.Intn(n), int64(r.Intn(1000)), int64(r.Intn(1000)), 5)
+			l.EndRound()
+		}
+		return l.ConservationOK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxWorkerTraffic(t *testing.T) {
+	bw := NewBandwidth([][]float64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	})
+	l := NewLedger(bw)
+	l.Exchange(0, 1, 100, 200)
+	l.Exchange(1, 2, 300, 0)
+	// worker1: sent 200+300, recv 100 => 600 total.
+	if got := l.MaxWorkerTraffic(); got != 600 {
+		t.Fatalf("MaxWorkerTraffic = %d, want 600", got)
+	}
+	wantMean := float64(100+200+200+100+300+300) / 3 / 1e6
+	if got := l.MeanWorkerTrafficMB(); math.Abs(got-wantMean) > 1e-12 {
+		t.Fatalf("MeanWorkerTrafficMB = %v, want %v", got, wantMean)
+	}
+}
+
+func TestLedgerLatency(t *testing.T) {
+	bw := NewBandwidth([][]float64{{0, 2}, {2, 0}})
+	l := NewLedger(bw)
+	l.LatencySec = 0.05
+	l.Exchange(0, 1, 1e6, 1e6)
+	rt := l.EndRound()
+	if math.Abs(rt-1.05) > 1e-9 {
+		t.Fatalf("round time with latency = %v, want 1.05", rt)
+	}
+	l2 := NewLedger(bw)
+	l2.LatencySec = 0.05
+	l2.ServerTransfer(0, 1000, 1000, 2)
+	if rt2 := l2.EndRound(); math.Abs(rt2-(0.001+0.05)) > 1e-9 {
+		t.Fatalf("server round time with latency = %v", rt2)
+	}
+}
+
+func TestMeanBandwidth(t *testing.T) {
+	bw := NewBandwidth([][]float64{
+		{0, 2},
+		{2, 0},
+	})
+	if got := bw.MeanBandwidth(); got != 2 {
+		t.Fatalf("MeanBandwidth = %v", got)
+	}
+}

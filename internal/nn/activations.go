@@ -1,0 +1,53 @@
+package nn
+
+import "sapspsgd/internal/tensor"
+
+// ReLU is the rectified linear activation, applied element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward clamps negatives to zero, caching the activation mask when
+// training.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	if train {
+		if len(r.mask) != len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
+		}
+		return out
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward gates the upstream gradient by the cached mask.
+func (r *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.NewMatrix(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params returns nothing: ReLU is stateless.
+func (r *ReLU) Params() []Param { return nil }
+
+var _ Layer = (*ReLU)(nil)

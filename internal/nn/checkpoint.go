@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Stateful is implemented by layers that carry non-parameter internal state
+// which must survive a save/load cycle — BatchNorm's running mean/variance.
+// Such state is deliberately excluded from the flat parameter vector (it is
+// not exchanged between workers) but belongs in a checkpoint.
+type Stateful interface {
+	// RunningState returns a copy of the layer's internal statistics.
+	RunningState() []float64
+	// SetRunningState restores statistics captured by RunningState. It
+	// panics on a length mismatch.
+	SetRunningState(s []float64)
+}
+
+// checkpoint is the serialized form of a model: the flat parameter vector
+// plus the per-layer running state. Architecture is reconstructed by the
+// caller (the same convention the coordinator's final-model collection
+// uses); Name guards against loading into the wrong architecture.
+type checkpoint struct {
+	Name   string
+	Params []float64
+	State  [][]float64
+}
+
+// collectState gathers the Stateful layers' state, walking nested layers
+// through composite blocks.
+func (m *Model) collectState() [][]float64 {
+	var out [][]float64
+	for _, l := range m.layers {
+		out = append(out, layerStates(l)...)
+	}
+	return out
+}
+
+// layerStates returns the running state of l and (for composite layers) its
+// children, in deterministic order.
+func layerStates(l Layer) [][]float64 {
+	switch v := l.(type) {
+	case Stateful:
+		return [][]float64{v.RunningState()}
+	case *Residual:
+		var out [][]float64
+		out = append(out, v.bn1.RunningState(), v.bn2.RunningState())
+		if v.projBN != nil {
+			out = append(out, v.projBN.RunningState())
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// applyStates restores collected running state; it returns the number of
+// entries consumed.
+func applyStates(l Layer, states [][]float64, pos int) int {
+	switch v := l.(type) {
+	case Stateful:
+		v.SetRunningState(states[pos])
+		return pos + 1
+	case *Residual:
+		v.bn1.SetRunningState(states[pos])
+		v.bn2.SetRunningState(states[pos+1])
+		pos += 2
+		if v.projBN != nil {
+			v.projBN.SetRunningState(states[pos])
+			pos++
+		}
+		return pos
+	default:
+		return pos
+	}
+}
+
+// Save writes the model's parameters and running statistics to w.
+func (m *Model) Save(w io.Writer) error {
+	cp := checkpoint{Name: m.Name, Params: m.FlatParams(nil), State: m.collectState()}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: save %s: %w", m.Name, err)
+	}
+	return nil
+}
+
+// Load restores a checkpoint saved by Save into an identically constructed
+// model. It fails if the architecture name, parameter count, or state shape
+// differs.
+func (m *Model) Load(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	if cp.Name != m.Name {
+		return fmt.Errorf("nn: checkpoint is %q, model is %q", cp.Name, m.Name)
+	}
+	if len(cp.Params) != m.ParamCount() {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", len(cp.Params), m.ParamCount())
+	}
+	if want := len(m.collectState()); len(cp.State) != want {
+		return fmt.Errorf("nn: checkpoint has %d state entries, model has %d", len(cp.State), want)
+	}
+	m.SetFlatParams(cp.Params)
+	pos := 0
+	for _, l := range m.layers {
+		pos = applyStates(l, cp.State, pos)
+	}
+	return nil
+}

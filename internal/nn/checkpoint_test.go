@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m := NewMLP(10, []int{8}, 3, 2)
+	p := m.FlatParams(nil)
+	for i := range p {
+		p[i] = float64(i) * 0.01
+	}
+	m.SetFlatParams(p)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewMLP(10, []int{8}, 3, 99) // different init seed
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := restored.FlatParams(nil)
+	for i := range p {
+		if got[i] != p[i] {
+			t.Fatalf("param %d differs after reload", i)
+		}
+	}
+}
+
+func TestCheckpointArchMismatch(t *testing.T) {
+	m := NewMLP(10, []int{8}, 3, 2)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewMNISTCNN(Shape{C: 1, H: 8, W: 8}, 3, 0.25, 1)
+	if err := other.Load(&buf); err == nil {
+		t.Fatal("loading MLP checkpoint into CNN should fail")
+	}
+}
+
+func TestCheckpointSizeMismatch(t *testing.T) {
+	m := NewMLP(10, []int{8}, 3, 2)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	smaller := NewMLP(10, []int{4}, 3, 2)
+	smaller.Name = m.Name // force the name check to pass
+	if err := smaller.Load(&buf); err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+}
+
+func TestCheckpointGarbageInput(t *testing.T) {
+	m := NewMLP(4, nil, 2, 1)
+	if err := m.Load(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Fatal("garbage input should fail")
+	}
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"sapspsgd/internal/rng"
+	"sapspsgd/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b.
+type Dense struct {
+	InDim, OutDim int
+	w             *tensor.Matrix // OutDim × InDim
+	b             []float64
+	dw            *tensor.Matrix
+	db            []float64
+	x             *tensor.Matrix // cached input
+}
+
+// NewDense returns a dense layer with He-initialized weights.
+func NewDense(in, out int, r *rng.Source) *Dense {
+	if in < 1 || out < 1 {
+		panic(fmt.Sprintf("nn: Dense(%d,%d)", in, out))
+	}
+	d := &Dense{
+		InDim:  in,
+		OutDim: out,
+		w:      tensor.NewMatrix(out, in),
+		b:      make([]float64, out),
+		dw:     tensor.NewMatrix(out, in),
+		db:     make([]float64, out),
+	}
+	std := math.Sqrt(2 / float64(in))
+	for i := range d.w.Data {
+		d.w.Data[i] = std * r.NormFloat64()
+	}
+	return d
+}
+
+// Forward computes the affine map for the batch.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != d.InDim {
+		panic(fmt.Sprintf("nn: Dense input %d, want %d", x.Cols, d.InDim))
+	}
+	if train {
+		d.x = x
+	}
+	out := tensor.NewMatrix(x.Rows, d.OutDim)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		o := out.Row(i)
+		for j := 0; j < d.OutDim; j++ {
+			o[j] = tensor.Dot(d.w.Row(j), row) + d.b[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW, db and returns dx.
+func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if d.x == nil {
+		panic("nn: Dense.Backward before training Forward")
+	}
+	dx := tensor.NewMatrix(d.x.Rows, d.InDim)
+	for i := 0; i < d.x.Rows; i++ {
+		xr := d.x.Row(i)
+		dr := dout.Row(i)
+		dxr := dx.Row(i)
+		for j, g := range dr {
+			if g == 0 {
+				continue
+			}
+			d.db[j] += g
+			tensor.Axpy(g, xr, d.dw.Row(j))
+			tensor.Axpy(g, d.w.Row(j), dxr)
+		}
+	}
+	d.x = nil
+	return dx
+}
+
+// Params returns the weight and bias tensors.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Name: "dense.w", Data: d.w.Data, Grad: d.dw.Data},
+		{Name: "dense.b", Data: d.b, Grad: d.db},
+	}
+}
+
+var _ Layer = (*Dense)(nil)

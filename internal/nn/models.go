@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/rng"
+)
+
+// scaleC scales a channel count by width, with a floor of 1.
+func scaleC(base int, width float64) int {
+	c := int(float64(base)*width + 0.5)
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// NewMNISTCNN builds the paper's MNIST-CNN (the CNN of McMahan et al.,
+// FedAvg): conv5×5-32 → pool2 → conv5×5-64 → pool2 → fc-512 → fc-classes.
+// width scales all channel/hidden sizes (1.0 = paper scale); in must have
+// spatial dims divisible by 4.
+func NewMNISTCNN(in Shape, classes int, width float64, seed uint64) *Model {
+	r := rng.New(seed)
+	c1 := NewConv2D(in, scaleC(32, width), 5, 1, 2, r)
+	p1 := NewMaxPool2D(c1.OutShape, 2)
+	c2 := NewConv2D(p1.OutShape, scaleC(64, width), 5, 1, 2, r)
+	p2 := NewMaxPool2D(c2.OutShape, 2)
+	fc1 := NewDense(p2.OutShape.Dim(), scaleC(512, width), r)
+	fc2 := NewDense(fc1.OutDim, classes, r)
+	return NewModel(fmt.Sprintf("mnist-cnn(w=%.2f)", width), in, classes,
+		c1, NewReLU(), p1,
+		c2, NewReLU(), p2,
+		fc1, NewReLU(), fc2,
+	)
+}
+
+// NewCIFARCNN builds the paper's CIFAR10-CNN (the TensorFlow-tutorial style
+// CNN McMahan et al. use for CIFAR-10): conv5×5-64 → pool2 → conv5×5-64 →
+// pool2 → fc-384 → fc-192 → fc-classes.
+func NewCIFARCNN(in Shape, classes int, width float64, seed uint64) *Model {
+	r := rng.New(seed)
+	c1 := NewConv2D(in, scaleC(64, width), 5, 1, 2, r)
+	p1 := NewMaxPool2D(c1.OutShape, 2)
+	c2 := NewConv2D(p1.OutShape, scaleC(64, width), 5, 1, 2, r)
+	p2 := NewMaxPool2D(c2.OutShape, 2)
+	fc1 := NewDense(p2.OutShape.Dim(), scaleC(384, width), r)
+	fc2 := NewDense(fc1.OutDim, scaleC(192, width), r)
+	fc3 := NewDense(fc2.OutDim, classes, r)
+	return NewModel(fmt.Sprintf("cifar10-cnn(w=%.2f)", width), in, classes,
+		c1, NewReLU(), p1,
+		c2, NewReLU(), p2,
+		fc1, NewReLU(), fc2, NewReLU(), fc3,
+	)
+}
+
+// NewResNet builds a CIFAR-style ResNet-(6k+2): conv3×3 stem, three stages
+// of blocksPerStage basic blocks with 16/32/64 channels (scaled by width)
+// and strides 1/2/2, global average pooling, and a linear classifier.
+// blocksPerStage = 3 gives the paper's ResNet-20.
+func NewResNet(in Shape, classes, blocksPerStage int, width float64, seed uint64) *Model {
+	if blocksPerStage < 1 {
+		panic(fmt.Sprintf("nn: ResNet blocksPerStage %d", blocksPerStage))
+	}
+	r := rng.New(seed)
+	stemC := scaleC(16, width)
+	stem := NewConv2D(in, stemC, 3, 1, 1, r)
+	layers := []Layer{stem, NewBatchNorm2D(stem.OutShape), NewReLU()}
+	shape := stem.OutShape
+	for stage, baseC := range []int{16, 32, 64} {
+		outC := scaleC(baseC, width)
+		for b := 0; b < blocksPerStage; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			blk := NewResidual(shape, outC, stride, r)
+			layers = append(layers, blk)
+			shape = blk.OutShape
+		}
+	}
+	gap := NewGlobalAvgPool(shape)
+	layers = append(layers, gap, NewDense(shape.C, classes, r))
+	depth := 6*blocksPerStage + 2
+	return NewModel(fmt.Sprintf("resnet-%d(w=%.2f)", depth, width), in, classes, layers...)
+}
+
+// NewResNet20 is the paper's third model at full scale.
+func NewResNet20(seed uint64) *Model {
+	return NewResNet(Shape{C: 3, H: 32, W: 32}, 10, 3, 1, seed)
+}
+
+// NewMLP builds a plain multilayer perceptron — used by fast unit tests and
+// the quadratic-convergence checks.
+func NewMLP(inDim int, hidden []int, classes int, seed uint64) *Model {
+	r := rng.New(seed)
+	var layers []Layer
+	prev := inDim
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h, r), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, classes, r))
+	return NewModel("mlp", Shape{C: 1, H: 1, W: inDim}, classes, layers...)
+}

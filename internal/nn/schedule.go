@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LRSchedule maps a round/iteration index to a learning rate. The paper
+// trains with fixed rates (Table II); schedules are provided for the
+// extended experiments.
+type LRSchedule interface {
+	// LR returns the learning rate for iteration t (0-based).
+	LR(t int) float64
+}
+
+// ConstantLR is a fixed learning rate.
+type ConstantLR float64
+
+// LR implements LRSchedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Factor at every milestone — the
+// classic ResNet schedule.
+type StepDecay struct {
+	Base       float64
+	Factor     float64
+	Milestones []int
+}
+
+// LR implements LRSchedule.
+func (s StepDecay) LR(t int) float64 {
+	lr := s.Base
+	for _, m := range s.Milestones {
+		if t >= m {
+			lr *= s.Factor
+		}
+	}
+	return lr
+}
+
+// CosineDecay anneals from Base to Floor over Horizon iterations, then
+// stays at Floor.
+type CosineDecay struct {
+	Base    float64
+	Floor   float64
+	Horizon int
+}
+
+// LR implements LRSchedule.
+func (c CosineDecay) LR(t int) float64 {
+	if c.Horizon <= 0 {
+		panic(fmt.Sprintf("nn: cosine horizon %d", c.Horizon))
+	}
+	if t >= c.Horizon {
+		return c.Floor
+	}
+	frac := float64(t) / float64(c.Horizon)
+	return c.Floor + 0.5*(c.Base-c.Floor)*(1+math.Cos(math.Pi*frac))
+}
+
+// WarmupWrap prefixes any schedule with linear warmup over Warmup
+// iterations (from ~0 to the wrapped schedule's value).
+type WarmupWrap struct {
+	Warmup int
+	Inner  LRSchedule
+}
+
+// LR implements LRSchedule.
+func (w WarmupWrap) LR(t int) float64 {
+	base := w.Inner.LR(t)
+	if w.Warmup <= 0 || t >= w.Warmup {
+		return base
+	}
+	return base * float64(t+1) / float64(w.Warmup)
+}
+
+var (
+	_ LRSchedule = ConstantLR(0)
+	_ LRSchedule = StepDecay{}
+	_ LRSchedule = CosineDecay{Horizon: 1}
+	_ LRSchedule = WarmupWrap{}
+)

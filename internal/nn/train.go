@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/tensor"
+)
+
+// BatchMatrix packs per-sample vectors into one batch matrix (copying).
+func BatchMatrix(xs [][]float64) *tensor.Matrix {
+	if len(xs) == 0 {
+		panic("nn: empty batch")
+	}
+	m := tensor.NewMatrix(len(xs), len(xs[0]))
+	for i, x := range xs {
+		copy(m.Row(i), x)
+	}
+	return m
+}
+
+// SGD is the plain stochastic gradient descent update of Algorithm 2
+// (net.x ← net.x − γ∇net.x), with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity []float64
+}
+
+// Step applies one update using the model's accumulated gradients.
+func (s *SGD) Step(m *Model) {
+	if s.Momentum == 0 {
+		for _, p := range m.Params() {
+			tensor.Axpy(-s.LR, p.Grad, p.Data)
+		}
+		return
+	}
+	if len(s.velocity) != m.ParamCount() {
+		s.velocity = make([]float64, m.ParamCount())
+	}
+	off := 0
+	for _, p := range m.Params() {
+		v := s.velocity[off : off+len(p.Data)]
+		for i, g := range p.Grad {
+			v[i] = s.Momentum*v[i] + g
+			p.Data[i] -= s.LR * v[i]
+		}
+		off += len(p.Data)
+	}
+}
+
+// TrainBatch performs one forward/backward/update cycle on a minibatch and
+// returns the batch loss.
+func TrainBatch(m *Model, opt *SGD, xs [][]float64, labels []int) float64 {
+	x := BatchMatrix(xs)
+	m.ZeroGrads()
+	logits := m.Forward(x, true)
+	loss, dl := SoftmaxCrossEntropy(logits, labels)
+	m.Backward(dl)
+	opt.Step(m)
+	return loss
+}
+
+// ComputeGrads runs forward/backward on a minibatch without updating,
+// leaving the gradients in the model's accumulators — the building block for
+// the all-reduce style baselines that average gradients before stepping.
+func ComputeGrads(m *Model, xs [][]float64, labels []int) float64 {
+	x := BatchMatrix(xs)
+	m.ZeroGrads()
+	logits := m.Forward(x, true)
+	loss, dl := SoftmaxCrossEntropy(logits, labels)
+	m.Backward(dl)
+	return loss
+}
+
+// EvaluateDataset returns the mean loss and top-1 accuracy of the model over
+// the dataset, in inference mode, processed in batches of batchSize.
+func EvaluateDataset(m *Model, d *dataset.Dataset, batchSize int) (loss, acc float64) {
+	if d.Len() == 0 {
+		return 0, 0
+	}
+	if batchSize < 1 {
+		batchSize = 64
+	}
+	totalLoss := 0.0
+	correct := 0
+	for start := 0; start < d.Len(); start += batchSize {
+		end := start + batchSize
+		if end > d.Len() {
+			end = d.Len()
+		}
+		xs := make([][]float64, 0, end-start)
+		ys := make([]int, 0, end-start)
+		for _, s := range d.Samples[start:end] {
+			xs = append(xs, s.X)
+			ys = append(ys, s.Label)
+		}
+		x := BatchMatrix(xs)
+		logits := m.Forward(x, false)
+		l, _ := SoftmaxCrossEntropy(logits, ys)
+		totalLoss += l * float64(len(ys))
+		for i := 0; i < logits.Rows; i++ {
+			if tensor.ArgMax(logits.Row(i)) == ys[i] {
+				correct++
+			}
+		}
+	}
+	return totalLoss / float64(d.Len()), float64(correct) / float64(d.Len())
+}

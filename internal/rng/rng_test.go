@@ -1,0 +1,247 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Derive(1)
+	b := parent.Derive(2)
+	a2 := New(7).Derive(1)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != a2.Uint64() {
+			t.Fatalf("Derive not deterministic at %d", i)
+		}
+	}
+	// a and b should not be identical streams.
+	a3 := New(7).Derive(1)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if a3.Uint64() != b.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("Derive(1) and Derive(2) produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const buckets, draws = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has len %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMaskDensity(t *testing.T) {
+	tests := []struct {
+		name string
+		p    float64
+	}{
+		{"c=100", 0.01},
+		{"c=10", 0.1},
+		{"c=4", 0.25},
+		{"dense", 0.9},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New(23)
+			m := make([]bool, 500000)
+			r.Mask(m, tc.p)
+			ones := 0
+			for _, b := range m {
+				if b {
+					ones++
+				}
+			}
+			got := float64(ones) / float64(len(m))
+			sigma := math.Sqrt(tc.p * (1 - tc.p) / float64(len(m)))
+			if math.Abs(got-tc.p) > 6*sigma {
+				t.Fatalf("mask density %v, want %v ± %v", got, tc.p, 6*sigma)
+			}
+		})
+	}
+}
+
+func TestMaskSeedAgreement(t *testing.T) {
+	// The protocol invariant: every worker computes the same mask for a given
+	// (seed, round). Simulate 32 workers.
+	const n = 10000
+	ref := MaskSeed(99, 5, n, 0.01)
+	for w := 0; w < 32; w++ {
+		m := MaskSeed(99, 5, n, 0.01)
+		for i := range m {
+			if m[i] != ref[i] {
+				t.Fatalf("worker %d mask differs at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestMaskSeedDiffersAcrossRounds(t *testing.T) {
+	const n = 10000
+	a := MaskSeed(99, 1, n, 0.5)
+	b := MaskSeed(99, 2, n, 0.5)
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff < n/4 {
+		t.Fatalf("masks for different rounds too similar: %d/%d differ", diff, n)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		const n, p = 20000, 0.3
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		rate := float64(hits) / n
+		return math.Abs(rate-p) < 6*math.Sqrt(p*(1-p)/n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkMask(b *testing.B) {
+	r := New(1)
+	m := make([]bool, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Mask(m, 0.01)
+	}
+}

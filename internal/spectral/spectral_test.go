@@ -1,0 +1,118 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"sapspsgd/internal/tensor"
+)
+
+func TestPowerIterationDiagonal(t *testing.T) {
+	a := tensor.MatrixFrom(3, 3, []float64{
+		5, 0, 0,
+		0, 2, 0,
+		0, 0, 1,
+	})
+	l, v := PowerIteration(a, 200)
+	if math.Abs(l-5) > 1e-6 {
+		t.Fatalf("dominant eigenvalue = %v, want 5", l)
+	}
+	if math.Abs(math.Abs(v[0])-1) > 1e-4 {
+		t.Fatalf("dominant eigenvector = %v, want ±e1", v)
+	}
+}
+
+func TestSecondLargestEigenvalueDiagonal(t *testing.T) {
+	a := tensor.MatrixFrom(4, 4, []float64{
+		7, 0, 0, 0,
+		0, 3, 0, 0,
+		0, 0, 2, 0,
+		0, 0, 0, 1,
+	})
+	if got := SecondLargestEigenvalue(a, 300); math.Abs(got-3) > 1e-5 {
+		t.Fatalf("second eigenvalue = %v, want 3", got)
+	}
+}
+
+func TestSecondLargestEigenvalueSymmetric(t *testing.T) {
+	// 2x2 symmetric [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := tensor.MatrixFrom(2, 2, []float64{2, 1, 1, 2})
+	if got := SecondLargestEigenvalue(a, 300); math.Abs(got-1) > 1e-5 {
+		t.Fatalf("second eigenvalue = %v, want 1", got)
+	}
+}
+
+// pairW builds the doubly stochastic gossip matrix for a single matching on
+// n vertices: matched pairs average (1/2, 1/2), unmatched keep themselves.
+func pairW(n int, pairs [][2]int) *tensor.Matrix {
+	w := tensor.NewMatrix(n, n)
+	matched := make([]bool, n)
+	for _, p := range pairs {
+		w.Set(p[0], p[0], 0.5)
+		w.Set(p[1], p[1], 0.5)
+		w.Set(p[0], p[1], 0.5)
+		w.Set(p[1], p[0], 0.5)
+		matched[p[0]], matched[p[1]] = true, true
+	}
+	for i := 0; i < n; i++ {
+		if !matched[i] {
+			w.Set(i, i, 1)
+		}
+	}
+	return w
+}
+
+func TestRhoRingPairingsBelowOne(t *testing.T) {
+	// Alternating even/odd pairings on a ring of 4:
+	// {0-1, 2-3} and {1-2, 3-0}. Their union is connected, so ρ < 1.
+	w1 := pairW(4, [][2]int{{0, 1}, {2, 3}})
+	w2 := pairW(4, [][2]int{{1, 2}, {3, 0}})
+	rho := RhoOfExpectedWtW([]*tensor.Matrix{w1, w2}, 500)
+	if rho >= 1-1e-9 {
+		t.Fatalf("rho = %v, want < 1 for connected PC edges", rho)
+	}
+	if rho < 0 {
+		t.Fatalf("rho = %v, want >= 0", rho)
+	}
+}
+
+func TestRhoDisconnectedIsOne(t *testing.T) {
+	// Only ever pair {0-1} and {2-3}: the PC edge graph is disconnected, so
+	// consensus across the two halves is impossible and ρ = 1.
+	w := pairW(4, [][2]int{{0, 1}, {2, 3}})
+	rho := RhoOfExpectedWtW([]*tensor.Matrix{w}, 500)
+	if math.Abs(rho-1) > 1e-6 {
+		t.Fatalf("rho = %v, want 1 for disconnected PC edges", rho)
+	}
+}
+
+func TestRhoIdentityIsOne(t *testing.T) {
+	// No communication at all.
+	w := pairW(4, nil)
+	rho := RhoOfExpectedWtW([]*tensor.Matrix{w}, 500)
+	if math.Abs(rho-1) > 1e-6 {
+		t.Fatalf("rho = %v, want 1 for identity gossip", rho)
+	}
+}
+
+func TestMixingRate(t *testing.T) {
+	tests := []struct {
+		p, rho, want float64
+	}{
+		{1, 0, 0},   // dense exchange, perfect mixing per matched pair
+		{0, 0.5, 1}, // no coordinates exchanged: no contraction
+		{0.01, 0.9, 0.99 + 0.01*0.81},
+		{0.25, 0.5, 0.75 + 0.25*0.25},
+	}
+	for _, tc := range tests {
+		if got := MixingRate(tc.p, tc.rho); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("MixingRate(%v,%v) = %v, want %v", tc.p, tc.rho, got, tc.want)
+		}
+	}
+}
+
+func TestRhoEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(RhoOfExpectedWtW(nil, 10)) {
+		t.Fatal("expected NaN for no matrices")
+	}
+}

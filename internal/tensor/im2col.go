@@ -1,0 +1,87 @@
+package tensor
+
+// Im2Col unrolls a C×H×W image (stored channel-major in img) into the column
+// matrix used to express 2-D convolution as a matrix product. The output col
+// must have shape (C*kh*kw) × (outH*outW) where
+//
+//	outH = (H + 2*pad - kh)/stride + 1
+//	outW = (W + 2*pad - kw)/stride + 1
+//
+// Zero padding is implicit: out-of-bounds taps contribute 0.
+func Im2Col(img []float64, c, h, w, kh, kw, stride, pad int, col *Matrix) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if col.Rows != c*kh*kw || col.Cols != outH*outW {
+		panic("tensor: Im2Col output shape mismatch")
+	}
+	for ch := 0; ch < c; ch++ {
+		imgCh := img[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := col.Row((ch*kh+ky)*kw + kx)
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							row[idx] = 0
+							idx++
+						}
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							row[idx] = 0
+						} else {
+							row[idx] = imgCh[base+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters the column matrix gradient back into image layout,
+// accumulating overlapping contributions — the adjoint of Im2Col. img must be
+// zeroed by the caller if accumulation from a clean slate is desired.
+func Col2Im(col *Matrix, c, h, w, kh, kw, stride, pad int, img []float64) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if col.Rows != c*kh*kw || col.Cols != outH*outW {
+		panic("tensor: Col2Im input shape mismatch")
+	}
+	for ch := 0; ch < c; ch++ {
+		imgCh := img[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := col.Row((ch*kh+ky)*kw + kx)
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						idx += outW
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix >= 0 && ix < w {
+							imgCh[base+ix] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the spatial output size of a convolution/pooling with
+// the given geometry.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import "fmt"
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero-initialized Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix size %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFrom wraps data as a rows×cols matrix without copying. It panics if
+// len(data) != rows*cols.
+func MatrixFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data)}
+}
+
+// T returns a new matrix that is the transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// MatMul returns a*b. It panics on incompatible shapes.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a*b, reusing dst's storage. dst must not alias a
+// or b. The k-loop is hoisted outside the j-loop (ikj order) so the inner
+// loop streams over contiguous rows of b — this is the difference between a
+// usable CPU conv layer and an unusable one.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	Fill(dst.Data, 0)
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Row(i)
+		dRow := dst.Row(i)
+		for k, aik := range aRow {
+			if aik == 0 {
+				continue
+			}
+			bRow := b.Row(k)
+			for j, bkj := range bRow {
+				dRow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// MatVec returns a·x for a column vector x.
+func MatVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic("tensor: MatVec shape mismatch")
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// VecMat returns xᵀ·a as a row vector for a row vector x.
+func VecMat(x []float64, a *Matrix) []float64 {
+	if a.Rows != len(x) {
+		panic("tensor: VecMat shape mismatch")
+	}
+	out := make([]float64, a.Cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		Axpy(xi, a.Row(i), out)
+	}
+	return out
+}
+
+// IsDoublyStochastic reports whether every entry of m is non-negative and
+// every row and column sums to 1 within tol. Gossip matrices W_t must satisfy
+// this (Assumption 2 of the paper).
+func (m *Matrix) IsDoublyStochastic(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	colSums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		rowSum := 0.0
+		for j, v := range m.Row(i) {
+			if v < -tol {
+				return false
+			}
+			rowSum += v
+			colSums[j] += v
+		}
+		if abs(rowSum-1) > tol {
+			return false
+		}
+	}
+	for _, s := range colSums {
+		if abs(s-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

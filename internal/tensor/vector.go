@@ -1,0 +1,159 @@
+// Package tensor provides the dense float64 vector and matrix primitives the
+// neural-network substrate and the gossip/compression algorithms are built on.
+//
+// Models are exchanged between workers as flat []float64 parameter vectors
+// (Eq. (2) of the paper), so most of this package operates on plain slices;
+// Matrix is a thin row-major wrapper used by the layers and by the gossip
+// matrix analysis.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zeros returns a freshly allocated zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to x.
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Axpy computes y += a*x element-wise. It panics if lengths differ.
+func Axpy(a float64, x, y []float64) {
+	assertSameLen(len(x), len(y))
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// Scale multiplies every element of v by a in place.
+func Scale(a float64, v []float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Add computes dst = a + b element-wise. dst may alias a or b.
+func Add(dst, a, b []float64) {
+	assertSameLen(len(a), len(b))
+	assertSameLen(len(dst), len(a))
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b element-wise. dst may alias a or b.
+func Sub(dst, a, b []float64) {
+	assertSameLen(len(a), len(b))
+	assertSameLen(len(dst), len(a))
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	assertSameLen(len(a), len(b))
+	s := 0.0
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty vector.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Hadamard computes dst = a ∘ b (element-wise product). dst may alias a or b.
+func Hadamard(dst, a, b []float64) {
+	assertSameLen(len(a), len(b))
+	assertSameLen(len(dst), len(a))
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// ApplyMask zeroes the elements of v where mask is false, implementing
+// x̃ = x ∘ m from Eq. (2).
+func ApplyMask(v []float64, mask []bool) {
+	assertSameLen(len(v), len(mask))
+	for i, keep := range mask {
+		if !keep {
+			v[i] = 0
+		}
+	}
+}
+
+// MaskedAverage implements the SAPS-PSGD update of Algorithm 2 line 10
+// combined with the pairwise doubly stochastic gossip step: for masked
+// coordinates, x ← (x + peer)/2; unmasked coordinates keep x.
+func MaskedAverage(x, peer []float64, mask []bool) {
+	assertSameLen(len(x), len(peer))
+	assertSameLen(len(x), len(mask))
+	for i, on := range mask {
+		if on {
+			x[i] = 0.5 * (x[i] + peer[i])
+		}
+	}
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|, a convenient consensus metric.
+func MaxAbsDiff(a, b []float64) float64 {
+	assertSameLen(len(a), len(b))
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element of v (first on ties). It
+// panics on an empty vector.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best, bi := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, bi = v[i], i
+		}
+	}
+	return bi
+}
+
+func assertSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("tensor: length mismatch %d != %d", a, b))
+	}
+}

@@ -1,0 +1,135 @@
+// Package trace records per-round events of a decentralized training run —
+// who was matched with whom, over which bandwidth, how many bytes moved,
+// whether the round was a forced reconnection — and renders them as CSV for
+// offline analysis. The experiment drivers attach a Recorder to SAPS runs
+// when round-level introspection is wanted; it costs one append per round.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sapspsgd/internal/graph"
+	"sapspsgd/internal/netsim"
+)
+
+// RoundEvent is one round's record.
+type RoundEvent struct {
+	Round int
+	// Pairs are the matched worker pairs (u < v).
+	Pairs [][2]int
+	// PairMBps holds the link bandwidth of each pair, aligned with Pairs.
+	PairMBps []float64
+	// Forced reports whether Algorithm 3 injected connectivity-restoring
+	// edges this round.
+	Forced bool
+	// PayloadBytes is the per-direction payload size of each exchange.
+	PayloadBytes int64
+	// ActiveWorkers counts participants (== n without churn).
+	ActiveWorkers int
+	// Loss is the mean training loss reported for the round.
+	Loss float64
+}
+
+// Recorder accumulates round events.
+type Recorder struct {
+	events []RoundEvent
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one round's event, deriving pair statistics from the
+// matching and the environment.
+func (r *Recorder) Record(round int, match graph.Matching, bw *netsim.Bandwidth, forced bool, payloadBytes int64, active int, loss float64) {
+	ev := RoundEvent{
+		Round:         round,
+		Forced:        forced,
+		PayloadBytes:  payloadBytes,
+		ActiveWorkers: active,
+		Loss:          loss,
+	}
+	for v, p := range match {
+		if p > v {
+			ev.Pairs = append(ev.Pairs, [2]int{v, p})
+			ev.PairMBps = append(ev.PairMBps, bw.MBps(v, p))
+		}
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded rounds.
+func (r *Recorder) Events() []RoundEvent { return r.events }
+
+// Len returns the number of recorded rounds.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// MeanMatchedBandwidth returns the across-round mean of the per-round mean
+// pair bandwidth — the Fig. 5 summary statistic.
+func (r *Recorder) MeanMatchedBandwidth() float64 {
+	if len(r.events) == 0 {
+		return 0
+	}
+	total := 0.0
+	counted := 0
+	for _, ev := range r.events {
+		if len(ev.PairMBps) == 0 {
+			continue
+		}
+		s := 0.0
+		for _, v := range ev.PairMBps {
+			s += v
+		}
+		total += s / float64(len(ev.PairMBps))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// ForcedFraction returns the share of rounds that needed forced
+// reconnection.
+func (r *Recorder) ForcedFraction() float64 {
+	if len(r.events) == 0 {
+		return 0
+	}
+	forced := 0
+	for _, ev := range r.events {
+		if ev.Forced {
+			forced++
+		}
+	}
+	return float64(forced) / float64(len(r.events))
+}
+
+// WriteCSV renders one row per round: round, pairs (u-v|u-v|…), mean pair
+// bandwidth, forced, payload bytes, active workers, loss.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "round,pairs,mean_pair_mbps,forced,payload_bytes,active,loss"); err != nil {
+		return err
+	}
+	for _, ev := range r.events {
+		pairs := make([]string, len(ev.Pairs))
+		for i, p := range ev.Pairs {
+			pairs[i] = strconv.Itoa(p[0]) + "-" + strconv.Itoa(p[1])
+		}
+		mean := 0.0
+		if len(ev.PairMBps) > 0 {
+			for _, v := range ev.PairMBps {
+				mean += v
+			}
+			mean /= float64(len(ev.PairMBps))
+		}
+		_, err := fmt.Fprintf(w, "%d,%s,%.4f,%t,%d,%d,%.6f\n",
+			ev.Round, strings.Join(pairs, "|"), mean, ev.Forced,
+			ev.PayloadBytes, ev.ActiveWorkers, ev.Loss)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/netsim"
+)
+
+// CoordinatorServer runs Algorithm 1 over TCP: it registers n workers,
+// drives T rounds of peer assignment + mask seeds, enforces the round
+// barrier, and finally collects the model from worker 0.
+type CoordinatorServer struct {
+	N    int
+	Task TaskSpec
+	// BW is the bandwidth environment used by the gossip generator when
+	// Measure is false; with Measure set it is only the fallback for links
+	// whose probes failed.
+	BW  *netsim.Bandwidth
+	Cfg core.Config
+	// Measure, when true, runs a bandwidth measurement phase after
+	// registration (paper §II-C footnote 3): every worker pair exchanges
+	// ProbeBytes of payload, reports the achieved throughput, and the
+	// assembled matrix drives the adaptive matching.
+	Measure bool
+	// ProbeBytes sizes the measurement payload (default 64 KiB).
+	ProbeBytes int
+	// Logf receives progress lines; nil silences logging.
+	Logf func(format string, args ...any)
+
+	ln      net.Listener
+	conns   []*Conn
+	addrs   []string
+	mu      sync.Mutex
+	started bool
+}
+
+// Listen binds the coordinator to addr (e.g. "127.0.0.1:0") and returns the
+// actual bound address.
+func (s *CoordinatorServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: coordinator listen: %w", err)
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+func (s *CoordinatorServer) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Run accepts n workers, drives the full training, and returns the final
+// model parameters collected from worker 0. It closes the listener on exit.
+func (s *CoordinatorServer) Run() ([]float64, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("transport: coordinator already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+	if s.ln == nil {
+		return nil, fmt.Errorf("transport: Run before Listen")
+	}
+	defer s.ln.Close()
+
+	// Registration phase.
+	for rank := 0; rank < s.N; rank++ {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("transport: accept worker %d: %w", rank, err)
+		}
+		conn := NewConn(nc)
+		msg, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: hello from worker %d: %w", rank, err)
+		}
+		hello, ok := msg.(Hello)
+		if !ok {
+			return nil, fmt.Errorf("transport: worker %d sent %T, want Hello", rank, msg)
+		}
+		s.conns = append(s.conns, conn)
+		s.addrs = append(s.addrs, hello.ListenAddr)
+		s.logf("coordinator: worker %d registered at %s", rank, hello.ListenAddr)
+	}
+	defer func() {
+		for _, c := range s.conns {
+			c.Close()
+		}
+	}()
+	for rank, c := range s.conns {
+		if err := c.Send(Welcome{Rank: rank, N: s.N, Task: s.Task, Addrs: s.addrs}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Optional measurement phase.
+	bw := s.BW
+	if s.Measure {
+		probe := s.ProbeBytes
+		if probe <= 0 {
+			probe = 64 << 10
+		}
+		for rank, c := range s.conns {
+			if err := c.Send(MeasureRequest{ProbeBytes: probe}); err != nil {
+				return nil, fmt.Errorf("transport: measure request to %d: %w", rank, err)
+			}
+		}
+		reports := make([]MeasureReport, 0, s.N)
+		for rank, c := range s.conns {
+			msg, err := c.Recv()
+			if err != nil {
+				return nil, fmt.Errorf("transport: measure report from %d: %w", rank, err)
+			}
+			rep, ok := msg.(MeasureReport)
+			if !ok {
+				return nil, fmt.Errorf("transport: measure phase got %T from %d", msg, rank)
+			}
+			reports = append(reports, rep)
+		}
+		measured, err := AssembleBandwidth(s.N, reports)
+		if err != nil {
+			return nil, err
+		}
+		bw = measured
+		s.logf("coordinator: measured bandwidth matrix assembled (mean %.2f MB/s)", bw.MeanBandwidth())
+	}
+
+	// Round loop (Algorithm 1 lines 3–7).
+	coord := core.NewCoordinator(bw, s.Cfg)
+	for t := 0; t < s.Task.Rounds; t++ {
+		plan := coord.Plan(t)
+		for rank, c := range s.conns {
+			if err := c.Send(RoundMsg{Round: t, Seed: plan.Seed, Peer: plan.Peer[rank]}); err != nil {
+				return nil, fmt.Errorf("transport: round %d notify %d: %w", t, rank, err)
+			}
+		}
+		lossSum := 0.0
+		for rank, c := range s.conns {
+			msg, err := c.Recv()
+			if err != nil {
+				return nil, fmt.Errorf("transport: round %d end from %d: %w", t, rank, err)
+			}
+			end, ok := msg.(RoundEnd)
+			if !ok || end.Round != t {
+				return nil, fmt.Errorf("transport: round %d: unexpected %v from %d", t, msg, rank)
+			}
+			lossSum += end.Loss
+		}
+		if (t+1)%10 == 0 || t == s.Task.Rounds-1 {
+			s.logf("coordinator: round %d/%d mean loss %.4f", t+1, s.Task.Rounds, lossSum/float64(s.N))
+		}
+	}
+
+	// Collect the final model from worker 0 (Algorithm 1 line 8).
+	if err := s.conns[0].Send(CollectRequest{}); err != nil {
+		return nil, err
+	}
+	msg, err := s.conns[0].Recv()
+	if err != nil {
+		return nil, fmt.Errorf("transport: collect: %w", err)
+	}
+	final, ok := msg.(FinalModel)
+	if !ok {
+		return nil, fmt.Errorf("transport: collect got %T", msg)
+	}
+	for rank, c := range s.conns {
+		if err := c.Send(Done{}); err != nil {
+			log.Printf("transport: done to %d: %v", rank, err)
+		}
+	}
+	s.logf("coordinator: collected %d parameters, done", len(final.Params))
+	return final.Params, nil
+}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/rng"
+)
+
+func TestAssembleBandwidth(t *testing.T) {
+	reports := []MeasureReport{
+		{Rank: 0, MBps: []float64{0, 10, 4}},
+		{Rank: 1, MBps: []float64{8, 0, 0}}, // probe to 2 failed
+		{Rank: 2, MBps: []float64{5, 6, 0}},
+	}
+	bw, err := AssembleBandwidth(3, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,1): min(10, 8) = 8.
+	if got := bw.MBps(0, 1); got != 8 {
+		t.Fatalf("MBps(0,1) = %v, want 8", got)
+	}
+	// (1,2): 1→2 failed (0), mirrored from 2→1 = 6.
+	if got := bw.MBps(1, 2); got != 6 {
+		t.Fatalf("MBps(1,2) = %v, want 6", got)
+	}
+	// (0,2): min(4, 5) = 4.
+	if got := bw.MBps(0, 2); got != 4 {
+		t.Fatalf("MBps(0,2) = %v, want 4", got)
+	}
+}
+
+func TestAssembleBandwidthErrors(t *testing.T) {
+	if _, err := AssembleBandwidth(2, []MeasureReport{{Rank: 0, MBps: []float64{0, 1}}}); err == nil {
+		t.Fatal("missing report accepted")
+	}
+	if _, err := AssembleBandwidth(2, []MeasureReport{
+		{Rank: 0, MBps: []float64{0, 1}},
+		{Rank: 0, MBps: []float64{0, 1}},
+	}); err == nil {
+		t.Fatal("duplicate report accepted")
+	}
+	if _, err := AssembleBandwidth(2, []MeasureReport{
+		{Rank: 0, MBps: []float64{0}},
+		{Rank: 1, MBps: []float64{1, 0}},
+	}); err == nil {
+		t.Fatal("malformed report accepted")
+	}
+}
+
+func TestEndToEndWithMeasurementPhase(t *testing.T) {
+	// Full training with the bandwidth measurement phase enabled: probes
+	// run over loopback, so every measured link should be fast and
+	// training must proceed normally.
+	const n = 3
+	spec := TaskSpec{
+		Arch: "mlp", C: 1, H: 8, W: 8, Classes: 4,
+		Hidden: []int{8}, Samples: 120, DataSeed: 5,
+		LR: 0.1, Batch: 8, Compression: 2, LocalSteps: 1,
+		Rounds: 6, Seed: 3,
+	}
+	srv := &CoordinatorServer{
+		N: n, Task: spec,
+		BW:         netsim.RandomUniform(n, 1, 5, rng.New(2)),
+		Measure:    true,
+		ProbeBytes: 16 << 10,
+		Cfg: core.Config{
+			Workers: n, Compression: 2, LR: 0.1, Batch: 8, LocalSteps: 1,
+			Gossip: gossip.Config{TThres: 4}, Seed: 3,
+		},
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wc := &WorkerClient{}
+			_, errs[i] = wc.Run(addr, "127.0.0.1:0")
+		}(i)
+	}
+	final, err := srv.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("worker %d: %v", i, e)
+		}
+	}
+	if len(final) == 0 {
+		t.Fatal("no model collected")
+	}
+}
+
+func TestThroughputMBps(t *testing.T) {
+	if got := throughputMBps(2e6, 1e9); got != 2 { // 2 MB in 1 s
+		t.Fatalf("throughput = %v, want 2", got)
+	}
+	if got := throughputMBps(100, 0); got <= 0 {
+		t.Fatalf("zero-duration throughput = %v, want positive", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package transport implements the deployable SAPS-PSGD system over TCP:
+// a coordinator server (Algorithm 1) that registers workers, broadcasts the
+// per-round control messages (peer assignment + mask seed — never model
+// payloads), and worker clients (Algorithm 2) that train locally and
+// exchange sparsified models peer-to-peer over their own listeners.
+//
+// All control-plane and data-plane messages are gob-encoded. The data a
+// worker exchanges with its peer is exactly the packed masked values —
+// indices travel as a 64-bit seed inside the control message, reproducing
+// the paper's wire economics.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/nn"
+)
+
+// TaskSpec tells every worker what to train; broadcast once at registration.
+// The training data itself never crosses the network: workers regenerate the
+// deterministic synthetic dataset locally and take their own shard.
+type TaskSpec struct {
+	// Arch selects the model family: "mlp", "mnist-cnn", "cifar-cnn",
+	// "resnet".
+	Arch    string
+	C, H, W int
+	Classes int
+	Width   float64
+	Hidden  []int // MLP only
+	Blocks  int   // ResNet blocks per stage
+
+	Samples  int // total training samples across all workers
+	DataSeed uint64
+	NonIID   bool
+
+	LR          float64
+	Batch       int
+	Compression float64
+	LocalSteps  int
+	Rounds      int
+	Seed        uint64
+}
+
+// BuildModel constructs the worker model for the spec. All workers pass the
+// same spec, so initial parameters agree bit-for-bit.
+func (s TaskSpec) BuildModel() (*nn.Model, error) {
+	in := nn.Shape{C: s.C, H: s.H, W: s.W}
+	switch s.Arch {
+	case "mlp":
+		return nn.NewMLP(in.Dim(), s.Hidden, s.Classes, s.Seed), nil
+	case "mnist-cnn":
+		return nn.NewMNISTCNN(in, s.Classes, s.Width, s.Seed), nil
+	case "cifar-cnn":
+		return nn.NewCIFARCNN(in, s.Classes, s.Width, s.Seed), nil
+	case "resnet":
+		blocks := s.Blocks
+		if blocks < 1 {
+			blocks = 3
+		}
+		return nn.NewResNet(in, s.Classes, blocks, s.Width, s.Seed), nil
+	default:
+		return nil, fmt.Errorf("transport: unknown arch %q", s.Arch)
+	}
+}
+
+// BuildShards regenerates the full synthetic dataset and partitions it for n
+// workers. Every worker calls this with identical arguments and takes its
+// rank's shard.
+func (s TaskSpec) BuildShards(n int) ([]*dataset.Dataset, *dataset.Dataset) {
+	cfg := dataset.SynthConfig{
+		Name: s.Arch, C: s.C, H: s.H, W: s.W,
+		Classes: s.Classes, PerClass: 2, Noise: 0.35,
+	}
+	full := dataset.Synthetic(cfg, s.Samples+s.Samples/5, s.DataSeed)
+	train := &dataset.Dataset{Name: full.Name, C: full.C, H: full.H, W: full.W, Classes: full.Classes, Samples: full.Samples[:s.Samples]}
+	valid := &dataset.Dataset{Name: full.Name + "-valid", C: full.C, H: full.H, W: full.W, Classes: full.Classes, Samples: full.Samples[s.Samples:]}
+	if s.NonIID {
+		return dataset.PartitionByLabel(train, n, 2, s.DataSeed+1), valid
+	}
+	return dataset.PartitionIID(train, n, s.DataSeed+1), valid
+}
+
+// Control-plane messages (coordinator ↔ worker).
+type (
+	// Hello is the worker's registration: where peers can reach it.
+	Hello struct {
+		ListenAddr string
+	}
+	// Welcome assigns the worker its rank and delivers the task and the
+	// peer address book.
+	Welcome struct {
+		Rank  int
+		N     int
+		Task  TaskSpec
+		Addrs []string
+	}
+	// RoundMsg is Algorithm 1 line 6: (W_t row for this worker, t, s).
+	RoundMsg struct {
+		Round int
+		Seed  uint64
+		Peer  int // -1: no exchange this round
+	}
+	// RoundEnd is the worker's end-of-round notification.
+	RoundEnd struct {
+		Rank  int
+		Round int
+		Loss  float64
+	}
+	// CollectRequest asks a worker for its full model (Algorithm 1 line 8).
+	CollectRequest struct{}
+	// FinalModel is the collected model payload.
+	FinalModel struct {
+		Params []float64
+	}
+	// Done terminates the worker.
+	Done struct{}
+)
+
+// PeerPayload is the data-plane message two matched workers swap: the packed
+// masked parameter values for the given round.
+type PeerPayload struct {
+	Round int
+	From  int
+	Vals  []float64
+}
+
+// wire is the gob envelope: encoding an interface value requires concrete
+// type registration, done in registerTypes.
+type wire struct {
+	M any
+}
+
+func registerTypes() {
+	gob.Register(Hello{})
+	gob.Register(Welcome{})
+	gob.Register(RoundMsg{})
+	gob.Register(RoundEnd{})
+	gob.Register(CollectRequest{})
+	gob.Register(FinalModel{})
+	gob.Register(Done{})
+	gob.Register(PeerPayload{})
+	gob.Register(MeasureRequest{})
+	gob.Register(MeasureReport{})
+	gob.Register(Probe{})
+}
+
+// Conn wraps a stream with gob encode/decode of wire envelopes.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	c   io.Closer
+}
+
+// NewConn wraps rwc. Both sides must wrap their end.
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	registerTypes()
+	return &Conn{enc: gob.NewEncoder(rwc), dec: gob.NewDecoder(rwc), c: rwc}
+}
+
+// Send encodes one message.
+func (c *Conn) Send(m any) error {
+	if err := c.enc.Encode(wire{M: m}); err != nil {
+		return fmt.Errorf("transport: send %T: %w", m, err)
+	}
+	return nil
+}
+
+// Recv decodes one message.
+func (c *Conn) Recv() (any, error) {
+	var w wire
+	if err := c.dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	return w.M, nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.c.Close() }

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/gossip"
+)
+
+// WorkerClient runs Algorithm 2 over TCP: it registers with the
+// coordinator, trains locally, and exchanges masked payloads with its
+// per-round peer over direct worker-to-worker connections.
+type WorkerClient struct {
+	// Logf receives progress lines; nil silences logging.
+	Logf func(format string, args ...any)
+
+	rank   int
+	n      int
+	worker *core.Worker
+	coord  *Conn
+	peerLn net.Listener
+	addrs  []string
+}
+
+// Rank returns the coordinator-assigned rank (valid after Run registers).
+func (w *WorkerClient) Rank() int { return w.rank }
+
+func (w *WorkerClient) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run connects to the coordinator at coordAddr, participates in the full
+// training, and returns the worker's final parameters. peerAddr is the
+// address to listen on for peer exchanges ("127.0.0.1:0" for an ephemeral
+// port).
+func (w *WorkerClient) Run(coordAddr, peerAddr string) ([]float64, error) {
+	var err error
+	w.peerLn, err = net.Listen("tcp", peerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: worker peer listen: %w", err)
+	}
+	defer w.peerLn.Close()
+
+	nc, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial coordinator: %w", err)
+	}
+	w.coord = NewConn(nc)
+	defer w.coord.Close()
+
+	if err := w.coord.Send(Hello{ListenAddr: w.peerLn.Addr().String()}); err != nil {
+		return nil, err
+	}
+	msg, err := w.coord.Recv()
+	if err != nil {
+		return nil, err
+	}
+	welcome, ok := msg.(Welcome)
+	if !ok {
+		return nil, fmt.Errorf("transport: expected Welcome, got %T", msg)
+	}
+	w.rank = welcome.Rank
+	w.n = welcome.N
+	w.addrs = welcome.Addrs
+	spec := welcome.Task
+
+	model, err := spec.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	shards, _ := spec.BuildShards(w.n)
+	cfg := core.Config{
+		Workers:     w.n,
+		Compression: spec.Compression,
+		LR:          spec.LR,
+		Batch:       spec.Batch,
+		LocalSteps:  spec.LocalSteps,
+		Gossip:      gossip.Config{BThres: 0, TThres: 10},
+		Seed:        spec.Seed,
+	}
+	w.worker = core.NewWorker(w.rank, model, shards[w.rank], cfg)
+	w.logf("worker %d: ready (%d params, %d local samples)", w.rank, model.ParamCount(), shards[w.rank].Len())
+
+	for {
+		msg, err := w.coord.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: worker %d: %w", w.rank, err)
+		}
+		switch m := msg.(type) {
+		case MeasureRequest:
+			rep := w.measurePeers(m)
+			if err := w.coord.Send(rep); err != nil {
+				return nil, err
+			}
+		case RoundMsg:
+			loss, err := w.round(m)
+			if err != nil {
+				return nil, err
+			}
+			if err := w.coord.Send(RoundEnd{Rank: w.rank, Round: m.Round, Loss: loss}); err != nil {
+				return nil, err
+			}
+		case CollectRequest:
+			if err := w.coord.Send(FinalModel{Params: w.worker.Params()}); err != nil {
+				return nil, err
+			}
+		case Done:
+			w.logf("worker %d: done", w.rank)
+			return w.worker.Params(), nil
+		default:
+			return nil, fmt.Errorf("transport: worker %d: unexpected %T", w.rank, msg)
+		}
+	}
+}
+
+// round executes Algorithm 2 lines 5–10 for one round.
+func (w *WorkerClient) round(m RoundMsg) (float64, error) {
+	loss := w.worker.LocalSGD()
+	w.worker.RoundMask(m.Seed, m.Round)
+	if m.Peer == -1 {
+		return loss, nil
+	}
+	payload := w.worker.MaskedPayload()
+	peerVals, err := w.exchange(m.Round, m.Peer, payload)
+	if err != nil {
+		return 0, err
+	}
+	w.worker.MergePeer(peerVals)
+	return loss, nil
+}
+
+// exchange swaps masked payloads with the peer: the lower rank dials, the
+// higher rank accepts. The coordinator's round barrier guarantees at most
+// one exchange is in flight per worker.
+func (w *WorkerClient) exchange(round, peer int, payload []float64) ([]float64, error) {
+	var conn *Conn
+	if w.rank < peer {
+		nc, err := net.Dial("tcp", w.addrs[peer])
+		if err != nil {
+			return nil, fmt.Errorf("transport: worker %d dial peer %d: %w", w.rank, peer, err)
+		}
+		conn = NewConn(nc)
+	} else {
+		nc, err := w.peerLn.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("transport: worker %d accept peer %d: %w", w.rank, peer, err)
+		}
+		conn = NewConn(nc)
+	}
+	defer conn.Close()
+
+	if err := conn.Send(PeerPayload{Round: round, From: w.rank, Vals: payload}); err != nil {
+		return nil, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	pp, ok := msg.(PeerPayload)
+	if !ok {
+		return nil, fmt.Errorf("transport: worker %d: peer sent %T", w.rank, msg)
+	}
+	if pp.Round != round || pp.From != peer {
+		return nil, fmt.Errorf("transport: worker %d: stale payload round=%d from=%d, want round=%d from=%d",
+			w.rank, pp.Round, pp.From, round, peer)
+	}
+	return pp.Vals, nil
+}
