@@ -33,9 +33,15 @@ func benchWorkload(w experiments.Workload, rounds int) experiments.Workload {
 }
 
 // runSuite executes the 7-algorithm convergence suite at bench scale and
-// reports the SAPS metrics against the best baseline.
+// reports the SAPS metrics against the best baseline. The suites are the
+// long pole of the benchmark set, so they honor -short (see DESIGN.md §5:
+// `go test -short ./...` is the quick tier-1 sweep, the full run exercises
+// everything).
 func runSuite(b *testing.B, w experiments.Workload, rounds, n int) []trainer.Result {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("convergence suite skipped in -short mode")
+	}
 	var results []trainer.Result
 	for i := 0; i < b.N; i++ {
 		suite := experiments.ConvergenceSuite{
@@ -189,6 +195,9 @@ func BenchmarkAblationTThres(b *testing.B) {
 // BenchmarkAblationCompression sweeps SAPS's compression ratio c on the
 // MNIST workload: traffic scales as 1/c while accuracy degrades gracefully.
 func BenchmarkAblationCompression(b *testing.B) {
+	if testing.Short() {
+		b.Skip("training benchmark skipped in -short mode")
+	}
 	for _, c := range []float64{4, 20, 100} {
 		name := map[float64]string{4: "c4", 20: "c20", 100: "c100"}[c]
 		b.Run(name, func(b *testing.B) {
@@ -215,6 +224,9 @@ func BenchmarkAblationCompression(b *testing.B) {
 // BenchmarkAblationMatchingPolicy compares adaptive vs random peer selection
 // end to end (bandwidth utilization + accuracy).
 func BenchmarkAblationMatchingPolicy(b *testing.B) {
+	if testing.Short() {
+		b.Skip("training benchmark skipped in -short mode")
+	}
 	for _, name := range []string{"SAPS-PSGD", "RandomChoose"} {
 		b.Run(name, func(b *testing.B) {
 			var res trainer.Result
@@ -269,6 +281,9 @@ func BenchmarkAblationBThres(b *testing.B) {
 // BenchmarkAblationChurn compares SAPS under stable membership vs 10%/50%
 // leave/rejoin churn (extension E1).
 func BenchmarkAblationChurn(b *testing.B) {
+	if testing.Short() {
+		b.Skip("training benchmark skipped in -short mode")
+	}
 	for _, name := range []string{"SAPS-PSGD", "SAPS-PSGD(churn)"} {
 		sub := "stable"
 		if name == "SAPS-PSGD(churn)" {
@@ -296,6 +311,9 @@ func BenchmarkAblationChurn(b *testing.B) {
 // argument: QSGD quantization cannot reach the mask sparsifier's
 // compression (extension E3).
 func BenchmarkAblationQuantizationVsSparsification(b *testing.B) {
+	if testing.Short() {
+		b.Skip("training benchmark skipped in -short mode")
+	}
 	for _, name := range []string{"QSGD-PSGD", "SAPS-PSGD"} {
 		b.Run(name, func(b *testing.B) {
 			var res trainer.Result
@@ -320,6 +338,9 @@ func BenchmarkAblationQuantizationVsSparsification(b *testing.B) {
 // --- End-to-end training throughput -----------------------------------------
 
 func BenchmarkSAPSRoundThroughput32Workers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("training benchmark skipped in -short mode")
+	}
 	w := benchWorkload(experiments.MNISTWorkload(), 1)
 	n := 32
 	bw := experiments.EnvN(n, 3)
@@ -338,6 +359,9 @@ func BenchmarkSAPSRoundThroughput32Workers(b *testing.B) {
 // BenchmarkResNet20ForwardBackward exercises the paper-scale ResNet-20 on a
 // CIFAR-sized input — the full model, not the bench-scaled one.
 func BenchmarkResNet20ForwardBackward(b *testing.B) {
+	if testing.Short() {
+		b.Skip("training benchmark skipped in -short mode")
+	}
 	m := nn.NewResNet20(1)
 	r := rng.New(1)
 	x := tensor.NewMatrix(4, 3*32*32)

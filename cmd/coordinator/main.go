@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/rng"
@@ -71,6 +72,8 @@ func main() {
 		},
 		Logf: log.Printf,
 	}
+	led := &engine.CountingLedger{}
+	srv.Ledger = led
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -80,6 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("total gossip traffic: %.2f MB over %d rounds", float64(led.TotalBytes())/1e6, led.Rounds())
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module sapspsgd
+
+go 1.24

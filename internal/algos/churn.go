@@ -3,8 +3,8 @@ package algos
 import (
 	"fmt"
 
-	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
 	"sapspsgd/internal/rng"
@@ -34,15 +34,17 @@ func (c ChurnModel) validate(n int) {
 // the coordinator matches only the present workers (paper §I: workers "may
 // join/leave the training randomly due to the battery power, network
 // connection, ..."). Returning workers are re-synchronized by the gossip
-// itself; no special recovery protocol is needed.
+// itself; no special recovery protocol is needed. SAPSChurn is itself the
+// engine's Planner: membership evolves inside Plan, and the resulting
+// RoundPlan carries the Active set the engine honors.
 type SAPSChurn struct {
-	workers []*core.Worker
-	coord   *core.Coordinator
-	fleet   *Fleet
-	churn   ChurnModel
-	rnd     *rng.Source
-	active  []bool
-	absent  []int // rounds since last active (for MinActive recall)
+	fleet  *Fleet
+	eng    *engine.Engine
+	coord  *core.Coordinator
+	churn  ChurnModel
+	rnd    *rng.Source
+	active []bool
+	absent []int // rounds since last active (for MinActive recall)
 	// ActiveHistory records the number of active workers each round.
 	ActiveHistory []int
 }
@@ -57,15 +59,15 @@ func NewSAPSChurn(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config, churn C
 		rnd:    rng.New(cfg.Seed).Derive(0xc4012),
 		active: make([]bool, f.N),
 		absent: make([]int, f.N),
+		coord:  core.NewCoordinator(bw, cfg),
 	}
 	for i := range s.active {
 		s.active[i] = true
 	}
-	s.workers = make([]*core.Worker, f.N)
-	for i := 0; i < f.N; i++ {
-		s.workers[i] = core.NewWorker(i, f.Models[i], fc.Shards[i], cfg)
-	}
-	s.coord = core.NewCoordinator(bw, cfg)
+	s.eng = engine.New(engine.Options{
+		Workers: newEngineWorkers(f, fc, cfg),
+		Planner: s,
+	})
 	return s
 }
 
@@ -74,6 +76,9 @@ func (s *SAPSChurn) Name() string { return "SAPS-PSGD(churn)" }
 
 // Models implements Algorithm.
 func (s *SAPSChurn) Models() []*nn.Model { return s.fleet.Models }
+
+// Close releases the engine's worker pool.
+func (s *SAPSChurn) Close() { s.eng.Close() }
 
 // step churn: flip availability, then enforce MinActive by recalling the
 // longest-absent workers.
@@ -113,8 +118,9 @@ func (s *SAPSChurn) updateMembership() {
 	}
 }
 
-// Step implements Algorithm.
-func (s *SAPSChurn) Step(round int, led *netsim.Ledger) float64 {
+// Plan implements engine.Planner: advance the membership process, then run
+// Algorithm 3 over the present workers only.
+func (s *SAPSChurn) Plan(t int) core.RoundPlan {
 	s.updateMembership()
 	nActive := 0
 	for _, a := range s.active {
@@ -123,52 +129,20 @@ func (s *SAPSChurn) Step(round int, led *netsim.Ledger) float64 {
 		}
 	}
 	s.ActiveHistory = append(s.ActiveHistory, nActive)
+	return s.coord.PlanActive(t, s.active)
+}
 
-	plan := s.coord.PlanActive(round, s.active)
-
-	losses := make([]float64, s.fleet.N)
-	s.fleet.Parallel(func(i int) float64 {
-		if !s.active[i] {
-			return 0
-		}
-		losses[i] = s.workers[i].LocalSGD()
-		s.workers[i].RoundMask(plan.Seed, plan.Round)
-		return 0
-	})
-	payloads := make([][]float64, s.fleet.N)
-	s.fleet.Parallel(func(i int) float64 {
-		if s.active[i] && plan.Peer[i] != -1 {
-			payloads[i] = s.workers[i].MaskedPayload()
-		}
-		return 0
-	})
-	for i, peer := range plan.Peer {
-		if peer > i {
-			led.Exchange(i, peer, compress.MaskedBytes(len(payloads[i])), compress.MaskedBytes(len(payloads[peer])))
-		}
+// Step implements Algorithm.
+func (s *SAPSChurn) Step(round int, led *netsim.Ledger) float64 {
+	stats, err := s.eng.Step(round, led)
+	if err != nil {
+		panic(err)
 	}
-	s.fleet.Parallel(func(i int) float64 {
-		if peer := plan.Peer[i]; peer != -1 {
-			s.workers[i].MergePeer(payloads[peer])
-		}
-		return 0
-	})
-	led.EndRound()
-
-	total, k := 0.0, 0
-	for i, a := range s.active {
-		if a {
-			total += losses[i]
-			k++
-		}
-	}
-	if k == 0 {
-		return 0
-	}
-	return total / float64(k)
+	return stats.Loss
 }
 
 var _ Algorithm = (*SAPSChurn)(nil)
+var _ engine.Planner = (*SAPSChurn)(nil)
 
 // Active exposes the current membership (matched pairs must both be active;
 // verified by the tests).

@@ -3,6 +3,7 @@ package algos
 import (
 	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
@@ -12,12 +13,13 @@ import (
 
 // SAPS is the paper's algorithm: local SGD + shared-seed sparsified
 // single-peer gossip with adaptive (bandwidth-aware, recency-constrained)
-// peer selection.
+// peer selection. The round loop itself lives in internal/engine; this type
+// assembles the engine over the in-process memtransport backend and layers
+// the simulation-side diagnostics (matched-bandwidth series, tracing) on
+// top.
 type SAPS struct {
-	workers []*core.Worker
-	coord   *core.Coordinator
-	models  []*nn.Model
-	fleet   *Fleet
+	fleet *Fleet
+	eng   *engine.Engine
 	// LastMatchedBandwidth is the mean bandwidth (MB/s) over the pairs
 	// matched in the most recent round — the Fig. 5 series.
 	LastMatchedBandwidth float64
@@ -27,17 +29,25 @@ type SAPS struct {
 	bw    *netsim.Bandwidth
 }
 
+// newEngineWorkers builds the rank-indexed core workers over a fleet.
+func newEngineWorkers(f *Fleet, fc FleetConfig, cfg core.Config) []*core.Worker {
+	ws := make([]*core.Worker, f.N)
+	for i := 0; i < f.N; i++ {
+		// core.NewWorker builds its own loader; the fleet's models are
+		// shared so evaluation sees the live parameters.
+		ws[i] = core.NewWorker(i, f.Models[i], fc.Shards[i], cfg)
+	}
+	return ws
+}
+
 // NewSAPS builds the algorithm over the bandwidth environment bw.
 func NewSAPS(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config) *SAPS {
 	f := NewFleet(fc)
-	s := &SAPS{fleet: f, bw: bw, models: f.Models}
-	// core.NewWorker builds its own loader; the fleet's models are shared so
-	// evaluation sees the live parameters.
-	s.workers = make([]*core.Worker, f.N)
-	for i := 0; i < f.N; i++ {
-		s.workers[i] = core.NewWorker(i, f.Models[i], fc.Shards[i], cfg)
-	}
-	s.coord = core.NewCoordinator(bw, cfg)
+	s := &SAPS{fleet: f, bw: bw}
+	s.eng = engine.New(engine.Options{
+		Workers: newEngineWorkers(f, fc, cfg),
+		Planner: core.NewCoordinator(bw, cfg),
+	})
 	return s
 }
 
@@ -45,81 +55,69 @@ func NewSAPS(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config) *SAPS {
 func (s *SAPS) Name() string { return "SAPS-PSGD" }
 
 // Models implements Algorithm.
-func (s *SAPS) Models() []*nn.Model { return s.models }
+func (s *SAPS) Models() []*nn.Model { return s.fleet.Models }
+
+// Close releases the engine's worker pool (also reclaimed automatically when
+// the algorithm becomes unreachable).
+func (s *SAPS) Close() { s.eng.Close() }
 
 // Step implements Algorithm: Algorithm 1 (coordinator) + Algorithm 2
-// (workers) for one round.
+// (workers) for one round, executed by the engine.
 func (s *SAPS) Step(round int, led *netsim.Ledger) float64 {
-	plan := s.coord.Plan(round)
-
-	// Local SGD in parallel (Algorithm 2 line 5).
-	loss := s.fleet.Parallel(func(i int) float64 {
-		return s.workers[i].LocalSGD()
-	})
-
-	// Shared mask + payload extraction (lines 6–7), parallel per worker.
-	payloads := make([][]float64, s.fleet.N)
-	s.fleet.Parallel(func(i int) float64 {
-		s.workers[i].RoundMask(plan.Seed, plan.Round)
-		payloads[i] = s.workers[i].MaskedPayload()
-		return 0
-	})
-
-	// Pairwise exchange + masked average (lines 8–10), with traffic
-	// accounting per matched pair.
-	for i, peer := range plan.Peer {
-		if peer > i {
-			bytes := compress.MaskedBytes(len(payloads[i]))
-			led.Exchange(i, peer, bytes, compress.MaskedBytes(len(payloads[peer])))
-		}
+	stats, err := s.eng.Step(round, led)
+	if err != nil {
+		panic(err) // the in-process transport cannot fail
 	}
-	s.fleet.Parallel(func(i int) float64 {
-		if peer := plan.Peer[i]; peer != -1 {
-			s.workers[i].MergePeer(payloads[peer])
-		}
-		return 0
-	})
-
-	s.LastMatchedBandwidth = gossip.MeanMatchedBandwidth(plan.Matching(), s.bw)
+	s.LastMatchedBandwidth = gossip.MeanMatchedBandwidth(stats.Plan.Matching(), s.bw)
 	if s.Trace != nil {
-		payload := int64(0)
-		if len(payloads) > 0 {
-			payload = compress.MaskedBytes(len(payloads[0]))
-		}
-		s.Trace.Record(round, plan.Matching(), s.bw, plan.Forced, payload, s.fleet.N, loss)
+		payload := compress.MaskedBytes(stats.PayloadLen)
+		s.Trace.Record(round, stats.Plan.Matching(), s.bw, stats.Plan.Forced, payload, s.fleet.N, stats.Loss)
 	}
-	led.EndRound()
-	return loss
+	return stats.Loss
 }
 
 var _ Algorithm = (*SAPS)(nil)
 
 // RandomChoose is SAPS with the adaptive peer selection replaced by a
 // uniformly random maximum matching each round — the paper's RandomChoose
-// comparison in Fig. 5. Sparsification and masked averaging are unchanged.
+// comparison in Fig. 5. Sparsification and masked averaging are unchanged:
+// only the engine's Planner differs.
 type RandomChoose struct {
-	workers []*core.Worker
-	fleet   *Fleet
-	bw      *netsim.Bandwidth
-	rnd     *rng.Source
-	seedSrc *rng.Source
+	fleet *Fleet
+	eng   *engine.Engine
+	bw    *netsim.Bandwidth
 	// LastMatchedBandwidth mirrors SAPS.LastMatchedBandwidth.
 	LastMatchedBandwidth float64
+}
+
+// randomPlanner draws a uniformly random maximum matching and a fresh mask
+// seed each round.
+type randomPlanner struct {
+	n       int
+	rnd     *rng.Source
+	seedSrc *rng.Source
+}
+
+func (p *randomPlanner) Plan(t int) core.RoundPlan {
+	return core.RoundPlan{
+		Round: t,
+		Seed:  p.seedSrc.Uint64(),
+		Peer:  []int(gossip.RandomMatching(p.n, p.rnd)),
+	}
 }
 
 // NewRandomChoose builds the random-matching variant.
 func NewRandomChoose(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config) *RandomChoose {
 	f := NewFleet(fc)
-	rc := &RandomChoose{
-		fleet:   f,
-		bw:      bw,
-		rnd:     rng.New(cfg.Seed).Derive(0x7a4d01),
-		seedSrc: rng.New(cfg.Seed).Derive(0x7a4d02),
-	}
-	rc.workers = make([]*core.Worker, f.N)
-	for i := 0; i < f.N; i++ {
-		rc.workers[i] = core.NewWorker(i, f.Models[i], fc.Shards[i], cfg)
-	}
+	rc := &RandomChoose{fleet: f, bw: bw}
+	rc.eng = engine.New(engine.Options{
+		Workers: newEngineWorkers(f, fc, cfg),
+		Planner: &randomPlanner{
+			n:       f.N,
+			rnd:     rng.New(cfg.Seed).Derive(0x7a4d01),
+			seedSrc: rng.New(cfg.Seed).Derive(0x7a4d02),
+		},
+	})
 	return rc
 }
 
@@ -129,34 +127,17 @@ func (rc *RandomChoose) Name() string { return "RandomChoose" }
 // Models implements Algorithm.
 func (rc *RandomChoose) Models() []*nn.Model { return rc.fleet.Models }
 
+// Close releases the engine's worker pool.
+func (rc *RandomChoose) Close() { rc.eng.Close() }
+
 // Step implements Algorithm.
 func (rc *RandomChoose) Step(round int, led *netsim.Ledger) float64 {
-	match := gossip.RandomMatching(rc.fleet.N, rc.rnd)
-	seed := rc.seedSrc.Uint64()
-
-	loss := rc.fleet.Parallel(func(i int) float64 {
-		return rc.workers[i].LocalSGD()
-	})
-	payloads := make([][]float64, rc.fleet.N)
-	rc.fleet.Parallel(func(i int) float64 {
-		rc.workers[i].RoundMask(seed, round)
-		payloads[i] = rc.workers[i].MaskedPayload()
-		return 0
-	})
-	for i, peer := range match {
-		if peer > i {
-			led.Exchange(i, peer, compress.MaskedBytes(len(payloads[i])), compress.MaskedBytes(len(payloads[peer])))
-		}
+	stats, err := rc.eng.Step(round, led)
+	if err != nil {
+		panic(err)
 	}
-	rc.fleet.Parallel(func(i int) float64 {
-		if peer := match[i]; peer != -1 {
-			rc.workers[i].MergePeer(payloads[peer])
-		}
-		return 0
-	})
-	rc.LastMatchedBandwidth = gossip.MeanMatchedBandwidth(match, rc.bw)
-	led.EndRound()
-	return loss
+	rc.LastMatchedBandwidth = gossip.MeanMatchedBandwidth(stats.Plan.Matching(), rc.bw)
+	return stats.Loss
 }
 
 var _ Algorithm = (*RandomChoose)(nil)

@@ -42,10 +42,16 @@ func SparseBytes(k int) int64 { return int64(k) * (BytesPerValue + BytesPerIndex
 // Mask generates the round-t Bernoulli(1/c) mask of length n from the shared
 // seed, exactly as every worker does in Algorithm 2 line 6.
 func Mask(seed uint64, round, n int, c float64) []bool {
+	return MaskInto(nil, seed, round, n, c)
+}
+
+// MaskInto is Mask writing into dst, allocating only when dst does not have
+// length n — the per-worker scratch variant used on the round hot path.
+func MaskInto(dst []bool, seed uint64, round, n int, c float64) []bool {
 	if c < 1 {
 		panic(fmt.Sprintf("compress: compression ratio %v < 1", c))
 	}
-	return rng.MaskSeed(seed, round, n, 1/c)
+	return rng.MaskSeedInto(dst, seed, round, n, 1/c)
 }
 
 // CountOnes returns the number of true entries of mask.
@@ -62,13 +68,21 @@ func CountOnes(mask []bool) int {
 // Extract packs x's masked coordinates into a fresh slice, in index order.
 // This is the payload a SAPS worker sends: values only.
 func Extract(x []float64, mask []bool) []float64 {
-	out := make([]float64, 0, len(x)/8)
+	return ExtractInto(make([]float64, 0, len(x)/8), x, mask)
+}
+
+// ExtractInto is Extract appending into dst[:0]; after the backing array has
+// grown to the steady-state payload size it allocates nothing. The returned
+// slice aliases dst's storage, so callers that reuse a scratch buffer must
+// not overwrite it while a previous payload is still being read.
+func ExtractInto(dst, x []float64, mask []bool) []float64 {
+	dst = dst[:0]
 	for i, on := range mask {
 		if on {
-			out = append(out, x[i])
+			dst = append(dst, x[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // Scatter writes packed values back into the masked coordinates of dst and

@@ -10,6 +10,16 @@ import (
 // them as a SparseVec. Selection uses an in-place quickselect over a copy of
 // the magnitudes (expected O(n)); index order of the result is ascending.
 func TopK(x []float64, k int) SparseVec {
+	var out SparseVec
+	TopKInto(&out, nil, x, k)
+	return out
+}
+
+// TopKInto is TopK writing into out and using mags as quickselect scratch
+// space (grown as needed, so a reused scratch slice allocates only once).
+// out's Idx/Val storage is reused across calls; after the first call at a
+// given (n, k) the steady state performs zero heap allocations.
+func TopKInto(out *SparseVec, mags []float64, x []float64, k int) []float64 {
 	n := len(x)
 	if k < 0 {
 		panic(fmt.Sprintf("compress: negative k %d", k))
@@ -17,20 +27,25 @@ func TopK(x []float64, k int) SparseVec {
 	if k > n {
 		k = n
 	}
+	out.N = n
+	out.Idx = out.Idx[:0]
+	out.Val = out.Val[:0]
 	if k == 0 {
-		return SparseVec{N: n}
+		return mags
 	}
 	if k == n {
-		out := SparseVec{N: n, Idx: make([]int32, n), Val: make([]float64, n)}
 		for i := range x {
-			out.Idx[i] = int32(i)
-			out.Val[i] = x[i]
+			out.Idx = append(out.Idx, int32(i))
+			out.Val = append(out.Val, x[i])
 		}
-		return out
+		return mags
 	}
 
 	// Quickselect the k-th largest magnitude.
-	mags := make([]float64, n)
+	if cap(mags) < n {
+		mags = make([]float64, n)
+	}
+	mags = mags[:n]
 	for i, v := range x {
 		if v < 0 {
 			mags[i] = -v
@@ -41,7 +56,6 @@ func TopK(x []float64, k int) SparseVec {
 	thresh := quickselectDesc(mags, k)
 
 	// First pass: take strictly-greater entries; second: fill with equals.
-	out := SparseVec{N: n, Idx: make([]int32, 0, k), Val: make([]float64, 0, k)}
 	for i, v := range x {
 		m := v
 		if m < 0 {
@@ -65,8 +79,8 @@ func TopK(x []float64, k int) SparseVec {
 			out.Val = append(out.Val, v)
 		}
 	}
-	sortSparseByIndex(&out)
-	return out
+	sortSparseByIndex(out)
+	return mags
 }
 
 // quickselectDesc returns the k-th largest value of a (1-based k), mutating a.
@@ -122,10 +136,14 @@ func sortSparseByIndex(s *SparseVec) {
 // ErrorFeedback wraps a sparsifying compressor with the residual-accumulation
 // scheme ("error compensation") that Top-k sparsification needs for
 // convergence: coordinates dropped this round are added back to the input of
-// the next round.
+// the next round. All buffers (residual, compensated input, quickselect
+// scratch, and the returned sparse vector) are owned by the accumulator and
+// reused, so a steady-state CompressTopK performs zero heap allocations.
 type ErrorFeedback struct {
 	residual []float64
 	scratch  []float64
+	mags     []float64
+	out      SparseVec
 }
 
 // NewErrorFeedback returns an error-feedback accumulator for n-dimensional
@@ -136,7 +154,8 @@ func NewErrorFeedback(n int) *ErrorFeedback {
 
 // CompressTopK adds the residual to x, selects the top k entries of the sum
 // for transmission, and stores what was left behind as the new residual. The
-// input slice is not modified.
+// input slice is not modified. The returned SparseVec aliases buffers owned
+// by e and is only valid until the next CompressTopK call.
 func (e *ErrorFeedback) CompressTopK(x []float64, k int) SparseVec {
 	if len(x) != len(e.residual) {
 		panic("compress: ErrorFeedback dimension mismatch")
@@ -144,12 +163,12 @@ func (e *ErrorFeedback) CompressTopK(x []float64, k int) SparseVec {
 	for i, v := range x {
 		e.scratch[i] = v + e.residual[i]
 	}
-	s := TopK(e.scratch, k)
+	e.mags = TopKInto(&e.out, e.mags, e.scratch, k)
 	copy(e.residual, e.scratch)
-	for _, idx := range s.Idx {
+	for _, idx := range e.out.Idx {
 		e.residual[idx] = 0
 	}
-	return s
+	return e.out
 }
 
 // Residual exposes the current residual (for tests and diagnostics).

@@ -24,6 +24,10 @@ type RoundPlan struct {
 	Round int
 	Seed  uint64
 	Peer  []int
+	// Active, when non-nil, marks which workers participate this round
+	// (dynamic membership): inactive workers neither train nor communicate.
+	// nil means every worker is active.
+	Active []bool
 	// Forced reports whether Algorithm 3 had to inject connectivity-
 	// restoring edges this round (diagnostics).
 	Forced bool
@@ -52,10 +56,17 @@ func (c *Coordinator) Plan(t int) RoundPlan { return c.PlanActive(t, nil) }
 // simply regenerates the gossip matrix over whoever is present.
 func (c *Coordinator) PlanActive(t int, active []bool) RoundPlan {
 	r := c.gen.NextActive(t, active)
+	var snapshot []bool
+	if active != nil {
+		// Copy: the caller's membership slice mutates between rounds while
+		// the plan may still be in flight through the engine.
+		snapshot = append([]bool(nil), active...)
+	}
 	return RoundPlan{
 		Round:  t,
 		Seed:   c.rs.Uint64(),
 		Peer:   r.Match,
+		Active: snapshot,
 		Forced: r.Forced,
 	}
 }

@@ -21,8 +21,9 @@ type Worker struct {
 
 	cfg Config
 
-	flat []float64 // scratch for the flat parameter vector
-	mask []bool    // scratch for the round mask
+	flat    []float64 // scratch for the flat parameter vector
+	mask    []bool    // scratch for the round mask
+	payload []float64 // scratch for the packed masked payload
 }
 
 // NewWorker assembles a worker from its already-constructed model and data
@@ -54,22 +55,27 @@ func (w *Worker) LocalSGD() float64 {
 
 // RoundMask regenerates the shared round mask from the coordinator's seed
 // (Algorithm 2 line 6). Every worker calls this with identical arguments and
-// obtains an identical mask.
+// obtains an identical mask. The mask is written into per-worker scratch, so
+// steady-state rounds allocate nothing.
 func (w *Worker) RoundMask(seed uint64, round int) []bool {
 	n := w.Model.ParamCount()
-	w.mask = compress.Mask(seed, round, n, w.cfg.Compression)
+	w.mask = compress.MaskInto(w.mask, seed, round, n, w.cfg.Compression)
 	return w.mask
 }
 
 // MaskedPayload extracts the worker's sparsified model x̃ = x ∘ m as a packed
 // value slice (Algorithm 2 line 7) — the message sent to the peer. The wire
-// cost is compress.MaskedBytes(len(payload)).
+// cost is compress.MaskedBytes(len(payload)). The returned slice is scratch
+// owned by the worker: it stays valid until the next MaskedPayload call,
+// which under the engine's synchronous round barrier is after the peer has
+// finished reading it.
 func (w *Worker) MaskedPayload() []float64 {
 	if w.mask == nil {
 		panic("core: MaskedPayload before RoundMask")
 	}
 	w.flat = w.Model.FlatParams(w.flat)
-	return compress.Extract(w.flat, w.mask)
+	w.payload = compress.ExtractInto(w.payload, w.flat, w.mask)
+	return w.payload
 }
 
 // MergePeer applies the masked gossip average of Eq. (7) with the pairwise
@@ -103,7 +109,8 @@ func (w *Worker) Params() []float64 { return w.Model.FlatParams(nil) }
 // Disagreement returns ‖x_w − ref‖₂, used by the consensus tests.
 func (w *Worker) Disagreement(ref []float64) float64 {
 	w.flat = w.Model.FlatParams(w.flat)
-	diff := make([]float64, len(ref))
+	diff := tensor.GetVecRaw(len(ref)) // fully written by Sub
+	defer tensor.PutVec(diff)
 	tensor.Sub(diff, w.flat, ref)
 	return tensor.Norm2(diff)
 }

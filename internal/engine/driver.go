@@ -1,0 +1,30 @@
+package engine
+
+import "sapspsgd/internal/compress"
+
+// Driver is Algorithm 1's round loop, backend-agnostic: plan the round
+// (Algorithm 3 via the Planner), run it on every worker through the Control
+// barrier, then account the round's traffic in the Ledger — one bidirectional
+// charge per matched pair, sized by the shared-mask payload the workers
+// actually transmitted.
+type Driver struct {
+	Planner Planner
+	Control Control
+}
+
+// Round executes round t against the ledger and returns its stats.
+func (d *Driver) Round(t int, led Ledger) (RoundStats, error) {
+	plan := d.Planner.Plan(t)
+	loss, payloadLen, err := d.Control.RunRound(plan)
+	if err != nil {
+		return RoundStats{}, err
+	}
+	bytes := compress.MaskedBytes(payloadLen)
+	for i, p := range plan.Peer {
+		if p > i {
+			led.Exchange(i, p, bytes, bytes)
+		}
+	}
+	led.EndRound()
+	return RoundStats{Plan: plan, PayloadLen: payloadLen, Loss: loss}, nil
+}

@@ -1,0 +1,87 @@
+// Package engine owns the canonical SAPS-PSGD execution core: Algorithm 1
+// (coordinator round loop), Algorithm 2 (worker round), and — via the
+// pluggable Planner — Algorithm 3 (adaptive peer selection). The engine talks
+// to the world only through two small interfaces:
+//
+//   - Transport: the peer-to-peer sparse-model exchange (data plane);
+//   - Ledger: traffic and communication-time accounting (clock).
+//
+// Three backends run the identical round logic:
+//
+//   - memtransport: in-process channel rendezvous, zero-time CountingLedger —
+//     the pure-algorithm backend used by the internal/algos simulations;
+//   - simtransport: the same in-process rendezvous charged against a
+//     netsim bandwidth matrix (*netsim.Ledger satisfies Ledger), reproducing
+//     the paper's byte- and second-accurate simulation;
+//   - internal/transport: real TCP — WorkerClient runs WorkerRound over gob
+//     connections and CoordinatorServer runs Driver over its control conns.
+//
+// See DESIGN.md for the layering and for how to add a new backend.
+package engine
+
+import "sapspsgd/internal/core"
+
+// Transport is a worker's handle to the data plane: Exchange swaps the
+// round's packed masked payload with the assigned peer and returns the peer's
+// payload. Implementations must support concurrent calls from distinct
+// workers; both endpoints of a matched pair call Exchange exactly once per
+// round. The payload slice is borrowed by the transport (and, in-process, by
+// the peer) until the round barrier, so callers must not mutate it until the
+// round completes.
+//
+// Liveness contract for custom backends: when one endpoint's Exchange fails,
+// the peer's Exchange must also return (with a payload or an error) rather
+// than block forever — the engine's round barrier waits for every worker.
+// TCP satisfies this naturally (a dead endpoint breaks the peer's
+// connection); the in-process hub cannot fail between validly matched peers,
+// and the engine rejects malformed matchings before dispatch.
+type Transport interface {
+	Exchange(round, self, peer int, payload []float64) ([]float64, error)
+}
+
+// Ledger is the engine's clock and traffic account. *netsim.Ledger satisfies
+// it (bandwidth-modelled simulated time); CountingLedger is the zero-time
+// variant for in-memory and real-network runs. Implementations need not be
+// safe for concurrent use: the Driver charges exchanges centrally, once per
+// matched pair, from the coordinator loop.
+type Ledger interface {
+	// Exchange records a bidirectional transfer between workers i and j in
+	// the current round: i sends sendBytes to j and receives recvBytes.
+	Exchange(i, j int, sendBytes, recvBytes int64)
+	// EndRound closes the current round and returns its wall time in
+	// seconds (0 for ledgers without a time model).
+	EndRound() float64
+}
+
+// Planner produces the per-round control message (W_t, t, s) — Algorithm 1
+// line 6, with Algorithm 3 inside. *core.Coordinator satisfies it; the
+// RandomChoose and churn variants plug in their own planners.
+type Planner interface {
+	Plan(t int) core.RoundPlan
+}
+
+// PlannerFunc adapts a function to the Planner interface.
+type PlannerFunc func(t int) core.RoundPlan
+
+// Plan implements Planner.
+func (f PlannerFunc) Plan(t int) core.RoundPlan { return f(t) }
+
+// Control is the coordinator's channel to its workers: RunRound delivers the
+// plan to every worker, executes Algorithm 2 on each, and blocks until all
+// complete (the synchronous round barrier of Algorithm 1 line 7). It returns
+// the mean training loss over participating workers and the shared-mask
+// payload length (values per matched worker) for traffic accounting.
+type Control interface {
+	RunRound(plan core.RoundPlan) (meanLoss float64, payloadLen int, err error)
+}
+
+// RoundStats summarizes one completed round.
+type RoundStats struct {
+	// Plan is the control message the round ran under.
+	Plan core.RoundPlan
+	// PayloadLen is the number of values each matched worker transmitted
+	// (the shared-mask population count; 0 when no worker was matched).
+	PayloadLen int
+	// Loss is the mean local training loss over participating workers.
+	Loss float64
+}

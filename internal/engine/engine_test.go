@@ -1,0 +1,399 @@
+// Engine tests: backend equivalence (the same SAPS config must produce
+// bit-identical model trajectories and identical per-round traffic totals
+// over the in-memory, simulated-bandwidth, and TCP backends) plus regression
+// coverage for the concurrent exchange pool, the rendezvous hub, the gate,
+// and the counting ledger. Run with -race to exercise the pool's memory
+// ordering (the CI workflow does).
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
+	"sapspsgd/internal/engine/memtransport"
+	"sapspsgd/internal/engine/simtransport"
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/rng"
+	"sapspsgd/internal/transport"
+)
+
+// testSpec is the shared tiny workload: every backend builds models, shards,
+// and hyperparameters from this one spec, exactly as TCP workers do from the
+// coordinator's broadcast.
+func testSpec(rounds int) transport.TaskSpec {
+	return transport.TaskSpec{
+		Arch: "mlp", C: 1, H: 8, W: 8, Classes: 4, Hidden: []int{12},
+		Samples: 256, DataSeed: 11,
+		LR: 0.05, Batch: 8, Compression: 8, LocalSteps: 1,
+		Rounds: rounds, Seed: 5,
+	}
+}
+
+func coreConfig(spec transport.TaskSpec, n int) core.Config {
+	return core.Config{
+		Workers:     n,
+		Compression: spec.Compression,
+		LR:          spec.LR,
+		Batch:       spec.Batch,
+		LocalSteps:  spec.LocalSteps,
+		Gossip:      gossip.Config{BThres: 0, TThres: 10},
+		Seed:        spec.Seed,
+	}
+}
+
+func testEnv(n int) *netsim.Bandwidth { return netsim.RandomUniform(n, 1, 5, rng.New(2)) }
+
+// buildWorkers assembles rank-indexed core workers from the spec, the same
+// way a TCP WorkerClient does after Welcome.
+func buildWorkers(t *testing.T, spec transport.TaskSpec, n int) []*core.Worker {
+	t.Helper()
+	cfg := coreConfig(spec, n)
+	shards, _ := spec.BuildShards(n)
+	ws := make([]*core.Worker, n)
+	for i := 0; i < n; i++ {
+		model, err := spec.BuildModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = core.NewWorker(i, model, shards[i], cfg)
+	}
+	return ws
+}
+
+// inProcRun is one engine training over an in-process backend: it returns
+// the per-round traffic totals and the per-round snapshot of every worker's
+// parameters.
+func inProcRun(t *testing.T, spec transport.TaskSpec, n int, inner engine.Ledger, tr engine.Transport) (roundBytes []int64, trajectory [][][]float64) {
+	t.Helper()
+	workers := buildWorkers(t, spec, n)
+	eng := engine.New(engine.Options{
+		Workers:   workers,
+		Planner:   core.NewCoordinator(testEnv(n), coreConfig(spec, n)),
+		Transport: tr,
+	})
+	defer eng.Close()
+	led := &engine.CountingLedger{Inner: inner}
+	for round := 0; round < spec.Rounds; round++ {
+		if _, err := eng.Step(round, led); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		snap := make([][]float64, n)
+		for i, w := range workers {
+			snap[i] = w.Params()
+		}
+		trajectory = append(trajectory, snap)
+	}
+	return led.RoundBytes(), trajectory
+}
+
+// tcpRun trains the same spec over real loopback TCP (coordinator server +
+// n worker clients) and returns the per-round traffic totals and the final
+// rank-0 model.
+func tcpRun(t *testing.T, spec transport.TaskSpec, n int) (roundBytes []int64, final []float64) {
+	t.Helper()
+	led := &engine.CountingLedger{}
+	srv := &transport.CoordinatorServer{
+		N: n, Task: spec,
+		BW:     testEnv(n),
+		Cfg:    coreConfig(spec, n),
+		Ledger: led,
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc := &transport.WorkerClient{}
+			if _, err := wc.Run(addr, "127.0.0.1:0"); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	final, err = srv.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return led.RoundBytes(), final
+}
+
+// TestBackendEquivalence is the three-backend contract: identical model
+// trajectories (bit-for-bit) and identical per-round traffic totals over
+// memtransport, simtransport, and TCP.
+func TestBackendEquivalence(t *testing.T) {
+	const n, rounds = 4, 8
+	spec := testSpec(rounds)
+
+	memBytes, memTraj := inProcRun(t, spec, n, nil, memtransport.NewHub(n))
+
+	simHub, simLed := simtransport.New(testEnv(n))
+	simBytes, simTraj := inProcRun(t, spec, n, simLed, simHub)
+
+	tcpBytes, tcpFinal := tcpRun(t, spec, n)
+
+	// Per-round traffic totals must agree across all three backends.
+	for name, got := range map[string][]int64{"simtransport": simBytes, "tcptransport": tcpBytes} {
+		if len(got) != len(memBytes) {
+			t.Fatalf("%s: %d rounds accounted, want %d", name, len(got), len(memBytes))
+		}
+		for r := range memBytes {
+			if got[r] != memBytes[r] {
+				t.Errorf("%s round %d: %d bytes, memtransport %d", name, r, got[r], memBytes[r])
+			}
+		}
+	}
+	// The simulated backend also accrues bandwidth-modelled time; the byte
+	// totals must still match the bandwidth-free accounting exactly.
+	if simLed.TotalTime() <= 0 {
+		t.Error("simtransport: no simulated communication time accrued")
+	}
+	if !simLed.ConservationOK() {
+		t.Error("simtransport: ledger conservation violated")
+	}
+
+	// mem vs sim: bit-identical trajectory, every worker, every round.
+	for r := range memTraj {
+		for w := range memTraj[r] {
+			for j, v := range memTraj[r][w] {
+				if simTraj[r][w][j] != v {
+					t.Fatalf("round %d worker %d param %d: sim %v != mem %v", r, w, j, simTraj[r][w][j], v)
+				}
+			}
+		}
+	}
+	// tcp: the collected rank-0 model must equal the in-memory rank-0 model
+	// bit-for-bit (gob preserves float64 exactly).
+	memFinal := memTraj[rounds-1][0]
+	if len(tcpFinal) != len(memFinal) {
+		t.Fatalf("tcp final model %d params, want %d", len(tcpFinal), len(memFinal))
+	}
+	for j, v := range memFinal {
+		if tcpFinal[j] != v {
+			t.Fatalf("tcp final param %d: %v != %v", j, tcpFinal[j], v)
+		}
+	}
+}
+
+// TestEngineConcurrentExchangePool floods a bounded pool with many more
+// workers than compute slots: the gate must bound CPU concurrency while the
+// rendezvous exchanges proceed deadlock-free. Run with -race this is the
+// pool's memory-ordering regression test.
+func TestEngineConcurrentExchangePool(t *testing.T) {
+	const n, rounds = 16, 6
+	spec := testSpec(rounds)
+	workers := buildWorkers(t, spec, n)
+	eng := engine.New(engine.Options{
+		Workers:     workers,
+		Planner:     core.NewCoordinator(testEnv(n), coreConfig(spec, n)),
+		MaxParallel: 2, // far fewer slots than workers: exchanges must not hold them
+	})
+	defer eng.Close()
+	led := &engine.CountingLedger{}
+	for round := 0; round < rounds; round++ {
+		stats, err := eng.Step(round, led)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if stats.PayloadLen == 0 {
+			t.Fatalf("round %d: no payload exchanged", round)
+		}
+	}
+	if led.TotalBytes() == 0 {
+		t.Fatal("no traffic accounted")
+	}
+}
+
+// TestEngineHonorsActiveSet checks the dynamic-membership path: inactive
+// workers neither train nor exchange, and the loss averages over the
+// participants only.
+func TestEngineHonorsActiveSet(t *testing.T) {
+	const n = 4
+	spec := testSpec(1)
+	workers := buildWorkers(t, spec, n)
+	before := workers[3].Params()
+	planner := engine.PlannerFunc(func(round int) core.RoundPlan {
+		return core.RoundPlan{
+			Round:  round,
+			Seed:   99,
+			Peer:   []int{1, 0, -1, -1},
+			Active: []bool{true, true, true, false},
+		}
+	})
+	eng := engine.New(engine.Options{Workers: workers, Planner: planner})
+	defer eng.Close()
+	led := &engine.CountingLedger{}
+	stats, err := eng.Step(0, led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := workers[3].Params()
+	for j := range before {
+		if after[j] != before[j] {
+			t.Fatalf("inactive worker 3 trained: param %d changed", j)
+		}
+	}
+	if stats.Loss <= 0 {
+		t.Fatalf("loss %v, want > 0 over active workers", stats.Loss)
+	}
+	sent, recv := led.WorkerBytes(3)
+	if sent != 0 || recv != 0 {
+		t.Fatalf("inactive worker 3 accounted %d/%d bytes", sent, recv)
+	}
+}
+
+// TestHubRendezvous hammers the rendezvous from many concurrent pairs over
+// many rounds; with -race this validates the payload hand-over ordering.
+func TestHubRendezvous(t *testing.T) {
+	const n, rounds = 8, 50
+	hub := memtransport.NewHub(n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			peer := self ^ 1 // pair (0,1), (2,3), ...
+			for r := 0; r < rounds; r++ {
+				payload := []float64{float64(self), float64(r)}
+				got, err := hub.Exchange(r, self, peer, payload)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != float64(peer) || got[1] != float64(r) {
+					errs <- fmt.Errorf("worker %d round %d: got payload %v", self, r, got)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestHubRejectsBadPeer(t *testing.T) {
+	hub := memtransport.NewHub(2)
+	if _, err := hub.Exchange(0, 0, 0, nil); err == nil {
+		t.Error("self-exchange accepted")
+	}
+	if _, err := hub.Exchange(0, 0, 5, nil); err == nil {
+		t.Error("out-of-range peer accepted")
+	}
+}
+
+// TestGateBoundsConcurrency verifies the pool's semaphore actually caps
+// concurrent holders.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const limit, workers = 3, 20
+	gate := engine.NewGate(limit)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				gate.Acquire()
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				cur.Add(-1)
+				gate.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Fatalf("gate admitted %d concurrent holders, limit %d", p, limit)
+	}
+}
+
+// TestEngineRejectsMalformedPlan: asymmetric or out-of-range matchings must
+// error before dispatch — a one-sided assignment would otherwise leave a
+// worker blocked in the rendezvous and deadlock the barrier.
+func TestEngineRejectsMalformedPlan(t *testing.T) {
+	const n = 4
+	spec := testSpec(1)
+	workers := buildWorkers(t, spec, n)
+	bad := []core.RoundPlan{
+		{Round: 0, Seed: 1, Peer: []int{1, 0}},                                                  // wrong length
+		{Round: 0, Seed: 1, Peer: []int{1, 0, 3, -1}},                                           // one-sided: 2→3 but 3→-1
+		{Round: 0, Seed: 1, Peer: []int{0, -1, -1, -1}},                                         // self-exchange
+		{Round: 0, Seed: 1, Peer: []int{7, -1, -1, -1}},                                         // out of range
+		{Round: 0, Seed: 1, Peer: []int{1, 0, -1, -1}, Active: []bool{false, true, true, true}}, // matched inactive
+	}
+	for i, plan := range bad {
+		p := plan
+		eng := engine.New(engine.Options{Workers: workers, Planner: engine.PlannerFunc(func(int) core.RoundPlan { return p })})
+		_, err := eng.Step(0, &engine.CountingLedger{})
+		eng.Close()
+		if err == nil {
+			t.Errorf("malformed plan %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestCountingLedger(t *testing.T) {
+	led := &engine.CountingLedger{}
+	led.Exchange(0, 1, 100, 50)
+	led.EndRound()
+	led.Exchange(2, 3, 10, 10)
+	led.Exchange(0, 2, 5, 5)
+	led.EndRound()
+	if got := led.RoundBytes(); len(got) != 2 || got[0] != 150 || got[1] != 30 {
+		t.Fatalf("round bytes %v, want [150 30]", got)
+	}
+	if led.TotalBytes() != 180 {
+		t.Fatalf("total %d, want 180", led.TotalBytes())
+	}
+	sent, recv := led.WorkerBytes(0)
+	if sent != 105 || recv != 55 {
+		t.Fatalf("worker 0 bytes %d/%d, want 105/55", sent, recv)
+	}
+	if led.Rounds() != 2 {
+		t.Fatalf("rounds %d, want 2", led.Rounds())
+	}
+}
+
+// TestDriverAccountsMatchedPairsOnly: the driver's central accounting must
+// charge exactly one bidirectional transfer per matched pair.
+func TestDriverAccountsMatchedPairsOnly(t *testing.T) {
+	const n = 4
+	spec := testSpec(1)
+	workers := buildWorkers(t, spec, n)
+	planner := engine.PlannerFunc(func(round int) core.RoundPlan {
+		return core.RoundPlan{Round: round, Seed: 7, Peer: []int{1, 0, -1, -1}}
+	})
+	eng := engine.New(engine.Options{Workers: workers, Planner: planner})
+	defer eng.Close()
+	led := &engine.CountingLedger{}
+	stats, err := eng.Step(0, led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(stats.PayloadLen) * 4 * 2 // both directions, 4 wire bytes/value
+	if led.TotalBytes() != want {
+		t.Fatalf("total %d bytes, want %d (one pair, payload %d)", led.TotalBytes(), want, stats.PayloadLen)
+	}
+	for _, w := range []int{2, 3} {
+		if s, r := led.WorkerBytes(w); s != 0 || r != 0 {
+			t.Fatalf("unmatched worker %d accounted %d/%d bytes", w, s, r)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine/memtransport"
+)
+
+// Options configures an in-process Engine.
+type Options struct {
+	// Workers are the training peers, indexed by rank.
+	Workers []*core.Worker
+	// Planner produces the per-round control message (Algorithm 1/3).
+	Planner Planner
+	// Transport carries the peer payload swaps (nil defaults to an
+	// in-process rendezvous hub over the worker count).
+	Transport Transport
+	// MaxParallel bounds concurrent CPU-heavy work (local SGD, merges);
+	// values < 1 default to GOMAXPROCS. Exchanges are not counted against
+	// the bound, so any positive value is deadlock-free.
+	MaxParallel int
+}
+
+// Engine runs the canonical round loop over an in-process worker fleet: one
+// long-lived goroutine per worker (spawned once, reused every round — the
+// bounded worker pool of the hot path) executing WorkerRound against the
+// configured transport. Engine implements Control for its own Driver.
+//
+// Close releases the pool; a finalizer-style cleanup also releases it when
+// an un-Closed Engine becomes unreachable, so dropping an Engine on the
+// floor does not leak goroutines.
+type Engine struct {
+	workers []*core.Worker
+	driver  Driver
+	gate    Gate
+	cmds    []chan core.RoundPlan
+	results chan workerResult
+	stop    *poolStop
+	closed  bool
+	// Per-round collection scratch (RunRound is single-threaded).
+	losses       []float64
+	participated []bool
+}
+
+// poolStop closes the pool's command channels exactly once, whether via an
+// explicit Close or the unreachability cleanup.
+type poolStop struct {
+	once sync.Once
+	cmds []chan core.RoundPlan
+}
+
+func (s *poolStop) shutdown() {
+	s.once.Do(func() {
+		for _, c := range s.cmds {
+			close(c)
+		}
+	})
+}
+
+type workerResult struct {
+	rank         int
+	loss         float64
+	payloadLen   int
+	err          error
+	participated bool
+}
+
+// New builds the engine and spawns its worker pool.
+func New(opts Options) *Engine {
+	n := len(opts.Workers)
+	if n < 1 {
+		panic("engine: no workers")
+	}
+	if opts.Planner == nil {
+		panic("engine: nil planner")
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = memtransport.NewHub(n)
+	}
+	limit := opts.MaxParallel
+	if limit < 1 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers:      opts.Workers,
+		gate:         NewGate(limit),
+		cmds:         make([]chan core.RoundPlan, n),
+		results:      make(chan workerResult, n),
+		losses:       make([]float64, n),
+		participated: make([]bool, n),
+	}
+	e.driver = Driver{Planner: opts.Planner, Control: e}
+	for i := range e.cmds {
+		e.cmds[i] = make(chan core.RoundPlan)
+		go workerLoop(opts.Workers[i], tr, e.gate, e.cmds[i], e.results)
+	}
+	// The pool goroutines deliberately do not reference e, so an abandoned
+	// Engine is collectable; the cleanup then closes its command channels.
+	e.stop = &poolStop{cmds: e.cmds}
+	runtime.AddCleanup(e, (*poolStop).shutdown, e.stop)
+	return e
+}
+
+// workerLoop is one pool member: it serves its worker's rounds until the
+// command channel closes.
+func workerLoop(w *core.Worker, tr Transport, gate Gate, cmds <-chan core.RoundPlan, results chan<- workerResult) {
+	for plan := range cmds {
+		if plan.Active != nil && !plan.Active[w.Rank] {
+			results <- workerResult{rank: w.Rank}
+			continue
+		}
+		loss, k, err := WorkerRound(w, tr, gate, plan.Round, plan.Seed, plan.Peer[w.Rank])
+		results <- workerResult{rank: w.Rank, loss: loss, payloadLen: k, err: err, participated: true}
+	}
+}
+
+// validatePlan rejects malformed plans before dispatch. The checks matter
+// for liveness, not just correctness: a one-sided peer assignment would
+// leave one worker blocked in the payload rendezvous with nobody coming,
+// deadlocking the round barrier instead of returning an error.
+func validatePlan(plan core.RoundPlan, n int) error {
+	if len(plan.Peer) != n {
+		return fmt.Errorf("engine: plan for %d workers, have %d", len(plan.Peer), n)
+	}
+	if plan.Active != nil && len(plan.Active) != n {
+		return fmt.Errorf("engine: plan active set for %d workers, have %d", len(plan.Active), n)
+	}
+	for i, p := range plan.Peer {
+		if p == -1 {
+			continue
+		}
+		switch {
+		case p < 0 || p >= n || p == i:
+			return fmt.Errorf("engine: plan assigns worker %d the peer %d", i, p)
+		case plan.Peer[p] != i:
+			return fmt.Errorf("engine: asymmetric plan: %d→%d but %d→%d", i, p, p, plan.Peer[p])
+		case plan.Active != nil && (!plan.Active[i] || !plan.Active[p]):
+			return fmt.Errorf("engine: plan matches inactive worker in pair %d-%d", i, p)
+		}
+	}
+	return nil
+}
+
+// RunRound implements Control: broadcast the plan to the pool and wait for
+// every worker to finish the round.
+func (e *Engine) RunRound(plan core.RoundPlan) (float64, int, error) {
+	if e.closed {
+		return 0, 0, fmt.Errorf("engine: RunRound after Close")
+	}
+	if err := validatePlan(plan, len(e.workers)); err != nil {
+		return 0, 0, err
+	}
+	for _, c := range e.cmds {
+		c <- plan
+	}
+	// Collect rank-indexed so the loss mean is summed in deterministic
+	// order regardless of completion order.
+	losses, participated := e.losses, e.participated
+	for i := range participated {
+		losses[i], participated[i] = 0, false
+	}
+	payloadLen := 0
+	var firstErr error
+	for range e.workers {
+		r := <-e.results
+		losses[r.rank] = r.loss
+		participated[r.rank] = r.participated
+		if r.payloadLen > payloadLen {
+			payloadLen = r.payloadLen
+		}
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: worker %d: %w", r.rank, r.err)
+		}
+	}
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	sum, k := 0.0, 0
+	for i, l := range losses {
+		if participated[i] {
+			sum += l
+			k++
+		}
+	}
+	if k == 0 {
+		return 0, payloadLen, nil
+	}
+	return sum / float64(k), payloadLen, nil
+}
+
+// Step runs one full round — plan, execute, account — against the ledger.
+func (e *Engine) Step(t int, led Ledger) (RoundStats, error) {
+	return e.driver.Round(t, led)
+}
+
+// Workers exposes the fleet (rank-indexed).
+func (e *Engine) Workers() []*core.Worker { return e.workers }
+
+// Close shuts down the worker pool. The engine must not be stepped after
+// Close. Close is idempotent.
+func (e *Engine) Close() {
+	e.closed = true
+	e.stop.shutdown()
+}

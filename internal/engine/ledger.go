@@ -1,0 +1,65 @@
+package engine
+
+// CountingLedger is the accounting backend for deployments without a
+// bandwidth model (in-memory runs, real TCP where time is physical): it
+// tallies exact per-worker and per-round byte totals with zero simulated
+// time. An optional Inner ledger is charged in lockstep, so a run can keep
+// byte-identical counters alongside a netsim time model. Like *netsim.Ledger
+// it is not safe for concurrent use; the Driver charges it from the
+// coordinator loop only.
+type CountingLedger struct {
+	// Inner, when non-nil, receives every Exchange/EndRound call too.
+	Inner Ledger
+
+	sent, recv []int64
+	roundBytes []int64
+	cur        int64
+	total      int64
+}
+
+func (l *CountingLedger) grow(i int) {
+	for len(l.sent) <= i {
+		l.sent = append(l.sent, 0)
+		l.recv = append(l.recv, 0)
+	}
+}
+
+// Exchange implements Ledger.
+func (l *CountingLedger) Exchange(i, j int, sendBytes, recvBytes int64) {
+	l.grow(max(i, j))
+	l.sent[i] += sendBytes
+	l.recv[j] += sendBytes
+	l.sent[j] += recvBytes
+	l.recv[i] += recvBytes
+	l.cur += sendBytes + recvBytes
+	if l.Inner != nil {
+		l.Inner.Exchange(i, j, sendBytes, recvBytes)
+	}
+}
+
+// EndRound implements Ledger, returning the inner ledger's round time (0
+// without one).
+func (l *CountingLedger) EndRound() float64 {
+	l.roundBytes = append(l.roundBytes, l.cur)
+	l.total += l.cur
+	l.cur = 0
+	if l.Inner != nil {
+		return l.Inner.EndRound()
+	}
+	return 0
+}
+
+// RoundBytes returns the total bytes moved in each completed round.
+func (l *CountingLedger) RoundBytes() []int64 { return l.roundBytes }
+
+// TotalBytes returns the cumulative bytes moved across all rounds.
+func (l *CountingLedger) TotalBytes() int64 { return l.total }
+
+// WorkerBytes returns worker i's cumulative sent and received bytes.
+func (l *CountingLedger) WorkerBytes(i int) (sent, recv int64) {
+	l.grow(i)
+	return l.sent[i], l.recv[i]
+}
+
+// Rounds returns the number of completed rounds.
+func (l *CountingLedger) Rounds() int { return len(l.roundBytes) }

@@ -1,0 +1,43 @@
+// Package memtransport is the in-process engine backend: matched workers
+// swap their masked payloads through per-rank rendezvous channels, with no
+// wire format and no time model. It is the backend behind every
+// internal/algos simulation; pair it with engine.CountingLedger for pure
+// traffic totals or with a *netsim.Ledger (via simtransport) for
+// bandwidth-accounted time.
+package memtransport
+
+import "fmt"
+
+// Hub pairs in-process workers for the per-round payload swap. Exchange
+// deposits the caller's payload in its own slot and blocks until the peer's
+// slot fills; because a matching is exclusive, each slot has exactly one
+// writer and one reader per round, and the engine's round barrier guarantees
+// both are drained before the next round starts. Payload slices are handed
+// over by reference — the channel send is the happens-before edge that makes
+// the peer's read race-free.
+type Hub struct {
+	slots []chan []float64
+}
+
+// NewHub returns a hub for n workers. A single-worker hub is legal — it can
+// never be asked to exchange (every plan assigns peer -1), and Exchange
+// rejects any peer it is asked for.
+func NewHub(n int) *Hub {
+	if n < 1 {
+		panic(fmt.Sprintf("memtransport: hub of %d", n))
+	}
+	h := &Hub{slots: make([]chan []float64, n)}
+	for i := range h.slots {
+		h.slots[i] = make(chan []float64, 1)
+	}
+	return h
+}
+
+// Exchange implements engine.Transport.
+func (h *Hub) Exchange(round, self, peer int, payload []float64) ([]float64, error) {
+	if self == peer || peer < 0 || peer >= len(h.slots) {
+		return nil, fmt.Errorf("memtransport: worker %d exchanging with %d", self, peer)
+	}
+	h.slots[self] <- payload
+	return <-h.slots[peer], nil
+}

@@ -1,0 +1,70 @@
+package engine
+
+import "sapspsgd/internal/core"
+
+// Gate bounds the engine's CPU-heavy sections (local SGD, mask generation,
+// merge) without serializing the network exchanges between them: a worker
+// holds the gate while computing, releases it before blocking in
+// Transport.Exchange, and re-acquires it to merge. This is what lets a
+// bounded pool drive many more workers than cores with no rendezvous
+// deadlock.
+type Gate interface {
+	Acquire()
+	Release()
+}
+
+// NewGate returns a counting-semaphore Gate admitting at most limit
+// concurrent holders. limit < 1 panics.
+func NewGate(limit int) Gate {
+	if limit < 1 {
+		panic("engine: gate limit < 1")
+	}
+	return semGate(make(chan struct{}, limit))
+}
+
+type semGate chan struct{}
+
+func (g semGate) Acquire() { g <- struct{}{} }
+func (g semGate) Release() { <-g }
+
+// nopGate is the ungated variant used by single-worker deployments (one
+// process per worker, e.g. the TCP client), where the OS already schedules.
+type nopGate struct{}
+
+func (nopGate) Acquire() {}
+func (nopGate) Release() {}
+
+// WorkerRound executes Algorithm 2 lines 5–10 for one worker and one round:
+// local SGD, shared-seed mask regeneration, masked payload extraction, the
+// peer exchange over the transport, and the masked gossip average. This is
+// the single canonical implementation of the worker round — every backend
+// (in-memory, simulated-bandwidth, TCP) funnels through it.
+//
+// peer == -1 skips the exchange (the worker only trains). gate may be nil
+// for ungated execution. It returns the mean local loss and the payload
+// length (0 when unmatched).
+func WorkerRound(w *core.Worker, tr Transport, gate Gate, round int, seed uint64, peer int) (loss float64, payloadLen int, err error) {
+	if gate == nil {
+		gate = nopGate{}
+	}
+	gate.Acquire()
+	loss = w.LocalSGD()
+	if peer < 0 {
+		gate.Release()
+		return loss, 0, nil
+	}
+	w.RoundMask(seed, round)
+	payload := w.MaskedPayload()
+	payloadLen = len(payload)
+	gate.Release()
+
+	peerVals, err := tr.Exchange(round, w.Rank, peer, payload)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	gate.Acquire()
+	w.MergePeer(peerVals)
+	gate.Release()
+	return loss, payloadLen, nil
+}

@@ -37,6 +37,9 @@ func quickWorkload() Workload {
 }
 
 func TestConvergenceSuiteAllAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence suite skipped in -short mode")
+	}
 	suite := ConvergenceSuite{Workload: quickWorkload(), N: 4, Seed: 7, EvalEvery: 15}
 	results, err := suite.Run()
 	if err != nil {

@@ -33,18 +33,29 @@ func splitMix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// seedState expands x into a full xoshiro state via SplitMix64. xoshiro must
+// not start from the all-zero state; SplitMix64 of any seed cannot produce
+// four zero words, but guard anyway. This is the single seed-expansion used
+// by New, Derive, and Reseed — their streams must stay in lockstep (mask
+// determinism across processes is protocol-load-bearing).
+func seedState(s *[4]uint64, x uint64) {
+	for i := range s {
+		s[i] = splitMix64(&x)
+	}
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 1
+	}
+}
+
+// deriveKey mixes a parent state with a stream identifier.
+func deriveKey(s *[4]uint64, id uint64) uint64 {
+	return s[0] ^ (s[1] << 1) ^ id*0x9e3779b97f4a7c15
+}
+
 // New returns a Source seeded deterministically from seed.
 func New(seed uint64) *Source {
 	s := &Source{}
-	x := seed
-	for i := range s.s {
-		s.s[i] = splitMix64(&x)
-	}
-	// xoshiro must not start from the all-zero state; SplitMix64 of any seed
-	// cannot produce four zero words, but guard anyway.
-	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
-		s.s[0] = 1
-	}
+	seedState(&s.s, seed)
 	return s
 }
 
@@ -53,15 +64,20 @@ func New(seed uint64) *Source {
 // Sources derived with different ids produce statistically independent
 // sequences; the parent is not advanced.
 func (r *Source) Derive(id uint64) *Source {
-	x := r.s[0] ^ (r.s[1] << 1) ^ id*0x9e3779b97f4a7c15
 	s := &Source{}
-	for i := range s.s {
-		s.s[i] = splitMix64(&x)
-	}
-	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
-		s.s[0] = 1
-	}
+	seedState(&s.s, deriveKey(&r.s, id))
 	return s
+}
+
+// Reseed reinitializes r in place to the exact stream of New(seed).Derive(id)
+// — the allocation-free variant for hot paths that regenerate a derived
+// stream every round (mask regeneration in Algorithm 2 line 6).
+func (r *Source) Reseed(seed, id uint64) {
+	var ps [4]uint64
+	seedState(&ps, seed)
+	seedState(&r.s, deriveKey(&ps, id))
+	r.spare = 0
+	r.hasSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -159,8 +175,18 @@ func (r *Source) Mask(out []bool, p float64) {
 // Mask generated by a Source derived from (s, t). All workers call this with
 // identical arguments and obtain identical masks.
 func MaskSeed(seed uint64, round int, n int, p float64) []bool {
-	src := New(seed).Derive(uint64(round) + 1)
-	m := make([]bool, n)
-	src.Mask(m, p)
-	return m
+	return MaskSeedInto(nil, seed, round, n, p)
+}
+
+// MaskSeedInto is MaskSeed writing into dst, allocating only when dst does
+// not have length n. Hot paths (one mask per worker per round) pass their
+// scratch buffer to stay allocation-free in steady state.
+func MaskSeedInto(dst []bool, seed uint64, round int, n int, p float64) []bool {
+	if len(dst) != n {
+		dst = make([]bool, n)
+	}
+	var src Source // stack-local: the steady state allocates nothing
+	src.Reseed(seed, uint64(round)+1)
+	src.Mask(dst, p)
+	return dst
 }

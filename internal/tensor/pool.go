@@ -1,0 +1,60 @@
+package tensor
+
+import "sync"
+
+// Vector scratch pool: evaluation and consensus paths repeatedly need
+// model-dimension float64 buffers (hundreds of KB each) for a few
+// microseconds. Pooling them by power-of-two size class keeps the steady
+// state allocation-free without pinning one buffer per caller.
+
+const poolClasses = 32
+
+var vecPools [poolClasses]sync.Pool
+
+func classOf(n int) int {
+	c := 0
+	for s := 1; s < n; s <<= 1 {
+		c++
+	}
+	return c
+}
+
+// GetVec returns a zeroed []float64 of length n from the pool (allocating
+// when the pool is empty). Return it with PutVec when done.
+func GetVec(n int) []float64 {
+	out := GetVecRaw(n)
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// GetVecRaw is GetVec without the zero fill: the contents are arbitrary, for
+// callers that overwrite the whole buffer anyway (FlatParams, Sub, ...).
+func GetVecRaw(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := classOf(n)
+	if v, ok := vecPools[c].Get().(*[]float64); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutVec recycles a vector obtained from GetVec. The caller must not use v
+// afterwards.
+func PutVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:cap(v)]
+	c := classOf(cap(v))
+	if 1<<c != cap(v) {
+		// Foreign capacity (not from GetVec): round down to the class that
+		// can still serve requests up to cap(v)... a smaller class would
+		// under-serve, so drop it instead of poisoning the pool.
+		return
+	}
+	vecPools[c].Put(&v)
+}

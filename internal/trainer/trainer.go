@@ -72,10 +72,16 @@ func (r Result) FirstReaching(target float64) (Record, bool) {
 	return Record{}, false
 }
 
-// Run trains alg for cfg.Rounds rounds over the bandwidth environment.
+// Run trains alg for cfg.Rounds rounds over the bandwidth environment. An
+// algorithm holding background resources (the engine's worker pool) exposes
+// Close; Run releases it when the run completes, so the algorithm cannot be
+// stepped again afterwards (its models and diagnostics stay readable).
 func Run(alg algos.Algorithm, bw *netsim.Bandwidth, cfg Config) Result {
 	if cfg.Rounds < 1 {
 		panic(fmt.Sprintf("trainer: rounds %d", cfg.Rounds))
+	}
+	if c, ok := alg.(interface{ Close() }); ok {
+		defer c.Close()
 	}
 	evalEvery := cfg.EvalEvery
 	if evalEvery < 1 {
@@ -124,11 +130,18 @@ func EvalMean(models []*nn.Model, valid *dataset.Dataset) (loss, acc float64) {
 		return nn.EvaluateDataset(host, valid, 128)
 	}
 	dim := host.ParamCount()
-	mean := make([]float64, dim)
+	mean := tensor.GetVec(dim)
+	flat := tensor.GetVecRaw(dim)  // fully written by FlatParams
+	saved := tensor.GetVecRaw(dim) // fully written by FlatParams
+	defer func() {
+		tensor.PutVec(mean)
+		tensor.PutVec(flat)
+		tensor.PutVec(saved)
+	}()
 	for _, m := range models {
-		tensor.Axpy(1/float64(len(models)), m.FlatParams(nil), mean)
+		tensor.Axpy(1/float64(len(models)), m.FlatParams(flat), mean)
 	}
-	saved := host.FlatParams(nil)
+	saved = host.FlatParams(saved)
 	host.SetFlatParams(mean)
 	loss, acc = nn.EvaluateDataset(host, valid, 128)
 	host.SetFlatParams(saved)
@@ -142,10 +155,11 @@ func Consensus(models []*nn.Model) float64 {
 		return 0
 	}
 	dim := models[0].ParamCount()
-	mean := make([]float64, dim)
+	mean := tensor.GetVec(dim)
+	defer tensor.PutVec(mean)
 	flats := make([][]float64, len(models))
 	for i, m := range models {
-		flats[i] = m.FlatParams(nil)
+		flats[i] = m.FlatParams(tensor.GetVecRaw(dim))
 		tensor.Axpy(1/float64(len(models)), flats[i], mean)
 	}
 	total := 0.0
@@ -154,6 +168,9 @@ func Consensus(models []*nn.Model) float64 {
 			d := f[j] - mean[j]
 			total += d * d
 		}
+	}
+	for _, f := range flats {
+		tensor.PutVec(f)
 	}
 	return total
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/netsim"
 )
 
@@ -28,6 +29,10 @@ type CoordinatorServer struct {
 	Measure bool
 	// ProbeBytes sizes the measurement payload (default 64 KiB).
 	ProbeBytes int
+	// Ledger, when set, receives the engine driver's per-round traffic
+	// accounting (defaults to a fresh engine.CountingLedger). Pass one in to
+	// read byte totals after Run.
+	Ledger engine.Ledger
 	// Logf receives progress lines; nil silences logging.
 	Logf func(format string, args ...any)
 
@@ -132,33 +137,65 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 		s.logf("coordinator: measured bandwidth matrix assembled (mean %.2f MB/s)", bw.MeanBandwidth())
 	}
 
-	// Round loop (Algorithm 1 lines 3–7).
-	coord := core.NewCoordinator(bw, s.Cfg)
+	// Round loop (Algorithm 1 lines 3–7), executed by the canonical engine
+	// driver: planning, the worker barrier, and traffic accounting are the
+	// same code the in-memory and simulated backends run.
+	led := s.Ledger
+	if led == nil {
+		led = &engine.CountingLedger{}
+	}
+	drv := &engine.Driver{
+		Planner: core.NewCoordinator(bw, s.Cfg),
+		Control: (*tcpControl)(s),
+	}
 	for t := 0; t < s.Task.Rounds; t++ {
-		plan := coord.Plan(t)
-		for rank, c := range s.conns {
-			if err := c.Send(RoundMsg{Round: t, Seed: plan.Seed, Peer: plan.Peer[rank]}); err != nil {
-				return nil, fmt.Errorf("transport: round %d notify %d: %w", t, rank, err)
-			}
-		}
-		lossSum := 0.0
-		for rank, c := range s.conns {
-			msg, err := c.Recv()
-			if err != nil {
-				return nil, fmt.Errorf("transport: round %d end from %d: %w", t, rank, err)
-			}
-			end, ok := msg.(RoundEnd)
-			if !ok || end.Round != t {
-				return nil, fmt.Errorf("transport: round %d: unexpected %v from %d", t, msg, rank)
-			}
-			lossSum += end.Loss
+		stats, err := drv.Round(t, led)
+		if err != nil {
+			return nil, err
 		}
 		if (t+1)%10 == 0 || t == s.Task.Rounds-1 {
-			s.logf("coordinator: round %d/%d mean loss %.4f", t+1, s.Task.Rounds, lossSum/float64(s.N))
+			s.logf("coordinator: round %d/%d mean loss %.4f", t+1, s.Task.Rounds, stats.Loss)
 		}
 	}
 
-	// Collect the final model from worker 0 (Algorithm 1 line 8).
+	return s.collect()
+}
+
+// tcpControl implements engine.Control over the coordinator's worker
+// connections: broadcast the round's control message, then hold the barrier
+// until every worker reports back.
+type tcpControl CoordinatorServer
+
+// RunRound implements engine.Control.
+func (s *tcpControl) RunRound(plan core.RoundPlan) (float64, int, error) {
+	t := plan.Round
+	for rank, c := range s.conns {
+		if err := c.Send(RoundMsg{Round: t, Seed: plan.Seed, Peer: plan.Peer[rank]}); err != nil {
+			return 0, 0, fmt.Errorf("transport: round %d notify %d: %w", t, rank, err)
+		}
+	}
+	lossSum := 0.0
+	payloadLen := 0
+	for rank, c := range s.conns {
+		msg, err := c.Recv()
+		if err != nil {
+			return 0, 0, fmt.Errorf("transport: round %d end from %d: %w", t, rank, err)
+		}
+		end, ok := msg.(RoundEnd)
+		if !ok || end.Round != t {
+			return 0, 0, fmt.Errorf("transport: round %d: unexpected %v from %d", t, msg, rank)
+		}
+		lossSum += end.Loss
+		if end.PayloadLen > payloadLen {
+			payloadLen = end.PayloadLen
+		}
+	}
+	return lossSum / float64(s.N), payloadLen, nil
+}
+
+// collect gathers the final model from worker 0 (Algorithm 1 line 8) and
+// releases the workers.
+func (s *CoordinatorServer) collect() ([]float64, error) {
 	if err := s.conns[0].Send(CollectRequest{}); err != nil {
 		return nil, err
 	}

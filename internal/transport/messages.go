@@ -103,11 +103,14 @@ type (
 		Seed  uint64
 		Peer  int // -1: no exchange this round
 	}
-	// RoundEnd is the worker's end-of-round notification.
+	// RoundEnd is the worker's end-of-round notification. PayloadLen is the
+	// number of masked values the worker transmitted (0 when unmatched),
+	// reported so the coordinator's ledger charges the exact wire size.
 	RoundEnd struct {
-		Rank  int
-		Round int
-		Loss  float64
+		Rank       int
+		Round      int
+		Loss       float64
+		PayloadLen int
 	}
 	// CollectRequest asks a worker for its full model (Algorithm 1 line 8).
 	CollectRequest struct{}

@@ -5,6 +5,7 @@ import (
 	"net"
 
 	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/gossip"
 )
 
@@ -96,11 +97,11 @@ func (w *WorkerClient) Run(coordAddr, peerAddr string) ([]float64, error) {
 				return nil, err
 			}
 		case RoundMsg:
-			loss, err := w.round(m)
+			loss, payloadLen, err := engine.WorkerRound(w.worker, peerDialer{w}, nil, m.Round, m.Seed, m.Peer)
 			if err != nil {
 				return nil, err
 			}
-			if err := w.coord.Send(RoundEnd{Rank: w.rank, Round: m.Round, Loss: loss}); err != nil {
+			if err := w.coord.Send(RoundEnd{Rank: w.rank, Round: m.Round, Loss: loss, PayloadLen: payloadLen}); err != nil {
 				return nil, err
 			}
 		case CollectRequest:
@@ -116,20 +117,15 @@ func (w *WorkerClient) Run(coordAddr, peerAddr string) ([]float64, error) {
 	}
 }
 
-// round executes Algorithm 2 lines 5–10 for one round.
-func (w *WorkerClient) round(m RoundMsg) (float64, error) {
-	loss := w.worker.LocalSGD()
-	w.worker.RoundMask(m.Seed, m.Round)
-	if m.Peer == -1 {
-		return loss, nil
-	}
-	payload := w.worker.MaskedPayload()
-	peerVals, err := w.exchange(m.Round, m.Peer, payload)
-	if err != nil {
-		return 0, err
-	}
-	w.worker.MergePeer(peerVals)
-	return loss, nil
+// peerDialer adapts the worker's peer connections to engine.Transport, so
+// the canonical engine.WorkerRound drives the TCP deployment: the round
+// logic itself lives in internal/engine, and only the payload swap below is
+// transport-specific.
+type peerDialer struct{ w *WorkerClient }
+
+// Exchange implements engine.Transport.
+func (d peerDialer) Exchange(round, self, peer int, payload []float64) ([]float64, error) {
+	return d.w.exchange(round, peer, payload)
 }
 
 // exchange swaps masked payloads with the peer: the lower rank dials, the

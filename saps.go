@@ -20,6 +20,12 @@
 //     cmd/sapsbench and bench_test.go) regenerate Tables I–IV and
 //     Figures 1/3/4/5/6.
 //
+// All three run the same execution core: the round loop of Algorithms 1–3
+// lives once, in the engine layer (Engine, EngineTransport, EngineLedger),
+// and the simulation/deployment paths differ only in which transport and
+// ledger back it. See DESIGN.md §2 for the layering and for how to add a
+// new backend.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
 package sapspsgd
@@ -28,6 +34,9 @@ import (
 	"sapspsgd/internal/algos"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/engine"
+	"sapspsgd/internal/engine/memtransport"
+	"sapspsgd/internal/engine/simtransport"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
@@ -82,6 +91,35 @@ type (
 	// WorkerClient is the TCP worker process.
 	WorkerClient = transport.WorkerClient
 )
+
+// Engine layer: the canonical round loop and its pluggable backends
+// (DESIGN.md §2).
+type (
+	// Engine runs Algorithms 1–3 over an in-process worker pool.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine (workers, planner, transport).
+	EngineOptions = engine.Options
+	// EngineTransport is the peer-to-peer data plane a backend implements.
+	EngineTransport = engine.Transport
+	// EngineLedger is the traffic/time accounting a backend charges.
+	EngineLedger = engine.Ledger
+	// CountingLedger tallies exact per-round and per-worker byte totals.
+	CountingLedger = engine.CountingLedger
+	// RoundStats summarizes one engine round.
+	RoundStats = engine.RoundStats
+)
+
+// NewEngine builds the in-process engine over the given options; pair it
+// with NewMemTransport (pure in-memory) or NewSimTransport (bandwidth-
+// accounted) — or leave Options.Transport nil for the in-memory default.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// NewMemTransport returns the in-process rendezvous transport for n workers.
+func NewMemTransport(n int) EngineTransport { return memtransport.NewHub(n) }
+
+// NewSimTransport returns an in-process transport plus a ledger that charges
+// every exchange against the bandwidth environment bw.
+func NewSimTransport(bw *Bandwidth) (EngineTransport, *Ledger) { return simtransport.New(bw) }
 
 // DefaultConfig returns the paper's hyperparameters (c = 100, one local SGD
 // step per round) for the given worker count.

@@ -9,6 +9,9 @@ import (
 // TestPublicAPIQuickstart exercises the documented façade end to end: the
 // same flow as examples/quickstart, at unit-test scale.
 func TestPublicAPIQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence run skipped in -short mode")
+	}
 	const workers = 4
 	train, valid := saps.MNISTLike(256, 64, 42)
 	shards := saps.PartitionIID(train, workers, 1)
