@@ -8,9 +8,15 @@
 package sapspsgd_test
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"testing"
+	"time"
 
+	"sapspsgd/internal/algos"
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/dataset"
 	"sapspsgd/internal/experiments"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
@@ -378,4 +384,103 @@ func BenchmarkResNet20ForwardBackward(b *testing.B) {
 		m.Backward(dl)
 	}
 	b.ReportMetric(float64(m.ParamCount()), "params")
+}
+
+// --- PR2 traffic/time smoke summary -----------------------------------------
+
+// BenchmarkTrafficSmoke runs every baseline for a handful of rounds at tiny
+// scale on the engine's Pattern/Codec compositions and reports measured
+// per-worker traffic plus wall time per round. It stays enabled under -short
+// so CI's bench smoke step (`go test -bench . -benchtime 1x -short`) always
+// produces a summary, written to BENCH_pr2.json.
+func BenchmarkTrafficSmoke(b *testing.B) {
+	type row struct {
+		Algorithm        string  `json:"algorithm"`
+		BytesPerRound    int64   `json:"bytes_per_round_per_worker"`
+		SimCommSeconds   float64 `json:"sim_comm_seconds"`
+		WallMillisPerRnd float64 `json:"wall_ms_per_round"`
+	}
+	const n, rounds = 8, 3
+	tr, _ := dataset.TinyTask(240, 4, 31)
+	shards := dataset.PartitionIID(tr, n, 1)
+	bw := netsim.RandomUniform(n, 1, 5, rng.New(7))
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range append(append([]string{}, experiments.AlgorithmNames...), "QSGD-PSGD", "PS-PSGD") {
+			fc := algos.FleetConfig{
+				N:       n,
+				Factory: func() *nn.Model { return nn.NewMLP(tr.Dim(), []int{12}, 4, 5) },
+				Shards:  shards,
+				LR:      0.1,
+				Batch:   8,
+				Seed:    3,
+			}
+			var alg algos.Algorithm
+			switch name {
+			case "PSGD":
+				alg = algos.NewPSGD(fc)
+			case "TopK-PSGD":
+				alg = algos.NewTopKPSGD(fc, 20)
+			case "FedAvg":
+				alg = algos.NewFedAvg(fc, bw, 0.5, 2)
+			case "S-FedAvg":
+				alg = algos.NewSFedAvg(fc, bw, 0.5, 2, 10)
+			case "D-PSGD":
+				alg = algos.NewDPSGD(fc)
+			case "DCD-PSGD":
+				alg = algos.NewDCDPSGD(fc, 4)
+			case "QSGD-PSGD":
+				alg = algos.NewQSGDPSGD(fc, 4)
+			case "PS-PSGD":
+				alg = algos.NewPSPSGD(fc, bw)
+			case "SAPS-PSGD":
+				cfg := core.Config{
+					Workers: n, Compression: 10, LR: 0.1, Batch: 8, LocalSteps: 1,
+					Gossip: gossip.Config{BThres: 2, TThres: 5}, Seed: 3,
+				}
+				alg = algos.NewSAPS(fc, bw, cfg)
+			}
+			sim := netsim.NewLedger(bw)
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				alg.Step(r, sim)
+			}
+			wall := time.Since(start)
+			var volume int64
+			for w := 0; w < n; w++ {
+				s, rcv := sim.WorkerBytes(w)
+				volume += s + rcv
+			}
+			rows = append(rows, row{
+				Algorithm:        name,
+				BytesPerRound:    volume / int64(n) / int64(rounds),
+				SimCommSeconds:   sim.TotalTime(),
+				WallMillisPerRnd: float64(wall.Microseconds()) / 1000 / rounds,
+			})
+			if c, ok := alg.(interface{ Close() }); ok {
+				c.Close()
+			}
+		}
+	}
+	out, err := json.MarshalIndent(map[string]any{
+		"bench":   "BenchmarkTrafficSmoke",
+		"workers": n,
+		"rounds":  rounds,
+		"rows":    rows,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr2.json", out, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Algorithm == "SAPS-PSGD" {
+			b.ReportMetric(float64(r.BytesPerRound), "saps-B/round")
+		}
+		if r.Algorithm == "D-PSGD" {
+			b.ReportMetric(float64(r.BytesPerRound), "dpsgd-B/round")
+		}
+	}
 }

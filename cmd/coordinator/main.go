@@ -1,12 +1,17 @@
-// Command coordinator runs the SAPS-PSGD coordinator (Algorithm 1) as a TCP
-// server: it registers -n workers, drives -rounds communication rounds of
-// adaptive peer selection + mask-seed broadcast, and writes the collected
-// final model to -out (gob-encoded []float64).
+// Command coordinator runs the training coordinator (Algorithm 1) as a TCP
+// server for any of the paper's algorithms: it registers the task's worker
+// processes, drives -rounds communication rounds of control broadcasts
+// (adaptive peer selection + mask seed for SAPS; participation sampling for
+// the federated schemes), and writes the collected final model to -out
+// (gob-encoded []float64).
 //
 // Example (six terminals):
 //
 //	coordinator -addr 127.0.0.1:7000 -n 4 -rounds 100 -arch mnist-cnn
 //	worker -coordinator 127.0.0.1:7000   # ×4
+//
+// Hub algorithms (-algo ps-psgd|fedavg|s-fedavg) need one extra worker
+// process: the last registered rank becomes the parameter server.
 package main
 
 import (
@@ -15,8 +20,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
-	"sapspsgd/internal/core"
+	"sapspsgd/internal/algos"
 	"sapspsgd/internal/engine"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
@@ -27,8 +33,9 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7000", "listen address")
-		n           = flag.Int("n", 4, "number of workers")
+		n           = flag.Int("n", 4, "number of trainer workers")
 		rounds      = flag.Int("rounds", 100, "communication rounds T")
+		algo        = flag.String("algo", "saps", "algorithm: "+strings.Join(algos.AlgoNames, "|"))
 		arch        = flag.String("arch", "mnist-cnn", "model: mlp|mnist-cnn|cifar-cnn|resnet")
 		width       = flag.Float64("width", 0.25, "model width multiplier")
 		size        = flag.Int("size", 16, "input spatial size (divisible by 4)")
@@ -37,7 +44,10 @@ func main() {
 		samples     = flag.Int("samples", 2048, "total training samples")
 		lr          = flag.Float64("lr", 0.05, "learning rate")
 		batch       = flag.Int("batch", 16, "batch size")
-		compression = flag.Float64("c", 100, "compression ratio c")
+		compression = flag.Float64("c", 100, "SAPS mask compression ratio c")
+		algoC       = flag.Float64("algo-c", 100, "sparsifier ratio for topk-psgd/dcd-psgd/s-fedavg")
+		levels      = flag.Int("qsgd-levels", 4, "QSGD quantization levels")
+		fraction    = flag.Float64("fraction", 0.5, "FedAvg participation fraction")
 		localSteps  = flag.Int("local-steps", 1, "local SGD steps per round")
 		nonIID      = flag.Bool("non-iid", false, "label-sharded non-IID partition")
 		seed        = flag.Uint64("seed", 1, "global seed")
@@ -54,6 +64,11 @@ func main() {
 		Width: *width, Hidden: []int{64}, Samples: *samples, DataSeed: *seed + 100,
 		NonIID: *nonIID, LR: *lr, Batch: *batch, Compression: *compression,
 		LocalSteps: *localSteps, Rounds: *rounds, Seed: *seed,
+		Algo: *algo, AlgoC: *algoC, QLevels: *levels, Fraction: *fraction,
+	}
+	rec := spec.Recipe(*n)
+	if err := rec.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	srv := &transport.CoordinatorServer{
 		N:    *n,
@@ -61,16 +76,11 @@ func main() {
 		// Without real link measurements, the coordinator assumes a random
 		// uniform environment; in production each worker pair would report
 		// measured speeds (paper §II-C footnote 3).
-		BW:         netsim.RandomUniform(*n, 1, 5, rng.New(*seed)),
+		BW:         netsim.RandomUniform(rec.Nodes(), 1, 5, rng.New(*seed)),
 		Measure:    *measure,
 		ProbeBytes: *probeKB << 10,
-		Cfg: core.Config{
-			Workers: *n, Compression: *compression, LR: *lr, Batch: *batch,
-			LocalSteps: *localSteps,
-			Gossip:     gossip.Config{BThres: *bthres, TThres: *tthres},
-			Seed:       *seed,
-		},
-		Logf: log.Printf,
+		Gossip:     gossip.Config{BThres: *bthres, TThres: *tthres},
+		Logf:       log.Printf,
 	}
 	led := &engine.CountingLedger{}
 	srv.Ledger = led
@@ -78,12 +88,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("coordinator listening on %s, waiting for %d workers", bound, *n)
+	log.Printf("coordinator listening on %s: algorithm %q, waiting for %d worker processes (%d trainers%s)",
+		bound, rec.Algo, rec.Nodes(), *n, serverNote(rec))
 	params, err := srv.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("total gossip traffic: %.2f MB over %d rounds", float64(led.TotalBytes())/1e6, led.Rounds())
+	log.Printf("total measured traffic: %.2f MB over %d rounds", float64(led.TotalBytes())/1e6, led.Rounds())
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -93,4 +104,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("final model (%d parameters) written to %s\n", len(params), *out)
+}
+
+func serverNote(rec algos.Recipe) string {
+	if rec.Hub() {
+		return " + 1 parameter server"
+	}
+	return ""
 }

@@ -87,7 +87,7 @@ func runInProc(name string, tr saps.EngineTransport, inner saps.EngineLedger) ([
 // runTCP drives the identical configuration as a real loopback TCP cluster.
 func runTCP() ([]float64, int64) {
 	led := &engine.CountingLedger{}
-	srv := &saps.CoordinatorServer{N: n, Task: spec(), BW: env(), Cfg: config(), Ledger: led}
+	srv := &saps.CoordinatorServer{N: n, Task: spec(), BW: env(), Gossip: config().Gossip, Ledger: led}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -11,7 +11,6 @@ import (
 	"sync"
 
 	saps "sapspsgd"
-	"sapspsgd/internal/core"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
@@ -27,15 +26,11 @@ func main() {
 		Rounds: 60, Seed: 3,
 	}
 	srv := &saps.CoordinatorServer{
-		N:    n,
-		Task: spec,
-		BW:   netsim.RandomUniform(n, 1, 5, rng.New(2)),
-		Cfg: core.Config{
-			Workers: n, Compression: spec.Compression, LR: spec.LR,
-			Batch: spec.Batch, LocalSteps: 1,
-			Gossip: gossip.Config{BThres: 2, TThres: 5}, Seed: 3,
-		},
-		Logf: log.Printf,
+		N:      n,
+		Task:   spec,
+		BW:     netsim.RandomUniform(n, 1, 5, rng.New(2)),
+		Gossip: gossip.Config{BThres: 2, TThres: 5},
+		Logf:   log.Printf,
 	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

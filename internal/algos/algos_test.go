@@ -258,13 +258,21 @@ func TestSAPSPrefersBandwidthOverRandom(t *testing.T) {
 
 func TestFedAvgSelectsFraction(t *testing.T) {
 	const n = 8
-	fc, bw, _ := testSetup(t, n)
-	fa := NewFedAvg(fc, bw, 0.5, 1)
-	if got := len(fa.selectWorkers()); got != 4 {
+	chosen := func(fraction float64) int {
+		r := Recipe{Algo: "fedavg", Workers: n, LR: 0.1, Batch: 8, Seed: 3, Fraction: fraction, LocalSteps: 1}
+		plan := r.Planner(nil, defaultRecipeGossip()).Plan(0)
+		k := 0
+		for i := 0; i < n; i++ { // exclude the always-active server rank
+			if plan.Active[i] {
+				k++
+			}
+		}
+		return k
+	}
+	if got := chosen(0.5); got != 4 {
 		t.Fatalf("selected %d, want 4", got)
 	}
-	fa2 := NewFedAvg(fc, bw, 0.01, 1)
-	if got := len(fa2.selectWorkers()); got != 1 {
+	if got := chosen(0.01); got != 1 {
 		t.Fatalf("selected %d, want floor of 1", got)
 	}
 }

@@ -133,7 +133,7 @@ func (s *SAPSChurn) Plan(t int) core.RoundPlan {
 }
 
 // Step implements Algorithm.
-func (s *SAPSChurn) Step(round int, led *netsim.Ledger) float64 {
+func (s *SAPSChurn) Step(round int, led engine.Ledger) float64 {
 	stats, err := s.eng.Step(round, led)
 	if err != nil {
 		panic(err)

@@ -3,16 +3,18 @@ package algos
 import (
 	"fmt"
 
-	"sapspsgd/internal/compress"
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/gossip"
-	"sapspsgd/internal/netsim"
-	"sapspsgd/internal/nn"
-	"sapspsgd/internal/tensor"
 	"sapspsgd/internal/topology"
 )
 
 // Topology aliases topology.Topology for the DPSGDTopology constructor.
 type Topology = topology.Topology
+
+// defaultRecipeGossip is the Algorithm 3 configuration for recipes that do
+// not use the gossip planner (static/hub baselines ignore it).
+func defaultRecipeGossip() gossip.Config { return gossip.Config{BThres: 0, TThres: 10} }
 
 // MetropolisWeights converts a topology's Metropolis–Hastings gossip matrix
 // into sparse per-worker weight rows (self weight included).
@@ -33,66 +35,18 @@ func MetropolisWeights(t Topology) []map[int]float64 {
 // DPSGD is decentralized parallel SGD (Lian et al.) on the static ring
 // topology the paper evaluates: each round worker i averages the full models
 // of its two ring neighbors with its own (weights 1/3) and then takes a
-// local gradient step. Every worker sends its dense model to both
-// neighbors each round.
+// local gradient step. Composed as Neighborhood pattern (ring adjacency) +
+// Dense codec: every worker ships its dense model to both neighbors each
+// round, and both directions are charged with measured bytes.
 type DPSGD struct {
-	fleet  *Fleet
-	lr     float64
-	params [][]float64 // snapshot of all models at round start
-	mixed  [][]float64
-	grads  [][]float64
+	*engineAlgo
 }
 
 // NewDPSGD builds the ring D-PSGD baseline.
 func NewDPSGD(fc FleetConfig) *DPSGD {
-	f := NewFleet(fc)
-	d := &DPSGD{fleet: f, lr: fc.LR}
-	d.params = make([][]float64, f.N)
-	d.mixed = make([][]float64, f.N)
-	d.grads = make([][]float64, f.N)
-	for i := 0; i < f.N; i++ {
-		d.params[i] = make([]float64, f.Dim)
-		d.mixed[i] = make([]float64, f.Dim)
-		d.grads[i] = make([]float64, f.Dim)
-	}
-	return d
-}
-
-// Name implements Algorithm.
-func (d *DPSGD) Name() string { return "D-PSGD" }
-
-// Models implements Algorithm.
-func (d *DPSGD) Models() []*nn.Model { return d.fleet.Models }
-
-// Step implements Algorithm: x_{t+1,i} = Σ_j W_ij x_{t,j} − γ ∇F_i(x_{t,i}).
-func (d *DPSGD) Step(round int, led *netsim.Ledger) float64 {
-	n := d.fleet.N
-	loss := d.fleet.Parallel(func(i int) float64 {
-		l := d.fleet.GradStep(i)
-		d.params[i] = d.fleet.Models[i].FlatParams(d.params[i])
-		d.grads[i] = d.fleet.Models[i].FlatGrads(d.grads[i])
-		return l
-	})
-	d.fleet.Parallel(func(i int) float64 {
-		prev, next := gossip.RingNeighbors(i, n)
-		m := d.mixed[i]
-		for j := range m {
-			m[j] = (d.params[prev][j] + d.params[i][j] + d.params[next][j]) / 3
-		}
-		tensor.Axpy(-d.lr, d.grads[i], m)
-		d.fleet.Models[i].SetFlatParams(m)
-		return 0
-	})
-
-	dense := compress.DenseBytes(d.fleet.Dim)
-	for i := 0; i < n; i++ {
-		// Each worker sends its dense model to its ring successor and
-		// receives the successor's dense model over the same link; the
-		// predecessor link is accounted by iteration i-1.
-		led.Exchange(i, (i+1)%n, dense, dense)
-	}
-	led.EndRound()
-	return loss
+	r := Recipe{Algo: "d-psgd", Workers: fc.N, LR: fc.LR, Batch: fc.Batch, Seed: fc.Seed}
+	a, _ := newEngineAlgo("D-PSGD", fc, r, r.Planner(nil, defaultRecipeGossip()), nil)
+	return &DPSGD{engineAlgo: a}
 }
 
 var _ Algorithm = (*DPSGD)(nil)
@@ -100,15 +54,11 @@ var _ Algorithm = (*DPSGD)(nil)
 // DPSGDTopology is D-PSGD on an arbitrary static topology with
 // Metropolis–Hastings mixing weights — the extension behind the topology
 // ablation (ring vs torus vs hypercube vs random regular): more neighbors
-// buy faster consensus at proportionally higher per-round traffic.
+// buy faster consensus at proportionally higher per-round traffic. Same
+// node/codec composition as DPSGD, with the topology's adjacency driving the
+// Neighborhood pattern.
 type DPSGDTopology struct {
-	fleet     *Fleet
-	lr        float64
-	name      string
-	neighbors [][]int
-	weights   []map[int]float64 // W row per worker (incl. self weight)
-	params    [][]float64
-	grads     [][]float64
+	*engineAlgo
 }
 
 // NewDPSGDTopology builds D-PSGD over the given topology. The topology must
@@ -121,53 +71,24 @@ func NewDPSGDTopology(fc FleetConfig, topo Topology) *DPSGDTopology {
 		panic("algos: disconnected topology cannot reach consensus")
 	}
 	f := NewFleet(fc)
-	d := &DPSGDTopology{fleet: f, lr: fc.LR, name: "D-PSGD(" + topo.Name + ")"}
-	w := MetropolisWeights(topo)
-	d.weights = w
-	d.neighbors = make([][]int, f.N)
-	d.params = make([][]float64, f.N)
-	d.grads = make([][]float64, f.N)
+	weights := MetropolisWeights(topo)
+	adj := make([][]int, f.N)
+	nodes := make([]engine.Node, f.N)
+	codecs := make([]engine.Codec, f.N)
 	for i := 0; i < f.N; i++ {
-		d.neighbors[i] = topo.G.Neighbors(i)
-		d.params[i] = make([]float64, f.Dim)
-		d.grads[i] = make([]float64, f.Dim)
+		adj[i] = topo.G.Neighbors(i)
+		t := newLocalTrainer(i, f.Models[i], fc.Shards[i], fc.Batch, fc.LR, fc.Seed)
+		nodes[i] = &neighborMixNode{t: t, lr: fc.LR, weights: weights[i]}
+		codecs[i] = engine.Dense{}
 	}
-	return d
-}
-
-// Name implements Algorithm.
-func (d *DPSGDTopology) Name() string { return d.name }
-
-// Models implements Algorithm.
-func (d *DPSGDTopology) Models() []*nn.Model { return d.fleet.Models }
-
-// Step implements Algorithm.
-func (d *DPSGDTopology) Step(round int, led *netsim.Ledger) float64 {
-	loss := d.fleet.Parallel(func(i int) float64 {
-		l := d.fleet.GradStep(i)
-		d.params[i] = d.fleet.Models[i].FlatParams(d.params[i])
-		d.grads[i] = d.fleet.Models[i].FlatGrads(d.grads[i])
-		return l
+	a := &engineAlgo{name: "D-PSGD(" + topo.Name + ")", models: f.Models, server: -1}
+	a.eng = engine.New(engine.Options{
+		Nodes:   nodes,
+		Codecs:  codecs,
+		Pattern: engine.NewNeighborhood(adj, false),
+		Planner: engine.PlannerFunc(func(t int) core.RoundPlan { return core.RoundPlan{Round: t} }),
 	})
-	d.fleet.Parallel(func(i int) float64 {
-		mixed := make([]float64, d.fleet.Dim)
-		for j, wij := range d.weights[i] {
-			tensor.Axpy(wij, d.params[j], mixed)
-		}
-		tensor.Axpy(-d.lr, d.grads[i], mixed)
-		d.fleet.Models[i].SetFlatParams(mixed)
-		return 0
-	})
-	dense := compress.DenseBytes(d.fleet.Dim)
-	for i := 0; i < d.fleet.N; i++ {
-		for _, j := range d.neighbors[i] {
-			if j > i {
-				led.Exchange(i, j, dense, dense)
-			}
-		}
-	}
-	led.EndRound()
-	return loss
+	return &DPSGDTopology{engineAlgo: a}
 }
 
 var _ Algorithm = (*DPSGDTopology)(nil)
@@ -177,89 +98,18 @@ var _ Algorithm = (*DPSGDTopology)(nil)
 // and transmits only a Top-k compressed difference between its model and its
 // own replica each round, so replicas track the true models with bounded
 // error. The paper sets c = 4 — larger ratios diverge, which our
-// integration tests reproduce.
+// integration tests reproduce. Composed as Neighborhood pattern with
+// IncludeSelf (the node applies its own lossy delta to its own replica,
+// keeping all copies of x̂ identical) + TopK codec without error feedback.
 type DCDPSGD struct {
-	fleet *Fleet
-	lr    float64
-	c     float64
-	// replicas[i] is the public estimate x̂_i shared by i's neighbors (all
-	// neighbors see the same deltas, so one copy suffices in-process).
-	replicas [][]float64
-	params   [][]float64
-	grads    [][]float64
-	deltas   []compress.SparseVec
+	*engineAlgo
 }
 
 // NewDCDPSGD builds the DCD baseline with compression ratio c.
 func NewDCDPSGD(fc FleetConfig, c float64) *DCDPSGD {
-	f := NewFleet(fc)
-	d := &DCDPSGD{fleet: f, lr: fc.LR, c: c}
-	d.replicas = make([][]float64, f.N)
-	d.params = make([][]float64, f.N)
-	d.grads = make([][]float64, f.N)
-	d.deltas = make([]compress.SparseVec, f.N)
-	for i := 0; i < f.N; i++ {
-		// Replicas start at the shared initial model, so they are exact at
-		// round 0.
-		d.replicas[i] = f.Models[i].FlatParams(nil)
-		d.params[i] = make([]float64, f.Dim)
-		d.grads[i] = make([]float64, f.Dim)
-	}
-	return d
-}
-
-// Name implements Algorithm.
-func (d *DCDPSGD) Name() string { return "DCD-PSGD" }
-
-// Models implements Algorithm.
-func (d *DCDPSGD) Models() []*nn.Model { return d.fleet.Models }
-
-// Step implements Algorithm.
-func (d *DCDPSGD) Step(round int, led *netsim.Ledger) float64 {
-	n := d.fleet.N
-	k := int(float64(d.fleet.Dim) / d.c)
-	if k < 1 {
-		k = 1
-	}
-	// Local gradient + replica-based gossip: x_i ← x_i + Σ_j W_ij(x̂_j − x̂_i)
-	// − γ g_i, with ring weights 1/3.
-	loss := d.fleet.Parallel(func(i int) float64 {
-		l := d.fleet.GradStep(i)
-		d.params[i] = d.fleet.Models[i].FlatParams(d.params[i])
-		d.grads[i] = d.fleet.Models[i].FlatGrads(d.grads[i])
-		return l
-	})
-	d.fleet.Parallel(func(i int) float64 {
-		prev, next := gossip.RingNeighbors(i, n)
-		p := d.params[i]
-		for j := range p {
-			gossipTerm := (d.replicas[prev][j] + d.replicas[next][j] - 2*d.replicas[i][j]) / 3
-			p[j] += gossipTerm - d.lr*d.grads[i][j]
-		}
-		return 0
-	})
-	// Compress the model/replica difference and publish it.
-	diff := make([]float64, d.fleet.Dim)
-	for i := 0; i < n; i++ {
-		tensor.Sub(diff, d.params[i], d.replicas[i])
-		d.deltas[i] = compress.TopK(diff, k)
-	}
-	// Everyone applies the published deltas to the replicas; workers adopt
-	// their new parameters.
-	for i := 0; i < n; i++ {
-		d.deltas[i].AddTo(d.replicas[i], 1)
-	}
-	d.fleet.Parallel(func(i int) float64 {
-		d.fleet.Models[i].SetFlatParams(d.params[i])
-		return 0
-	})
-
-	for i := 0; i < n; i++ {
-		// Sparse delta to successor; successor's delta back.
-		led.Exchange(i, (i+1)%n, d.deltas[i].WireBytes(), d.deltas[(i+1)%n].WireBytes())
-	}
-	led.EndRound()
-	return loss
+	r := Recipe{Algo: "dcd-psgd", Workers: fc.N, LR: fc.LR, Batch: fc.Batch, Seed: fc.Seed, C: c}
+	a, _ := newEngineAlgo("DCD-PSGD", fc, r, r.Planner(nil, defaultRecipeGossip()), nil)
+	return &DCDPSGD{engineAlgo: a}
 }
 
 var _ Algorithm = (*DCDPSGD)(nil)

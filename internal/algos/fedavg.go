@@ -1,215 +1,50 @@
 package algos
 
-import (
-	"fmt"
-
-	"sapspsgd/internal/compress"
-	"sapspsgd/internal/netsim"
-	"sapspsgd/internal/nn"
-	"sapspsgd/internal/rng"
-	"sapspsgd/internal/tensor"
-)
+import "sapspsgd/internal/netsim"
 
 // FedAvg is the centralized federated averaging baseline (McMahan et al.):
 // each round a fraction of workers pulls the server model, runs several
 // local SGD steps, and pushes its full model back; the server averages.
+// Composed as Hub pattern (pull → train → push; the per-round chosen set is
+// the plan's active set, drawn by the fraction planner) + Dense codecs.
 type FedAvg struct {
-	fleet      *Fleet
-	server     *nn.Model
-	fraction   float64
-	localSteps int
-	rnd        *rng.Source
-	serverLink []float64 // server↔worker bandwidth (MB/s)
-	scratch    []float64
-	acc        []float64
+	*engineAlgo
 }
 
 // NewFedAvg builds the baseline. fraction is the per-round participation
 // ratio (the paper uses 0.5); localSteps is the number of local minibatch
 // steps per round. The server is placed optimistically: its link to worker i
-// is the best bandwidth worker i has to anyone (the paper's "choosing the
-// server that has the maximum bandwidth").
+// is the best bandwidth worker i has to anyone.
 func NewFedAvg(fc FleetConfig, bw *netsim.Bandwidth, fraction float64, localSteps int) *FedAvg {
-	if fraction <= 0 || fraction > 1 {
-		panic(fmt.Sprintf("algos: FedAvg fraction %v", fraction))
+	r := Recipe{
+		Algo: "fedavg", Workers: fc.N, LR: fc.LR, Batch: fc.Batch, Seed: fc.Seed,
+		Fraction: fraction, LocalSteps: localSteps,
 	}
-	if localSteps < 1 {
-		panic(fmt.Sprintf("algos: FedAvg localSteps %d", localSteps))
-	}
-	f := NewFleet(fc)
-	fa := &FedAvg{
-		fleet:      f,
-		server:     fc.Factory(),
-		fraction:   fraction,
-		localSteps: localSteps,
-		rnd:        rng.New(fc.Seed).Derive(0xfeda),
-		scratch:    make([]float64, f.Dim),
-		acc:        make([]float64, f.Dim),
-	}
-	fa.serverLink = serverLinks(bw)
-	return fa
-}
-
-// serverLinks gives each worker its best available link speed, modeling a
-// server placed at the highest-bandwidth location.
-func serverLinks(bw *netsim.Bandwidth) []float64 {
-	out := make([]float64, bw.N)
-	for i := 0; i < bw.N; i++ {
-		best := 0.0
-		for j := 0; j < bw.N; j++ {
-			if v := bw.MBps(i, j); v > best {
-				best = v
-			}
-		}
-		out[i] = best
-	}
-	return out
-}
-
-// Name implements Algorithm.
-func (fa *FedAvg) Name() string { return "FedAvg" }
-
-// Models implements Algorithm. The global model lives on the server, but
-// evaluation needs trained normalization running statistics, which the
-// server model (never forward-passed in training mode) lacks; each Step
-// therefore mirrors the server parameters onto worker 0's model, which is
-// what Models returns.
-func (fa *FedAvg) Models() []*nn.Model { return []*nn.Model{fa.fleet.Models[0]} }
-
-// selectWorkers draws max(1, fraction*n) distinct workers.
-func (fa *FedAvg) selectWorkers() []int {
-	k := int(fa.fraction * float64(fa.fleet.N))
-	if k < 1 {
-		k = 1
-	}
-	perm := fa.rnd.Perm(fa.fleet.N)
-	return perm[:k]
-}
-
-// Step implements Algorithm.
-func (fa *FedAvg) Step(round int, led *netsim.Ledger) float64 {
-	chosen := fa.selectWorkers()
-	serverParams := fa.server.FlatParams(fa.scratch)
-
-	inChosen := make(map[int]bool, len(chosen))
-	for _, i := range chosen {
-		inChosen[i] = true
-	}
-	losses := 0.0
-	// Download, local training, upload — parallel across chosen workers.
-	lossPer := make([]float64, fa.fleet.N)
-	fa.fleet.Parallel(func(i int) float64 {
-		if !inChosen[i] {
-			return 0
-		}
-		fa.fleet.Models[i].SetFlatParams(serverParams)
-		total := 0.0
-		for s := 0; s < fa.localSteps; s++ {
-			total += fa.fleet.SGDStep(i)
-		}
-		lossPer[i] = total / float64(fa.localSteps)
-		return 0
-	})
-	// Server average of the uploaded models.
-	tensor.Fill(fa.acc, 0)
-	dense := compress.DenseBytes(fa.fleet.Dim)
-	for _, i := range chosen {
-		tensor.Axpy(1/float64(len(chosen)), fa.fleet.Models[i].FlatParams(nil), fa.acc)
-		led.ServerTransfer(i, dense, dense, fa.serverLink[i])
-		losses += lossPer[i]
-	}
-	fa.server.SetFlatParams(fa.acc)
-	fa.fleet.Models[0].SetFlatParams(fa.acc) // eval mirror (see Models)
-	led.EndRound()
-	return losses / float64(len(chosen))
+	a, _ := newEngineAlgo("FedAvg", fc, r, r.Planner(nil, defaultRecipeGossip()), serverLinks(bw))
+	return &FedAvg{engineAlgo: a}
 }
 
 var _ Algorithm = (*FedAvg)(nil)
 
 // SFedAvg is FedAvg with sparse random structured uploads (Konečný et al.):
 // the downstream model stays dense, but each chosen worker uploads only a
-// random N/c subset of its model delta with explicit indices.
+// random N/c subset of its model delta with explicit indices (RandomK
+// codec), and the server applies count-normalized sparse aggregation — each
+// received coordinate is averaged over the workers that actually reported
+// it.
 type SFedAvg struct {
-	fa  *FedAvg
-	c   float64
-	rnd *rng.Source
+	*engineAlgo
 }
 
 // NewSFedAvg builds the sparse FedAvg baseline with compression ratio c (the
 // paper uses c = 100, fraction 0.5).
 func NewSFedAvg(fc FleetConfig, bw *netsim.Bandwidth, fraction float64, localSteps int, c float64) *SFedAvg {
-	if c < 1 {
-		panic(fmt.Sprintf("algos: SFedAvg c=%v", c))
+	r := Recipe{
+		Algo: "s-fedavg", Workers: fc.N, LR: fc.LR, Batch: fc.Batch, Seed: fc.Seed,
+		Fraction: fraction, LocalSteps: localSteps, C: c,
 	}
-	return &SFedAvg{
-		fa:  NewFedAvg(fc, bw, fraction, localSteps),
-		c:   c,
-		rnd: rng.New(fc.Seed).Derive(0x5feda),
-	}
-}
-
-// Name implements Algorithm.
-func (s *SFedAvg) Name() string { return "S-FedAvg" }
-
-// Models implements Algorithm.
-func (s *SFedAvg) Models() []*nn.Model { return s.fa.Models() }
-
-// Step implements Algorithm.
-func (s *SFedAvg) Step(round int, led *netsim.Ledger) float64 {
-	fa := s.fa
-	chosen := fa.selectWorkers()
-	serverParams := fa.server.FlatParams(fa.scratch)
-
-	inChosen := make(map[int]bool, len(chosen))
-	for _, i := range chosen {
-		inChosen[i] = true
-	}
-	lossPer := make([]float64, fa.fleet.N)
-	fa.fleet.Parallel(func(i int) float64 {
-		if !inChosen[i] {
-			return 0
-		}
-		fa.fleet.Models[i].SetFlatParams(serverParams)
-		total := 0.0
-		for st := 0; st < fa.localSteps; st++ {
-			total += fa.fleet.SGDStep(i)
-		}
-		lossPer[i] = total / float64(fa.localSteps)
-		return 0
-	})
-
-	k := int(float64(fa.fleet.Dim) / s.c)
-	if k < 1 {
-		k = 1
-	}
-	// Server aggregates the sparse deltas per coordinate: each received
-	// coordinate is averaged over the workers that actually reported it
-	// (count normalization keeps the variance bounded at high c).
-	tensor.Fill(fa.acc, 0)
-	counts := make([]int32, fa.fleet.Dim)
-	delta := make([]float64, fa.fleet.Dim)
-	losses := 0.0
-	dense := compress.DenseBytes(fa.fleet.Dim)
-	for _, i := range chosen {
-		cur := fa.fleet.Models[i].FlatParams(nil)
-		tensor.Sub(delta, cur, serverParams)
-		sv := compress.RandomK(delta, k, s.rnd)
-		for j, idx := range sv.Idx {
-			fa.acc[idx] += sv.Val[j]
-			counts[idx]++
-		}
-		led.ServerTransfer(i, sv.WireBytes(), dense, fa.serverLink[i])
-		losses += lossPer[i]
-	}
-	for j, c := range counts {
-		if c > 0 {
-			serverParams[j] += fa.acc[j] / float64(c)
-		}
-	}
-	fa.server.SetFlatParams(serverParams)
-	fa.fleet.Models[0].SetFlatParams(serverParams) // eval mirror (see Models)
-	led.EndRound()
-	return losses / float64(len(chosen))
+	a, _ := newEngineAlgo("S-FedAvg", fc, r, r.Planner(nil, defaultRecipeGossip()), serverLinks(bw))
+	return &SFedAvg{engineAlgo: a}
 }
 
 var _ Algorithm = (*SFedAvg)(nil)

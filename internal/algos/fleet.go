@@ -1,9 +1,12 @@
 // Package algos implements the seven training algorithms the paper
 // evaluates — SAPS-PSGD and its six comparators (PSGD all-reduce,
-// TopK-PSGD, FedAvg, S-FedAvg, D-PSGD, DCD-PSGD) plus the RandomChoose
-// matching ablation — behind a common Algorithm interface consumed by the
-// trainer harness. Every algorithm accounts its exact wire traffic in a
-// netsim.Ledger so the Fig. 4/6 and Table IV comparisons are byte-accurate.
+// TopK-PSGD, FedAvg, S-FedAvg, D-PSGD, DCD-PSGD) plus the QSGD and
+// RandomChoose ablations — behind a common Algorithm interface consumed by
+// the trainer harness. Every algorithm is a thin Planner + Pattern + Codec
+// composition over the internal/engine round loop (see Recipe), so the same
+// definitions run in-process, against a simulated-bandwidth ledger, and over
+// TCP; all wire traffic is measured from the bytes the codecs actually
+// encode, never from analytic formulas.
 package algos
 
 import (
@@ -12,6 +15,7 @@ import (
 	"sync"
 
 	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
 )
@@ -23,9 +27,10 @@ type Algorithm interface {
 	Name() string
 	// Step executes one synchronous communication round: local compute for
 	// every worker plus all model/gradient exchanges, recorded in the
-	// ledger (which must wrap the same bandwidth environment the algorithm
-	// was constructed with). It returns the mean local training loss.
-	Step(round int, led *netsim.Ledger) float64
+	// ledger (a *netsim.Ledger for bandwidth-accounted simulation or an
+	// engine.CountingLedger for pure byte totals). It returns the mean
+	// local training loss.
+	Step(round int, led engine.Ledger) float64
 	// Models returns the live models whose parameter average is the
 	// algorithm's current global model (a single server model for
 	// centralized schemes).
@@ -122,4 +127,123 @@ func (f *Fleet) GradStep(i int) float64 {
 func (f *Fleet) SGDStep(i int) float64 {
 	xs, ys := f.Loaders[i].Next()
 	return nn.TrainBatch(f.Models[i], f.Opts[i], xs, ys)
+}
+
+// engineAlgo is the shared chassis of every baseline: an engine assembled
+// from a Recipe (nodes, per-rank codecs, pattern, planner), stepped through
+// engine.Driver. Per-round ledger charges come from the wire bytes the
+// codecs actually produced.
+type engineAlgo struct {
+	name   string
+	eng    *engine.Engine
+	models []*nn.Model
+	server int       // hub server rank, -1 for serverless algorithms
+	links  []float64 // server↔worker bandwidth (MB/s), hub only
+}
+
+// newEngineAlgo assembles the chassis over a fleet. For hub recipes the
+// server model comes from the shared factory (identical initialization) and
+// worker 0's model doubles as the evaluation mirror; links carries the
+// optimistic server placement of the paper ("choosing the server that has
+// the maximum bandwidth").
+func newEngineAlgo(name string, fc FleetConfig, r Recipe, planner engine.Planner, links []float64) (*engineAlgo, *Fleet) {
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	f := NewFleet(fc)
+	total := r.Nodes()
+	nodes := make([]engine.Node, total)
+	for i := 0; i < f.N; i++ {
+		nodes[i] = r.NewNode(i, f.Models[i], fc.Shards[i], nil)
+	}
+	a := &engineAlgo{name: name, models: f.Models, server: r.ServerRank(), links: links}
+	if a.server >= 0 {
+		nodes[a.server] = r.NewNode(a.server, fc.Factory(), nil, f.Models[0])
+		// The global model lives on the server; evaluation uses worker 0's
+		// mirror because only worker models accumulate normalization
+		// statistics.
+		a.models = f.Models[:1]
+	}
+	a.eng = engine.New(engine.Options{
+		Nodes:   nodes,
+		Codecs:  r.Codecs(f.Dim),
+		Pattern: r.Pattern(),
+		Planner: planner,
+	})
+	return a, f
+}
+
+// Name implements Algorithm.
+func (a *engineAlgo) Name() string { return a.name }
+
+// Models implements Algorithm.
+func (a *engineAlgo) Models() []*nn.Model { return a.models }
+
+// Close releases the engine's node pool (also reclaimed automatically when
+// the algorithm becomes unreachable).
+func (a *engineAlgo) Close() { a.eng.Close() }
+
+// Step implements Algorithm.
+func (a *engineAlgo) Step(round int, led engine.Ledger) float64 {
+	if a.server >= 0 {
+		led = &hubLedger{inner: led, server: a.server, links: a.links}
+	}
+	stats, err := a.eng.Step(round, led)
+	if err != nil {
+		panic(err) // the in-process transport cannot fail
+	}
+	return stats.Loss
+}
+
+// hubLedger maps engine pair charges involving the hub's server rank onto
+// netsim's server-transfer accounting (so simulated time uses the server
+// link speed and server traffic lands in ServerBytes, exactly as the paper's
+// centralized baselines are modelled). Non-netsim ledgers keep the plain
+// pair charge — the server is just one more rank to a byte counter.
+type hubLedger struct {
+	inner  engine.Ledger
+	server int
+	links  []float64
+}
+
+// Exchange implements engine.Ledger.
+func (l *hubLedger) Exchange(i, j int, sendBytes, recvBytes int64) {
+	ns, ok := l.inner.(*netsim.Ledger)
+	if !ok || (i != l.server && j != l.server) {
+		l.inner.Exchange(i, j, sendBytes, recvBytes)
+		return
+	}
+	if i == l.server {
+		// j is the worker: it uploads recvBytes and downloads sendBytes.
+		ns.ServerTransfer(j, recvBytes, sendBytes, l.link(j))
+		return
+	}
+	ns.ServerTransfer(i, sendBytes, recvBytes, l.link(i))
+}
+
+func (l *hubLedger) link(worker int) float64 {
+	if worker < len(l.links) {
+		return l.links[worker]
+	}
+	return 0
+}
+
+// EndRound implements engine.Ledger.
+func (l *hubLedger) EndRound() float64 { return l.inner.EndRound() }
+
+// serverLinks gives each worker its best available link speed, modeling a
+// server placed at the highest-bandwidth location (the paper's optimistic
+// placement).
+func serverLinks(bw *netsim.Bandwidth) []float64 {
+	out := make([]float64, bw.N)
+	for i := 0; i < bw.N; i++ {
+		best := 0.0
+		for j := 0; j < bw.N; j++ {
+			if v := bw.MBps(i, j); v > best {
+				best = v
+			}
+		}
+		out[i] = best
+	}
+	return out
 }

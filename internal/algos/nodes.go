@@ -1,0 +1,365 @@
+package algos
+
+import (
+	"fmt"
+	"math"
+
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/engine"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/tensor"
+)
+
+// This file holds the engine.Node implementations behind the seven baseline
+// algorithms. Each node owns exactly one rank's local state (model,
+// optimizer, loader, scratch), so the same types serve the in-process fleet
+// simulations and the one-node-per-process TCP deployment.
+
+// localTrainer bundles one rank's training state.
+type localTrainer struct {
+	rank   int
+	model  *nn.Model
+	opt    *nn.SGD
+	loader *dataset.Loader
+}
+
+// newLocalTrainer builds the training state with the fleet's deterministic
+// per-rank loader stream, so in-process and TCP runs draw identical batches.
+func newLocalTrainer(rank int, model *nn.Model, shard *dataset.Dataset, batch int, lr float64, seed uint64) *localTrainer {
+	return &localTrainer{
+		rank:   rank,
+		model:  model,
+		opt:    &nn.SGD{LR: lr},
+		loader: dataset.NewLoader(shard, batch, seed+uint64(rank)*104729),
+	}
+}
+
+// gradStep computes gradients on the next minibatch without applying them.
+func (t *localTrainer) gradStep() float64 {
+	xs, ys := t.loader.Next()
+	return nn.ComputeGrads(t.model, xs, ys)
+}
+
+// sgdStep runs one full local SGD step.
+func (t *localTrainer) sgdStep() float64 {
+	xs, ys := t.loader.Next()
+	return nn.TrainBatch(t.model, t.opt, xs, ys)
+}
+
+// serverLoss marks a node as a non-training participant.
+func serverLoss() float64 { return math.NaN() }
+
+// ---------------------------------------------------------------------------
+// Gradient-averaging nodes (PSGD, TopK-PSGD, QSGD-PSGD)
+
+// gradAvgNode is synchronous data-parallel SGD: each round it shares its
+// minibatch gradient and applies the fleet-wide average. Composed with the
+// Collective pattern + dense codec it is PSGD (exact all-reduce); with the
+// AllGather pattern + a lossy codec it is the compressed all-gather family
+// (TopK-PSGD, QSGD-PSGD), where the merged sum is the sum of *decoded*
+// gradients, the node's own included.
+type gradAvgNode struct {
+	t     *localTrainer
+	lr    float64
+	n     int // trainer count the sum is averaged over
+	grads []float64
+}
+
+// Compute implements engine.Node.
+func (g *gradAvgNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	loss := g.t.gradStep()
+	g.grads = g.t.model.FlatGrads(g.grads)
+	return loss, g.grads, nil
+}
+
+// Merge implements engine.Node: apply −lr · (Σ g_j)/n.
+func (g *gradAvgNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	if len(msgs) != 1 || msgs[0].From != -1 {
+		return fmt.Errorf("algos: gradient-average node expects one collective sum, got %d messages", len(msgs))
+	}
+	g.t.model.AddFlatToParams(-g.lr/float64(g.n), msgs[0].Vals)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Neighborhood mixing node (D-PSGD and its topology variants)
+
+// neighborMixNode is D-PSGD (Lian et al.): each round it shares its dense
+// model with its static neighbors and applies
+// x ← Σ_j W_ij x_j − lr·∇F(x), with W rows given per node. Composed with
+// the Neighborhood pattern + dense codec.
+type neighborMixNode struct {
+	t       *localTrainer
+	lr      float64
+	weights map[int]float64 // W row, self weight included
+	params  []float64
+	grads   []float64
+	mixed   []float64
+}
+
+// Compute implements engine.Node.
+func (d *neighborMixNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	loss := d.t.gradStep()
+	d.params = d.t.model.FlatParams(d.params)
+	d.grads = d.t.model.FlatGrads(d.grads)
+	return loss, d.params, nil
+}
+
+// Merge implements engine.Node.
+func (d *neighborMixNode) Merge(ctx engine.RoundContext, msgs []engine.PeerMsg) error {
+	if cap(d.mixed) < len(d.params) {
+		d.mixed = make([]float64, len(d.params))
+	}
+	d.mixed = d.mixed[:len(d.params)]
+	wSelf := d.weights[ctx.Self]
+	for j := range d.mixed {
+		d.mixed[j] = wSelf * d.params[j]
+	}
+	for _, m := range msgs {
+		w, ok := d.weights[m.From]
+		if !ok {
+			return fmt.Errorf("algos: D-PSGD node %d received model from non-neighbor %d", ctx.Self, m.From)
+		}
+		tensor.Axpy(w, m.Vals, d.mixed)
+	}
+	tensor.Axpy(-d.lr, d.grads, d.mixed)
+	d.t.model.SetFlatParams(d.mixed)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Difference-compressed node (DCD-PSGD)
+
+// dcdNode is difference-compressed decentralized SGD (Tang et al.): it keeps
+// public replicas x̂ of itself and its neighbors, gossips over the replicas,
+// and shares only a top-k compressed difference between its new model and
+// its own replica. Composed with the Neighborhood pattern (IncludeSelf: the
+// node must apply its own *lossy* delta to its own replica, exactly as its
+// neighbors do) + a top-k codec without error feedback.
+type dcdNode struct {
+	t        *localTrainer
+	lr       float64
+	weights  map[int]float64 // gossip weights over neighbors (no self entry)
+	replicas map[int][]float64
+	params   []float64
+	grads    []float64
+	diff     []float64
+}
+
+// newDCDNode initializes the replicas at the shared initial model, so they
+// are exact at round 0.
+func newDCDNode(t *localTrainer, lr float64, weights map[int]float64, self int) *dcdNode {
+	n := &dcdNode{t: t, lr: lr, weights: weights, replicas: map[int][]float64{}}
+	init := t.model.FlatParams(nil)
+	n.replicas[self] = init
+	for j := range weights {
+		n.replicas[j] = append([]float64(nil), init...)
+	}
+	return n
+}
+
+// Compute implements engine.Node: replica-based gossip + gradient step, then
+// publish the compressed model/replica difference.
+func (n *dcdNode) Compute(ctx engine.RoundContext) (float64, []float64, error) {
+	loss := n.t.gradStep()
+	n.params = n.t.model.FlatParams(n.params)
+	n.grads = n.t.model.FlatGrads(n.grads)
+	self := n.replicas[ctx.Self]
+	for j := range n.params {
+		gossip := 0.0
+		for nb, w := range n.weights {
+			gossip += w * (n.replicas[nb][j] - self[j])
+		}
+		n.params[j] += gossip - n.lr*n.grads[j]
+	}
+	n.t.model.SetFlatParams(n.params)
+	if cap(n.diff) < len(n.params) {
+		n.diff = make([]float64, len(n.params))
+	}
+	n.diff = n.diff[:len(n.params)]
+	tensor.Sub(n.diff, n.params, self)
+	return loss, n.diff, nil
+}
+
+// Merge implements engine.Node: every published delta (the node's own
+// included) advances the corresponding public replica.
+func (n *dcdNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	for _, m := range msgs {
+		repl, ok := n.replicas[m.From]
+		if !ok {
+			return fmt.Errorf("algos: DCD node received delta from non-neighbor %d", m.From)
+		}
+		tensor.Axpy(1, m.Vals, repl)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-server nodes (PS-PSGD)
+
+// psWorkerNode pulls the fresh dense model (hub downlink, merged before
+// Compute), computes one minibatch gradient on it, and pushes the dense
+// gradient up.
+type psWorkerNode struct {
+	t     *localTrainer
+	grads []float64
+}
+
+// Compute implements engine.Node.
+func (p *psWorkerNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	loss := p.t.gradStep()
+	p.grads = p.t.model.FlatGrads(p.grads)
+	return loss, p.grads, nil
+}
+
+// Merge implements engine.Node (hub downlink: adopt the server model).
+func (p *psWorkerNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	for _, m := range msgs {
+		p.t.model.SetFlatParams(m.Vals)
+	}
+	return nil
+}
+
+// psServerNode owns the global model: it broadcasts it down and applies the
+// average of the uploaded gradients. mirror, when set, receives the updated
+// parameters too — the in-process harness evaluates on worker 0's model
+// because the server model never forward-passes and therefore has no trained
+// normalization statistics.
+type psServerNode struct {
+	model  *nn.Model
+	mirror *nn.Model
+	lr     float64
+	params []float64
+	acc    []float64
+}
+
+// Compute implements engine.Node.
+func (s *psServerNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	s.params = s.model.FlatParams(s.params)
+	return serverLoss(), s.params, nil
+}
+
+// Merge implements engine.Node: x ← x − lr · mean(uploaded gradients).
+func (s *psServerNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if cap(s.acc) < len(s.params) {
+		s.acc = make([]float64, len(s.params))
+	}
+	s.acc = s.acc[:len(s.params)]
+	tensor.Fill(s.acc, 0)
+	for _, m := range msgs {
+		tensor.Axpy(1/float64(len(msgs)), m.Vals, s.acc)
+	}
+	tensor.Axpy(-s.lr, s.acc, s.params)
+	s.model.SetFlatParams(s.params)
+	if s.mirror != nil {
+		s.mirror.SetFlatParams(s.params)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Federated-averaging nodes (FedAvg, S-FedAvg)
+
+// fedWorkerNode pulls the dense model, runs localSteps minibatch SGD steps,
+// and pushes either its full model (FedAvg, dense codec) or its model delta
+// (S-FedAvg, random-k codec).
+type fedWorkerNode struct {
+	t          *localTrainer
+	localSteps int
+	delta      bool
+	pulled     []float64 // server params at this round's pull
+	out        []float64
+}
+
+// Merge implements engine.Node (hub downlink).
+func (f *fedWorkerNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	for _, m := range msgs {
+		f.pulled = append(f.pulled[:0], m.Vals...)
+		f.t.model.SetFlatParams(f.pulled)
+	}
+	return nil
+}
+
+// Compute implements engine.Node.
+func (f *fedWorkerNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	total := 0.0
+	for s := 0; s < f.localSteps; s++ {
+		total += f.t.sgdStep()
+	}
+	f.out = f.t.model.FlatParams(f.out)
+	if f.delta {
+		tensor.Sub(f.out, f.out, f.pulled)
+	}
+	return total / float64(f.localSteps), f.out, nil
+}
+
+// fedServerNode aggregates uploads into the global model. With counted unset
+// it averages full uploaded models (FedAvg); with counted set it applies
+// count-normalized sparse deltas (S-FedAvg): each received coordinate is
+// averaged over the workers that actually reported it, which keeps the
+// update variance bounded at high compression.
+type fedServerNode struct {
+	model   *nn.Model
+	mirror  *nn.Model
+	counted bool
+	params  []float64
+	acc     []float64
+	counts  []int32
+}
+
+// Compute implements engine.Node.
+func (s *fedServerNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	s.params = s.model.FlatParams(s.params)
+	return serverLoss(), s.params, nil
+}
+
+// Merge implements engine.Node.
+func (s *fedServerNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	dim := len(s.params)
+	if cap(s.acc) < dim {
+		s.acc = make([]float64, dim)
+	}
+	s.acc = s.acc[:dim]
+	tensor.Fill(s.acc, 0)
+	if !s.counted {
+		for _, m := range msgs {
+			tensor.Axpy(1/float64(len(msgs)), m.Vals, s.acc)
+		}
+		copy(s.params, s.acc)
+	} else {
+		if cap(s.counts) < dim {
+			s.counts = make([]int32, dim)
+		}
+		s.counts = s.counts[:dim]
+		for j := range s.counts {
+			s.counts[j] = 0
+		}
+		for _, m := range msgs {
+			_, idx, vals, err := engine.SparseWords(m.Words)
+			if err != nil {
+				return err
+			}
+			for i, ix := range idx {
+				j := int(ix)
+				s.acc[j] += vals[i]
+				s.counts[j]++
+			}
+		}
+		for j, c := range s.counts {
+			if c > 0 {
+				s.params[j] += s.acc[j] / float64(c)
+			}
+		}
+	}
+	s.model.SetFlatParams(s.params)
+	if s.mirror != nil {
+		s.mirror.SetFlatParams(s.params)
+	}
+	return nil
+}

@@ -1,65 +1,23 @@
 package algos
 
-import (
-	"sapspsgd/internal/compress"
-	"sapspsgd/internal/netsim"
-	"sapspsgd/internal/nn"
-	"sapspsgd/internal/tensor"
-)
-
-// PSGD is synchronous data-parallel SGD with a ring all-reduce over dense
+// PSGD is synchronous data-parallel SGD over an exact all-reduce of dense
 // gradients (Eq. (1) of the paper): every round all n workers average their
 // minibatch gradients exactly and take the same step, so all models stay
-// bit-identical.
+// bit-identical. Composed as Collective pattern + Dense codec: power-of-two
+// fleets run the bandwidth-optimal recursive halving/doubling butterfly
+// (each worker ships exactly 2·N·(n-1)/n values per round — the classic
+// ring-all-reduce cost of Table I — and receives the same), other sizes a
+// complete all-gather. Both directions of every transfer are charged with
+// measured codec bytes.
 type PSGD struct {
-	fleet *Fleet
-	lr    float64
-	avg   []float64
-	grads [][]float64
+	*engineAlgo
 }
 
 // NewPSGD builds the all-reduce baseline.
 func NewPSGD(fc FleetConfig) *PSGD {
-	f := NewFleet(fc)
-	p := &PSGD{fleet: f, lr: fc.LR, avg: make([]float64, f.Dim), grads: make([][]float64, f.N)}
-	for i := range p.grads {
-		p.grads[i] = make([]float64, f.Dim)
-	}
-	return p
-}
-
-// Name implements Algorithm.
-func (p *PSGD) Name() string { return "PSGD" }
-
-// Models implements Algorithm.
-func (p *PSGD) Models() []*nn.Model { return p.fleet.Models }
-
-// Step implements Algorithm.
-func (p *PSGD) Step(round int, led *netsim.Ledger) float64 {
-	loss := p.fleet.Parallel(func(i int) float64 {
-		l := p.fleet.GradStep(i)
-		p.fleet.Models[i].FlatGrads(p.grads[i])
-		return l
-	})
-	tensor.Fill(p.avg, 0)
-	for i := 0; i < p.fleet.N; i++ {
-		tensor.Axpy(1/float64(p.fleet.N), p.grads[i], p.avg)
-	}
-	p.fleet.Parallel(func(i int) float64 {
-		p.fleet.Models[i].AddFlatToParams(-p.lr, p.avg)
-		return 0
-	})
-
-	// Ring all-reduce traffic: each worker streams 2·N·(n-1)/n values to its
-	// ring successor (reduce-scatter + all-gather), and receives the same
-	// volume from its predecessor.
-	n := p.fleet.N
-	perWorker := int64(2) * int64(p.fleet.Dim) * int64(n-1) / int64(n) * compress.BytesPerValue
-	for i := 0; i < n; i++ {
-		led.Exchange(i, (i+1)%n, perWorker, 0)
-	}
-	led.EndRound()
-	return loss
+	r := Recipe{Algo: "psgd", Workers: fc.N, LR: fc.LR, Batch: fc.Batch, Seed: fc.Seed}
+	a, _ := newEngineAlgo("PSGD", fc, r, r.Planner(nil, defaultRecipeGossip()), nil)
+	return &PSGD{engineAlgo: a}
 }
 
 var _ Algorithm = (*PSGD)(nil)
@@ -67,65 +25,20 @@ var _ Algorithm = (*PSGD)(nil)
 // TopKPSGD is PSGD with Top-k gradient sparsification and error feedback
 // (DGC-style): each worker transmits only its N/c largest-magnitude
 // compensated gradient entries, but must all-gather every other worker's
-// sparse gradient, so per-worker traffic stays O(n·N/c).
+// sparse gradient, so per-worker traffic stays O(n·N/c). Composed as
+// AllGather pattern + TopK codec (explicit 32-bit indices: 8 wire bytes per
+// surviving value); every worker applies the average of the *decoded*
+// gradients, its own included.
 type TopKPSGD struct {
-	fleet *Fleet
-	lr    float64
-	c     float64
-	efs   []*compress.ErrorFeedback
-	avg   []float64
+	*engineAlgo
 }
 
 // NewTopKPSGD builds the Top-k baseline with compression ratio c (the paper
 // uses c = 1000).
 func NewTopKPSGD(fc FleetConfig, c float64) *TopKPSGD {
-	f := NewFleet(fc)
-	t := &TopKPSGD{fleet: f, lr: fc.LR, c: c, avg: make([]float64, f.Dim)}
-	for i := 0; i < f.N; i++ {
-		t.efs = append(t.efs, compress.NewErrorFeedback(f.Dim))
-	}
-	return t
-}
-
-// Name implements Algorithm.
-func (t *TopKPSGD) Name() string { return "TopK-PSGD" }
-
-// Models implements Algorithm.
-func (t *TopKPSGD) Models() []*nn.Model { return t.fleet.Models }
-
-// Step implements Algorithm.
-func (t *TopKPSGD) Step(round int, led *netsim.Ledger) float64 {
-	k := int(float64(t.fleet.Dim) / t.c)
-	if k < 1 {
-		k = 1
-	}
-	sparse := make([]compress.SparseVec, t.fleet.N)
-	grad := make([][]float64, t.fleet.N)
-	loss := t.fleet.Parallel(func(i int) float64 {
-		l := t.fleet.GradStep(i)
-		grad[i] = t.fleet.Models[i].FlatGrads(grad[i])
-		sparse[i] = t.efs[i].CompressTopK(grad[i], k)
-		return l
-	})
-
-	tensor.Fill(t.avg, 0)
-	for i := 0; i < t.fleet.N; i++ {
-		sparse[i].AddTo(t.avg, 1/float64(t.fleet.N))
-	}
-	t.fleet.Parallel(func(i int) float64 {
-		t.fleet.Models[i].AddFlatToParams(-t.lr, t.avg)
-		return 0
-	})
-
-	// All-gather of sparse gradients: every ordered pair exchanges one
-	// sparse vector (explicit indices + values).
-	for i := 0; i < t.fleet.N; i++ {
-		for j := i + 1; j < t.fleet.N; j++ {
-			led.Exchange(i, j, sparse[i].WireBytes(), sparse[j].WireBytes())
-		}
-	}
-	led.EndRound()
-	return loss
+	r := Recipe{Algo: "topk-psgd", Workers: fc.N, LR: fc.LR, Batch: fc.Batch, Seed: fc.Seed, C: c}
+	a, _ := newEngineAlgo("TopK-PSGD", fc, r, r.Planner(nil, defaultRecipeGossip()), nil)
+	return &TopKPSGD{engineAlgo: a}
 }
 
 var _ Algorithm = (*TopKPSGD)(nil)

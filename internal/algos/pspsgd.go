@@ -1,78 +1,26 @@
 package algos
 
-import (
-	"sapspsgd/internal/compress"
-	"sapspsgd/internal/netsim"
-	"sapspsgd/internal/nn"
-	"sapspsgd/internal/tensor"
-)
+import "sapspsgd/internal/netsim"
 
 // PSPSGD is the classical parameter-server PSGD of Table I's first row:
-// every round each worker pushes its dense gradient to the server, the
-// server averages and updates the global model, and every worker pulls the
-// fresh dense model. Distinct from FedAvg (which averages models after
-// multiple local steps) and from PSGD all-reduce (which has no server).
+// every round each worker pulls the fresh dense model, computes one
+// minibatch gradient on it, and pushes the dense gradient; the server
+// averages and updates the global model. Distinct from FedAvg (which
+// averages models after multiple local steps) and from PSGD all-reduce
+// (which has no server). Composed as Hub pattern (the server is node rank n)
+// + Dense codecs both directions; netsim charges land on the server links
+// via ServerTransfer, exactly as the paper models the centralized baselines.
 type PSPSGD struct {
-	fleet      *Fleet
-	server     *nn.Model
-	lr         float64
-	serverLink []float64
-	avg        []float64
-	grads      [][]float64
-	scratch    []float64
+	*engineAlgo
 }
 
-// NewPSPSGD builds the parameter-server baseline.
+// NewPSPSGD builds the parameter-server baseline. The server is placed
+// optimistically: its link to worker i is the best bandwidth worker i has to
+// anyone (the paper's "choosing the server that has the maximum bandwidth").
 func NewPSPSGD(fc FleetConfig, bw *netsim.Bandwidth) *PSPSGD {
-	f := NewFleet(fc)
-	p := &PSPSGD{
-		fleet:      f,
-		server:     fc.Factory(),
-		lr:         fc.LR,
-		serverLink: serverLinks(bw),
-		avg:        make([]float64, f.Dim),
-		grads:      make([][]float64, f.N),
-		scratch:    make([]float64, f.Dim),
-	}
-	for i := range p.grads {
-		p.grads[i] = make([]float64, f.Dim)
-	}
-	return p
-}
-
-// Name implements Algorithm.
-func (p *PSPSGD) Name() string { return "PS-PSGD" }
-
-// Models implements Algorithm: worker 0 mirrors the server parameters after
-// every Step so evaluation uses trained normalization statistics (the
-// server model itself never forward-passes).
-func (p *PSPSGD) Models() []*nn.Model { return []*nn.Model{p.fleet.Models[0]} }
-
-// Step implements Algorithm.
-func (p *PSPSGD) Step(round int, led *netsim.Ledger) float64 {
-	// Workers pull the current model, compute a gradient, and push it.
-	serverParams := p.server.FlatParams(p.scratch)
-	loss := p.fleet.Parallel(func(i int) float64 {
-		p.fleet.Models[i].SetFlatParams(serverParams)
-		l := p.fleet.GradStep(i)
-		p.grads[i] = p.fleet.Models[i].FlatGrads(p.grads[i])
-		return l
-	})
-	tensor.Fill(p.avg, 0)
-	for i := 0; i < p.fleet.N; i++ {
-		tensor.Axpy(1/float64(p.fleet.N), p.grads[i], p.avg)
-	}
-	tensor.Axpy(-p.lr, p.avg, serverParams)
-	p.server.SetFlatParams(serverParams)
-	p.fleet.Models[0].SetFlatParams(serverParams) // eval mirror (see Models)
-
-	dense := compress.DenseBytes(p.fleet.Dim)
-	for i := 0; i < p.fleet.N; i++ {
-		// Upstream: dense gradient. Downstream: dense model.
-		led.ServerTransfer(i, dense, dense, p.serverLink[i])
-	}
-	led.EndRound()
-	return loss
+	r := Recipe{Algo: "ps-psgd", Workers: fc.N, LR: fc.LR, Batch: fc.Batch, Seed: fc.Seed}
+	a, _ := newEngineAlgo("PS-PSGD", fc, r, r.Planner(nil, defaultRecipeGossip()), serverLinks(bw))
+	return &PSPSGD{engineAlgo: a}
 }
 
 var _ Algorithm = (*PSPSGD)(nil)

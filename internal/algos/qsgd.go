@@ -1,72 +1,22 @@
 package algos
 
-import (
-	"sapspsgd/internal/compress"
-	"sapspsgd/internal/netsim"
-	"sapspsgd/internal/nn"
-	"sapspsgd/internal/tensor"
-)
-
 // QSGDPSGD is an extension baseline (the paper's related work positions
 // sparsification against quantization): PSGD with QSGD-quantized gradients
 // all-gathered among workers. Quantization caps compression at 32/bits per
 // value, so even aggressive 4-level QSGD cannot approach the mask
-// sparsifier's 100× — the ablation benches quantify the gap.
+// sparsifier's 100× — the ablation benches quantify the gap. Composed as
+// AllGather pattern + QSGD codec (4-byte norm + bit-packed level codes,
+// charged at the exact packed size).
 type QSGDPSGD struct {
-	fleet  *Fleet
-	lr     float64
-	quants []*compress.QSGD
-	avg    []float64
-	grads  [][]float64
+	*engineAlgo
 }
 
 // NewQSGDPSGD builds the quantized all-gather baseline with the given level
 // count (levels=1 is ternary TernGrad-style, 127 is 8-bit).
 func NewQSGDPSGD(fc FleetConfig, levels int) *QSGDPSGD {
-	f := NewFleet(fc)
-	q := &QSGDPSGD{
-		fleet: f,
-		lr:    fc.LR,
-		avg:   make([]float64, f.Dim),
-		grads: make([][]float64, f.N),
-	}
-	for i := 0; i < f.N; i++ {
-		q.quants = append(q.quants, compress.NewQSGD(levels, fc.Seed+uint64(i)*31))
-		q.grads[i] = make([]float64, f.Dim)
-	}
-	return q
-}
-
-// Name implements Algorithm.
-func (q *QSGDPSGD) Name() string { return "QSGD-PSGD" }
-
-// Models implements Algorithm.
-func (q *QSGDPSGD) Models() []*nn.Model { return q.fleet.Models }
-
-// Step implements Algorithm.
-func (q *QSGDPSGD) Step(round int, led *netsim.Ledger) float64 {
-	encoded := make([]compress.Quantized, q.fleet.N)
-	loss := q.fleet.Parallel(func(i int) float64 {
-		l := q.fleet.GradStep(i)
-		q.grads[i] = q.fleet.Models[i].FlatGrads(q.grads[i])
-		encoded[i] = q.quants[i].Quantize(q.grads[i])
-		return l
-	})
-	tensor.Fill(q.avg, 0)
-	for i := 0; i < q.fleet.N; i++ {
-		tensor.Axpy(1/float64(q.fleet.N), encoded[i].Decode(), q.avg)
-	}
-	q.fleet.Parallel(func(i int) float64 {
-		q.fleet.Models[i].AddFlatToParams(-q.lr, q.avg)
-		return 0
-	})
-	for i := 0; i < q.fleet.N; i++ {
-		for j := i + 1; j < q.fleet.N; j++ {
-			led.Exchange(i, j, encoded[i].WireBytes(), encoded[j].WireBytes())
-		}
-	}
-	led.EndRound()
-	return loss
+	r := Recipe{Algo: "qsgd-psgd", Workers: fc.N, LR: fc.LR, Batch: fc.Batch, Seed: fc.Seed, Levels: levels}
+	a, _ := newEngineAlgo("QSGD-PSGD", fc, r, r.Planner(nil, defaultRecipeGossip()), nil)
+	return &QSGDPSGD{engineAlgo: a}
 }
 
 var _ Algorithm = (*QSGDPSGD)(nil)

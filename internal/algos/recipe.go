@@ -1,0 +1,308 @@
+package algos
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/engine"
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/rng"
+)
+
+// Recipe is the deployment-neutral description of one algorithm run: enough
+// to assemble the engine.Pattern, the per-rank engine.Codecs, each rank's
+// engine.Node, and the coordinator-side engine.Planner — whether all ranks
+// live in one process (the fleet constructors below) or one per machine (the
+// TCP transport builds its single rank from the same recipe, so both
+// deployments produce bit-identical trajectories).
+type Recipe struct {
+	// Algo selects the algorithm: saps | psgd | topk-psgd | qsgd-psgd |
+	// d-psgd | dcd-psgd | ps-psgd | fedavg | s-fedavg.
+	Algo string
+	// Workers is the trainer count n. Hub algorithms add the parameter
+	// server as one extra rank (rank n), so Nodes() is n or n+1.
+	Workers int
+	LR      float64
+	Batch   int
+	Seed    uint64
+	// Compression is the SAPS shared-mask ratio c.
+	Compression float64
+	// LocalSteps is the local SGD steps per round (SAPS, FedAvg).
+	LocalSteps int
+	// C is the sparsifier ratio for topk-psgd, dcd-psgd and s-fedavg.
+	C float64
+	// Levels is the QSGD level count s.
+	Levels int
+	// Fraction is the FedAvg per-round participation ratio.
+	Fraction float64
+}
+
+// AlgoNames lists the recipes' canonical -algo values.
+var AlgoNames = []string{
+	"saps", "psgd", "topk-psgd", "qsgd-psgd", "d-psgd", "dcd-psgd", "ps-psgd", "fedavg", "s-fedavg",
+}
+
+// Validate returns an error describing the first invalid field, if any.
+func (r Recipe) Validate() error {
+	switch {
+	case r.Workers < 2:
+		return fmt.Errorf("algos: recipe for %d workers", r.Workers)
+	case r.LR <= 0 || r.Batch < 1:
+		return fmt.Errorf("algos: recipe LR %v batch %d", r.LR, r.Batch)
+	}
+	switch r.Algo {
+	case "saps":
+		if r.Compression < 1 {
+			return fmt.Errorf("algos: saps compression %v", r.Compression)
+		}
+	case "psgd", "d-psgd", "ps-psgd":
+	case "topk-psgd", "dcd-psgd":
+		if r.C < 1 {
+			return fmt.Errorf("algos: %s ratio c=%v", r.Algo, r.C)
+		}
+	case "qsgd-psgd":
+		if r.Levels < 1 {
+			return fmt.Errorf("algos: qsgd levels %d", r.Levels)
+		}
+	case "fedavg", "s-fedavg":
+		if r.Fraction <= 0 || r.Fraction > 1 {
+			return fmt.Errorf("algos: fedavg fraction %v", r.Fraction)
+		}
+		if r.LocalSteps < 1 {
+			return fmt.Errorf("algos: fedavg local steps %d", r.LocalSteps)
+		}
+		if r.Algo == "s-fedavg" && r.C < 1 {
+			return fmt.Errorf("algos: s-fedavg ratio c=%v", r.C)
+		}
+	default:
+		return fmt.Errorf("algos: unknown algorithm %q (have %v)", r.Algo, AlgoNames)
+	}
+	return nil
+}
+
+// Hub reports whether the recipe deploys a parameter server.
+func (r Recipe) Hub() bool {
+	return r.Algo == "ps-psgd" || r.Algo == "fedavg" || r.Algo == "s-fedavg"
+}
+
+// Nodes is the total rank count (trainers plus server).
+func (r Recipe) Nodes() int {
+	if r.Hub() {
+		return r.Workers + 1
+	}
+	return r.Workers
+}
+
+// ServerRank is the hub rank, or -1 for serverless algorithms.
+func (r Recipe) ServerRank() int {
+	if r.Hub() {
+		return r.Workers
+	}
+	return -1
+}
+
+// localSteps returns the configured local steps, defaulting to 1.
+func (r Recipe) localSteps() int {
+	if r.LocalSteps < 1 {
+		return 1
+	}
+	return r.LocalSteps
+}
+
+// sparseK is the sparsifier budget N/c, at least 1.
+func sparseK(dim int, c float64) int {
+	k := int(float64(dim) / c)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ringAdjacency is the static ring the paper's decentralized baselines run
+// on.
+func ringAdjacency(n int) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		prev, next := gossip.RingNeighbors(i, n)
+		if prev == next { // n == 2: one neighbor
+			adj[i] = []int{prev}
+		} else {
+			adj[i] = []int{prev, next}
+		}
+	}
+	return adj
+}
+
+// ringWeights are the uniform 1/3 mixing weights of the paper's ring
+// (1/(deg+1) in general), with the self weight absorbing the remainder.
+func ringWeights(i, n int) (mix map[int]float64, self map[int]float64) {
+	prev, next := gossip.RingNeighbors(i, n)
+	mix = map[int]float64{}
+	deg := 2
+	if prev == next {
+		deg = 1
+	}
+	w := 1 / float64(deg+1)
+	mix[prev] = w
+	mix[next] = w
+	withSelf := map[int]float64{i: 1 - float64(len(mix))*w}
+	for j, v := range mix {
+		withSelf[j] = v
+	}
+	return mix, withSelf
+}
+
+// Pattern assembles the recipe's exchange pattern.
+func (r Recipe) Pattern() engine.Pattern {
+	switch r.Algo {
+	case "saps":
+		return engine.Pairwise{}
+	case "psgd":
+		return engine.Collective{}
+	case "topk-psgd", "qsgd-psgd":
+		return engine.AllGather{}
+	case "d-psgd":
+		return engine.NewNeighborhood(ringAdjacency(r.Workers), false)
+	case "dcd-psgd":
+		return engine.NewNeighborhood(ringAdjacency(r.Workers), true)
+	case "ps-psgd", "fedavg", "s-fedavg":
+		return engine.Hub{Server: r.ServerRank()}
+	}
+	panic("algos: Pattern on invalid recipe: " + r.Algo)
+}
+
+// Codecs assembles the per-rank codec table for models of the given
+// dimension. Stateful codecs get rank-derived deterministic seeds, so every
+// process (or the single in-process fleet) builds identical streams.
+func (r Recipe) Codecs(dim int) []engine.Codec {
+	n := r.Nodes()
+	out := make([]engine.Codec, n)
+	for rank := 0; rank < n; rank++ {
+		switch r.Algo {
+		case "saps":
+			out[rank] = engine.NewMasked(r.Compression)
+		case "psgd", "d-psgd", "ps-psgd", "fedavg":
+			out[rank] = engine.Dense{}
+		case "topk-psgd":
+			out[rank] = engine.NewTopK(sparseK(dim, r.C), dim, true)
+		case "dcd-psgd":
+			out[rank] = engine.NewTopK(sparseK(dim, r.C), dim, false)
+		case "qsgd-psgd":
+			out[rank] = engine.NewQSGDCodec(r.Levels, r.Seed+uint64(rank)*31)
+		case "s-fedavg":
+			if rank == r.ServerRank() {
+				out[rank] = engine.Dense{} // dense model downlink
+			} else {
+				out[rank] = engine.NewRandomK(sparseK(dim, r.C), r.Seed+uint64(rank)*2654435761)
+			}
+		default:
+			panic("algos: Codecs on invalid recipe: " + r.Algo)
+		}
+	}
+	return out
+}
+
+// NewNode builds rank's engine.Node. model must come from the shared
+// identically-seeded factory; shard is the rank's data shard (ignored for
+// the hub server rank, which owns the global model instead and may pass
+// nil). mirror, when non-nil on a hub server rank, receives the updated
+// global parameters each round (the in-process harness evaluates on a worker
+// model; TCP deployments pass nil).
+func (r Recipe) NewNode(rank int, model *nn.Model, shard *dataset.Dataset, mirror *nn.Model) engine.Node {
+	if r.Hub() && rank == r.ServerRank() {
+		switch r.Algo {
+		case "ps-psgd":
+			return &psServerNode{model: model, mirror: mirror, lr: r.LR}
+		case "fedavg":
+			return &fedServerNode{model: model, mirror: mirror}
+		case "s-fedavg":
+			return &fedServerNode{model: model, mirror: mirror, counted: true}
+		}
+	}
+	t := newLocalTrainer(rank, model, shard, r.Batch, r.LR, r.Seed)
+	switch r.Algo {
+	case "saps":
+		cfg := core.Config{
+			Workers:     r.Workers,
+			Compression: r.Compression,
+			LR:          r.LR,
+			Batch:       r.Batch,
+			LocalSteps:  r.localSteps(),
+			Gossip:      gossip.Config{BThres: 0, TThres: 10},
+			Seed:        r.Seed,
+		}
+		return engine.NewMaskedGossipNode(core.NewWorker(rank, model, shard, cfg))
+	case "psgd":
+		return &gradAvgNode{t: t, lr: r.LR, n: r.Workers}
+	case "topk-psgd", "qsgd-psgd":
+		return &gradAvgNode{t: t, lr: r.LR, n: r.Workers}
+	case "d-psgd":
+		_, withSelf := ringWeights(rank, r.Workers)
+		return &neighborMixNode{t: t, lr: r.LR, weights: withSelf}
+	case "dcd-psgd":
+		mix, _ := ringWeights(rank, r.Workers)
+		return newDCDNode(t, r.LR, mix, rank)
+	case "ps-psgd":
+		return &psWorkerNode{t: t}
+	case "fedavg":
+		return &fedWorkerNode{t: t, localSteps: r.localSteps()}
+	case "s-fedavg":
+		return &fedWorkerNode{t: t, localSteps: r.localSteps(), delta: true}
+	}
+	panic("algos: NewNode on invalid recipe: " + r.Algo)
+}
+
+// Planner assembles the coordinator-side planner. bw and gcfg matter only
+// for saps (Algorithm 3's bandwidth-aware matching); static algorithms plan
+// trivial rounds and fedavg samples its participation fraction.
+func (r Recipe) Planner(bw *netsim.Bandwidth, gcfg gossip.Config) engine.Planner {
+	switch r.Algo {
+	case "saps":
+		cfg := core.Config{
+			Workers:     r.Workers,
+			Compression: r.Compression,
+			LR:          r.LR,
+			Batch:       r.Batch,
+			LocalSteps:  r.localSteps(),
+			Gossip:      gcfg,
+			Seed:        r.Seed,
+		}
+		return core.NewCoordinator(bw, cfg)
+	case "fedavg", "s-fedavg":
+		k := int(r.Fraction * float64(r.Workers))
+		if k < 1 {
+			k = 1
+		}
+		return &fractionPlanner{
+			n:      r.Workers,
+			server: r.ServerRank(),
+			k:      k,
+			rnd:    rng.New(r.Seed).Derive(0xfeda),
+		}
+	default:
+		return engine.PlannerFunc(func(t int) core.RoundPlan { return core.RoundPlan{Round: t} })
+	}
+}
+
+// fractionPlanner draws max(1, fraction·n) distinct workers per round; the
+// server is always active.
+type fractionPlanner struct {
+	n      int
+	server int
+	k      int
+	rnd    *rng.Source
+}
+
+// Plan implements engine.Planner.
+func (p *fractionPlanner) Plan(t int) core.RoundPlan {
+	active := make([]bool, p.n+1)
+	active[p.server] = true
+	perm := p.rnd.Perm(p.n)
+	for _, i := range perm[:p.k] {
+		active[i] = true
+	}
+	return core.RoundPlan{Round: t, Active: active}
+}

@@ -63,7 +63,7 @@ func (s *SAPS) Close() { s.eng.Close() }
 
 // Step implements Algorithm: Algorithm 1 (coordinator) + Algorithm 2
 // (workers) for one round, executed by the engine.
-func (s *SAPS) Step(round int, led *netsim.Ledger) float64 {
+func (s *SAPS) Step(round int, led engine.Ledger) float64 {
 	stats, err := s.eng.Step(round, led)
 	if err != nil {
 		panic(err) // the in-process transport cannot fail
@@ -131,7 +131,7 @@ func (rc *RandomChoose) Models() []*nn.Model { return rc.fleet.Models }
 func (rc *RandomChoose) Close() { rc.eng.Close() }
 
 // Step implements Algorithm.
-func (rc *RandomChoose) Step(round int, led *netsim.Ledger) float64 {
+func (rc *RandomChoose) Step(round int, led engine.Ledger) float64 {
 	stats, err := rc.eng.Step(round, led)
 	if err != nil {
 		panic(err)

@@ -83,9 +83,13 @@ func (qv Quantized) Decode() []float64 {
 
 // WireBytes returns the exact encoded size: 4 bytes of norm plus the
 // bit-packed codes.
-func (qv Quantized) WireBytes() int64 {
-	bitsPerCode := bitsFor(2*qv.Levels + 1)
-	return 4 + int64((len(qv.Codes)*bitsPerCode+7)/8)
+func (qv Quantized) WireBytes() int64 { return QuantizedWireBytes(len(qv.Codes), qv.Levels) }
+
+// QuantizedWireBytes is the exact encoded size of n coordinates quantized to
+// 2*levels+1 signed levels: 4 bytes of norm plus bit-packed codes.
+func QuantizedWireBytes(n, levels int) int64 {
+	bitsPerCode := bitsFor(2*levels + 1)
+	return 4 + int64((n*bitsPerCode+7)/8)
 }
 
 func bitsFor(values int) int {

@@ -103,6 +103,17 @@ func (w *Worker) MergePeer(peerVals []float64) {
 // PayloadLen returns the number of values the current mask transmits.
 func (w *Worker) PayloadLen() int { return compress.CountOnes(w.mask) }
 
+// CompressionRatio returns the configured mask compression ratio c.
+func (w *Worker) CompressionRatio() float64 { return w.cfg.Compression }
+
+// ParamsScratch returns the worker's current flat parameter vector in the
+// worker-owned scratch buffer (valid until the next call touching it). The
+// engine's masked codec extracts the wire payload from this vector.
+func (w *Worker) ParamsScratch() []float64 {
+	w.flat = w.Model.FlatParams(w.flat)
+	return w.flat
+}
+
 // Params returns the worker's current flat parameter vector (a copy).
 func (w *Worker) Params() []float64 { return w.Model.FlatParams(nil) }
 

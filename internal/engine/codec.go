@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"sapspsgd/internal/compress"
+	"sapspsgd/internal/rng"
+)
+
+// Codec encodes a node's round payload (a model, gradient, or delta vector)
+// into wire words and decodes a peer's words back into the vector the
+// algorithm consumes. Every Transport carries []float64 words; WireBytes
+// reports the exact number of bytes the encoding would occupy on a physical
+// wire (float32 values, 32-bit indices, bit-packed quantization codes), which
+// is what the Ledger is charged with. The []float64 carrier may hold a small
+// header (dimension, entry count) that a production framing layer would carry
+// implicitly; headers are never charged.
+//
+// Contracts:
+//
+//   - Encode may keep per-sender state (error feedback residuals, RNG
+//     streams) and may reuse an internal buffer: the returned words stay
+//     valid until the next Encode call on the same codec. Patterns that
+//     encode more than once per round must copy before handing words to a
+//     Transport.
+//   - Decode and WireBytes must be stateless and safe for concurrent use:
+//     receivers decode with the *sender's* codec instance (from the shared
+//     per-rank codec table), potentially from many goroutines at once.
+type Codec interface {
+	// Name identifies the codec family ("dense", "topk", ...).
+	Name() string
+	// Encode packs dense into wire words.
+	Encode(ctx RoundContext, dense []float64) ([]float64, error)
+	// Decode unpacks words into the algorithm-facing vector. The exact
+	// semantics are codec-specific and documented per codec: dense and
+	// masked codecs return the packed values unchanged; sparse and
+	// quantized codecs expand to a dense vector.
+	Decode(ctx RoundContext, words []float64) ([]float64, error)
+	// WireBytes is the exact physical wire size of an encoded payload.
+	WireBytes(words []float64) int64
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+
+// Dense is the identity codec: every value crosses the wire as a float32.
+// Decode returns the received words unchanged.
+type Dense struct{}
+
+// Name implements Codec.
+func (Dense) Name() string { return "dense" }
+
+// Encode implements Codec (identity: the caller's vector is the payload).
+func (Dense) Encode(_ RoundContext, dense []float64) ([]float64, error) { return dense, nil }
+
+// Decode implements Codec.
+func (Dense) Decode(_ RoundContext, words []float64) ([]float64, error) { return words, nil }
+
+// WireBytes implements Codec.
+func (Dense) WireBytes(words []float64) int64 { return compress.DenseBytes(len(words)) }
+
+// ---------------------------------------------------------------------------
+// Masked (shared-seed sparsification — the SAPS wire format)
+
+// Masked is the paper's shared-seed Bernoulli(1/c) mask sparsifier: both
+// endpoints regenerate the identical round mask from the broadcast seed, so
+// only the surviving values cross the wire and no indices are transmitted.
+// Decode returns the packed masked values unchanged; the receiving node
+// regenerates the mask itself to interpret them (core.Worker.RoundMask).
+type Masked struct {
+	// C is the compression ratio c (mask keep-probability 1/c).
+	C float64
+
+	mask    []bool
+	payload []float64
+}
+
+// NewMasked returns a shared-seed mask codec with ratio c.
+func NewMasked(c float64) *Masked {
+	if c < 1 {
+		panic(fmt.Sprintf("engine: masked codec ratio %v < 1", c))
+	}
+	return &Masked{C: c}
+}
+
+// Name implements Codec.
+func (m *Masked) Name() string { return "masked" }
+
+// Encode implements Codec: regenerate the round mask from (seed, round) and
+// pack the surviving values.
+func (m *Masked) Encode(ctx RoundContext, dense []float64) ([]float64, error) {
+	m.mask = compress.MaskInto(m.mask, ctx.Seed, ctx.Round, len(dense), m.C)
+	m.payload = compress.ExtractInto(m.payload, dense, m.mask)
+	return m.payload, nil
+}
+
+// Decode implements Codec (identity: packed masked values).
+func (m *Masked) Decode(_ RoundContext, words []float64) ([]float64, error) { return words, nil }
+
+// WireBytes implements Codec: values only — the support travels as the
+// 64-bit seed inside the control message.
+func (m *Masked) WireBytes(words []float64) int64 { return compress.MaskedBytes(len(words)) }
+
+// ---------------------------------------------------------------------------
+// Sparse wire words (shared by TopK and RandomK)
+
+// packSparse lays a sparse vector out as [dim, k, idx..., val...].
+func packSparse(dst []float64, sv compress.SparseVec) []float64 {
+	k := len(sv.Idx)
+	dst = dst[:0]
+	dst = append(dst, float64(sv.N), float64(k))
+	for _, idx := range sv.Idx {
+		dst = append(dst, float64(idx))
+	}
+	dst = append(dst, sv.Val...)
+	return dst
+}
+
+// SparseWords parses the sparse wire layout [dim, k, idx..., val...] used by
+// the top-k and random-k codecs. The returned index and value slices alias
+// words. Nodes that need the explicit support (e.g. the S-FedAvg server's
+// count-normalized aggregation) parse PeerMsg.Words with this.
+func SparseWords(words []float64) (dim int, idx []float64, vals []float64, err error) {
+	if len(words) < 2 {
+		return 0, nil, nil, fmt.Errorf("engine: sparse payload of %d words", len(words))
+	}
+	dim = int(words[0])
+	k := int(words[1])
+	if k < 0 || len(words) != 2+2*k {
+		return 0, nil, nil, fmt.Errorf("engine: sparse payload k=%d with %d words", k, len(words))
+	}
+	return dim, words[2 : 2+k], words[2+k:], nil
+}
+
+// decodeSparse expands sparse words to a dense vector.
+func decodeSparse(words []float64) ([]float64, error) {
+	dim, idx, vals, err := SparseWords(words)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, dim)
+	for i, ix := range idx {
+		j := int(ix)
+		if j < 0 || j >= dim {
+			return nil, fmt.Errorf("engine: sparse index %d out of %d", j, dim)
+		}
+		out[j] = vals[i]
+	}
+	return out, nil
+}
+
+// sparseWireBytes charges k (index, value) pairs, ignoring the carrier
+// header.
+func sparseWireBytes(words []float64) int64 {
+	if len(words) < 2 {
+		return 0
+	}
+	return compress.SparseBytes(int(words[1]))
+}
+
+// ---------------------------------------------------------------------------
+// TopK (with optional error feedback)
+
+// TopK transmits the K largest-magnitude entries with explicit 32-bit
+// indices (8 wire bytes per entry). With EF set, dropped coordinates
+// accumulate in an error-feedback residual and are retried next round
+// (DGC-style) — required for convergence when compressing gradients.
+// Decode expands to a dense vector (zeros off-support).
+type TopK struct {
+	K     int
+	useEF bool
+	ef    *compress.ErrorFeedback
+
+	out   compress.SparseVec
+	mags  []float64
+	words []float64
+}
+
+// NewTopK returns a top-k codec for dim-dimensional vectors; ef selects
+// error feedback. The residual buffer is allocated lazily on first Encode,
+// so the per-rank codec tables every process builds (for decoding) carry no
+// dead encoder state for the other ranks.
+func NewTopK(k, dim int, ef bool) *TopK {
+	if k < 1 {
+		panic(fmt.Sprintf("engine: topk codec k=%d", k))
+	}
+	return &TopK{K: k, useEF: ef}
+}
+
+// Name implements Codec.
+func (t *TopK) Name() string { return "topk" }
+
+// Encode implements Codec.
+func (t *TopK) Encode(_ RoundContext, dense []float64) ([]float64, error) {
+	var sv compress.SparseVec
+	if t.useEF {
+		if t.ef == nil {
+			t.ef = compress.NewErrorFeedback(len(dense))
+		}
+		sv = t.ef.CompressTopK(dense, t.K)
+	} else {
+		t.mags = compress.TopKInto(&t.out, t.mags, dense, t.K)
+		sv = t.out
+	}
+	t.words = packSparse(t.words, sv)
+	return t.words, nil
+}
+
+// Decode implements Codec.
+func (t *TopK) Decode(_ RoundContext, words []float64) ([]float64, error) {
+	return decodeSparse(words)
+}
+
+// WireBytes implements Codec.
+func (t *TopK) WireBytes(words []float64) int64 { return sparseWireBytes(words) }
+
+// ---------------------------------------------------------------------------
+// RandomK
+
+// RandomK transmits a uniformly random K-subset of coordinates with explicit
+// indices (the S-FedAvg "random structured update"). Decode expands to a
+// dense vector; servers needing the support parse PeerMsg.Words with
+// SparseWords.
+type RandomK struct {
+	K   int
+	rnd *rng.Source
+
+	words []float64
+}
+
+// NewRandomK returns a random-k codec drawing from the given seed.
+func NewRandomK(k int, seed uint64) *RandomK {
+	if k < 1 {
+		panic(fmt.Sprintf("engine: randomk codec k=%d", k))
+	}
+	return &RandomK{K: k, rnd: rng.New(seed)}
+}
+
+// Name implements Codec.
+func (r *RandomK) Name() string { return "randomk" }
+
+// Encode implements Codec.
+func (r *RandomK) Encode(_ RoundContext, dense []float64) ([]float64, error) {
+	sv := compress.RandomK(dense, r.K, r.rnd)
+	r.words = packSparse(r.words, sv)
+	return r.words, nil
+}
+
+// Decode implements Codec.
+func (r *RandomK) Decode(_ RoundContext, words []float64) ([]float64, error) {
+	return decodeSparse(words)
+}
+
+// WireBytes implements Codec.
+func (r *RandomK) WireBytes(words []float64) int64 { return sparseWireBytes(words) }
+
+// ---------------------------------------------------------------------------
+// QSGD
+
+// QSGDCodec stochastically quantizes every coordinate to one of 2s+1 signed
+// levels (Alistarh et al.); the wire carries a 4-byte l2 norm plus
+// bit-packed level codes. Decode reconstructs the unbiased dense estimate.
+type QSGDCodec struct {
+	Levels int
+
+	q     *compress.QSGD
+	words []float64
+}
+
+// NewQSGDCodec returns a quantizing codec with the given level count and
+// stochastic-rounding seed.
+func NewQSGDCodec(levels int, seed uint64) *QSGDCodec {
+	return &QSGDCodec{Levels: levels, q: compress.NewQSGD(levels, seed)}
+}
+
+// Name implements Codec.
+func (q *QSGDCodec) Name() string { return "qsgd" }
+
+// Encode implements Codec. Words layout: [norm, code...].
+func (q *QSGDCodec) Encode(_ RoundContext, dense []float64) ([]float64, error) {
+	enc := q.q.Quantize(dense)
+	q.words = q.words[:0]
+	q.words = append(q.words, enc.Norm)
+	for _, c := range enc.Codes {
+		q.words = append(q.words, float64(c))
+	}
+	return q.words, nil
+}
+
+// Decode implements Codec.
+func (q *QSGDCodec) Decode(_ RoundContext, words []float64) ([]float64, error) {
+	if len(words) < 1 {
+		return nil, fmt.Errorf("engine: qsgd payload of %d words", len(words))
+	}
+	norm := words[0]
+	out := make([]float64, len(words)-1)
+	if norm == 0 {
+		return out, nil
+	}
+	s := float64(q.Levels)
+	for i, c := range words[1:] {
+		out[i] = norm * c / s
+	}
+	return out, nil
+}
+
+// WireBytes implements Codec: the norm plus bit-packed codes, exactly as
+// compress.Quantized accounts it.
+func (q *QSGDCodec) WireBytes(words []float64) int64 {
+	if len(words) < 1 {
+		return 0
+	}
+	return compress.QuantizedWireBytes(len(words)-1, q.Levels)
+}
+
+// trained reports whether a Compute loss marks the node as a training
+// participant (servers return NaN).
+func trained(loss float64) bool { return !math.IsNaN(loss) }

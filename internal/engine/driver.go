@@ -1,12 +1,10 @@
 package engine
 
-import "sapspsgd/internal/compress"
-
-// Driver is Algorithm 1's round loop, backend-agnostic: plan the round
-// (Algorithm 3 via the Planner), run it on every worker through the Control
-// barrier, then account the round's traffic in the Ledger — one bidirectional
-// charge per matched pair, sized by the shared-mask payload the workers
-// actually transmitted.
+// Driver is Algorithm 1's round loop, backend- and algorithm-agnostic: plan
+// the round (Algorithm 3 via the Planner), run it on every node through the
+// Control barrier, then account the round's traffic in the Ledger — one
+// bidirectional charge per communicating pair, sized by the wire bytes the
+// nodes' codecs actually produced.
 type Driver struct {
 	Planner Planner
 	Control Control
@@ -15,16 +13,21 @@ type Driver struct {
 // Round executes round t against the ledger and returns its stats.
 func (d *Driver) Round(t int, led Ledger) (RoundStats, error) {
 	plan := d.Planner.Plan(t)
-	loss, payloadLen, err := d.Control.RunRound(plan)
+	rep, err := d.Control.RunRound(plan)
 	if err != nil {
 		return RoundStats{}, err
 	}
-	bytes := compress.MaskedBytes(payloadLen)
-	for i, p := range plan.Peer {
-		if p > i {
-			led.Exchange(i, p, bytes, bytes)
-		}
+	var total int64
+	for _, p := range rep.Pairs {
+		led.Exchange(p.I, p.J, p.IToJ, p.JToI)
+		total += p.IToJ + p.JToI
 	}
-	led.EndRound()
-	return RoundStats{Plan: plan, PayloadLen: payloadLen, Loss: loss}, nil
+	secs := led.EndRound()
+	return RoundStats{
+		Plan:        plan,
+		PayloadLen:  rep.PayloadLen,
+		Loss:        rep.MeanLoss,
+		Bytes:       total,
+		CommSeconds: secs,
+	}, nil
 }

@@ -1,40 +1,62 @@
-// Package engine owns the canonical SAPS-PSGD execution core: Algorithm 1
-// (coordinator round loop), Algorithm 2 (worker round), and — via the
-// pluggable Planner — Algorithm 3 (adaptive peer selection). The engine talks
-// to the world only through two small interfaces:
+// Package engine owns the canonical distributed-training execution core:
+// Algorithm 1 (coordinator round loop), Algorithm 2 (worker round), and —
+// via the pluggable Planner — Algorithm 3 (adaptive peer selection). Since
+// the Pattern/Codec generalization the same core drives not only SAPS-PSGD
+// but every baseline the paper compares against: an algorithm is a
+// composition of
 //
-//   - Transport: the peer-to-peer sparse-model exchange (data plane);
-//   - Ledger: traffic and communication-time accounting (clock).
+//   - a Planner producing the per-round control message (matching, seed,
+//     active set);
+//   - a Pattern describing who talks to whom within the round (pairwise
+//     matched gossip, static neighborhood, hub fan-in, exact all-reduce,
+//     complete all-gather);
+//   - per-rank Codecs turning model/gradient vectors into exact wire bytes
+//     (dense, shared-seed masked, top-k + error feedback, QSGD, random-k);
+//   - Nodes holding the algorithm's local state transition.
+//
+// The engine talks to the world only through two small interfaces:
+//
+//   - Transport: the peer-to-peer payload exchange (data plane);
+//   - Ledger: traffic and communication-time accounting (clock), charged
+//     from the bytes the codecs actually produced — never from analytic
+//     formulas.
 //
 // Three backends run the identical round logic:
 //
-//   - memtransport: in-process channel rendezvous, zero-time CountingLedger —
-//     the pure-algorithm backend used by the internal/algos simulations;
-//   - simtransport: the same in-process rendezvous charged against a
-//     netsim bandwidth matrix (*netsim.Ledger satisfies Ledger), reproducing
-//     the paper's byte- and second-accurate simulation;
+//   - memtransport: in-process rendezvous, zero-time CountingLedger — the
+//     pure-algorithm backend behind the internal/algos simulations;
+//   - simtransport: the same rendezvous charged against a netsim bandwidth
+//     matrix (*netsim.Ledger satisfies Ledger), reproducing the paper's
+//     byte- and second-accurate simulation;
 //   - internal/transport: real TCP — WorkerClient runs WorkerRound over gob
 //     connections and CoordinatorServer runs Driver over its control conns.
 //
-// See DESIGN.md for the layering and for how to add a new backend.
+// See DESIGN.md §2 for the layering and for how to add a new algorithm or
+// backend.
 package engine
 
-import "sapspsgd/internal/core"
+import (
+	"sort"
 
-// Transport is a worker's handle to the data plane: Exchange swaps the
-// round's packed masked payload with the assigned peer and returns the peer's
+	"sapspsgd/internal/core"
+)
+
+// Transport is a node's handle to the data plane: Exchange swaps one
+// payload with one peer and returns the peer's payload. Both endpoints of an
+// exchanging pair call Exchange with each other exactly once per meeting; a
+// pattern may meet the same pair several times per round (the exchanges pair
+// up in FIFO order per direction), and a one-way transfer passes nil as its
 // payload. Implementations must support concurrent calls from distinct
-// workers; both endpoints of a matched pair call Exchange exactly once per
-// round. The payload slice is borrowed by the transport (and, in-process, by
+// nodes. The payload slice is borrowed by the transport (and, in-process, by
 // the peer) until the round barrier, so callers must not mutate it until the
 // round completes.
 //
 // Liveness contract for custom backends: when one endpoint's Exchange fails,
 // the peer's Exchange must also return (with a payload or an error) rather
-// than block forever — the engine's round barrier waits for every worker.
-// TCP satisfies this naturally (a dead endpoint breaks the peer's
-// connection); the in-process hub cannot fail between validly matched peers,
-// and the engine rejects malformed matchings before dispatch.
+// than block forever — the engine's round barrier waits for every node. TCP
+// satisfies this naturally (a dead endpoint breaks the peer's connection);
+// the in-process hub cannot fail between valid peers, and patterns reject
+// malformed plans before dispatch.
 type Transport interface {
 	Exchange(round, self, peer int, payload []float64) ([]float64, error)
 }
@@ -43,9 +65,9 @@ type Transport interface {
 // it (bandwidth-modelled simulated time); CountingLedger is the zero-time
 // variant for in-memory and real-network runs. Implementations need not be
 // safe for concurrent use: the Driver charges exchanges centrally, once per
-// matched pair, from the coordinator loop.
+// communicating pair per round, from the coordinator loop.
 type Ledger interface {
-	// Exchange records a bidirectional transfer between workers i and j in
+	// Exchange records a bidirectional transfer between nodes i and j in
 	// the current round: i sends sendBytes to j and receives recvBytes.
 	Exchange(i, j int, sendBytes, recvBytes int64)
 	// EndRound closes the current round and returns its wall time in
@@ -55,7 +77,7 @@ type Ledger interface {
 
 // Planner produces the per-round control message (W_t, t, s) — Algorithm 1
 // line 6, with Algorithm 3 inside. *core.Coordinator satisfies it; the
-// RandomChoose and churn variants plug in their own planners.
+// baselines plug in static or fraction-sampling planners.
 type Planner interface {
 	Plan(t int) core.RoundPlan
 }
@@ -66,22 +88,88 @@ type PlannerFunc func(t int) core.RoundPlan
 // Plan implements Planner.
 func (f PlannerFunc) Plan(t int) core.RoundPlan { return f(t) }
 
-// Control is the coordinator's channel to its workers: RunRound delivers the
-// plan to every worker, executes Algorithm 2 on each, and blocks until all
-// complete (the synchronous round barrier of Algorithm 1 line 7). It returns
-// the mean training loss over participating workers and the shared-mask
-// payload length (values per matched worker) for traffic accounting.
+// PairTraffic is one unordered pair's measured round traffic, built from the
+// bytes each side's codec actually encoded (I < J; IToJ is what I shipped).
+type PairTraffic struct {
+	I, J       int
+	IToJ, JToI int64
+}
+
+// ControlReport aggregates one executed round across all nodes.
+type ControlReport struct {
+	// MeanLoss is the mean local training loss over nodes that trained.
+	MeanLoss float64
+	// PayloadLen is the largest outbound payload length (in wire words)
+	// any node produced — the shared-mask population count under the
+	// masked codec.
+	PayloadLen int
+	// Pairs is the round's measured traffic, one entry per communicating
+	// unordered pair, ordered by (I, J).
+	Pairs []PairTraffic
+}
+
+// Control is the coordinator's channel to its nodes: RunRound delivers the
+// plan to every node, executes the pattern's round on each, and blocks until
+// all complete (the synchronous round barrier of Algorithm 1 line 7).
 type Control interface {
-	RunRound(plan core.RoundPlan) (meanLoss float64, payloadLen int, err error)
+	RunRound(plan core.RoundPlan) (ControlReport, error)
 }
 
 // RoundStats summarizes one completed round.
 type RoundStats struct {
 	// Plan is the control message the round ran under.
 	Plan core.RoundPlan
-	// PayloadLen is the number of values each matched worker transmitted
-	// (the shared-mask population count; 0 when no worker was matched).
+	// PayloadLen is the number of wire words in the largest payload any
+	// node transmitted (the shared-mask population count for SAPS; 0 when
+	// nobody communicated).
 	PayloadLen int
-	// Loss is the mean local training loss over participating workers.
+	// Loss is the mean local training loss over participating nodes.
 	Loss float64
+	// Bytes is the round's total measured wire traffic.
+	Bytes int64
+	// CommSeconds is the ledger's simulated round wall time (0 for ledgers
+	// without a time model).
+	CommSeconds float64
+}
+
+// AggregateFlows folds per-node sender-attributed flows into per-pair
+// traffic, using only each sender's own measurement (both endpoints compute
+// WireBytes over the same words, so the receiver's number is redundant).
+// reports is rank-indexed; entries for absent nodes are zero values.
+func AggregateFlows(reports []NodeReport) []PairTraffic {
+	type dir struct{ iToJ, jToI int64 }
+	acc := map[[2]int]*dir{}
+	var keys [][2]int
+	for rank, rep := range reports {
+		for _, f := range rep.Flows {
+			if f.Sent == 0 && f.Recv == 0 {
+				continue
+			}
+			i, j := rank, f.Peer
+			key := [2]int{min(i, j), max(i, j)}
+			d, ok := acc[key]
+			if !ok {
+				d = &dir{}
+				acc[key] = d
+				keys = append(keys, key)
+			}
+			if i < j {
+				d.iToJ += f.Sent
+			} else {
+				d.jToI += f.Sent
+			}
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		return keys[a][0] < keys[b][0] || (keys[a][0] == keys[b][0] && keys[a][1] < keys[b][1])
+	})
+	out := make([]PairTraffic, 0, len(keys))
+	for _, k := range keys {
+		d := acc[k]
+		if d.iToJ == 0 && d.jToI == 0 {
+			continue
+		}
+		out = append(out, PairTraffic{I: k[0], J: k[1], IToJ: d.iToJ, JToI: d.jToI})
+	}
+	return out
 }

@@ -100,7 +100,7 @@ func tcpRun(t *testing.T, spec transport.TaskSpec, n int) (roundBytes []int64, f
 	srv := &transport.CoordinatorServer{
 		N: n, Task: spec,
 		BW:     testEnv(n),
-		Cfg:    coreConfig(spec, n),
+		Gossip: coreConfig(spec, n).Gossip,
 		Ledger: led,
 	}
 	addr, err := srv.Listen("127.0.0.1:0")

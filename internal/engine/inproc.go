@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -11,12 +12,28 @@ import (
 
 // Options configures an in-process Engine.
 type Options struct {
-	// Workers are the training peers, indexed by rank.
+	// Nodes are the participants, indexed by rank (trainers plus, for hub
+	// patterns, the server as the last rank).
+	Nodes []Node
+	// Codecs is the per-rank codec table: Codecs[r] encodes rank r's
+	// outbound payloads, and every other rank decodes r's payloads with
+	// it. Must be the same length as Nodes. Stateful codecs (error
+	// feedback, RNG) must be distinct instances per rank.
+	Codecs []Codec
+	// Pattern is the round's communication shape (nil defaults to the
+	// pairwise matched-gossip pattern of Algorithm 1).
+	Pattern Pattern
+
+	// Workers is the SAPS convenience form: each *core.Worker is wrapped
+	// in a MaskedGossipNode with a Masked codec at the worker's configured
+	// compression ratio, over the pairwise pattern. Mutually exclusive
+	// with Nodes.
 	Workers []*core.Worker
+
 	// Planner produces the per-round control message (Algorithm 1/3).
 	Planner Planner
-	// Transport carries the peer payload swaps (nil defaults to an
-	// in-process rendezvous hub over the worker count).
+	// Transport carries the payload swaps (nil defaults to an in-process
+	// rendezvous hub over the node count).
 	Transport Transport
 	// MaxParallel bounds concurrent CPU-heavy work (local SGD, merges);
 	// values < 1 default to GOMAXPROCS. Exchanges are not counted against
@@ -24,25 +41,26 @@ type Options struct {
 	MaxParallel int
 }
 
-// Engine runs the canonical round loop over an in-process worker fleet: one
-// long-lived goroutine per worker (spawned once, reused every round — the
-// bounded worker pool of the hot path) executing WorkerRound against the
-// configured transport. Engine implements Control for its own Driver.
+// Engine runs the canonical round loop over an in-process fleet: one
+// long-lived goroutine per node (spawned once, reused every round — the
+// bounded worker pool of the hot path) executing the pattern's round against
+// the configured transport. Engine implements Control for its own Driver.
 //
 // Close releases the pool; a finalizer-style cleanup also releases it when
 // an un-Closed Engine becomes unreachable, so dropping an Engine on the
 // floor does not leak goroutines.
 type Engine struct {
-	workers []*core.Worker
+	nodes   []Node
+	workers []*core.Worker // non-nil only for the Workers convenience form
+	pattern Pattern
 	driver  Driver
 	gate    Gate
 	cmds    []chan core.RoundPlan
-	results chan workerResult
+	results chan nodeResult
 	stop    *poolStop
 	closed  bool
 	// Per-round collection scratch (RunRound is single-threaded).
-	losses       []float64
-	participated []bool
+	reports []NodeReport
 }
 
 // poolStop closes the pool's command channels exactly once, whether via an
@@ -60,22 +78,42 @@ func (s *poolStop) shutdown() {
 	})
 }
 
-type workerResult struct {
-	rank         int
-	loss         float64
-	payloadLen   int
-	err          error
-	participated bool
+type nodeResult struct {
+	rank int
+	rep  NodeReport
+	err  error
 }
 
-// New builds the engine and spawns its worker pool.
+// New builds the engine and spawns its node pool.
 func New(opts Options) *Engine {
-	n := len(opts.Workers)
+	nodes, codecs, workers := opts.Nodes, opts.Codecs, []*core.Worker(nil)
+	if nodes == nil {
+		if len(opts.Workers) == 0 {
+			panic("engine: no nodes")
+		}
+		workers = opts.Workers
+		nodes = make([]Node, len(workers))
+		codecs = make([]Codec, len(workers))
+		for i, w := range workers {
+			nodes[i] = NewMaskedGossipNode(w)
+			codecs[i] = NewMasked(w.CompressionRatio())
+		}
+	} else if len(opts.Workers) != 0 {
+		panic("engine: both Nodes and Workers set")
+	}
+	n := len(nodes)
 	if n < 1 {
-		panic("engine: no workers")
+		panic("engine: no nodes")
+	}
+	if len(codecs) != n {
+		panic(fmt.Sprintf("engine: %d codecs for %d nodes", len(codecs), n))
 	}
 	if opts.Planner == nil {
 		panic("engine: nil planner")
+	}
+	pat := opts.Pattern
+	if pat == nil {
+		pat = Pairwise{}
 	}
 	tr := opts.Transport
 	if tr == nil {
@@ -86,17 +124,18 @@ func New(opts Options) *Engine {
 		limit = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		workers:      opts.Workers,
-		gate:         NewGate(limit),
-		cmds:         make([]chan core.RoundPlan, n),
-		results:      make(chan workerResult, n),
-		losses:       make([]float64, n),
-		participated: make([]bool, n),
+		nodes:   nodes,
+		workers: workers,
+		pattern: pat,
+		gate:    NewGate(limit),
+		cmds:    make([]chan core.RoundPlan, n),
+		results: make(chan nodeResult, n),
+		reports: make([]NodeReport, n),
 	}
 	e.driver = Driver{Planner: opts.Planner, Control: e}
 	for i := range e.cmds {
 		e.cmds[i] = make(chan core.RoundPlan)
-		go workerLoop(opts.Workers[i], tr, e.gate, e.cmds[i], e.results)
+		go nodeLoop(i, n, nodes[i], pat, codecs, tr, e.gate, e.cmds[i], e.results)
 	}
 	// The pool goroutines deliberately do not reference e, so an abandoned
 	// Engine is collectable; the cleanup then closes its command channels.
@@ -105,91 +144,63 @@ func New(opts Options) *Engine {
 	return e
 }
 
-// workerLoop is one pool member: it serves its worker's rounds until the
+// nodeLoop is one pool member: it serves its node's rounds until the
 // command channel closes.
-func workerLoop(w *core.Worker, tr Transport, gate Gate, cmds <-chan core.RoundPlan, results chan<- workerResult) {
+func nodeLoop(self, n int, node Node, pat Pattern, codecs []Codec, tr Transport, gate Gate, cmds <-chan core.RoundPlan, results chan<- nodeResult) {
 	for plan := range cmds {
-		if plan.Active != nil && !plan.Active[w.Rank] {
-			results <- workerResult{rank: w.Rank}
+		if plan.Active != nil && !plan.Active[self] {
+			results <- nodeResult{rank: self}
 			continue
 		}
-		loss, k, err := WorkerRound(w, tr, gate, plan.Round, plan.Seed, plan.Peer[w.Rank])
-		results <- workerResult{rank: w.Rank, loss: loss, payloadLen: k, err: err, participated: true}
+		ctx := RoundContext{Round: plan.Round, Seed: plan.Seed, Self: self, N: n, Plan: plan}
+		rep, err := pat.RunRound(ctx, node, codecs, tr, gate)
+		results <- nodeResult{rank: self, rep: rep, err: err}
 	}
-}
-
-// validatePlan rejects malformed plans before dispatch. The checks matter
-// for liveness, not just correctness: a one-sided peer assignment would
-// leave one worker blocked in the payload rendezvous with nobody coming,
-// deadlocking the round barrier instead of returning an error.
-func validatePlan(plan core.RoundPlan, n int) error {
-	if len(plan.Peer) != n {
-		return fmt.Errorf("engine: plan for %d workers, have %d", len(plan.Peer), n)
-	}
-	if plan.Active != nil && len(plan.Active) != n {
-		return fmt.Errorf("engine: plan active set for %d workers, have %d", len(plan.Active), n)
-	}
-	for i, p := range plan.Peer {
-		if p == -1 {
-			continue
-		}
-		switch {
-		case p < 0 || p >= n || p == i:
-			return fmt.Errorf("engine: plan assigns worker %d the peer %d", i, p)
-		case plan.Peer[p] != i:
-			return fmt.Errorf("engine: asymmetric plan: %d→%d but %d→%d", i, p, p, plan.Peer[p])
-		case plan.Active != nil && (!plan.Active[i] || !plan.Active[p]):
-			return fmt.Errorf("engine: plan matches inactive worker in pair %d-%d", i, p)
-		}
-	}
-	return nil
 }
 
 // RunRound implements Control: broadcast the plan to the pool and wait for
-// every worker to finish the round.
-func (e *Engine) RunRound(plan core.RoundPlan) (float64, int, error) {
+// every node to finish the round.
+func (e *Engine) RunRound(plan core.RoundPlan) (ControlReport, error) {
 	if e.closed {
-		return 0, 0, fmt.Errorf("engine: RunRound after Close")
+		return ControlReport{}, fmt.Errorf("engine: RunRound after Close")
 	}
-	if err := validatePlan(plan, len(e.workers)); err != nil {
-		return 0, 0, err
+	if err := e.pattern.Validate(plan, len(e.nodes)); err != nil {
+		return ControlReport{}, err
 	}
 	for _, c := range e.cmds {
 		c <- plan
 	}
-	// Collect rank-indexed so the loss mean is summed in deterministic
-	// order regardless of completion order.
-	losses, participated := e.losses, e.participated
-	for i := range participated {
-		losses[i], participated[i] = 0, false
+	// Collect rank-indexed so the loss mean and flow aggregation run in
+	// deterministic order regardless of completion order.
+	for i := range e.reports {
+		e.reports[i] = NodeReport{}
 	}
-	payloadLen := 0
 	var firstErr error
-	for range e.workers {
+	for range e.nodes {
 		r := <-e.results
-		losses[r.rank] = r.loss
-		participated[r.rank] = r.participated
-		if r.payloadLen > payloadLen {
-			payloadLen = r.payloadLen
-		}
+		e.reports[r.rank] = r.rep
 		if r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("engine: worker %d: %w", r.rank, r.err)
+			firstErr = fmt.Errorf("engine: node %d: %w", r.rank, r.err)
 		}
 	}
 	if firstErr != nil {
-		return 0, 0, firstErr
+		return ControlReport{}, firstErr
 	}
+	rep := ControlReport{Pairs: AggregateFlows(e.reports)}
 	sum, k := 0.0, 0
-	for i, l := range losses {
-		if participated[i] {
-			sum += l
+	for _, nr := range e.reports {
+		if nr.PayloadLen > rep.PayloadLen {
+			rep.PayloadLen = nr.PayloadLen
+		}
+		if nr.Trained && !math.IsNaN(nr.Loss) {
+			sum += nr.Loss
 			k++
 		}
 	}
-	if k == 0 {
-		return 0, payloadLen, nil
+	if k > 0 {
+		rep.MeanLoss = sum / float64(k)
 	}
-	return sum / float64(k), payloadLen, nil
+	return rep, nil
 }
 
 // Step runs one full round — plan, execute, account — against the ledger.
@@ -197,10 +208,14 @@ func (e *Engine) Step(t int, led Ledger) (RoundStats, error) {
 	return e.driver.Round(t, led)
 }
 
-// Workers exposes the fleet (rank-indexed).
+// Workers exposes the fleet when the engine was built from the Workers
+// convenience form (nil otherwise).
 func (e *Engine) Workers() []*core.Worker { return e.workers }
 
-// Close shuts down the worker pool. The engine must not be stepped after
+// Nodes exposes the rank-indexed participants.
+func (e *Engine) Nodes() []Node { return e.nodes }
+
+// Close shuts down the node pool. The engine must not be stepped after
 // Close. Close is idempotent.
 func (e *Engine) Close() {
 	e.closed = true

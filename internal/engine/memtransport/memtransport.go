@@ -1,43 +1,62 @@
-// Package memtransport is the in-process engine backend: matched workers
-// swap their masked payloads through per-rank rendezvous channels, with no
+// Package memtransport is the in-process engine backend: nodes swap their
+// encoded payloads through per-directed-pair rendezvous channels, with no
 // wire format and no time model. It is the backend behind every
 // internal/algos simulation; pair it with engine.CountingLedger for pure
 // traffic totals or with a *netsim.Ledger (via simtransport) for
 // bandwidth-accounted time.
 package memtransport
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
-// Hub pairs in-process workers for the per-round payload swap. Exchange
-// deposits the caller's payload in its own slot and blocks until the peer's
-// slot fills; because a matching is exclusive, each slot has exactly one
-// writer and one reader per round, and the engine's round barrier guarantees
-// both are drained before the next round starts. Payload slices are handed
-// over by reference — the channel send is the happens-before edge that makes
-// the peer's read race-free.
+// Hub pairs in-process nodes for payload swaps. Exchange deposits the
+// caller's payload in the self→peer slot and blocks until the peer→self
+// slot fills. Slots are FIFO per directed pair, so a pattern may meet the
+// same pair several times within a round (hub pull/push, collective
+// reduce+gather) as long as both endpoints issue their exchanges in the same
+// per-pair order — which every engine pattern guarantees by construction.
+// The engine's round barrier guarantees all slots are drained before the
+// next round starts. Payload slices are handed over by reference — the
+// channel send is the happens-before edge that makes the peer's read
+// race-free.
 type Hub struct {
-	slots []chan []float64
+	n     int
+	mu    sync.Mutex
+	slots map[uint64]chan []float64
 }
 
-// NewHub returns a hub for n workers. A single-worker hub is legal — it can
-// never be asked to exchange (every plan assigns peer -1), and Exchange
-// rejects any peer it is asked for.
+// NewHub returns a hub for n nodes. A single-node hub is legal — it can
+// never be asked to exchange, and Exchange rejects any peer it is asked for.
 func NewHub(n int) *Hub {
 	if n < 1 {
 		panic(fmt.Sprintf("memtransport: hub of %d", n))
 	}
-	h := &Hub{slots: make([]chan []float64, n)}
-	for i := range h.slots {
-		h.slots[i] = make(chan []float64, 1)
+	return &Hub{n: n, slots: make(map[uint64]chan []float64)}
+}
+
+// slot returns (lazily creating) the from→to channel. Capacity 1 keeps a
+// sender from blocking on its own deposit: at most one message per directed
+// pair is ever outstanding, because a pattern's next meeting with the same
+// peer starts only after the previous rendezvous completed on both sides.
+func (h *Hub) slot(from, to int) chan []float64 {
+	key := uint64(uint32(from))<<32 | uint64(uint32(to))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.slots[key]
+	if !ok {
+		c = make(chan []float64, 1)
+		h.slots[key] = c
 	}
-	return h
+	return c
 }
 
 // Exchange implements engine.Transport.
 func (h *Hub) Exchange(round, self, peer int, payload []float64) ([]float64, error) {
-	if self == peer || peer < 0 || peer >= len(h.slots) {
+	if self == peer || self < 0 || self >= h.n || peer < 0 || peer >= h.n {
 		return nil, fmt.Errorf("memtransport: worker %d exchanging with %d", self, peer)
 	}
-	h.slots[self] <- payload
-	return <-h.slots[peer], nil
+	h.slot(self, peer) <- payload
+	return <-h.slot(peer, self), nil
 }

@@ -1,0 +1,652 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"sapspsgd/internal/core"
+)
+
+// Pattern is a round's communication shape: who a node talks to and in what
+// order, independent of what travels (the Codec) and of how it travels (the
+// Transport). RunRound executes one node's complete round — local compute,
+// encoded exchanges, merge — so each pattern owns its choreography (the hub
+// pattern, for instance, delivers the downlink before the worker computes).
+//
+// Liveness: the pairwise, neighborhood, hub, and all-gather patterns order
+// their blocking exchanges by ascending peer rank, which is deadlock-free
+// with rendezvous transports — a cyclic wait a₁→a₂→…→a₁ would need every
+// aᵢ₊₁ to be held at a strictly earlier (lower-ranked) edge than
+// (aᵢ, aᵢ₊₁), forcing an infinite descent of ranks around a finite cycle.
+// The collective butterfly instead visits partners in the fixed self^mask
+// phase sequence (not ascending); it is deadlock-free because every phase is
+// a perfect matching executed by all nodes in the same order, and a node
+// reaches phase p with a partner only after both completed phase p-1, so
+// per-pair meetings pair up FIFO. New patterns must pick one of these two
+// disciplines (or prove their own).
+type Pattern interface {
+	// Name identifies the pattern family ("pairwise", "hub", ...).
+	Name() string
+	// Validate rejects malformed plans before dispatch. This matters for
+	// liveness, not just correctness: a malformed plan can leave a node
+	// blocked in a rendezvous with nobody coming.
+	Validate(plan core.RoundPlan, n int) error
+	// RunRound executes one node's full round over the transport. gate
+	// bounds the CPU-heavy sections (compute, encode, decode, merge) and is
+	// released around blocking exchanges.
+	RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transport, gate Gate) (NodeReport, error)
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise (matched gossip — SAPS, RandomChoose)
+
+// Pairwise is the matched-pair gossip of Algorithm 1: plan.Peer assigns each
+// node at most one symmetric partner per round; both encode, swap, and
+// merge. Peer[self] == -1 skips the exchange (the node only trains).
+type Pairwise struct{}
+
+// Name implements Pattern.
+func (Pairwise) Name() string { return "pairwise" }
+
+// Validate implements Pattern: the peer table must be a symmetric matching
+// over active nodes.
+func (Pairwise) Validate(plan core.RoundPlan, n int) error {
+	if len(plan.Peer) != n {
+		return fmt.Errorf("engine: plan for %d workers, have %d", len(plan.Peer), n)
+	}
+	if plan.Active != nil && len(plan.Active) != n {
+		return fmt.Errorf("engine: plan active set for %d workers, have %d", len(plan.Active), n)
+	}
+	for i, p := range plan.Peer {
+		if p == -1 {
+			continue
+		}
+		switch {
+		case p < 0 || p >= n || p == i:
+			return fmt.Errorf("engine: plan assigns worker %d the peer %d", i, p)
+		case plan.Peer[p] != i:
+			return fmt.Errorf("engine: asymmetric plan: %d→%d but %d→%d", i, p, p, plan.Peer[p])
+		case plan.Active != nil && (!plan.Active[i] || !plan.Active[p]):
+			return fmt.Errorf("engine: plan matches inactive worker in pair %d-%d", i, p)
+		}
+	}
+	return nil
+}
+
+// RunRound implements Pattern.
+func (Pairwise) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transport, gate Gate) (NodeReport, error) {
+	gate.Acquire()
+	loss, out, err := node.Compute(ctx)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	rep := NodeReport{Loss: loss, Trained: trained(loss)}
+	peer := -1
+	if ctx.Self < len(ctx.Plan.Peer) {
+		peer = ctx.Plan.Peer[ctx.Self]
+	}
+	if peer < 0 {
+		gate.Release()
+		return rep, nil
+	}
+	words, err := codecs[ctx.Self].Encode(ctx, out)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	sent := codecs[ctx.Self].WireBytes(words)
+	rep.PayloadLen = len(words)
+	gate.Release()
+
+	peerWords, err := tr.Exchange(ctx.Round, ctx.Self, peer, words)
+	if err != nil {
+		return NodeReport{}, err
+	}
+
+	gate.Acquire()
+	defer gate.Release()
+	vals, err := codecs[peer].Decode(ctx, peerWords)
+	if err != nil {
+		return NodeReport{}, err
+	}
+	recv := codecs[peer].WireBytes(peerWords)
+	rep.Flows = append(rep.Flows, Flow{Peer: peer, Sent: sent, Recv: recv})
+	if err := node.Merge(ctx, []PeerMsg{{From: peer, Vals: vals, Words: peerWords, Bytes: recv}}); err != nil {
+		return NodeReport{}, err
+	}
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Neighborhood (static-topology gossip — D-PSGD, DCD-PSGD)
+
+// Neighborhood is static-neighborhood gossip: every round each node
+// broadcasts one encoded payload to all its topology neighbors and merges
+// everything it hears. With IncludeSelf the node's own payload is decoded
+// and delivered too — difference-compressed schemes need the node to apply
+// the same lossy delta to its own public replica that its neighbors apply to
+// theirs.
+type Neighborhood struct {
+	adj         [][]int
+	includeSelf bool
+}
+
+// NewNeighborhood builds the pattern over a symmetric adjacency. Neighbor
+// lists are copied and sorted ascending.
+func NewNeighborhood(adj [][]int, includeSelf bool) *Neighborhood {
+	n := len(adj)
+	p := &Neighborhood{adj: make([][]int, n), includeSelf: includeSelf}
+	for i, ns := range adj {
+		p.adj[i] = append([]int(nil), ns...)
+		sort.Ints(p.adj[i])
+		for _, j := range p.adj[i] {
+			if j < 0 || j >= n || j == i {
+				panic(fmt.Sprintf("engine: neighborhood adjacency %d→%d over %d nodes", i, j, n))
+			}
+		}
+	}
+	// Symmetry: gossip is bidirectional; a one-sided edge would deadlock.
+	for i, ns := range p.adj {
+		for _, j := range ns {
+			if !contains(p.adj[j], i) {
+				panic(fmt.Sprintf("engine: asymmetric neighborhood edge %d→%d", i, j))
+			}
+		}
+	}
+	return p
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements Pattern.
+func (p *Neighborhood) Name() string { return "neighborhood" }
+
+// Validate implements Pattern: the static topology has no dynamic
+// membership — every node must be active.
+func (p *Neighborhood) Validate(plan core.RoundPlan, n int) error {
+	if len(p.adj) != n {
+		return fmt.Errorf("engine: neighborhood over %d nodes, plan has %d", len(p.adj), n)
+	}
+	return requireAllActive(plan, n, "neighborhood")
+}
+
+// RunRound implements Pattern.
+func (p *Neighborhood) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transport, gate Gate) (NodeReport, error) {
+	gate.Acquire()
+	loss, out, err := node.Compute(ctx)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	rep := NodeReport{Loss: loss, Trained: trained(loss)}
+	peers := p.adj[ctx.Self]
+	if len(peers) == 0 {
+		gate.Release()
+		return rep, nil
+	}
+	words, err := codecs[ctx.Self].Encode(ctx, out)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	sent := codecs[ctx.Self].WireBytes(words)
+	rep.PayloadLen = len(words)
+	msgs := make([]PeerMsg, 0, len(peers)+1)
+	if p.includeSelf {
+		vals, err := codecs[ctx.Self].Decode(ctx, words)
+		if err != nil {
+			gate.Release()
+			return NodeReport{}, err
+		}
+		msgs = append(msgs, PeerMsg{From: ctx.Self, Vals: vals, Words: words, Bytes: sent})
+	}
+	gate.Release()
+
+	recvWords := make([][]float64, len(peers))
+	for i, q := range peers {
+		w, err := tr.Exchange(ctx.Round, ctx.Self, q, words)
+		if err != nil {
+			return NodeReport{}, err
+		}
+		recvWords[i] = w
+	}
+
+	gate.Acquire()
+	defer gate.Release()
+	for i, q := range peers {
+		vals, err := codecs[q].Decode(ctx, recvWords[i])
+		if err != nil {
+			return NodeReport{}, err
+		}
+		b := codecs[q].WireBytes(recvWords[i])
+		rep.Flows = append(rep.Flows, Flow{Peer: q, Sent: sent, Recv: b})
+		msgs = append(msgs, PeerMsg{From: q, Vals: vals, Words: recvWords[i], Bytes: b})
+	}
+	if err := node.Merge(ctx, msgs); err != nil {
+		return NodeReport{}, err
+	}
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hub (parameter-server fan-in — PS-PSGD, FedAvg, S-FedAvg)
+
+// Hub is the star pattern: one server rank and its chosen workers per round.
+// The choreography is pull → train → push: the server computes its payload
+// (the current global model) and sends it down to every chosen worker; a
+// worker merges the downlink *before* computing, then pushes its own encoded
+// payload up; finally the server merges all uploads. The chosen set is
+// plan.Active (nil = every worker); the server is always chosen.
+//
+// Up- and downlink codecs differ per rank: workers encode with their own
+// codec (sparse deltas for S-FedAvg), the server with its own (dense model).
+type Hub struct {
+	// Server is the hub's node rank (by convention the last rank, so n
+	// trainers + 1 server occupy ranks 0..n).
+	Server int
+}
+
+// Name implements Pattern.
+func (Hub) Name() string { return "hub" }
+
+// Validate implements Pattern.
+func (h Hub) Validate(plan core.RoundPlan, n int) error {
+	if h.Server < 0 || h.Server >= n {
+		return fmt.Errorf("engine: hub server rank %d of %d nodes", h.Server, n)
+	}
+	if plan.Active != nil {
+		if len(plan.Active) != n {
+			return fmt.Errorf("engine: plan active set for %d nodes, have %d", len(plan.Active), n)
+		}
+		if !plan.Active[h.Server] {
+			return fmt.Errorf("engine: hub plan deactivates the server")
+		}
+	}
+	return nil
+}
+
+// chosen returns the round's participating worker ranks, ascending.
+func (h Hub) chosen(plan core.RoundPlan, n int) []int {
+	out := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i == h.Server {
+			continue
+		}
+		if plan.Active == nil || plan.Active[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RunRound implements Pattern.
+func (h Hub) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transport, gate Gate) (NodeReport, error) {
+	if ctx.Self == h.Server {
+		return h.serverRound(ctx, node, codecs, tr, gate)
+	}
+	return h.workerRound(ctx, node, codecs, tr, gate)
+}
+
+func (h Hub) serverRound(ctx RoundContext, node Node, codecs []Codec, tr Transport, gate Gate) (NodeReport, error) {
+	gate.Acquire()
+	loss, out, err := node.Compute(ctx)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	rep := NodeReport{Loss: loss, Trained: trained(loss)}
+	words, err := codecs[ctx.Self].Encode(ctx, out)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	down := codecs[ctx.Self].WireBytes(words)
+	rep.PayloadLen = len(words)
+	gate.Release()
+
+	chosen := h.chosen(ctx.Plan, ctx.N)
+	// Downlink: broadcast the model; each exchange also drains the worker's
+	// empty down-phase payload, keeping the per-pair rendezvous in lockstep.
+	for _, w := range chosen {
+		if _, err := tr.Exchange(ctx.Round, ctx.Self, w, words); err != nil {
+			return NodeReport{}, err
+		}
+	}
+	// Uplink: collect every chosen worker's payload.
+	ups := make([][]float64, len(chosen))
+	for i, w := range chosen {
+		uw, err := tr.Exchange(ctx.Round, ctx.Self, w, nil)
+		if err != nil {
+			return NodeReport{}, err
+		}
+		ups[i] = uw
+	}
+
+	gate.Acquire()
+	defer gate.Release()
+	msgs := make([]PeerMsg, 0, len(chosen))
+	for i, w := range chosen {
+		vals, err := codecs[w].Decode(ctx, ups[i])
+		if err != nil {
+			return NodeReport{}, err
+		}
+		b := codecs[w].WireBytes(ups[i])
+		rep.Flows = append(rep.Flows, Flow{Peer: w, Sent: down, Recv: b})
+		msgs = append(msgs, PeerMsg{From: w, Vals: vals, Words: ups[i], Bytes: b})
+	}
+	if err := node.Merge(ctx, msgs); err != nil {
+		return NodeReport{}, err
+	}
+	return rep, nil
+}
+
+func (h Hub) workerRound(ctx RoundContext, node Node, codecs []Codec, tr Transport, gate Gate) (NodeReport, error) {
+	// Pull: the empty payload keeps the rendezvous symmetric; the reply is
+	// the server's encoded model.
+	downWords, err := tr.Exchange(ctx.Round, ctx.Self, h.Server, nil)
+	if err != nil {
+		return NodeReport{}, err
+	}
+
+	gate.Acquire()
+	vals, err := codecs[h.Server].Decode(ctx, downWords)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	down := codecs[h.Server].WireBytes(downWords)
+	if err := node.Merge(ctx, []PeerMsg{{From: h.Server, Vals: vals, Words: downWords, Bytes: down}}); err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	loss, out, err := node.Compute(ctx)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	rep := NodeReport{Loss: loss, Trained: trained(loss)}
+	words, err := codecs[ctx.Self].Encode(ctx, out)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	up := codecs[ctx.Self].WireBytes(words)
+	rep.PayloadLen = len(words)
+	rep.Flows = append(rep.Flows, Flow{Peer: h.Server, Sent: up, Recv: down})
+	gate.Release()
+
+	// Push: the server's reply is its empty up-phase payload.
+	if _, err := tr.Exchange(ctx.Round, ctx.Self, h.Server, words); err != nil {
+		return NodeReport{}, err
+	}
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Collective (exact all-reduce — PSGD)
+
+// Collective is the exact all-reduce: after the round every node's Merge
+// receives the element-wise sum of all nodes' outbound vectors as a single
+// PeerMsg{From: -1}. For power-of-two fleets it runs recursive
+// halving/doubling (reduce-scatter + all-gather), the butterfly equivalent
+// of the classic ring all-reduce: every node sends and receives exactly
+// 2·D·(n-1)/n values, matching Table I's ring cost, with every transfer a
+// pairwise swap the Transport can carry. Other fleet sizes fall back to a
+// complete all-gather (everyone swaps full vectors with everyone, n-1
+// transfers of D values each), which is exact but costlier — callers wanting
+// the bandwidth-optimal path should size fleets to powers of two.
+type Collective struct{}
+
+// Name implements Pattern.
+func (Collective) Name() string { return "collective" }
+
+// Validate implements Pattern: a collective needs every node present.
+func (Collective) Validate(plan core.RoundPlan, n int) error {
+	return requireAllActive(plan, n, "collective")
+}
+
+// RunRound implements Pattern.
+func (Collective) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transport, gate Gate) (NodeReport, error) {
+	gate.Acquire()
+	loss, out, err := node.Compute(ctx)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	rep := NodeReport{Loss: loss, Trained: trained(loss), PayloadLen: len(out)}
+	sum := append([]float64(nil), out...)
+	gate.Release()
+
+	if ctx.N > 1 {
+		if ctx.N&(ctx.N-1) == 0 {
+			err = halvingDoubling(ctx, codecs, tr, gate, sum, &rep)
+		} else {
+			gate.Acquire()
+			words, encErr := codecs[ctx.Self].Encode(ctx, out)
+			gate.Release()
+			if encErr != nil {
+				return NodeReport{}, encErr
+			}
+			err = sumAllGather(ctx, codecs, tr, gate, words, sum, &rep)
+		}
+		if err != nil {
+			return NodeReport{}, err
+		}
+	}
+
+	gate.Acquire()
+	defer gate.Release()
+	if err := node.Merge(ctx, []PeerMsg{{From: -1, Vals: sum}}); err != nil {
+		return NodeReport{}, err
+	}
+	return rep, nil
+}
+
+// segAfter returns the [lo, hi) segment of a D-length vector that rank owns
+// after depth reduce-scatter halvings over n = 2^q nodes.
+func segAfter(rank, depth, D, n int) (int, int) {
+	lo, hi := 0, D
+	for k := 0; k < depth; k++ {
+		mask := n >> (k + 1)
+		mid := lo + (hi-lo)/2
+		if rank&mask == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, hi
+}
+
+// exchangeChunk encodes a copy of vec[lo:hi] with the node's own codec,
+// swaps it with partner, and returns the decoded reply. Copies are required:
+// the codec's scratch is reused across the collective's steps while the
+// transport still borrows earlier payloads.
+func exchangeChunk(ctx RoundContext, codecs []Codec, tr Transport, gate Gate, vec []float64, lo, hi, partner int, rep *NodeReport) ([]float64, error) {
+	gate.Acquire()
+	chunk := append([]float64(nil), vec[lo:hi]...)
+	words, err := codecs[ctx.Self].Encode(ctx, chunk)
+	if err != nil {
+		gate.Release()
+		return nil, err
+	}
+	wcopy := append([]float64(nil), words...)
+	sent := codecs[ctx.Self].WireBytes(wcopy)
+	gate.Release()
+
+	pw, err := tr.Exchange(ctx.Round, ctx.Self, partner, wcopy)
+	if err != nil {
+		return nil, err
+	}
+
+	gate.Acquire()
+	defer gate.Release()
+	vals, err := codecs[partner].Decode(ctx, pw)
+	if err != nil {
+		return nil, err
+	}
+	rep.Flows = append(rep.Flows, Flow{Peer: partner, Sent: sent, Recv: codecs[partner].WireBytes(pw)})
+	return vals, nil
+}
+
+// halvingDoubling is the power-of-two exact all-reduce; vec is reduced in
+// place to the global sum.
+func halvingDoubling(ctx RoundContext, codecs []Codec, tr Transport, gate Gate, vec []float64, rep *NodeReport) error {
+	self, n, D := ctx.Self, ctx.N, len(vec)
+	q := bits.Len(uint(n)) - 1
+	// Reduce-scatter: each step halves the owned segment, swapping the
+	// discarded half with the partner and accumulating the kept half.
+	lo, hi := 0, D
+	for k := 0; k < q; k++ {
+		mask := n >> (k + 1)
+		partner := self ^ mask
+		mid := lo + (hi-lo)/2
+		sendLo, sendHi, keepLo, keepHi := mid, hi, lo, mid
+		if self&mask != 0 {
+			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
+		}
+		vals, err := exchangeChunk(ctx, codecs, tr, gate, vec, sendLo, sendHi, partner, rep)
+		if err != nil {
+			return err
+		}
+		if len(vals) != keepHi-keepLo {
+			return fmt.Errorf("engine: collective chunk of %d values, want %d", len(vals), keepHi-keepLo)
+		}
+		for i, v := range vals {
+			vec[keepLo+i] += v
+		}
+		lo, hi = keepLo, keepHi
+	}
+	// All-gather: mirror the halvings, swapping fully reduced segments.
+	for g := 0; g < q; g++ {
+		partner := self ^ (1 << g)
+		myLo, myHi := segAfter(self, q-g, D, n)
+		pLo, pHi := segAfter(partner, q-g, D, n)
+		vals, err := exchangeChunk(ctx, codecs, tr, gate, vec, myLo, myHi, partner, rep)
+		if err != nil {
+			return err
+		}
+		if len(vals) != pHi-pLo {
+			return fmt.Errorf("engine: collective gather chunk of %d values, want %d", len(vals), pHi-pLo)
+		}
+		copy(vec[pLo:pHi], vals)
+	}
+	return nil
+}
+
+// sumAllGather swaps one already-encoded payload with every other node and
+// sums the decoded replies into vec (which already holds the node's own
+// contribution). words must be encoded exactly once by the caller — encoding
+// here would advance stateful codecs (error feedback, RNG) twice per round.
+func sumAllGather(ctx RoundContext, codecs []Codec, tr Transport, gate Gate, words, vec []float64, rep *NodeReport) error {
+	sent := codecs[ctx.Self].WireBytes(words)
+	recvWords := make([][]float64, 0, ctx.N-1)
+	peers := make([]int, 0, ctx.N-1)
+	for p := 0; p < ctx.N; p++ {
+		if p == ctx.Self {
+			continue
+		}
+		pw, err := tr.Exchange(ctx.Round, ctx.Self, p, words)
+		if err != nil {
+			return err
+		}
+		peers = append(peers, p)
+		recvWords = append(recvWords, pw)
+	}
+	gate.Acquire()
+	defer gate.Release()
+	for i, p := range peers {
+		vals, err := codecs[p].Decode(ctx, recvWords[i])
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(vec) {
+			return fmt.Errorf("engine: all-gather payload of %d values, want %d", len(vals), len(vec))
+		}
+		rep.Flows = append(rep.Flows, Flow{Peer: p, Sent: sent, Recv: codecs[p].WireBytes(recvWords[i])})
+		for j, v := range vals {
+			vec[j] += v
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// AllGather (complete-graph gossip of compressed payloads — TopK, QSGD)
+
+// AllGather is the complete-graph gossip used by the compressed all-gather
+// baselines: every node broadcasts one encoded payload to every other node,
+// and Merge receives the element-wise sum of all *decoded* payloads
+// (including the node's own, passed through its codec — lossy compressors
+// must see their own loss, or the fleet would silently disagree on the
+// aggregate).
+type AllGather struct{}
+
+// Name implements Pattern.
+func (AllGather) Name() string { return "all-gather" }
+
+// Validate implements Pattern.
+func (AllGather) Validate(plan core.RoundPlan, n int) error {
+	return requireAllActive(plan, n, "all-gather")
+}
+
+// RunRound implements Pattern.
+func (AllGather) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transport, gate Gate) (NodeReport, error) {
+	gate.Acquire()
+	loss, out, err := node.Compute(ctx)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	rep := NodeReport{Loss: loss, Trained: trained(loss)}
+	words, err := codecs[ctx.Self].Encode(ctx, out)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	rep.PayloadLen = len(words)
+	own, err := codecs[ctx.Self].Decode(ctx, words)
+	if err != nil {
+		gate.Release()
+		return NodeReport{}, err
+	}
+	sum := append([]float64(nil), own...)
+	gate.Release()
+
+	if err := sumAllGather(ctx, codecs, tr, gate, words, sum, &rep); err != nil {
+		return NodeReport{}, err
+	}
+
+	gate.Acquire()
+	defer gate.Release()
+	if err := node.Merge(ctx, []PeerMsg{{From: -1, Vals: sum}}); err != nil {
+		return NodeReport{}, err
+	}
+	return rep, nil
+}
+
+// requireAllActive rejects plans with dynamic membership for patterns whose
+// shape has no notion of absence.
+func requireAllActive(plan core.RoundPlan, n int, pattern string) error {
+	if plan.Active == nil {
+		return nil
+	}
+	if len(plan.Active) != n {
+		return fmt.Errorf("engine: plan active set for %d nodes, have %d", len(plan.Active), n)
+	}
+	for i, a := range plan.Active {
+		if !a {
+			return fmt.Errorf("engine: %s pattern cannot run with node %d inactive", pattern, i)
+		}
+	}
+	return nil
+}

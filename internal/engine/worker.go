@@ -1,9 +1,7 @@
 package engine
 
-import "sapspsgd/internal/core"
-
-// Gate bounds the engine's CPU-heavy sections (local SGD, mask generation,
-// merge) without serializing the network exchanges between them: a worker
+// Gate bounds the engine's CPU-heavy sections (local SGD, encode/decode,
+// merge) without serializing the network exchanges between them: a pattern
 // holds the gate while computing, releases it before blocking in
 // Transport.Exchange, and re-acquires it to merge. This is what lets a
 // bounded pool drive many more workers than cores with no rendezvous
@@ -34,37 +32,20 @@ type nopGate struct{}
 func (nopGate) Acquire() {}
 func (nopGate) Release() {}
 
-// WorkerRound executes Algorithm 2 lines 5–10 for one worker and one round:
-// local SGD, shared-seed mask regeneration, masked payload extraction, the
-// peer exchange over the transport, and the masked gossip average. This is
-// the single canonical implementation of the worker round — every backend
-// (in-memory, simulated-bandwidth, TCP) funnels through it.
+// WorkerRound executes one node's full round — local compute, the pattern's
+// encoded exchanges over the transport, and the merge. This is the single
+// canonical implementation of the worker round: every backend (in-memory,
+// simulated-bandwidth, TCP) funnels through it.
 //
-// peer == -1 skips the exchange (the worker only trains). gate may be nil
-// for ungated execution. It returns the mean local loss and the payload
-// length (0 when unmatched).
-func WorkerRound(w *core.Worker, tr Transport, gate Gate, round int, seed uint64, peer int) (loss float64, payloadLen int, err error) {
+// pat nil defaults to the pairwise matched-gossip pattern; gate nil runs
+// ungated. codecs is the shared per-rank codec table: the node encodes with
+// codecs[ctx.Self] and decodes inbound payloads with the sender's codec.
+func WorkerRound(node Node, pat Pattern, codecs []Codec, tr Transport, gate Gate, ctx RoundContext) (NodeReport, error) {
+	if pat == nil {
+		pat = Pairwise{}
+	}
 	if gate == nil {
 		gate = nopGate{}
 	}
-	gate.Acquire()
-	loss = w.LocalSGD()
-	if peer < 0 {
-		gate.Release()
-		return loss, 0, nil
-	}
-	w.RoundMask(seed, round)
-	payload := w.MaskedPayload()
-	payloadLen = len(payload)
-	gate.Release()
-
-	peerVals, err := tr.Exchange(round, w.Rank, peer, payload)
-	if err != nil {
-		return 0, 0, err
-	}
-
-	gate.Acquire()
-	w.MergePeer(peerVals)
-	gate.Release()
-	return loss, payloadLen, nil
+	return pat.RunRound(ctx, node, codecs, tr, gate)
 }

@@ -3,25 +3,34 @@ package transport
 import (
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"sync"
 
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine"
+	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 )
 
-// CoordinatorServer runs Algorithm 1 over TCP: it registers n workers,
-// drives T rounds of peer assignment + mask seeds, enforces the round
-// barrier, and finally collects the model from worker 0.
+// GossipConfig aliases gossip.Config (Algorithm 3's BThres/TThres knobs).
+type GossipConfig = gossip.Config
+
+// CoordinatorServer runs Algorithm 1 over TCP for any recipe algorithm: it
+// registers the task's node processes (N trainers, plus one server process
+// for hub algorithms), drives T rounds of control broadcasts, enforces the
+// round barrier, and finally collects the global model.
 type CoordinatorServer struct {
+	// N is the trainer count n. Hub algorithms expect one extra worker
+	// process to register (it becomes the parameter server, rank n).
 	N    int
 	Task TaskSpec
 	// BW is the bandwidth environment used by the gossip generator when
 	// Measure is false; with Measure set it is only the fallback for links
 	// whose probes failed.
-	BW  *netsim.Bandwidth
-	Cfg core.Config
+	BW *netsim.Bandwidth
+	// Gossip carries Algorithm 3's BThres/TThres knobs (SAPS only).
+	Gossip GossipConfig
 	// Measure, when true, runs a bandwidth measurement phase after
 	// registration (paper §II-C footnote 3): every worker pair exchanges
 	// ProbeBytes of payload, reports the achieved throughput, and the
@@ -31,7 +40,8 @@ type CoordinatorServer struct {
 	ProbeBytes int
 	// Ledger, when set, receives the engine driver's per-round traffic
 	// accounting (defaults to a fresh engine.CountingLedger). Pass one in to
-	// read byte totals after Run.
+	// read byte totals after Run. Charges are the wire bytes the workers'
+	// codecs measured, reported through the round-end flows.
 	Ledger engine.Ledger
 	// Logf receives progress lines; nil silences logging.
 	Logf func(format string, args ...any)
@@ -39,6 +49,8 @@ type CoordinatorServer struct {
 	ln      net.Listener
 	conns   []*Conn
 	addrs   []string
+	pattern engine.Pattern
+	total   int
 	mu      sync.Mutex
 	started bool
 }
@@ -60,8 +72,10 @@ func (s *CoordinatorServer) logf(format string, args ...any) {
 	}
 }
 
-// Run accepts n workers, drives the full training, and returns the final
-// model parameters collected from worker 0. It closes the listener on exit.
+// Run accepts the task's node processes, drives the full training, and
+// returns the final global model parameters (collected from the server rank
+// for hub algorithms, from worker 0 otherwise). It closes the listener on
+// exit.
 func (s *CoordinatorServer) Run() ([]float64, error) {
 	s.mu.Lock()
 	if s.started {
@@ -75,8 +89,15 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 	}
 	defer s.ln.Close()
 
+	rec := s.Task.Recipe(s.N)
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	s.total = rec.Nodes()
+	s.pattern = rec.Pattern()
+
 	// Registration phase.
-	for rank := 0; rank < s.N; rank++ {
+	for rank := 0; rank < s.total; rank++ {
 		nc, err := s.ln.Accept()
 		if err != nil {
 			return nil, fmt.Errorf("transport: accept worker %d: %w", rank, err)
@@ -100,7 +121,7 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 		}
 	}()
 	for rank, c := range s.conns {
-		if err := c.Send(Welcome{Rank: rank, N: s.N, Task: s.Task, Addrs: s.addrs}); err != nil {
+		if err := c.Send(Welcome{Rank: rank, N: s.total, Task: s.Task, Addrs: s.addrs}); err != nil {
 			return nil, err
 		}
 	}
@@ -117,7 +138,7 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 				return nil, fmt.Errorf("transport: measure request to %d: %w", rank, err)
 			}
 		}
-		reports := make([]MeasureReport, 0, s.N)
+		reports := make([]MeasureReport, 0, s.total)
 		for rank, c := range s.conns {
 			msg, err := c.Recv()
 			if err != nil {
@@ -129,7 +150,7 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 			}
 			reports = append(reports, rep)
 		}
-		measured, err := AssembleBandwidth(s.N, reports)
+		measured, err := AssembleBandwidth(s.total, reports)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +166,7 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 		led = &engine.CountingLedger{}
 	}
 	drv := &engine.Driver{
-		Planner: core.NewCoordinator(bw, s.Cfg),
+		Planner: rec.Planner(bw, s.Gossip),
 		Control: (*tcpControl)(s),
 	}
 	for t := 0; t < s.Task.Rounds; t++ {
@@ -154,52 +175,87 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 			return nil, err
 		}
 		if (t+1)%10 == 0 || t == s.Task.Rounds-1 {
-			s.logf("coordinator: round %d/%d mean loss %.4f", t+1, s.Task.Rounds, stats.Loss)
+			s.logf("coordinator: round %d/%d mean loss %.4f (%d wire bytes)",
+				t+1, s.Task.Rounds, stats.Loss, stats.Bytes)
 		}
 	}
 
-	return s.collect()
+	collectRank := 0
+	if r := rec.ServerRank(); r >= 0 {
+		collectRank = r
+	}
+	return s.collect(collectRank)
 }
 
 // tcpControl implements engine.Control over the coordinator's worker
 // connections: broadcast the round's control message, then hold the barrier
-// until every worker reports back.
+// until every worker reports back with its measured flows.
 type tcpControl CoordinatorServer
 
 // RunRound implements engine.Control.
-func (s *tcpControl) RunRound(plan core.RoundPlan) (float64, int, error) {
+func (s *tcpControl) RunRound(plan core.RoundPlan) (engine.ControlReport, error) {
+	if err := s.pattern.Validate(plan, s.total); err != nil {
+		return engine.ControlReport{}, err
+	}
 	t := plan.Round
 	for rank, c := range s.conns {
-		if err := c.Send(RoundMsg{Round: t, Seed: plan.Seed, Peer: plan.Peer[rank]}); err != nil {
-			return 0, 0, fmt.Errorf("transport: round %d notify %d: %w", t, rank, err)
+		peer := -1
+		if rank < len(plan.Peer) {
+			peer = plan.Peer[rank]
+		}
+		msg := RoundMsg{Round: t, Seed: plan.Seed, Peer: peer, Active: plan.Active}
+		if err := c.Send(msg); err != nil {
+			return engine.ControlReport{}, fmt.Errorf("transport: round %d notify %d: %w", t, rank, err)
 		}
 	}
-	lossSum := 0.0
-	payloadLen := 0
+	reports := make([]engine.NodeReport, s.total)
+	seen := make([]bool, s.total)
+	lossSum, trained := 0.0, 0
+	rep := engine.ControlReport{}
 	for rank, c := range s.conns {
 		msg, err := c.Recv()
 		if err != nil {
-			return 0, 0, fmt.Errorf("transport: round %d end from %d: %w", t, rank, err)
+			return engine.ControlReport{}, fmt.Errorf("transport: round %d end from %d: %w", t, rank, err)
 		}
 		end, ok := msg.(RoundEnd)
 		if !ok || end.Round != t {
-			return 0, 0, fmt.Errorf("transport: round %d: unexpected %v from %d", t, msg, rank)
+			return engine.ControlReport{}, fmt.Errorf("transport: round %d: unexpected %v from %d", t, msg, rank)
 		}
-		lossSum += end.Loss
-		if end.PayloadLen > payloadLen {
-			payloadLen = end.PayloadLen
+		if end.Rank < 0 || end.Rank >= s.total {
+			return engine.ControlReport{}, fmt.Errorf("transport: round %d: report for invalid rank %d from connection %d", t, end.Rank, rank)
+		}
+		if seen[end.Rank] {
+			return engine.ControlReport{}, fmt.Errorf("transport: round %d: duplicate report for rank %d", t, end.Rank)
+		}
+		seen[end.Rank] = true
+		reports[end.Rank] = engine.NodeReport{
+			Loss:       end.Loss,
+			Trained:    end.Trained,
+			PayloadLen: end.PayloadLen,
+			Flows:      end.Flows,
+		}
+		if end.Trained && !math.IsNaN(end.Loss) {
+			lossSum += end.Loss
+			trained++
+		}
+		if end.PayloadLen > rep.PayloadLen {
+			rep.PayloadLen = end.PayloadLen
 		}
 	}
-	return lossSum / float64(s.N), payloadLen, nil
+	if trained > 0 {
+		rep.MeanLoss = lossSum / float64(trained)
+	}
+	rep.Pairs = engine.AggregateFlows(reports)
+	return rep, nil
 }
 
-// collect gathers the final model from worker 0 (Algorithm 1 line 8) and
-// releases the workers.
-func (s *CoordinatorServer) collect() ([]float64, error) {
-	if err := s.conns[0].Send(CollectRequest{}); err != nil {
+// collect gathers the final model from the given rank (Algorithm 1 line 8)
+// and releases the workers.
+func (s *CoordinatorServer) collect(rank int) ([]float64, error) {
+	if err := s.conns[rank].Send(CollectRequest{}); err != nil {
 		return nil, err
 	}
-	msg, err := s.conns[0].Recv()
+	msg, err := s.conns[rank].Recv()
 	if err != nil {
 		return nil, fmt.Errorf("transport: collect: %w", err)
 	}

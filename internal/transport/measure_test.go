@@ -4,7 +4,6 @@ import (
 	"sync"
 	"testing"
 
-	"sapspsgd/internal/core"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/rng"
@@ -68,10 +67,7 @@ func TestEndToEndWithMeasurementPhase(t *testing.T) {
 		BW:         netsim.RandomUniform(n, 1, 5, rng.New(2)),
 		Measure:    true,
 		ProbeBytes: 16 << 10,
-		Cfg: core.Config{
-			Workers: n, Compression: 2, LR: 0.1, Batch: 8, LocalSteps: 1,
-			Gossip: gossip.Config{TThres: 4}, Seed: 3,
-		},
+		Gossip:     gossip.Config{TThres: 4},
 	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

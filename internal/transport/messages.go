@@ -1,13 +1,17 @@
-// Package transport implements the deployable SAPS-PSGD system over TCP:
-// a coordinator server (Algorithm 1) that registers workers, broadcasts the
-// per-round control messages (peer assignment + mask seed — never model
-// payloads), and worker clients (Algorithm 2) that train locally and
-// exchange sparsified models peer-to-peer over their own listeners.
+// Package transport implements the deployable training system over TCP —
+// algorithm-agnostic since the Pattern/Codec generalization: a coordinator
+// server (Algorithm 1) that registers workers, broadcasts the per-round
+// control messages (peer assignment / participation set + mask seed — never
+// model payloads), and worker clients that assemble their engine node from
+// the broadcast algos.Recipe and exchange encoded payloads peer-to-peer over
+// their own listeners. Any recipe algorithm deploys: SAPS's masked pairwise
+// gossip, the ring and all-gather decentralized baselines, and the hub
+// schemes (the last registered rank becomes the parameter server).
 //
-// All control-plane and data-plane messages are gob-encoded. The data a
-// worker exchanges with its peer is exactly the packed masked values —
-// indices travel as a 64-bit seed inside the control message, reproducing
-// the paper's wire economics.
+// All control-plane and data-plane messages are gob-encoded. The data two
+// workers exchange is exactly the codec's wire words — for SAPS the packed
+// masked values, whose indices travel as a 64-bit seed inside the control
+// message, reproducing the paper's wire economics.
 package transport
 
 import (
@@ -15,7 +19,9 @@ import (
 	"fmt"
 	"io"
 
+	"sapspsgd/internal/algos"
 	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/nn"
 )
 
@@ -42,6 +48,54 @@ type TaskSpec struct {
 	LocalSteps  int
 	Rounds      int
 	Seed        uint64
+
+	// Algo selects the training algorithm (see algos.AlgoNames); empty
+	// defaults to "saps". Hub algorithms (ps-psgd, fedavg, s-fedavg) need
+	// one extra worker process: the last registered rank becomes the
+	// parameter server.
+	Algo string
+	// AlgoC is the sparsifier ratio for topk-psgd, dcd-psgd and s-fedavg.
+	AlgoC float64
+	// QLevels is the QSGD level count.
+	QLevels int
+	// Fraction is the FedAvg per-round participation ratio.
+	Fraction float64
+}
+
+// AlgoName returns the spec's algorithm, defaulting to "saps".
+func (s TaskSpec) AlgoName() string {
+	if s.Algo == "" {
+		return "saps"
+	}
+	return s.Algo
+}
+
+// Recipe assembles the deployment-neutral algorithm recipe for the given
+// trainer count. Every process derives the identical recipe from the
+// broadcast spec, so codec seeds, node state, and loader streams agree
+// bit-for-bit with an in-process run.
+func (s TaskSpec) Recipe(trainers int) algos.Recipe {
+	return algos.Recipe{
+		Algo:        s.AlgoName(),
+		Workers:     trainers,
+		LR:          s.LR,
+		Batch:       s.Batch,
+		Seed:        s.Seed,
+		Compression: s.Compression,
+		LocalSteps:  s.LocalSteps,
+		C:           s.AlgoC,
+		Levels:      s.QLevels,
+		Fraction:    s.Fraction,
+	}
+}
+
+// Trainers converts a total registered-node count back to the trainer count
+// (hub algorithms register one extra process for the server rank).
+func (s TaskSpec) Trainers(totalNodes int) int {
+	if s.Recipe(2).Hub() {
+		return totalNodes - 1
+	}
+	return totalNodes
 }
 
 // BuildModel constructs the worker model for the spec. All workers pass the
@@ -97,20 +151,28 @@ type (
 		Task  TaskSpec
 		Addrs []string
 	}
-	// RoundMsg is Algorithm 1 line 6: (W_t row for this worker, t, s).
+	// RoundMsg is Algorithm 1 line 6: the control message for one round.
+	// Peer is this worker's pairwise partner (-1: none; meaningful only
+	// for the pairwise pattern); Active, when non-nil, is the round's
+	// participation set over all node ranks (hub algorithms' chosen
+	// fraction).
 	RoundMsg struct {
-		Round int
-		Seed  uint64
-		Peer  int // -1: no exchange this round
+		Round  int
+		Seed   uint64
+		Peer   int
+		Active []bool
 	}
-	// RoundEnd is the worker's end-of-round notification. PayloadLen is the
-	// number of masked values the worker transmitted (0 when unmatched),
-	// reported so the coordinator's ledger charges the exact wire size.
+	// RoundEnd is the worker's end-of-round notification: the measured
+	// outcome of its engine round. Flows carries the exact wire bytes the
+	// worker's codec produced per peer, which is what the coordinator's
+	// ledger charges.
 	RoundEnd struct {
 		Rank       int
 		Round      int
 		Loss       float64
+		Trained    bool
 		PayloadLen int
+		Flows      []engine.Flow
 	}
 	// CollectRequest asks a worker for its full model (Algorithm 1 line 8).
 	CollectRequest struct{}
@@ -122,11 +184,15 @@ type (
 	Done struct{}
 )
 
-// PeerPayload is the data-plane message two matched workers swap: the packed
-// masked parameter values for the given round.
+// PeerPayload is the data-plane message two exchanging workers swap: the
+// encoded wire words for the given round. Seq orders multiple meetings of
+// the same pair within one round (hub pull/push, collective phases): both
+// endpoints count their exchanges per (round, peer) and the numbers must
+// agree, which catches mispaired connections under out-of-order arrival.
 type PeerPayload struct {
 	Round int
 	From  int
+	Seq   int
 	Vals  []float64
 }
 

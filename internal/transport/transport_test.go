@@ -9,7 +9,6 @@ import (
 	"testing"
 	"time"
 
-	"sapspsgd/internal/core"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
@@ -113,14 +112,10 @@ func TestEndToEndTCPTraining(t *testing.T) {
 		Rounds: 12, Seed: 3,
 	}
 	srv := &CoordinatorServer{
-		N:    n,
-		Task: spec,
-		BW:   netsim.RandomUniform(n, 1, 5, rng.New(2)),
-		Cfg: core.Config{
-			Workers: n, Compression: spec.Compression, LR: spec.LR,
-			Batch: spec.Batch, LocalSteps: 1,
-			Gossip: gossip.Config{BThres: 2, TThres: 4}, Seed: 3,
-		},
+		N:      n,
+		Task:   spec,
+		BW:     netsim.RandomUniform(n, 1, 5, rng.New(2)),
+		Gossip: gossip.Config{BThres: 2, TThres: 4},
 	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -187,12 +182,8 @@ func TestEndToEndNonIID(t *testing.T) {
 	}
 	srv := &CoordinatorServer{
 		N: n, Task: spec,
-		BW: netsim.RandomUniform(n, 1, 5, rng.New(4)),
-		Cfg: core.Config{
-			Workers: n, Compression: spec.Compression, LR: spec.LR,
-			Batch: spec.Batch, LocalSteps: 1,
-			Gossip: gossip.Config{BThres: 0, TThres: 4}, Seed: 11,
-		},
+		BW:     netsim.RandomUniform(n, 1, 5, rng.New(4)),
+		Gossip: gossip.Config{BThres: 0, TThres: 4},
 	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -232,11 +223,8 @@ func TestCoordinatorHandlesWorkerDisconnect(t *testing.T) {
 	}
 	srv := &CoordinatorServer{
 		N: n, Task: spec,
-		BW: netsim.RandomUniform(n, 1, 5, rng.New(2)),
-		Cfg: core.Config{
-			Workers: n, Compression: 2, LR: 0.1, Batch: 8, LocalSteps: 1,
-			Gossip: gossip.Config{TThres: 4}, Seed: 3,
-		},
+		BW:     netsim.RandomUniform(n, 1, 5, rng.New(2)),
+		Gossip: gossip.Config{TThres: 4},
 	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

@@ -6,22 +6,43 @@ import (
 
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine"
-	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/nn"
 )
 
-// WorkerClient runs Algorithm 2 over TCP: it registers with the
-// coordinator, trains locally, and exchanges masked payloads with its
-// per-round peer over direct worker-to-worker connections.
+// WorkerClient runs one engine node over TCP: it registers with the
+// coordinator, assembles its node/pattern/codecs from the broadcast task
+// recipe, trains locally, and exchanges encoded payloads with its per-round
+// peers over direct worker-to-worker connections. For hub algorithms the
+// last rank hosts the parameter server instead of training.
 type WorkerClient struct {
 	// Logf receives progress lines; nil silences logging.
 	Logf func(format string, args ...any)
 
-	rank   int
-	n      int
-	worker *core.Worker
-	coord  *Conn
+	rank  int
+	n     int // total node count (trainers + server for hub recipes)
+	coord *Conn
+
+	model   *nn.Model
+	node    engine.Node
+	pattern engine.Pattern
+	codecs  []engine.Codec
+
 	peerLn net.Listener
 	addrs  []string
+	// pending stashes accepted peer connections that arrived while this
+	// worker was waiting for a different peer (multi-peer patterns accept
+	// in no guaranteed order); FIFO per sender.
+	pending map[int][]*pendingConn
+	// seq counts this round's exchanges per peer; both endpoints of every
+	// meeting must agree on the sequence number.
+	seq map[int]int
+}
+
+// pendingConn is one accepted-but-not-yet-consumed peer connection with its
+// opening payload.
+type pendingConn struct {
+	conn *Conn
+	pp   PeerPayload
 }
 
 // Rank returns the coordinator-assigned rank (valid after Run registers).
@@ -34,7 +55,7 @@ func (w *WorkerClient) logf(format string, args ...any) {
 }
 
 // Run connects to the coordinator at coordAddr, participates in the full
-// training, and returns the worker's final parameters. peerAddr is the
+// training, and returns the node's final parameters. peerAddr is the
 // address to listen on for peer exchanges ("127.0.0.1:0" for an ephemeral
 // port).
 func (w *WorkerClient) Run(coordAddr, peerAddr string) ([]float64, error) {
@@ -66,24 +87,29 @@ func (w *WorkerClient) Run(coordAddr, peerAddr string) ([]float64, error) {
 	w.rank = welcome.Rank
 	w.n = welcome.N
 	w.addrs = welcome.Addrs
+	w.pending = map[int][]*pendingConn{}
 	spec := welcome.Task
 
-	model, err := spec.BuildModel()
+	trainers := spec.Trainers(w.n)
+	rec := spec.Recipe(trainers)
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	w.model, err = spec.BuildModel()
 	if err != nil {
 		return nil, err
 	}
-	shards, _ := spec.BuildShards(w.n)
-	cfg := core.Config{
-		Workers:     w.n,
-		Compression: spec.Compression,
-		LR:          spec.LR,
-		Batch:       spec.Batch,
-		LocalSteps:  spec.LocalSteps,
-		Gossip:      gossip.Config{BThres: 0, TThres: 10},
-		Seed:        spec.Seed,
+	w.pattern = rec.Pattern()
+	w.codecs = rec.Codecs(w.model.ParamCount())
+	if rec.Hub() && w.rank == rec.ServerRank() {
+		w.node = rec.NewNode(w.rank, w.model, nil, nil)
+		w.logf("worker %d: parameter server for %q (%d params)", w.rank, rec.Algo, w.model.ParamCount())
+	} else {
+		shards, _ := spec.BuildShards(trainers)
+		w.node = rec.NewNode(w.rank, w.model, shards[w.rank], nil)
+		w.logf("worker %d: ready for %q (%d params, %d local samples)",
+			w.rank, rec.Algo, w.model.ParamCount(), shards[w.rank].Len())
 	}
-	w.worker = core.NewWorker(w.rank, model, shards[w.rank], cfg)
-	w.logf("worker %d: ready (%d params, %d local samples)", w.rank, model.ParamCount(), shards[w.rank].Len())
 
 	for {
 		msg, err := w.coord.Recv()
@@ -97,29 +123,69 @@ func (w *WorkerClient) Run(coordAddr, peerAddr string) ([]float64, error) {
 				return nil, err
 			}
 		case RoundMsg:
-			loss, payloadLen, err := engine.WorkerRound(w.worker, peerDialer{w}, nil, m.Round, m.Seed, m.Peer)
+			end, err := w.runRound(m)
 			if err != nil {
 				return nil, err
 			}
-			if err := w.coord.Send(RoundEnd{Rank: w.rank, Round: m.Round, Loss: loss, PayloadLen: payloadLen}); err != nil {
+			if err := w.coord.Send(end); err != nil {
 				return nil, err
 			}
 		case CollectRequest:
-			if err := w.coord.Send(FinalModel{Params: w.worker.Params()}); err != nil {
+			if err := w.coord.Send(FinalModel{Params: w.model.FlatParams(nil)}); err != nil {
 				return nil, err
 			}
 		case Done:
 			w.logf("worker %d: done", w.rank)
-			return w.worker.Params(), nil
+			return w.model.FlatParams(nil), nil
 		default:
 			return nil, fmt.Errorf("transport: worker %d: unexpected %T", w.rank, msg)
 		}
 	}
 }
 
+// runRound executes one engine round from the coordinator's control message.
+func (w *WorkerClient) runRound(m RoundMsg) (RoundEnd, error) {
+	if m.Active != nil && !m.Active[w.rank] {
+		// Not chosen this round: hold the barrier without training.
+		return RoundEnd{Rank: w.rank, Round: m.Round}, nil
+	}
+	plan := core.RoundPlan{Round: m.Round, Seed: m.Seed, Active: m.Active, Peer: peerTable(m.Peer, w.rank, w.n)}
+	ctx := engine.RoundContext{Round: m.Round, Seed: m.Seed, Self: w.rank, N: w.n, Plan: plan}
+	w.seq = map[int]int{}
+	rep, err := engine.WorkerRound(w.node, w.pattern, w.codecs, peerDialer{w}, nil, ctx)
+	if err != nil {
+		return RoundEnd{}, err
+	}
+	return RoundEnd{
+		Rank:       w.rank,
+		Round:      m.Round,
+		Loss:       rep.Loss,
+		Trained:    rep.Trained,
+		PayloadLen: rep.PayloadLen,
+		Flows:      rep.Flows,
+	}, nil
+}
+
+// peerTable reconstructs the pairwise peer table from this worker's own
+// assignment (only Peer[self] and the symmetric entry are ever read by the
+// pairwise pattern; other patterns ignore the table).
+func peerTable(peer, self, n int) []int {
+	t := make([]int, n)
+	for i := range t {
+		t[i] = -1
+	}
+	if self < n {
+		t[self] = peer
+	}
+	if peer >= 0 && peer < n {
+		t[peer] = self
+	}
+	return t
+}
+
 // peerDialer adapts the worker's peer connections to engine.Transport, so
-// the canonical engine.WorkerRound drives the TCP deployment: the round
-// logic itself lives in internal/engine, and only the payload swap below is
+// the canonical engine round drives the TCP deployment: the round logic
+// lives in internal/engine, and only the payload swap below is
 // transport-specific.
 type peerDialer struct{ w *WorkerClient }
 
@@ -128,40 +194,88 @@ func (d peerDialer) Exchange(round, self, peer int, payload []float64) ([]float6
 	return d.w.exchange(round, peer, payload)
 }
 
-// exchange swaps masked payloads with the peer: the lower rank dials, the
-// higher rank accepts. The coordinator's round barrier guarantees at most
-// one exchange is in flight per worker.
+// exchange swaps encoded payloads with the peer: the lower rank dials, the
+// higher rank accepts. Multi-peer patterns can make the accept side receive
+// connections out of order, so accepted connections self-identify via their
+// opening PeerPayload and are stashed until their exchange comes up; the
+// per-(round, peer) sequence number verifies both sides agree on which
+// meeting this is.
 func (w *WorkerClient) exchange(round, peer int, payload []float64) ([]float64, error) {
-	var conn *Conn
+	seq := w.seq[peer]
+	w.seq[peer]++
+	out := PeerPayload{Round: round, From: w.rank, Seq: seq, Vals: payload}
+
 	if w.rank < peer {
 		nc, err := net.Dial("tcp", w.addrs[peer])
 		if err != nil {
 			return nil, fmt.Errorf("transport: worker %d dial peer %d: %w", w.rank, peer, err)
 		}
-		conn = NewConn(nc)
-	} else {
+		conn := NewConn(nc)
+		defer conn.Close()
+		if err := conn.Send(out); err != nil {
+			return nil, err
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		pp, ok := msg.(PeerPayload)
+		if !ok {
+			return nil, fmt.Errorf("transport: worker %d: peer sent %T", w.rank, msg)
+		}
+		if err := checkPayload(pp, round, peer, seq, w.rank); err != nil {
+			return nil, err
+		}
+		return pp.Vals, nil
+	}
+
+	pc, err := w.awaitPeer(peer)
+	if err != nil {
+		return nil, err
+	}
+	defer pc.conn.Close()
+	if err := checkPayload(pc.pp, round, peer, seq, w.rank); err != nil {
+		return nil, err
+	}
+	if err := pc.conn.Send(out); err != nil {
+		return nil, err
+	}
+	return pc.pp.Vals, nil
+}
+
+// awaitPeer returns the oldest stashed connection from peer, accepting (and
+// stashing) incoming connections until one arrives.
+func (w *WorkerClient) awaitPeer(peer int) (*pendingConn, error) {
+	for {
+		if list := w.pending[peer]; len(list) > 0 {
+			pc := list[0]
+			w.pending[peer] = list[1:]
+			return pc, nil
+		}
 		nc, err := w.peerLn.Accept()
 		if err != nil {
 			return nil, fmt.Errorf("transport: worker %d accept peer %d: %w", w.rank, peer, err)
 		}
-		conn = NewConn(nc)
+		conn := NewConn(nc)
+		msg, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: worker %d: peer hello: %w", w.rank, err)
+		}
+		pp, ok := msg.(PeerPayload)
+		if !ok {
+			conn.Close()
+			return nil, fmt.Errorf("transport: worker %d: accepted %T", w.rank, msg)
+		}
+		w.pending[pp.From] = append(w.pending[pp.From], &pendingConn{conn: conn, pp: pp})
 	}
-	defer conn.Close()
+}
 
-	if err := conn.Send(PeerPayload{Round: round, From: w.rank, Vals: payload}); err != nil {
-		return nil, err
+// checkPayload validates an inbound payload's routing metadata.
+func checkPayload(pp PeerPayload, round, peer, seq, self int) error {
+	if pp.Round != round || pp.From != peer || pp.Seq != seq {
+		return fmt.Errorf("transport: worker %d: stale payload round=%d from=%d seq=%d, want round=%d from=%d seq=%d",
+			self, pp.Round, pp.From, pp.Seq, round, peer, seq)
 	}
-	msg, err := conn.Recv()
-	if err != nil {
-		return nil, err
-	}
-	pp, ok := msg.(PeerPayload)
-	if !ok {
-		return nil, fmt.Errorf("transport: worker %d: peer sent %T", w.rank, msg)
-	}
-	if pp.Round != round || pp.From != peer {
-		return nil, fmt.Errorf("transport: worker %d: stale payload round=%d from=%d, want round=%d from=%d",
-			w.rank, pp.Round, pp.From, round, peer)
-	}
-	return pp.Vals, nil
+	return nil
 }

@@ -13,8 +13,10 @@
 //     as FourteenCities or RandomUniform.
 //
 //   - Deployment: run a CoordinatorServer and WorkerClients over TCP
-//     (cmd/coordinator, cmd/worker); the identical Algorithm 1/2 logic
-//     exchanges real gob-encoded sparsified models peer-to-peer.
+//     (cmd/coordinator -algo <name>, cmd/worker); the identical engine
+//     round logic exchanges real gob-encoded payloads peer-to-peer, for
+//     SAPS and every baseline alike (hub algorithms run the parameter
+//     server as one extra worker process).
 //
 //   - Experiments: the drivers in internal/experiments (surfaced by
 //     cmd/sapsbench and bench_test.go) regenerate Tables I–IV and
@@ -93,11 +95,14 @@ type (
 )
 
 // Engine layer: the canonical round loop and its pluggable backends
-// (DESIGN.md §2).
+// (DESIGN.md §2). An algorithm is a Planner + ExchangePattern + Codec
+// composition over Nodes; the seven baselines in this package are exactly
+// such compositions (see AlgoRecipe).
 type (
-	// Engine runs Algorithms 1–3 over an in-process worker pool.
+	// Engine runs the round loop over an in-process node pool.
 	Engine = engine.Engine
-	// EngineOptions configures an Engine (workers, planner, transport).
+	// EngineOptions configures an Engine (nodes/workers, pattern, codecs,
+	// planner, transport).
 	EngineOptions = engine.Options
 	// EngineTransport is the peer-to-peer data plane a backend implements.
 	EngineTransport = engine.Transport
@@ -107,6 +112,19 @@ type (
 	CountingLedger = engine.CountingLedger
 	// RoundStats summarizes one engine round.
 	RoundStats = engine.RoundStats
+	// EngineNode is one participant's algorithm state machine.
+	EngineNode = engine.Node
+	// ExchangePattern describes who talks to whom within a round
+	// (pairwise matched gossip, static neighborhood, hub fan-in, exact
+	// all-reduce collective, complete all-gather).
+	ExchangePattern = engine.Pattern
+	// PayloadCodec encodes model/gradient vectors to exact wire bytes
+	// (dense, shared-seed masked, top-k + error feedback, QSGD,
+	// random-k).
+	PayloadCodec = engine.Codec
+	// AlgoRecipe assembles a named algorithm's pattern, codecs, nodes and
+	// planner for any deployment (in-process or TCP).
+	AlgoRecipe = algos.Recipe
 )
 
 // NewEngine builds the in-process engine over the given options; pair it
@@ -169,6 +187,12 @@ func NewDPSGD(fc FleetConfig) Algorithm { return algos.NewDPSGD(fc) }
 
 // NewDCDPSGD is difference-compressed decentralized SGD on the ring.
 func NewDCDPSGD(fc FleetConfig, c float64) Algorithm { return algos.NewDCDPSGD(fc, c) }
+
+// NewPSPSGD is classical parameter-server PSGD (dense push/pull each round).
+func NewPSPSGD(fc FleetConfig, bw *Bandwidth) Algorithm { return algos.NewPSPSGD(fc, bw) }
+
+// NewQSGDPSGD is PSGD with QSGD-quantized gradient all-gather.
+func NewQSGDPSGD(fc FleetConfig, levels int) Algorithm { return algos.NewQSGDPSGD(fc, levels) }
 
 // Run trains any Algorithm over the bandwidth environment, evaluating the
 // worker-averaged model periodically.
