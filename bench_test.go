@@ -8,9 +8,8 @@
 package sapspsgd_test
 
 import (
-	"encoding/json"
 	"io"
-	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -22,6 +21,7 @@ import (
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
 	"sapspsgd/internal/rng"
+	"sapspsgd/internal/scenario"
 	"sapspsgd/internal/spectral"
 	"sapspsgd/internal/tensor"
 	"sapspsgd/internal/trainer"
@@ -386,25 +386,23 @@ func BenchmarkResNet20ForwardBackward(b *testing.B) {
 	b.ReportMetric(float64(m.ParamCount()), "params")
 }
 
-// --- PR2 traffic/time smoke summary -----------------------------------------
+// --- BENCH.json: traffic smoke + fleet shard sweep ---------------------------
 
 // BenchmarkTrafficSmoke runs every baseline for a handful of rounds at tiny
-// scale on the engine's Pattern/Codec compositions and reports measured
-// per-worker traffic plus wall time per round. It stays enabled under -short
-// so CI's bench smoke step (`go test -bench . -benchtime 1x -short`) always
-// produces a summary, written to BENCH_pr2.json.
+// scale on the engine's Pattern/Codec compositions, then sweeps the 512-node
+// SAPS fleet scenario across engine shard counts (1 vs 8 — the serial
+// reference against the parallel sharded runtime). It stays enabled under
+// -short so CI's bench step (`go test -bench . -benchtime 1x -short`) always
+// produces the schema-versioned BENCH.json summary that the bench-regression
+// job diffs against the committed bench_baseline.json (byte counts are
+// deterministic and must match exactly; wall time may regress at most 25%).
 func BenchmarkTrafficSmoke(b *testing.B) {
-	type row struct {
-		Algorithm        string  `json:"algorithm"`
-		BytesPerRound    int64   `json:"bytes_per_round_per_worker"`
-		SimCommSeconds   float64 `json:"sim_comm_seconds"`
-		WallMillisPerRnd float64 `json:"wall_ms_per_round"`
-	}
 	const n, rounds = 8, 3
 	tr, _ := dataset.TinyTask(240, 4, 31)
 	shards := dataset.PartitionIID(tr, n, 1)
 	bw := netsim.RandomUniform(n, 1, 5, rng.New(7))
-	var rows []row
+	var rows []scenario.AlgoRow
+	var sweep scenario.ScenarioSweep
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, name := range append(append([]string{}, experiments.AlgorithmNames...), "QSGD-PSGD", "PS-PSGD") {
@@ -452,27 +450,26 @@ func BenchmarkTrafficSmoke(b *testing.B) {
 				s, rcv := sim.WorkerBytes(w)
 				volume += s + rcv
 			}
-			rows = append(rows, row{
-				Algorithm:        name,
-				BytesPerRound:    volume / int64(n) / int64(rounds),
-				SimCommSeconds:   sim.TotalTime(),
-				WallMillisPerRnd: float64(wall.Microseconds()) / 1000 / rounds,
+			rows = append(rows, scenario.AlgoRow{
+				Algorithm:      name,
+				BytesPerRound:  volume / int64(n) / int64(rounds),
+				SimSeconds:     sim.TotalTime(),
+				WallMsPerRound: float64(wall.Microseconds()) / 1000 / rounds,
 			})
 			if c, ok := alg.(interface{ Close() }); ok {
 				c.Close()
 			}
 		}
+		sweep = fleetShardSweep(b)
 	}
-	out, err := json.MarshalIndent(map[string]any{
-		"bench":   "BenchmarkTrafficSmoke",
-		"workers": n,
-		"rounds":  rounds,
-		"rows":    rows,
-	}, "", "  ")
-	if err != nil {
-		b.Fatal(err)
+	out := &scenario.BenchFile{
+		SchemaVersion: scenario.BenchSchemaVersion,
+		Source:        "go-test-bench",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Algorithms:    rows,
+		Scenarios:     []scenario.ScenarioSweep{sweep},
 	}
-	if err := os.WriteFile("BENCH_pr2.json", out, 0o644); err != nil {
+	if err := scenario.WriteBench("BENCH.json", out); err != nil {
 		b.Fatal(err)
 	}
 	for _, r := range rows {
@@ -483,4 +480,31 @@ func BenchmarkTrafficSmoke(b *testing.B) {
 			b.ReportMetric(float64(r.BytesPerRound), "dpsgd-B/round")
 		}
 	}
+	b.ReportMetric(sweep.Speedup, "saps512-speedup-8shards")
+}
+
+// fleetShardSweep executes the 512-node SAPS scenario serially (1 shard) and
+// across the 8-shard parallel runtime, verifying byte determinism on the
+// spot. Wall-clock speedup depends on the machine's core count.
+func fleetShardSweep(b *testing.B) scenario.ScenarioSweep {
+	b.Helper()
+	spec, err := scenario.Load("internal/scenario/testdata/saps-512.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := scenario.ScenarioSweep{Name: spec.Name, Algo: spec.Algo, Nodes: spec.Nodes, Rounds: spec.Rounds}
+	for _, shards := range []int{1, 8} {
+		res, err := spec.Run(shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep.Runs = append(sweep.Runs, res)
+	}
+	for _, run := range sweep.Runs[1:] {
+		if run.TotalBytes != sweep.Runs[0].TotalBytes {
+			b.Fatalf("shard sweep traffic diverged: %d vs %d bytes", run.TotalBytes, sweep.Runs[0].TotalBytes)
+		}
+	}
+	sweep.ComputeSpeedup()
+	return sweep
 }

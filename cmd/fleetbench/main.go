@@ -1,0 +1,153 @@
+// Command fleetbench sweeps declarative fleet scenarios across engine shard
+// counts and emits the stable-schema BENCH.json benchmark summary, or diffs
+// a fresh summary against a committed baseline (the CI regression gate).
+//
+// Sweep (default): every *.json spec in -scenarios runs once per -shards
+// entry; bytes must agree across shard counts (the sharded runtime is
+// deterministic), wall time should not.
+//
+//	fleetbench -scenarios internal/scenario/testdata -shards 1,8 -out BENCH.json
+//	fleetbench -scenarios internal/scenario/testdata/saps-512.json -shards 1,2,4,8
+//
+// Regression gate: compare a fresh BENCH.json against the committed
+// baseline; exits non-zero on any byte-count difference, on byte totals
+// disagreeing across shard counts, or on total wall time regressing by more
+// than -max-wall-regress.
+//
+//	fleetbench -diff bench_baseline.json BENCH.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"sapspsgd/internal/scenario"
+)
+
+var (
+	flagScenarios = flag.String("scenarios", "internal/scenario/testdata", "scenario spec file or directory")
+	flagShards    = flag.String("shards", "1,8", "comma-separated engine shard counts to sweep")
+	flagRounds    = flag.Int("rounds", 0, "override every spec's round count (0 = spec value)")
+	flagOut       = flag.String("out", "BENCH.json", "summary output path")
+	flagDiff      = flag.String("diff", "", "baseline BENCH.json: diff mode, compares against the fresh file given as the positional argument (default BENCH.json)")
+	flagMaxWall   = flag.Float64("max-wall-regress", 0.25, "diff mode: tolerated fractional wall-time regression")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *flagDiff != "" {
+		return diff()
+	}
+	return sweep()
+}
+
+func diff() error {
+	freshPath := "BENCH.json"
+	if flag.NArg() > 0 {
+		freshPath = flag.Arg(0)
+	}
+	baseline, err := scenario.ReadBench(*flagDiff)
+	if err != nil {
+		return err
+	}
+	fresh, err := scenario.ReadBench(freshPath)
+	if err != nil {
+		return err
+	}
+	if err := scenario.Diff(baseline, fresh, *flagMaxWall); err != nil {
+		return err
+	}
+	wallNote := fmt.Sprintf("wall tolerance +%.0f%%", 100**flagMaxWall)
+	if !scenario.WallComparable(baseline, fresh) {
+		wallNote = fmt.Sprintf("wall check skipped: baseline ran on %d procs, this machine has %d — regenerate the baseline from a like-machine BENCH.json to arm it",
+			baseline.GoMaxProcs, fresh.GoMaxProcs)
+	}
+	fmt.Printf("fleetbench: %s is within budget of %s (bytes exact; %s)\n", freshPath, *flagDiff, wallNote)
+	return nil
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -shards")
+	}
+	return out, nil
+}
+
+func loadSpecs(path string) ([]*scenario.Spec, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return scenario.LoadDir(path)
+	}
+	s, err := scenario.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return []*scenario.Spec{s}, nil
+}
+
+func sweep() error {
+	shards, err := parseShards(*flagShards)
+	if err != nil {
+		return err
+	}
+	specs, err := loadSpecs(*flagScenarios)
+	if err != nil {
+		return err
+	}
+	out := &scenario.BenchFile{
+		SchemaVersion: scenario.BenchSchemaVersion,
+		Source:        "fleetbench",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	for _, spec := range specs {
+		if *flagRounds > 0 {
+			spec.Rounds = *flagRounds
+		}
+		sw := scenario.ScenarioSweep{Name: spec.Name, Algo: spec.Algo, Nodes: spec.Nodes, Rounds: spec.Rounds}
+		for _, sc := range shards {
+			res, err := spec.Run(sc)
+			if err != nil {
+				return fmt.Errorf("scenario %s shards=%d: %w", spec.Name, sc, err)
+			}
+			sw.Runs = append(sw.Runs, res)
+			fmt.Printf("%-24s shards=%-3d %8.3fs wall  %6.2f rounds/s  %12d B  sim %.2fs  loss %.4f\n",
+				spec.Name, sc, res.WallSeconds, res.RoundsPerSec, res.TotalBytes, res.SimSeconds, res.FinalLoss)
+		}
+		sw.ComputeSpeedup()
+		if sw.Speedup > 0 {
+			lo, hi := shards[0], shards[0]
+			for _, sc := range shards[1:] {
+				lo, hi = min(lo, sc), max(hi, sc)
+			}
+			fmt.Printf("%-24s speedup ×%.2f (%d→%d shards)\n", spec.Name, sw.Speedup, lo, hi)
+		}
+		out.Scenarios = append(out.Scenarios, sw)
+	}
+	if err := scenario.WriteBench(*flagOut, out); err != nil {
+		return err
+	}
+	fmt.Printf("fleetbench: wrote %s (%d scenario(s) × %d shard count(s))\n", *flagOut, len(specs), len(shards))
+	return nil
+}

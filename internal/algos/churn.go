@@ -67,6 +67,7 @@ func NewSAPSChurn(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config, churn C
 	s.eng = engine.New(engine.Options{
 		Workers: newEngineWorkers(f, fc, cfg),
 		Planner: s,
+		Shards:  fc.RuntimeShards,
 	})
 	return s
 }

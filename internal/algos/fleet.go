@@ -47,6 +47,11 @@ type FleetConfig struct {
 	LR      float64
 	Batch   int
 	Seed    uint64
+	// RuntimeShards selects the engine's sharded phased runtime (see
+	// engine.Options.Shards): ranks are partitioned into this many
+	// serially-executed shards running concurrently, with bit-identical
+	// trajectories at any shard count. 0 keeps the goroutine-per-node pool.
+	RuntimeShards int
 }
 
 func (c FleetConfig) validate() {
@@ -169,6 +174,7 @@ func newEngineAlgo(name string, fc FleetConfig, r Recipe, planner engine.Planner
 		Codecs:  r.Codecs(f.Dim),
 		Pattern: r.Pattern(),
 		Planner: planner,
+		Shards:  fc.RuntimeShards,
 	})
 	return a, f
 }

@@ -47,6 +47,7 @@ func NewSAPS(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config) *SAPS {
 	s.eng = engine.New(engine.Options{
 		Workers: newEngineWorkers(f, fc, cfg),
 		Planner: core.NewCoordinator(bw, cfg),
+		Shards:  fc.RuntimeShards,
 	})
 	return s
 }
@@ -117,6 +118,7 @@ func NewRandomChoose(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config) *Ran
 			rnd:     rng.New(cfg.Seed).Derive(0x7a4d01),
 			seedSrc: rng.New(cfg.Seed).Derive(0x7a4d02),
 		},
+		Shards: fc.RuntimeShards,
 	})
 	return rc
 }

@@ -1,0 +1,13 @@
+//go:build go1.24
+
+package engine
+
+import "runtime"
+
+// registerEngineCleanup releases an un-Closed engine's runtime goroutines
+// when the engine becomes unreachable. On Go 1.24+ this is runtime.AddCleanup
+// on the stop handle, which the runtime goroutines deliberately do not
+// reference.
+func registerEngineCleanup(e *Engine, s *poolStop) {
+	runtime.AddCleanup(e, (*poolStop).shutdown, s)
+}

@@ -37,14 +37,29 @@ type Options struct {
 	Transport Transport
 	// MaxParallel bounds concurrent CPU-heavy work (local SGD, merges);
 	// values < 1 default to GOMAXPROCS. Exchanges are not counted against
-	// the bound, so any positive value is deadlock-free.
+	// the bound, so any positive value is deadlock-free. Ignored by the
+	// sharded runtime (Shards > 0), whose parallelism is the shard count.
 	MaxParallel int
+
+	// Shards > 0 selects the sharded phased runtime instead of the
+	// goroutine-per-node pool: ranks are partitioned into Shards contiguous
+	// shards, each executed serially by one long-lived goroutine, with the
+	// round split into barrier-separated Compute/Encode/Decode phases (see
+	// PhasedPattern). Shards == 1 is the fully serial reference execution;
+	// any other count produces bit-identical trajectories and byte-identical
+	// ledgers. Requires a PhasedPattern and a PhasedTransport; other
+	// pattern/transport combinations fall back to the blocking pool with
+	// MaxParallel = Shards. 0 keeps the default pool.
+	Shards int
 }
 
-// Engine runs the canonical round loop over an in-process fleet: one
-// long-lived goroutine per node (spawned once, reused every round — the
-// bounded worker pool of the hot path) executing the pattern's round against
-// the configured transport. Engine implements Control for its own Driver.
+// Engine runs the canonical round loop over an in-process fleet, with two
+// interchangeable runtimes producing bit-identical results: the default
+// goroutine-per-node pool (spawned once, reused every round, gate-bounded
+// compute) executing each pattern's blocking round, and — when
+// Options.Shards > 0 — the sharded phased runtime (one executor goroutine
+// per shard of ranks, barrier-separated Compute/Encode/Decode phases; see
+// DESIGN.md §2). Engine implements Control for its own Driver.
 //
 // Close releases the pool; a finalizer-style cleanup also releases it when
 // an un-Closed Engine becomes unreachable, so dropping an Engine on the
@@ -59,20 +74,27 @@ type Engine struct {
 	results chan nodeResult
 	stop    *poolStop
 	closed  bool
+	// sharded is non-nil when the phased sharded runtime replaces the
+	// goroutine-per-node pool (Options.Shards > 0).
+	sharded *shardRunner
 	// Per-round collection scratch (RunRound is single-threaded).
 	reports []NodeReport
 }
 
-// poolStop closes the pool's command channels exactly once, whether via an
-// explicit Close or the unreachability cleanup.
+// poolStop closes the runtime's command channels exactly once, whether via
+// an explicit Close or the unreachability cleanup.
 type poolStop struct {
-	once sync.Once
-	cmds []chan core.RoundPlan
+	once   sync.Once
+	cmds   []chan core.RoundPlan
+	phased []chan int
 }
 
 func (s *poolStop) shutdown() {
 	s.once.Do(func() {
 		for _, c := range s.cmds {
+			close(c)
+		}
+		for _, c := range s.phased {
 			close(c)
 		}
 	})
@@ -119,28 +141,42 @@ func New(opts Options) *Engine {
 	if tr == nil {
 		tr = memtransport.NewHub(n)
 	}
-	limit := opts.MaxParallel
-	if limit < 1 {
-		limit = runtime.GOMAXPROCS(0)
-	}
 	e := &Engine{
 		nodes:   nodes,
 		workers: workers,
 		pattern: pat,
-		gate:    NewGate(limit),
-		cmds:    make([]chan core.RoundPlan, n),
-		results: make(chan nodeResult, n),
-		reports: make([]NodeReport, n),
 	}
 	e.driver = Driver{Planner: opts.Planner, Control: e}
+	limit := opts.MaxParallel
+	if opts.Shards > 0 {
+		pp, okPat := pat.(PhasedPattern)
+		pt, okTr := tr.(PhasedTransport)
+		if okPat && okTr {
+			e.sharded = newShardRunner(nodes, codecs, pp, pt, opts.Shards)
+			e.stop = &poolStop{phased: e.sharded.cmds}
+			registerEngineCleanup(e, e.stop)
+			return e
+		}
+		// No phased path for this pattern/transport: honor the shard count
+		// as the blocking pool's compute-parallelism bound instead.
+		limit = opts.Shards
+	}
+	if limit < 1 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	e.gate = NewGate(limit)
+	e.cmds = make([]chan core.RoundPlan, n)
+	e.results = make(chan nodeResult, n)
+	e.reports = make([]NodeReport, n)
 	for i := range e.cmds {
 		e.cmds[i] = make(chan core.RoundPlan)
 		go nodeLoop(i, n, nodes[i], pat, codecs, tr, e.gate, e.cmds[i], e.results)
 	}
-	// The pool goroutines deliberately do not reference e, so an abandoned
-	// Engine is collectable; the cleanup then closes its command channels.
+	// The runtime goroutines deliberately do not reference e, so an
+	// abandoned Engine is collectable; the cleanup then closes its command
+	// channels.
 	e.stop = &poolStop{cmds: e.cmds}
-	runtime.AddCleanup(e, (*poolStop).shutdown, e.stop)
+	registerEngineCleanup(e, e.stop)
 	return e
 }
 
@@ -158,14 +194,17 @@ func nodeLoop(self, n int, node Node, pat Pattern, codecs []Codec, tr Transport,
 	}
 }
 
-// RunRound implements Control: broadcast the plan to the pool and wait for
-// every node to finish the round.
+// RunRound implements Control: broadcast the plan to the active runtime and
+// wait for every node to finish the round.
 func (e *Engine) RunRound(plan core.RoundPlan) (ControlReport, error) {
 	if e.closed {
 		return ControlReport{}, fmt.Errorf("engine: RunRound after Close")
 	}
 	if err := e.pattern.Validate(plan, len(e.nodes)); err != nil {
 		return ControlReport{}, err
+	}
+	if e.sharded != nil {
+		return e.sharded.runRound(plan)
 	}
 	for _, c := range e.cmds {
 		c <- plan
@@ -186,9 +225,18 @@ func (e *Engine) RunRound(plan core.RoundPlan) (ControlReport, error) {
 	if firstErr != nil {
 		return ControlReport{}, firstErr
 	}
-	rep := ControlReport{Pairs: AggregateFlows(e.reports)}
+	return buildReport(e.reports), nil
+}
+
+// buildReport folds the rank-indexed node reports into the round's control
+// report: rank-ordered flow aggregation, loss mean over trained nodes, and
+// the largest payload. Both runtimes funnel through it, which is one of the
+// two deterministic commit points (the other is the Driver's rank-ordered
+// ledger charge).
+func buildReport(reports []NodeReport) ControlReport {
+	rep := ControlReport{Pairs: AggregateFlows(reports)}
 	sum, k := 0.0, 0
-	for _, nr := range e.reports {
+	for _, nr := range reports {
 		if nr.PayloadLen > rep.PayloadLen {
 			rep.PayloadLen = nr.PayloadLen
 		}
@@ -200,7 +248,7 @@ func (e *Engine) RunRound(plan core.RoundPlan) (ControlReport, error) {
 	if k > 0 {
 		rep.MeanLoss = sum / float64(k)
 	}
-	return rep, nil
+	return rep
 }
 
 // Step runs one full round — plan, execute, account — against the ledger.

@@ -36,27 +36,61 @@ func NewHub(n int) *Hub {
 	return &Hub{n: n, slots: make(map[uint64]chan []float64)}
 }
 
-// slot returns (lazily creating) the from→to channel. Capacity 1 keeps a
-// sender from blocking on its own deposit: at most one message per directed
-// pair is ever outstanding, because a pattern's next meeting with the same
-// peer starts only after the previous rendezvous completed on both sides.
+// slot returns (lazily creating) the from→to channel. A small buffer keeps a
+// sender from blocking on its own deposit. The blocking Exchange path never
+// has more than one message per directed pair outstanding (a pattern's next
+// meeting with the same peer starts only after the previous rendezvous
+// completed on both sides); the phased Send/Recv path can briefly hold two —
+// the sharded collective deposits its next butterfly chunk while the peer is
+// still draining the previous phase's — so the capacity is 2.
 func (h *Hub) slot(from, to int) chan []float64 {
 	key := uint64(uint32(from))<<32 | uint64(uint32(to))
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	c, ok := h.slots[key]
 	if !ok {
-		c = make(chan []float64, 1)
+		c = make(chan []float64, 2)
 		h.slots[key] = c
 	}
 	return c
 }
 
+func (h *Hub) check(self, peer int) error {
+	if self == peer || self < 0 || self >= h.n || peer < 0 || peer >= h.n {
+		return fmt.Errorf("memtransport: worker %d exchanging with %d", self, peer)
+	}
+	return nil
+}
+
 // Exchange implements engine.Transport.
 func (h *Hub) Exchange(round, self, peer int, payload []float64) ([]float64, error) {
-	if self == peer || self < 0 || self >= h.n || peer < 0 || peer >= h.n {
-		return nil, fmt.Errorf("memtransport: worker %d exchanging with %d", self, peer)
+	if err := h.check(self, peer); err != nil {
+		return nil, err
 	}
 	h.slot(self, peer) <- payload
+	return <-h.slot(peer, self), nil
+}
+
+// Send implements engine.PhasedTransport: a one-way deposit into the
+// self→peer FIFO, with no reciprocal payload. It pairs with the receiver's
+// Recv. The sharded runtime's phase barriers guarantee at most two deposits
+// per directed pair are ever outstanding, so Send never blocks there.
+func (h *Hub) Send(round, self, peer int, payload []float64) error {
+	if err := h.check(self, peer); err != nil {
+		return err
+	}
+	h.slot(self, peer) <- payload
+	return nil
+}
+
+// Recv implements engine.PhasedTransport: take the oldest payload from the
+// peer→self FIFO. Under the sharded runtime a Recv only ever consumes a
+// deposit made in a strictly earlier (barrier-separated) phase, so it never
+// blocks; a Recv with nothing deposited would indicate a malformed phase
+// program and would deadlock — which the engine's tests would catch.
+func (h *Hub) Recv(round, self, peer int) ([]float64, error) {
+	if err := h.check(self, peer); err != nil {
+		return nil, err
+	}
 	return <-h.slot(peer, self), nil
 }

@@ -1,0 +1,497 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sapspsgd/internal/core"
+)
+
+// PhasedTransport is the one-way data plane of the sharded runtime: Send
+// deposits a payload into the from→to FIFO without waiting for a reciprocal
+// payload, and Recv takes the oldest deposit from the peer→self FIFO.
+// *memtransport.Hub implements it (and therefore so does the simtransport
+// backend, which returns a Hub).
+//
+// The sharded runtime only ever calls Recv for a payload deposited in a
+// strictly earlier, barrier-separated phase, so a conforming phase program
+// never blocks in Recv.
+type PhasedTransport interface {
+	Send(round, from, to int, payload []float64) error
+	Recv(round, from, to int) ([]float64, error)
+}
+
+// PhasedPattern is the optional Pattern extension the sharded runtime
+// executes: the round split into barrier-separated phases. Within a phase a
+// rank may compute, encode, decode, merge, and Send; every Recv must consume
+// a deposit made in an earlier phase (the barrier is the happens-before
+// edge). All built-in patterns implement PhasedPattern with per-rank
+// operation sequences identical to their blocking RunRound, which is what
+// makes the sharded runtime bit-identical to the goroutine-per-node pool.
+type PhasedPattern interface {
+	Pattern
+	// PhaseCount returns the number of barrier-separated phases one round
+	// needs over n nodes under plan.
+	PhaseCount(plan core.RoundPlan, n int) int
+	// RunPhase executes rank ctx.Self's slice of phase p. st is the rank's
+	// private in-flight state, zeroed by the runtime at round start.
+	RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error
+}
+
+// PhaseState carries one rank's in-flight round state across the round's
+// phases. The sharded runtime owns one per rank; patterns use the private
+// fields as scratch.
+type PhaseState struct {
+	// Rep accumulates the rank's NodeReport across phases.
+	Rep NodeReport
+
+	skip   bool      // round finished early (e.g. unmatched pairwise rank)
+	sent   int64     // wire bytes of the in-flight outbound payload
+	vec    []float64 // running sum (collective / all-gather)
+	msgs   []PeerMsg // pending merge messages (neighborhood)
+	lo, hi int       // owned segment (halving/doubling)
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise
+
+// PhaseCount implements PhasedPattern: encode+send, then recv+merge.
+func (Pairwise) PhaseCount(core.RoundPlan, int) int { return 2 }
+
+// RunPhase implements PhasedPattern.
+func (Pairwise) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
+	peer := -1
+	if ctx.Self < len(ctx.Plan.Peer) {
+		peer = ctx.Plan.Peer[ctx.Self]
+	}
+	switch p {
+	case 0:
+		loss, out, err := node.Compute(ctx)
+		if err != nil {
+			return err
+		}
+		st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+		if peer < 0 {
+			st.skip = true
+			return nil
+		}
+		words, err := codecs[ctx.Self].Encode(ctx, out)
+		if err != nil {
+			return err
+		}
+		st.sent = codecs[ctx.Self].WireBytes(words)
+		st.Rep.PayloadLen = len(words)
+		return tr.Send(ctx.Round, ctx.Self, peer, words)
+	case 1:
+		if st.skip {
+			return nil
+		}
+		peerWords, err := tr.Recv(ctx.Round, ctx.Self, peer)
+		if err != nil {
+			return err
+		}
+		vals, err := codecs[peer].Decode(ctx, peerWords)
+		if err != nil {
+			return err
+		}
+		recv := codecs[peer].WireBytes(peerWords)
+		st.Rep.Flows = append(st.Rep.Flows, Flow{Peer: peer, Sent: st.sent, Recv: recv})
+		return node.Merge(ctx, []PeerMsg{{From: peer, Vals: vals, Words: peerWords, Bytes: recv}})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Neighborhood
+
+// PhaseCount implements PhasedPattern: broadcast, then gather+merge.
+func (p *Neighborhood) PhaseCount(core.RoundPlan, int) int { return 2 }
+
+// RunPhase implements PhasedPattern.
+func (p *Neighborhood) RunPhase(ctx RoundContext, phase int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
+	peers := p.adj[ctx.Self]
+	switch phase {
+	case 0:
+		loss, out, err := node.Compute(ctx)
+		if err != nil {
+			return err
+		}
+		st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+		if len(peers) == 0 {
+			st.skip = true
+			return nil
+		}
+		words, err := codecs[ctx.Self].Encode(ctx, out)
+		if err != nil {
+			return err
+		}
+		st.sent = codecs[ctx.Self].WireBytes(words)
+		st.Rep.PayloadLen = len(words)
+		st.msgs = st.msgs[:0]
+		if p.includeSelf {
+			vals, err := codecs[ctx.Self].Decode(ctx, words)
+			if err != nil {
+				return err
+			}
+			st.msgs = append(st.msgs, PeerMsg{From: ctx.Self, Vals: vals, Words: words, Bytes: st.sent})
+		}
+		for _, q := range peers {
+			if err := tr.Send(ctx.Round, ctx.Self, q, words); err != nil {
+				return err
+			}
+		}
+		return nil
+	case 1:
+		if st.skip {
+			return nil
+		}
+		for _, q := range peers {
+			w, err := tr.Recv(ctx.Round, ctx.Self, q)
+			if err != nil {
+				return err
+			}
+			vals, err := codecs[q].Decode(ctx, w)
+			if err != nil {
+				return err
+			}
+			b := codecs[q].WireBytes(w)
+			st.Rep.Flows = append(st.Rep.Flows, Flow{Peer: q, Sent: st.sent, Recv: b})
+			st.msgs = append(st.msgs, PeerMsg{From: q, Vals: vals, Words: w, Bytes: b})
+		}
+		return node.Merge(ctx, st.msgs)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Hub
+
+// PhaseCount implements PhasedPattern: server downlink; worker
+// pull-train-push; server uplink merge.
+func (Hub) PhaseCount(core.RoundPlan, int) int { return 3 }
+
+// RunPhase implements PhasedPattern. The runtime never calls RunPhase for an
+// inactive rank, so a worker reaching here is always chosen.
+func (h Hub) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
+	if ctx.Self == h.Server {
+		return h.serverPhase(ctx, p, node, codecs, tr, st)
+	}
+	return h.workerPhase(ctx, p, node, codecs, tr, st)
+}
+
+func (h Hub) serverPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
+	switch p {
+	case 0:
+		loss, out, err := node.Compute(ctx)
+		if err != nil {
+			return err
+		}
+		st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+		words, err := codecs[ctx.Self].Encode(ctx, out)
+		if err != nil {
+			return err
+		}
+		st.sent = codecs[ctx.Self].WireBytes(words) // downlink bytes
+		st.Rep.PayloadLen = len(words)
+		for _, w := range h.chosen(ctx.Plan, ctx.N) {
+			if err := tr.Send(ctx.Round, ctx.Self, w, words); err != nil {
+				return err
+			}
+		}
+		return nil
+	case 2:
+		chosen := h.chosen(ctx.Plan, ctx.N)
+		msgs := make([]PeerMsg, 0, len(chosen))
+		for _, w := range chosen {
+			uw, err := tr.Recv(ctx.Round, ctx.Self, w)
+			if err != nil {
+				return err
+			}
+			vals, err := codecs[w].Decode(ctx, uw)
+			if err != nil {
+				return err
+			}
+			b := codecs[w].WireBytes(uw)
+			st.Rep.Flows = append(st.Rep.Flows, Flow{Peer: w, Sent: st.sent, Recv: b})
+			msgs = append(msgs, PeerMsg{From: w, Vals: vals, Words: uw, Bytes: b})
+		}
+		return node.Merge(ctx, msgs)
+	}
+	return nil
+}
+
+func (h Hub) workerPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
+	if p != 1 {
+		return nil
+	}
+	downWords, err := tr.Recv(ctx.Round, ctx.Self, h.Server)
+	if err != nil {
+		return err
+	}
+	vals, err := codecs[h.Server].Decode(ctx, downWords)
+	if err != nil {
+		return err
+	}
+	down := codecs[h.Server].WireBytes(downWords)
+	if err := node.Merge(ctx, []PeerMsg{{From: h.Server, Vals: vals, Words: downWords, Bytes: down}}); err != nil {
+		return err
+	}
+	loss, out, err := node.Compute(ctx)
+	if err != nil {
+		return err
+	}
+	st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+	words, err := codecs[ctx.Self].Encode(ctx, out)
+	if err != nil {
+		return err
+	}
+	up := codecs[ctx.Self].WireBytes(words)
+	st.Rep.PayloadLen = len(words)
+	st.Rep.Flows = append(st.Rep.Flows, Flow{Peer: h.Server, Sent: up, Recv: down})
+	return tr.Send(ctx.Round, ctx.Self, h.Server, words)
+}
+
+// ---------------------------------------------------------------------------
+// Shared phased all-gather halves (AllGather, non-power-of-two Collective)
+
+// phaseSendAll deposits words to every other rank in ascending order.
+func phaseSendAll(ctx RoundContext, tr PhasedTransport, words []float64) error {
+	for q := 0; q < ctx.N; q++ {
+		if q == ctx.Self {
+			continue
+		}
+		if err := tr.Send(ctx.Round, ctx.Self, q, words); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phaseRecvSumAll drains every other rank's deposit in ascending order,
+// decoding and accumulating into vec — the receive half of sumAllGather,
+// with identical per-rank operation order.
+func phaseRecvSumAll(ctx RoundContext, codecs []Codec, tr PhasedTransport, st *PhaseState, vec []float64) error {
+	for q := 0; q < ctx.N; q++ {
+		if q == ctx.Self {
+			continue
+		}
+		pw, err := tr.Recv(ctx.Round, ctx.Self, q)
+		if err != nil {
+			return err
+		}
+		vals, err := codecs[q].Decode(ctx, pw)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(vec) {
+			return fmt.Errorf("engine: all-gather payload of %d values, want %d", len(vals), len(vec))
+		}
+		st.Rep.Flows = append(st.Rep.Flows, Flow{Peer: q, Sent: st.sent, Recv: codecs[q].WireBytes(pw)})
+		for j, v := range vals {
+			vec[j] += v
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// AllGather
+
+// PhaseCount implements PhasedPattern: broadcast, then gather+sum+merge.
+func (AllGather) PhaseCount(core.RoundPlan, int) int { return 2 }
+
+// RunPhase implements PhasedPattern.
+func (AllGather) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
+	switch p {
+	case 0:
+		loss, out, err := node.Compute(ctx)
+		if err != nil {
+			return err
+		}
+		st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+		words, err := codecs[ctx.Self].Encode(ctx, out)
+		if err != nil {
+			return err
+		}
+		st.Rep.PayloadLen = len(words)
+		own, err := codecs[ctx.Self].Decode(ctx, words)
+		if err != nil {
+			return err
+		}
+		st.vec = append([]float64(nil), own...)
+		st.sent = codecs[ctx.Self].WireBytes(words)
+		return phaseSendAll(ctx, tr, words)
+	case 1:
+		if err := phaseRecvSumAll(ctx, codecs, tr, st, st.vec); err != nil {
+			return err
+		}
+		return node.Merge(ctx, []PeerMsg{{From: -1, Vals: st.vec}})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Collective
+
+// PhaseCount implements PhasedPattern. Power-of-two fleets run the butterfly
+// (2·log₂n exchange steps, each split across adjacent phases: the deposit in
+// phase p, the matching receive in phase p+1), other sizes the two-phase
+// exact all-gather, and a single node trains and merges in one phase.
+func (Collective) PhaseCount(_ core.RoundPlan, n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n&(n-1) == 0 {
+		q := bits.Len(uint(n)) - 1
+		return 2*q + 1
+	}
+	return 2
+}
+
+// RunPhase implements PhasedPattern.
+func (c Collective) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
+	if ctx.N > 1 && ctx.N&(ctx.N-1) == 0 {
+		return c.butterflyPhase(ctx, p, node, codecs, tr, st)
+	}
+	switch p {
+	case 0:
+		loss, out, err := node.Compute(ctx)
+		if err != nil {
+			return err
+		}
+		st.Rep = NodeReport{Loss: loss, Trained: trained(loss), PayloadLen: len(out)}
+		st.vec = append([]float64(nil), out...)
+		if ctx.N == 1 {
+			return node.Merge(ctx, []PeerMsg{{From: -1, Vals: st.vec}})
+		}
+		words, err := codecs[ctx.Self].Encode(ctx, out)
+		if err != nil {
+			return err
+		}
+		st.sent = codecs[ctx.Self].WireBytes(words)
+		return phaseSendAll(ctx, tr, words)
+	case 1:
+		if err := phaseRecvSumAll(ctx, codecs, tr, st, st.vec); err != nil {
+			return err
+		}
+		return node.Merge(ctx, []PeerMsg{{From: -1, Vals: st.vec}})
+	}
+	return nil
+}
+
+// sendChunk encodes a copy of vec[lo:hi] and deposits it with partner — the
+// send half of the blocking path's exchangeChunk, same copies, same order.
+func (st *PhaseState) sendChunk(ctx RoundContext, codecs []Codec, tr PhasedTransport, lo, hi, partner int) error {
+	chunk := append([]float64(nil), st.vec[lo:hi]...)
+	words, err := codecs[ctx.Self].Encode(ctx, chunk)
+	if err != nil {
+		return err
+	}
+	wcopy := append([]float64(nil), words...)
+	st.sent = codecs[ctx.Self].WireBytes(wcopy)
+	return tr.Send(ctx.Round, ctx.Self, partner, wcopy)
+}
+
+// recvChunk drains partner's deposit and decodes it — the receive half of
+// exchangeChunk. The flow pairs this receive with the bytes of the chunk
+// sent to the same partner one phase earlier.
+func (st *PhaseState) recvChunk(ctx RoundContext, codecs []Codec, tr PhasedTransport, partner int) ([]float64, error) {
+	pw, err := tr.Recv(ctx.Round, ctx.Self, partner)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := codecs[partner].Decode(ctx, pw)
+	if err != nil {
+		return nil, err
+	}
+	st.Rep.Flows = append(st.Rep.Flows, Flow{Peer: partner, Sent: st.sent, Recv: codecs[partner].WireBytes(pw)})
+	return vals, nil
+}
+
+// rsGeometry is reduce-scatter step k's exchange geometry given the owned
+// segment [lo, hi) before the step.
+func rsGeometry(self, n, k, lo, hi int) (partner, sendLo, sendHi, keepLo, keepHi int) {
+	mask := n >> (k + 1)
+	partner = self ^ mask
+	mid := lo + (hi-lo)/2
+	sendLo, sendHi, keepLo, keepHi = mid, hi, lo, mid
+	if self&mask != 0 {
+		sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
+	}
+	return
+}
+
+// butterflyPhase is the power-of-two halving/doubling all-reduce split into
+// 2q+1 phases: phase 0 computes and deposits reduce-scatter step 0; phase
+// p ∈ [1, q] drains step p-1, accumulates, and deposits the next step (the
+// first all-gather chunk at p == q); phase q+g drains gather step g-1 and
+// deposits step g; phase 2q drains the last chunk and merges the sum.
+func (Collective) butterflyPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
+	self, n := ctx.Self, ctx.N
+	q := bits.Len(uint(n)) - 1
+	if p == 0 {
+		loss, out, err := node.Compute(ctx)
+		if err != nil {
+			return err
+		}
+		st.Rep = NodeReport{Loss: loss, Trained: trained(loss), PayloadLen: len(out)}
+		st.vec = append([]float64(nil), out...)
+		st.lo, st.hi = 0, len(st.vec)
+		partner, sendLo, sendHi, _, _ := rsGeometry(self, n, 0, st.lo, st.hi)
+		return st.sendChunk(ctx, codecs, tr, sendLo, sendHi, partner)
+	}
+	D := len(st.vec)
+	if p <= q {
+		// Drain reduce-scatter step p-1.
+		k := p - 1
+		partner, _, _, keepLo, keepHi := rsGeometry(self, n, k, st.lo, st.hi)
+		vals, err := st.recvChunk(ctx, codecs, tr, partner)
+		if err != nil {
+			return err
+		}
+		if len(vals) != keepHi-keepLo {
+			return fmt.Errorf("engine: collective chunk of %d values, want %d", len(vals), keepHi-keepLo)
+		}
+		for i, v := range vals {
+			st.vec[keepLo+i] += v
+		}
+		st.lo, st.hi = keepLo, keepHi
+		if p < q {
+			// Deposit reduce-scatter step p.
+			partner, sendLo, sendHi, _, _ := rsGeometry(self, n, p, st.lo, st.hi)
+			return st.sendChunk(ctx, codecs, tr, sendLo, sendHi, partner)
+		}
+		// Deposit all-gather step 0.
+		partner = self ^ 1
+		myLo, myHi := segAfter(self, q, D, n)
+		return st.sendChunk(ctx, codecs, tr, myLo, myHi, partner)
+	}
+	// Drain all-gather step g-1.
+	g := p - q
+	partner := self ^ (1 << (g - 1))
+	pLo, pHi := segAfter(partner, q-(g-1), D, n)
+	vals, err := st.recvChunk(ctx, codecs, tr, partner)
+	if err != nil {
+		return err
+	}
+	if len(vals) != pHi-pLo {
+		return fmt.Errorf("engine: collective gather chunk of %d values, want %d", len(vals), pHi-pLo)
+	}
+	copy(st.vec[pLo:pHi], vals)
+	if g < q {
+		// Deposit all-gather step g.
+		partner := self ^ (1 << g)
+		myLo, myHi := segAfter(self, q-g, D, n)
+		return st.sendChunk(ctx, codecs, tr, myLo, myHi, partner)
+	}
+	return node.Merge(ctx, []PeerMsg{{From: -1, Vals: st.vec}})
+}
+
+// Compile-time checks: every built-in pattern supports the sharded runtime.
+var (
+	_ PhasedPattern = Pairwise{}
+	_ PhasedPattern = (*Neighborhood)(nil)
+	_ PhasedPattern = Hub{}
+	_ PhasedPattern = Collective{}
+	_ PhasedPattern = AllGather{}
+)

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/core"
+)
+
+// shardRunner is the sharded phased runtime: ranks are partitioned into
+// contiguous shards, each served by one long-lived executor goroutine. A
+// round executes as PhaseCount barrier-separated phases; within a phase
+// every shard runs its ranks' RunPhase slices serially in ascending rank
+// order while shards proceed concurrently. Determinism does not depend on
+// the shard count:
+//
+//   - each rank's floating-point work is confined to its own state and runs
+//     in the same per-rank operation order as the blocking pool (the
+//     PhasedPattern contract), so trajectories are bit-identical;
+//   - cross-rank data moves only through the transport's keyed FIFOs, and
+//     every Recv consumes a deposit from an earlier phase (the phase barrier
+//     is the happens-before edge);
+//   - reports are collected rank-indexed and the Driver charges the ledger
+//     from the rank-ordered pair aggregation, so traffic accounting is
+//     byte-identical regardless of completion order.
+type shardRunner struct {
+	n       int
+	pattern PhasedPattern
+	nodes   []Node
+	codecs  []Codec
+	tr      PhasedTransport
+
+	cmds []chan int // one per shard, carrying the phase index
+	done chan error // one message per shard per phase
+
+	// Per-round scratch, written only between barriers or by the owning
+	// shard's ranks.
+	states  []PhaseState
+	ctxs    []RoundContext
+	active  []bool
+	reports []NodeReport
+}
+
+// newShardRunner spawns shards executor goroutines over the rank space.
+// shards is clamped to [1, n].
+func newShardRunner(nodes []Node, codecs []Codec, pat PhasedPattern, tr PhasedTransport, shards int) *shardRunner {
+	n := len(nodes)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	s := &shardRunner{
+		n:       n,
+		pattern: pat,
+		nodes:   nodes,
+		codecs:  codecs,
+		tr:      tr,
+		cmds:    make([]chan int, shards),
+		done:    make(chan error, shards),
+		states:  make([]PhaseState, n),
+		ctxs:    make([]RoundContext, n),
+		active:  make([]bool, n),
+		reports: make([]NodeReport, n),
+	}
+	for i := range s.cmds {
+		lo, hi := i*n/shards, (i+1)*n/shards
+		s.cmds[i] = make(chan int)
+		go s.shardLoop(lo, hi, s.cmds[i])
+	}
+	return s
+}
+
+// shardLoop serves one shard's ranks phase by phase until the command
+// channel closes. It deliberately holds no reference to the Engine, so an
+// abandoned engine stays collectable.
+func (s *shardRunner) shardLoop(lo, hi int, cmds <-chan int) {
+	for phase := range cmds {
+		var firstErr error
+		for r := lo; r < hi; r++ {
+			if !s.active[r] {
+				continue
+			}
+			if err := s.pattern.RunPhase(s.ctxs[r], phase, s.nodes[r], s.codecs, s.tr, &s.states[r]); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("engine: node %d: %w", r, err)
+			}
+		}
+		s.done <- firstErr
+	}
+}
+
+// runRound executes one validated plan across the shards. An error aborts
+// the remaining phases and leaves the engine unusable (undelivered deposits
+// may linger in the transport); in-process patterns over valid plans cannot
+// fail, so this only matters for defective custom codecs or transports.
+func (s *shardRunner) runRound(plan core.RoundPlan) (ControlReport, error) {
+	for r := 0; r < s.n; r++ {
+		s.states[r] = PhaseState{}
+		s.ctxs[r] = RoundContext{Round: plan.Round, Seed: plan.Seed, Self: r, N: s.n, Plan: plan}
+		s.active[r] = plan.Active == nil || plan.Active[r]
+	}
+	phases := s.pattern.PhaseCount(plan, s.n)
+	for p := 0; p < phases; p++ {
+		for _, c := range s.cmds {
+			c <- p
+		}
+		var firstErr error
+		for range s.cmds {
+			if err := <-s.done; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return ControlReport{}, firstErr
+		}
+	}
+	for r := 0; r < s.n; r++ {
+		s.reports[r] = s.states[r].Rep
+	}
+	return buildReport(s.reports), nil
+}

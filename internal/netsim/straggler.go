@@ -1,0 +1,30 @@
+package netsim
+
+import "fmt"
+
+// Scaled returns a copy of b with every link that touches one of the given
+// workers divided by factor — the bandwidth-straggler model: a straggling
+// worker drags down all of its links, and a link between two stragglers is
+// divided once (not twice). factor must be ≥ 1 and the matrix stays
+// symmetric by construction.
+func (b *Bandwidth) Scaled(workers []int, factor float64) *Bandwidth {
+	if factor < 1 {
+		panic(fmt.Sprintf("netsim: straggler factor %v < 1", factor))
+	}
+	slow := make([]bool, b.N)
+	for _, w := range workers {
+		if w < 0 || w >= b.N {
+			panic(fmt.Sprintf("netsim: straggler rank %d of %d", w, b.N))
+		}
+		slow[w] = true
+	}
+	out := &Bandwidth{N: b.N, mbps: append([]float64(nil), b.mbps...)}
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			if i != j && (slow[i] || slow[j]) {
+				out.mbps[i*b.N+j] /= factor
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// BenchSchemaVersion is the BENCH.json schema. The CI regression gate
+// refuses to compare files of different versions, so schema changes require
+// regenerating the committed baseline in the same commit.
+const BenchSchemaVersion = 1
+
+// BenchFile is the stable-schema benchmark summary: the per-algorithm
+// traffic smoke rows (written by the repository's bench suite) and the
+// fleet-scenario shard sweeps (written by cmd/fleetbench and the bench
+// suite's 512-node sweep). Byte totals are deterministic and diffed
+// exactly; wall fields are machine-dependent and diffed within a tolerance.
+type BenchFile struct {
+	SchemaVersion int    `json:"schema_version"`
+	Source        string `json:"source"`
+	GoMaxProcs    int    `json:"go_max_procs"`
+
+	Algorithms []AlgoRow       `json:"algorithms,omitempty"`
+	Scenarios  []ScenarioSweep `json:"scenarios,omitempty"`
+}
+
+// AlgoRow is one algorithm's traffic-smoke measurement.
+type AlgoRow struct {
+	Algorithm      string  `json:"algorithm"`
+	BytesPerRound  int64   `json:"bytes_per_round_per_worker"`
+	SimSeconds     float64 `json:"sim_comm_seconds"`
+	WallMsPerRound float64 `json:"wall_ms_per_round"`
+}
+
+// ScenarioSweep is one scenario executed at several shard counts.
+type ScenarioSweep struct {
+	Name   string   `json:"name"`
+	Algo   string   `json:"algo"`
+	Nodes  int      `json:"nodes"`
+	Rounds int      `json:"rounds"`
+	Runs   []Result `json:"runs"`
+	// Speedup is the serial (fewest-shards) wall time over the
+	// most-sharded wall time — the headline parallel speedup.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// ComputeSpeedup fills Speedup from the fewest- and most-sharded runs,
+// whatever order the sweep recorded them in.
+func (s *ScenarioSweep) ComputeSpeedup() {
+	if len(s.Runs) < 2 {
+		return
+	}
+	narrow, wide := s.Runs[0], s.Runs[0]
+	for _, run := range s.Runs[1:] {
+		if run.Shards < narrow.Shards {
+			narrow = run
+		}
+		if run.Shards > wide.Shards {
+			wide = run
+		}
+	}
+	if narrow.Shards != wide.Shards && wide.WallSeconds > 0 {
+		s.Speedup = narrow.WallSeconds / wide.WallSeconds
+	}
+}
+
+// WriteBench writes the summary with the canonical encoding.
+func WriteBench(path string, f *BenchFile) error {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// ReadBench loads a summary file.
+func ReadBench(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Diff compares a fresh summary against the committed baseline and returns
+// an error describing every regression:
+//
+//   - any byte-count difference on an algorithm or scenario run present in
+//     both files (traffic is deterministic — a byte change is a behavior
+//     change, not noise);
+//   - byte counts disagreeing across shard counts within the fresh file
+//     (the sharded runtime's determinism contract);
+//   - wall time regressing by more than maxWallRegress (0.25 = +25%) on
+//     either pool — the algorithm rows' ms/round total or the scenario
+//     runs' seconds total — summed over shared rows because individual
+//     sub-millisecond timings are noise. Wall times are only comparable
+//     between like machines, so this check runs only when WallComparable
+//     (regenerate the baseline from a CI-produced BENCH.json artifact to
+//     arm it there); byte counts are gated unconditionally.
+//
+// Rows present in only one file are ignored — adding a scenario must not
+// require touching the baseline in the same commit, and removals surface in
+// review.
+func Diff(baseline, fresh *BenchFile, maxWallRegress float64) error {
+	if baseline.SchemaVersion != fresh.SchemaVersion {
+		return fmt.Errorf("bench diff: schema_version %d vs %d — regenerate the baseline", baseline.SchemaVersion, fresh.SchemaVersion)
+	}
+	var problems []string
+	baseAlgos := map[string]AlgoRow{}
+	for _, r := range baseline.Algorithms {
+		baseAlgos[r.Algorithm] = r
+	}
+	for _, r := range fresh.Algorithms {
+		b, ok := baseAlgos[r.Algorithm]
+		if !ok {
+			continue
+		}
+		if b.BytesPerRound != r.BytesPerRound {
+			problems = append(problems, fmt.Sprintf("algorithm %s: bytes/round %d → %d", r.Algorithm, b.BytesPerRound, r.BytesPerRound))
+		}
+	}
+	baseScen := map[string]ScenarioSweep{}
+	for _, s := range baseline.Scenarios {
+		baseScen[s.Name] = s
+	}
+	for _, s := range fresh.Scenarios {
+		if len(s.Runs) == 0 {
+			problems = append(problems, fmt.Sprintf("scenario %s: no runs (truncated summary?)", s.Name))
+			continue
+		}
+		for _, run := range s.Runs[1:] {
+			if run.TotalBytes != s.Runs[0].TotalBytes {
+				problems = append(problems, fmt.Sprintf("scenario %s: %d shards moved %d bytes but %d shards moved %d — sharding changed traffic",
+					s.Name, s.Runs[0].Shards, s.Runs[0].TotalBytes, run.Shards, run.TotalBytes))
+			}
+		}
+		b, ok := baseScen[s.Name]
+		if !ok {
+			continue
+		}
+		baseRuns := map[int]Result{}
+		for _, run := range b.Runs {
+			baseRuns[run.Shards] = run
+		}
+		for _, run := range s.Runs {
+			br, ok := baseRuns[run.Shards]
+			if !ok {
+				continue
+			}
+			if br.TotalBytes != run.TotalBytes {
+				problems = append(problems, fmt.Sprintf("scenario %s shards=%d: total bytes %d → %d", s.Name, run.Shards, br.TotalBytes, run.TotalBytes))
+			}
+		}
+	}
+	if WallComparable(baseline, fresh) {
+		// Algorithm rows (per-round milliseconds) and scenario runs
+		// (absolute seconds) are different units, so each pool is gated
+		// against its own baseline total instead of one mixed sum.
+		baseAlgoWall, freshAlgoWall := sharedAlgoWall(baseline, fresh)
+		if baseAlgoWall > 0 && freshAlgoWall > baseAlgoWall*(1+maxWallRegress) {
+			problems = append(problems, fmt.Sprintf("algorithm wall time %.3f → %.3f ms/round total (+%.0f%%, limit +%.0f%%)",
+				baseAlgoWall, freshAlgoWall, 100*(freshAlgoWall/baseAlgoWall-1), 100*maxWallRegress))
+		}
+		baseScenWall, freshScenWall := sharedScenarioWall(baseline, fresh)
+		if baseScenWall > 0 && freshScenWall > baseScenWall*(1+maxWallRegress) {
+			problems = append(problems, fmt.Sprintf("scenario wall time %.3fs → %.3fs (+%.0f%%, limit +%.0f%%)",
+				baseScenWall, freshScenWall, 100*(freshScenWall/baseScenWall-1), 100*maxWallRegress))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("bench diff: %d regression(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// WallComparable reports whether the two summaries' wall timings can be
+// meaningfully compared: they must come from machines of the same width.
+// Diff and cmd/fleetbench's reporting share this one rule.
+func WallComparable(baseline, fresh *BenchFile) bool {
+	return baseline.GoMaxProcs == fresh.GoMaxProcs
+}
+
+// sharedAlgoWall sums wall ms/round over the algorithms the two files
+// share, so one file carrying extra rows does not skew the comparison.
+func sharedAlgoWall(baseline, fresh *BenchFile) (baseWall, freshWall float64) {
+	freshAlgos := map[string]AlgoRow{}
+	for _, r := range fresh.Algorithms {
+		freshAlgos[r.Algorithm] = r
+	}
+	for _, b := range baseline.Algorithms {
+		if f, ok := freshAlgos[b.Algorithm]; ok {
+			baseWall += b.WallMsPerRound
+			freshWall += f.WallMsPerRound
+		}
+	}
+	return baseWall, freshWall
+}
+
+// sharedScenarioWall sums wall seconds over the (scenario, shards) runs the
+// two files share.
+func sharedScenarioWall(baseline, fresh *BenchFile) (baseWall, freshWall float64) {
+	freshScen := map[string]ScenarioSweep{}
+	for _, s := range fresh.Scenarios {
+		freshScen[s.Name] = s
+	}
+	for _, b := range baseline.Scenarios {
+		f, ok := freshScen[b.Name]
+		if !ok {
+			continue
+		}
+		fruns := map[int]Result{}
+		for _, run := range f.Runs {
+			fruns[run.Shards] = run
+		}
+		for _, run := range b.Runs {
+			if fr, ok := fruns[run.Shards]; ok {
+				baseWall += run.WallSeconds
+				freshWall += fr.WallSeconds
+			}
+		}
+	}
+	return baseWall, freshWall
+}

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sapspsgd/internal/algos"
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/rng"
+)
+
+// Env builds the spec's bandwidth environment, including the straggler
+// scaling. Every random draw derives from the spec seed, so the environment
+// is part of the reproducibility capsule.
+func (s *Spec) Env() *netsim.Bandwidth {
+	var bw *netsim.Bandwidth
+	switch s.Bandwidth.Kind {
+	case "uniform":
+		bw = netsim.RandomUniform(s.Nodes, s.Bandwidth.Lo, s.Bandwidth.Hi, rng.New(s.Seed).Derive(0xba7d))
+	case "clustered":
+		bw = netsim.Clustered(s.Nodes, s.Bandwidth.Clusters, s.Bandwidth.Fast, s.Bandwidth.Slow, rng.New(s.Seed).Derive(0xba7d))
+	case "cities":
+		bw = netsim.FourteenCities()
+	case "matrix":
+		bw = netsim.NewBandwidth(s.Bandwidth.Matrix)
+	default:
+		panic("scenario: Env on unvalidated spec: " + s.Bandwidth.Kind)
+	}
+	if st := s.Straggler; st != nil && st.Fraction > 0 {
+		k := int(math.Ceil(st.Fraction * float64(s.Nodes)))
+		perm := rng.New(s.Seed).Derive(0x57a6).Perm(s.Nodes)
+		bw = bw.Scaled(perm[:k], st.Slowdown)
+	}
+	return bw
+}
+
+// gossipConfig returns the spec's Algorithm 3 thresholds. When the spec
+// omits the gossip section the defaults are BThres 0 (every link admitted)
+// and TThres 10 (the repository's usual recency window); explicit values
+// are validated by Spec.Validate (TThres must be ≥ 1).
+func (s *Spec) gossipConfig() gossip.Config {
+	if s.Gossip == nil {
+		return gossip.Config{BThres: 0, TThres: 10}
+	}
+	return gossip.Config{BThres: s.Gossip.BThres, TThres: s.Gossip.TThres}
+}
+
+// Build assembles the spec's algorithm over the sharded engine runtime.
+// shards overrides the spec's default shard count when > 0; pass 0 to use
+// the spec's and -1 to force the serial goroutine-per-node pool.
+func (s *Spec) Build(shards int) (algos.Algorithm, *netsim.Bandwidth, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	runtimeShards := s.effectiveShards(shards)
+	tr, _ := dataset.TinyTask(s.Data.Samples, s.Data.Classes, s.Seed)
+	fc := algos.FleetConfig{
+		N:             s.Nodes,
+		Factory:       func() *nn.Model { return nn.NewMLP(tr.Dim(), s.Model.Hidden, s.Data.Classes, s.Seed) },
+		Shards:        dataset.PartitionIID(tr, s.Nodes, s.Seed),
+		LR:            s.LR,
+		Batch:         s.Batch,
+		Seed:          s.Seed,
+		RuntimeShards: runtimeShards,
+	}
+	bw := s.Env()
+	var alg algos.Algorithm
+	switch s.Algo {
+	case "saps":
+		cfg := core.Config{
+			Workers:     s.Nodes,
+			Compression: s.Compression,
+			LR:          s.LR,
+			Batch:       s.Batch,
+			LocalSteps:  s.localSteps(),
+			Gossip:      s.gossipConfig(),
+			Seed:        s.Seed,
+		}
+		if c := s.Churn; c != nil {
+			alg = algos.NewSAPSChurn(fc, bw, cfg, algos.ChurnModel{
+				LeaveProb: c.LeaveProb, JoinProb: c.JoinProb, MinActive: c.MinActive,
+			})
+		} else {
+			alg = algos.NewSAPS(fc, bw, cfg)
+		}
+	case "psgd":
+		alg = algos.NewPSGD(fc)
+	case "topk-psgd":
+		alg = algos.NewTopKPSGD(fc, s.C)
+	case "qsgd-psgd":
+		alg = algos.NewQSGDPSGD(fc, s.Levels)
+	case "d-psgd":
+		alg = algos.NewDPSGD(fc)
+	case "dcd-psgd":
+		alg = algos.NewDCDPSGD(fc, s.C)
+	case "ps-psgd":
+		alg = algos.NewPSPSGD(fc, bw)
+	case "fedavg":
+		alg = algos.NewFedAvg(fc, bw, s.Fraction, s.localSteps())
+	case "s-fedavg":
+		alg = algos.NewSFedAvg(fc, bw, s.Fraction, s.localSteps(), s.C)
+	default:
+		return nil, nil, fmt.Errorf("scenario %s: unknown algorithm %q", s.Name, s.Algo)
+	}
+	return alg, bw, nil
+}
+
+// effectiveShards resolves a sweep override against the spec default:
+// override > 0 wins, 0 defers to the spec, and -1 forces the serial
+// goroutine-per-node pool (engine shard count 0).
+func (s *Spec) effectiveShards(override int) int {
+	switch {
+	case override > 0:
+		return override
+	case override < 0:
+		return 0
+	}
+	return s.Shards
+}
+
+// Result is one scenario execution's measurements — the per-run row of
+// BENCH.json. TotalBytes is the deterministic traffic total (the sum of
+// every endpoint's sent+received bytes, server included); wall fields are
+// machine-dependent.
+type Result struct {
+	Shards       int     `json:"shards"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	TotalBytes   int64   `json:"total_bytes"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	FinalLoss    float64 `json:"final_loss"`
+}
+
+// Run builds and executes the scenario with the given shard override (see
+// Build) against a bandwidth-accounted ledger.
+func (s *Spec) Run(shards int) (Result, error) {
+	alg, bw, err := s.Build(shards)
+	if err != nil {
+		return Result{}, err
+	}
+	led := netsim.NewLedger(bw)
+	var loss float64
+	start := time.Now()
+	for r := 0; r < s.Rounds; r++ {
+		loss = alg.Step(r, led)
+	}
+	wall := time.Since(start).Seconds()
+	if c, ok := alg.(interface{ Close() }); ok {
+		c.Close()
+	}
+	var total int64
+	for w := 0; w < s.Nodes; w++ {
+		snt, rcv := led.WorkerBytes(w)
+		total += snt + rcv
+	}
+	total += led.ServerBytes()
+	res := Result{
+		Shards:      s.effectiveShards(shards),
+		WallSeconds: wall,
+		TotalBytes:  total,
+		SimSeconds:  led.TotalTime(),
+		FinalLoss:   loss,
+	}
+	if wall > 0 {
+		res.RoundsPerSec = float64(s.Rounds) / wall
+	}
+	return res, nil
+}

@@ -1,0 +1,331 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/rng"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden spec files")
+
+// TestSpecGoldenRoundTrip pins every example spec's parsed, canonical form:
+// load → re-marshal must match the committed golden byte for byte, and the
+// canonical form must re-parse to the same canonical form (a stable
+// fixpoint). Run with -update to regenerate after an intentional schema
+// change (which also requires bumping SpecSchemaVersion).
+func TestSpecGoldenRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no testdata specs (%v)", err)
+	}
+	for _, path := range paths {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			spec, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name != name {
+				t.Fatalf("spec name %q does not match file name %q", spec.Name, name)
+			}
+			canon, err := spec.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "golden", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, canon, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test -run Golden -update ./internal/scenario`): %v", err)
+			}
+			if !bytes.Equal(canon, want) {
+				t.Errorf("canonical form drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, canon, want)
+			}
+			reparsed, err := Parse(canon)
+			if err != nil {
+				t.Fatalf("canonical form does not re-parse: %v", err)
+			}
+			canon2, err := reparsed.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(canon, canon2) {
+				t.Errorf("canonical form is not a fixpoint")
+			}
+		})
+	}
+}
+
+// minimal returns a valid spec the rejection tests mutate.
+func minimal() Spec {
+	return Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Name:          "t",
+		Algo:          "psgd",
+		Nodes:         4,
+		Rounds:        2,
+		Seed:          3,
+		LR:            0.1,
+		Batch:         8,
+		Model:         ModelSpec{Hidden: []int{8}},
+		Data:          DataSpec{Samples: 64, Classes: 4},
+		Bandwidth:     BandwidthSpec{Kind: "uniform", Lo: 1, Hi: 5},
+	}
+}
+
+func TestSpecRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"unknown algo", func(s *Spec) { s.Algo = "warp-sgd" }, "unknown algorithm"},
+		{"zero nodes", func(s *Spec) { s.Nodes = 0 }, "0 nodes"},
+		{"zero rounds", func(s *Spec) { s.Rounds = 0 }, "0 rounds"},
+		{"negative uniform bandwidth", func(s *Spec) { s.Bandwidth.Lo, s.Bandwidth.Hi = -1, 5 }, "uniform bandwidth"},
+		{"inverted uniform bandwidth", func(s *Spec) { s.Bandwidth.Lo, s.Bandwidth.Hi = 5, 1 }, "uniform bandwidth"},
+		{"unknown bandwidth kind", func(s *Spec) { s.Bandwidth.Kind = "wormhole" }, "unknown bandwidth kind"},
+		{"cities with wrong fleet", func(s *Spec) { s.Bandwidth = BandwidthSpec{Kind: "cities"} }, "needs 14 nodes"},
+		{"negative matrix entry", func(s *Spec) {
+			s.Nodes, s.Data.Samples = 2, 64
+			s.Bandwidth = BandwidthSpec{Kind: "matrix", Matrix: [][]float64{{0, -3}, {-3, 0}}}
+		}, "negative bandwidth"},
+		{"matrix shape mismatch", func(s *Spec) {
+			s.Bandwidth = BandwidthSpec{Kind: "matrix", Matrix: [][]float64{{0, 1}, {1, 0}}}
+		}, "matrix of 2 rows for 4 nodes"},
+		{"churn on non-saps", func(s *Spec) { s.Churn = &ChurnSpec{LeaveProb: 0.1, JoinProb: 0.5, MinActive: 2} }, "requires algo saps"},
+		{"bad churn probability", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Churn = &ChurnSpec{LeaveProb: 1.5, JoinProb: 0.5, MinActive: 2}
+		}, "churn probabilities"},
+		{"straggler slowdown below one", func(s *Spec) { s.Straggler = &StragglerSpec{Fraction: 0.5, Slowdown: 0.5} }, "straggler slowdown"},
+		{"negative shards", func(s *Spec) { s.Shards = -2 }, "-2 shards"},
+		{"wrong schema version", func(s *Spec) { s.SchemaVersion = 99 }, "schema_version"},
+		{"saps without compression", func(s *Spec) { s.Algo = "saps" }, "compression"},
+		{"fedavg without fraction", func(s *Spec) { s.Algo = "fedavg"; s.LocalSteps = 2 }, "fraction"},
+		{"gossip on non-saps", func(s *Spec) { s.Gossip = &GossipSpec{BThres: 1, TThres: 5} }, "require algo saps"},
+		{"gossip with zero recency window", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Gossip = &GossipSpec{BThres: 1} // t_thres omitted in JSON decodes to 0
+		}, "t_thres 0"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := minimal()
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("validated a spec with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"schema_version":1,"name":"t","algo":"psgd","nodes":4,"rounds":2,
+		"lr":0.1,"batch":8,"model":{"hidden":[8]},"data":{"samples":64,"classes":4},
+		"bandwidth":{"kind":"uniform","lo":1,"hi":5},"warp_factor":9}`))
+	if err == nil || !strings.Contains(err.Error(), "warp_factor") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}
+
+// TestRunDeterministicAcrossShards is the scenario-level determinism gate:
+// the same spec at different shard counts must move exactly the same bytes
+// and end at exactly the same loss.
+func TestRunDeterministicAcrossShards(t *testing.T) {
+	for _, file := range []string{"fedavg-uniform", "psgd-clustered", "dpsgd-trace", "topk-straggler"} {
+		file := file
+		t.Run(file, func(t *testing.T) {
+			t.Parallel()
+			spec, err := Load(filepath.Join("testdata", file+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := spec.Run(-1) // goroutine-per-node pool reference
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 4} {
+				got, err := spec.Run(shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.TotalBytes != serial.TotalBytes {
+					t.Errorf("shards=%d: %d bytes, serial moved %d", shards, got.TotalBytes, serial.TotalBytes)
+				}
+				if got.FinalLoss != serial.FinalLoss {
+					t.Errorf("shards=%d: final loss %v, serial %v", shards, got.FinalLoss, serial.FinalLoss)
+				}
+				if got.SimSeconds != serial.SimSeconds {
+					t.Errorf("shards=%d: sim time %v, serial %v", shards, got.SimSeconds, serial.SimSeconds)
+				}
+			}
+		})
+	}
+}
+
+// TestStragglerSlowsSimTime checks the straggler model actually reaches the
+// ledger: slowing a quarter of the fleet must strictly increase simulated
+// communication time while moving identical bytes.
+func TestStragglerSlowsSimTime(t *testing.T) {
+	spec, err := Load(filepath.Join("testdata", "topk-straggler.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := spec.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := *spec
+	healthy.Straggler = nil
+	fast, err := healthy.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TotalBytes != fast.TotalBytes {
+		t.Errorf("straggler changed traffic: %d vs %d bytes", slow.TotalBytes, fast.TotalBytes)
+	}
+	if slow.SimSeconds <= fast.SimSeconds {
+		t.Errorf("straggler did not slow the fleet: %v <= %v sim seconds", slow.SimSeconds, fast.SimSeconds)
+	}
+}
+
+// TestScaledBandwidth pins the straggler scaling itself.
+func TestScaledBandwidth(t *testing.T) {
+	bw := netsim.RandomUniform(4, 1, 5, rng.New(3))
+	scaled := bw.Scaled([]int{1}, 2)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := bw.MBps(i, j)
+			if i != j && (i == 1 || j == 1) {
+				want /= 2
+			}
+			if got := scaled.MBps(i, j); got != want {
+				t.Fatalf("link %d-%d: %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestBenchDiff covers the regression gate: byte drift and wall blowups
+// fail, wall noise within tolerance and baseline-absent rows pass.
+func TestBenchDiff(t *testing.T) {
+	base := &BenchFile{
+		SchemaVersion: BenchSchemaVersion,
+		Algorithms:    []AlgoRow{{Algorithm: "SAPS-PSGD", BytesPerRound: 1000, WallMsPerRound: 100}},
+		Scenarios: []ScenarioSweep{{
+			Name: "s", Runs: []Result{
+				{Shards: 1, WallSeconds: 2, TotalBytes: 5000},
+				{Shards: 8, WallSeconds: 1, TotalBytes: 5000},
+			},
+		}},
+	}
+	clone := func() *BenchFile {
+		f := *base
+		f.Algorithms = append([]AlgoRow(nil), base.Algorithms...)
+		f.Scenarios = append([]ScenarioSweep(nil), base.Scenarios...)
+		f.Scenarios[0].Runs = append([]Result(nil), base.Scenarios[0].Runs...)
+		return &f
+	}
+
+	if err := Diff(base, clone(), 0.25); err != nil {
+		t.Fatalf("identical files diffed dirty: %v", err)
+	}
+
+	f := clone()
+	f.Algorithms[0].BytesPerRound = 1001
+	if err := Diff(base, f, 0.25); err == nil || !strings.Contains(err.Error(), "bytes/round") {
+		t.Fatalf("byte drift not caught: %v", err)
+	}
+
+	f = clone()
+	f.Scenarios[0].Runs[1].TotalBytes = 4999
+	err := Diff(base, f, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "sharding changed traffic") {
+		t.Fatalf("cross-shard byte disagreement not caught: %v", err)
+	}
+
+	f = clone()
+	f.Algorithms[0].WallMsPerRound = 120 // +20ms on a 3.1s shared total: noise
+	if err := Diff(base, f, 0.25); err != nil {
+		t.Fatalf("wall noise within tolerance rejected: %v", err)
+	}
+
+	f = clone()
+	f.Scenarios[0].Runs[0].WallSeconds = 4 // 3s → 5s scenario pool: regression
+	if err := Diff(base, f, 0.25); err == nil || !strings.Contains(err.Error(), "scenario wall time") {
+		t.Fatalf("scenario wall regression not caught: %v", err)
+	}
+
+	f = clone()
+	f.Algorithms[0].WallMsPerRound = 200 // algorithm pool alone doubles: must
+	// be caught even though it is negligible next to the scenario seconds
+	if err := Diff(base, f, 0.25); err == nil || !strings.Contains(err.Error(), "algorithm wall time") {
+		t.Fatalf("algorithm wall regression not caught: %v", err)
+	}
+
+	f = clone()
+	f.Scenarios = append(f.Scenarios, ScenarioSweep{Name: "new", Runs: []Result{{Shards: 1, TotalBytes: 9, WallSeconds: 99}}})
+	if err := Diff(base, f, 0.25); err != nil {
+		t.Fatalf("baseline-absent scenario should be ignored: %v", err)
+	}
+
+	f = clone()
+	f.SchemaVersion = BenchSchemaVersion + 1
+	if err := Diff(base, f, 0.25); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("schema mismatch not caught: %v", err)
+	}
+
+	f = clone()
+	f.Scenarios[0].Runs = nil // truncated summary must error, not panic
+	if err := Diff(base, f, 0.25); err == nil || !strings.Contains(err.Error(), "no runs") {
+		t.Fatalf("runs-less scenario not caught: %v", err)
+	}
+
+	f = clone()
+	f.GoMaxProcs = base.GoMaxProcs + 7
+	f.Scenarios[0].Runs[0].WallSeconds = 400 // huge, but cross-machine: skipped
+	if err := Diff(base, f, 0.25); err != nil {
+		t.Fatalf("cross-machine wall timings compared: %v", err)
+	}
+}
+
+// TestRunChurnScenario smoke-tests the churn path end to end on the sharded
+// runtime (14-city SAPS with leave/rejoin).
+func TestRunChurnScenario(t *testing.T) {
+	spec, err := Load(filepath.Join("testdata", "saps-cities-churn.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := spec.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := spec.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalBytes != sharded.TotalBytes || serial.FinalLoss != sharded.FinalLoss {
+		t.Fatalf("churn scenario diverged: serial %d B loss %v, sharded %d B loss %v",
+			serial.TotalBytes, serial.FinalLoss, sharded.TotalBytes, sharded.FinalLoss)
+	}
+	if serial.TotalBytes == 0 {
+		t.Fatal("churn scenario moved no bytes")
+	}
+}

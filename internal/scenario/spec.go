@@ -1,0 +1,326 @@
+// Package scenario is the declarative experiment layer over the engine: a
+// JSON Spec names an algorithm, a fleet size, a synthetic workload, a
+// bandwidth distribution (or an explicit measured trace), and optional churn
+// and straggler models, and the package assembles the corresponding
+// algorithm over the sharded engine runtime and runs it against a
+// bandwidth-accounted ledger. cmd/fleetbench sweeps directories of specs
+// across shard counts and emits the stable-schema BENCH.json this package
+// also knows how to regression-diff (see bench.go).
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sapspsgd/internal/algos"
+)
+
+// SpecSchemaVersion is the scenario file schema this package reads and
+// writes. Bump it when a field changes meaning; Parse rejects other
+// versions so stale specs fail loudly instead of silently misconfiguring a
+// sweep.
+const SpecSchemaVersion = 1
+
+// Spec is one declarative fleet experiment.
+type Spec struct {
+	// SchemaVersion must equal SpecSchemaVersion.
+	SchemaVersion int `json:"schema_version"`
+	// Name identifies the scenario in sweeps and BENCH.json rows.
+	Name string `json:"name"`
+	// Algo is the algorithm to run: saps | psgd | topk-psgd | qsgd-psgd |
+	// d-psgd | dcd-psgd | ps-psgd | fedavg | s-fedavg.
+	Algo string `json:"algo"`
+	// Nodes is the trainer count (hub algorithms add their server rank on
+	// top, exactly as algos.Recipe does).
+	Nodes int `json:"nodes"`
+	// Rounds is the number of synchronous communication rounds.
+	Rounds int `json:"rounds"`
+	// Seed derives every random stream of the run (model init, data,
+	// matching, codecs), so a spec is a complete reproducibility capsule.
+	Seed uint64 `json:"seed"`
+
+	LR    float64 `json:"lr"`
+	Batch int     `json:"batch"`
+	// LocalSteps is the local SGD steps per round (SAPS, FedAvg); 0 means 1.
+	LocalSteps int `json:"local_steps,omitempty"`
+	// Compression is the SAPS shared-mask ratio c.
+	Compression float64 `json:"compression,omitempty"`
+	// C is the sparsifier ratio for topk-psgd, dcd-psgd and s-fedavg.
+	C float64 `json:"c,omitempty"`
+	// Levels is the QSGD level count.
+	Levels int `json:"levels,omitempty"`
+	// Fraction is the FedAvg per-round participation ratio.
+	Fraction float64 `json:"fraction,omitempty"`
+
+	// Gossip tunes Algorithm 3's thresholds (SAPS only).
+	Gossip *GossipSpec `json:"gossip,omitempty"`
+
+	Model     ModelSpec     `json:"model"`
+	Data      DataSpec      `json:"data"`
+	Bandwidth BandwidthSpec `json:"bandwidth"`
+
+	// Churn switches SAPS to dynamic membership (leave/rejoin per round).
+	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Straggler slows a deterministic subset of workers' links, modelling
+	// bandwidth-starved stragglers in an otherwise healthy fleet.
+	Straggler *StragglerSpec `json:"straggler,omitempty"`
+
+	// Shards is the default engine shard count for this scenario (0 = the
+	// engine's goroutine-per-node pool). Sweeps usually override it.
+	Shards int `json:"shards,omitempty"`
+}
+
+// GossipSpec is Algorithm 3's tuning (SAPS only).
+type GossipSpec struct {
+	// BThres is the bandwidth threshold (MB/s) of the B* filter.
+	BThres float64 `json:"b_thres"`
+	// TThres is the recency window (rounds) of the reconnection rule.
+	TThres int `json:"t_thres"`
+}
+
+// ModelSpec describes the per-worker model. The input dimension and class
+// count come from the data spec; the architecture is an MLP with the given
+// hidden widths.
+type ModelSpec struct {
+	Hidden []int `json:"hidden"`
+}
+
+// DataSpec describes the synthetic training task, sharded IID across the
+// fleet.
+type DataSpec struct {
+	// Samples is the total training-set size before sharding.
+	Samples int `json:"samples"`
+	// Classes is the label count (also the model's output width).
+	Classes int `json:"classes"`
+}
+
+// BandwidthSpec describes the pairwise link environment.
+type BandwidthSpec struct {
+	// Kind selects the generator: "uniform" (links drawn from (Lo, Hi]
+	// MB/s), "clustered" (Fast within clusters, Slow across, ±50% jitter),
+	// "cities" (the paper's measured 14-city matrix; requires Nodes == 14),
+	// or "matrix" (an explicit symmetric trace in MB/s).
+	Kind string `json:"kind"`
+	// Lo and Hi bound the uniform draw in MB/s.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Clusters, Fast and Slow parameterize the clustered generator.
+	Clusters int     `json:"clusters,omitempty"`
+	Fast     float64 `json:"fast,omitempty"`
+	Slow     float64 `json:"slow,omitempty"`
+	// Matrix is the explicit Nodes×Nodes link-speed trace for kind
+	// "matrix" (MB/s; asymmetric entries are min-symmetrized like every
+	// other environment).
+	Matrix [][]float64 `json:"matrix,omitempty"`
+}
+
+// ChurnSpec mirrors algos.ChurnModel.
+type ChurnSpec struct {
+	LeaveProb float64 `json:"leave_prob"`
+	JoinProb  float64 `json:"join_prob"`
+	MinActive int     `json:"min_active"`
+}
+
+// StragglerSpec slows a deterministic worker subset's links.
+type StragglerSpec struct {
+	// Fraction of workers (rounded up, at least one when positive) whose
+	// links are slowed. The subset is drawn from the spec seed.
+	Fraction float64 `json:"fraction"`
+	// Slowdown divides every link touching a straggler (≥ 1).
+	Slowdown float64 `json:"slowdown"`
+}
+
+// Parse decodes a strict-schema spec: unknown fields are rejected, and the
+// result is validated.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after spec")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses one spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadDir loads every *.json spec under dir (non-recursive), sorted by file
+// name so sweep order is stable.
+func LoadDir(dir string) ([]*Spec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("scenario: no *.json specs in %s", dir)
+	}
+	specs := make([]*Spec, 0, len(names))
+	for _, name := range names {
+		s, err := Load(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// Canonical renders the spec in the stable on-disk form (indented JSON with
+// a trailing newline) — what the golden-file tests pin.
+func (s *Spec) Canonical() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// recipe maps the spec onto the algorithm recipe used for validation.
+func (s *Spec) recipe() algos.Recipe {
+	return algos.Recipe{
+		Algo:        s.Algo,
+		Workers:     s.Nodes,
+		LR:          s.LR,
+		Batch:       s.Batch,
+		Seed:        s.Seed,
+		Compression: s.Compression,
+		LocalSteps:  s.localSteps(),
+		C:           s.C,
+		Levels:      s.Levels,
+		Fraction:    s.Fraction,
+	}
+}
+
+func (s *Spec) localSteps() int {
+	if s.LocalSteps < 1 {
+		return 1
+	}
+	return s.LocalSteps
+}
+
+// Validate returns an error describing the first invalid field, if any.
+func (s *Spec) Validate() error {
+	switch {
+	case s.SchemaVersion != SpecSchemaVersion:
+		return fmt.Errorf("scenario: schema_version %d, want %d", s.SchemaVersion, SpecSchemaVersion)
+	case s.Name == "":
+		return fmt.Errorf("scenario: missing name")
+	case s.Nodes < 1:
+		return fmt.Errorf("scenario %s: %d nodes", s.Name, s.Nodes)
+	case s.Rounds < 1:
+		return fmt.Errorf("scenario %s: %d rounds", s.Name, s.Rounds)
+	case s.Shards < 0:
+		return fmt.Errorf("scenario %s: %d shards", s.Name, s.Shards)
+	case s.Data.Samples < s.Nodes:
+		return fmt.Errorf("scenario %s: %d samples for %d nodes", s.Name, s.Data.Samples, s.Nodes)
+	case s.Data.Classes < 2:
+		return fmt.Errorf("scenario %s: %d classes", s.Name, s.Data.Classes)
+	}
+	for _, h := range s.Model.Hidden {
+		if h < 1 {
+			return fmt.Errorf("scenario %s: hidden width %d", s.Name, h)
+		}
+	}
+	// The recipe validation owns the per-algorithm parameter rules (and the
+	// unknown-algorithm rejection).
+	if err := s.recipe().Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := s.Bandwidth.validate(s.Name, s.Nodes); err != nil {
+		return err
+	}
+	if g := s.Gossip; g != nil {
+		if s.Algo != "saps" {
+			return fmt.Errorf("scenario %s: gossip thresholds require algo saps, have %s", s.Name, s.Algo)
+		}
+		if g.BThres < 0 || g.TThres < 1 {
+			return fmt.Errorf("scenario %s: gossip b_thres %v / t_thres %d", s.Name, g.BThres, g.TThres)
+		}
+	}
+	if c := s.Churn; c != nil {
+		if s.Algo != "saps" {
+			return fmt.Errorf("scenario %s: churn model requires algo saps, have %s", s.Name, s.Algo)
+		}
+		if c.LeaveProb < 0 || c.LeaveProb >= 1 || c.JoinProb <= 0 || c.JoinProb > 1 {
+			return fmt.Errorf("scenario %s: churn probabilities %v/%v", s.Name, c.LeaveProb, c.JoinProb)
+		}
+		if c.MinActive < 2 || c.MinActive > s.Nodes {
+			return fmt.Errorf("scenario %s: churn min_active %d of %d", s.Name, c.MinActive, s.Nodes)
+		}
+	}
+	if st := s.Straggler; st != nil {
+		if st.Fraction < 0 || st.Fraction > 1 {
+			return fmt.Errorf("scenario %s: straggler fraction %v", s.Name, st.Fraction)
+		}
+		if st.Slowdown < 1 {
+			return fmt.Errorf("scenario %s: straggler slowdown %v", s.Name, st.Slowdown)
+		}
+	}
+	return nil
+}
+
+func (b *BandwidthSpec) validate(name string, nodes int) error {
+	switch b.Kind {
+	case "uniform":
+		if b.Lo < 0 || b.Hi <= 0 || b.Hi < b.Lo {
+			return fmt.Errorf("scenario %s: uniform bandwidth (%v, %v] MB/s", name, b.Lo, b.Hi)
+		}
+	case "clustered":
+		if b.Clusters < 1 || b.Fast <= 0 || b.Slow <= 0 {
+			return fmt.Errorf("scenario %s: clustered bandwidth %d clusters fast=%v slow=%v", name, b.Clusters, b.Fast, b.Slow)
+		}
+	case "cities":
+		if nodes != 14 {
+			return fmt.Errorf("scenario %s: cities bandwidth needs 14 nodes, have %d", name, nodes)
+		}
+	case "matrix":
+		if len(b.Matrix) != nodes {
+			return fmt.Errorf("scenario %s: bandwidth matrix of %d rows for %d nodes", name, len(b.Matrix), nodes)
+		}
+		for i, row := range b.Matrix {
+			if len(row) != nodes {
+				return fmt.Errorf("scenario %s: bandwidth matrix row %d has %d entries", name, i, len(row))
+			}
+			for j, v := range row {
+				if v < 0 {
+					return fmt.Errorf("scenario %s: negative bandwidth %v on link %d-%d", name, v, i, j)
+				}
+				if i != j && v == 0 {
+					return fmt.Errorf("scenario %s: zero-bandwidth link %d-%d", name, i, j)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown bandwidth kind %q", name, b.Kind)
+	}
+	return nil
+}
