@@ -1,5 +1,5 @@
 // Benchmarks that regenerate every table and figure of the paper's
-// evaluation (see DESIGN.md §4 for the index). Each benchmark runs a
+// evaluation (see DESIGN.md §5 for the index). Each benchmark runs a
 // CPU-scaled version of the corresponding experiment and reports its
 // headline numbers as benchmark metrics; `go run ./cmd/sapsbench` prints the
 // full rows/series. The bench-scale runs use fewer rounds and workers than
@@ -40,7 +40,7 @@ func benchWorkload(w experiments.Workload, rounds int) experiments.Workload {
 
 // runSuite executes the 7-algorithm convergence suite at bench scale and
 // reports the SAPS metrics against the best baseline. The suites are the
-// long pole of the benchmark set, so they honor -short (see DESIGN.md §5:
+// long pole of the benchmark set, so they honor -short (see DESIGN.md §6:
 // `go test -short ./...` is the quick tier-1 sweep, the full run exercises
 // everything).
 func runSuite(b *testing.B, w experiments.Workload, rounds, n int) []trainer.Result {
@@ -166,7 +166,7 @@ func BenchmarkFig6CommTimeMNIST(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §4 A5) --------------------------------------------
+// --- Ablations (DESIGN.md §5 A5) --------------------------------------------
 
 // BenchmarkAblationTThres sweeps Algorithm 3's recency window: smaller
 // TThres forces reconnection more often (better mixing, lower matched
@@ -462,12 +462,16 @@ func BenchmarkTrafficSmoke(b *testing.B) {
 		}
 		sweep = fleetShardSweep(b)
 	}
+	// The declarative fault scenario (scheduled crash/rejoin + seeded
+	// mortality) rides in the summary too, so fault-injection traffic is
+	// regression-gated like every other row.
+	faults := scenarioSweep(b, "internal/scenario/testdata/saps-crash-rejoin.json", 1, 4)
 	out := &scenario.BenchFile{
 		SchemaVersion: scenario.BenchSchemaVersion,
 		Source:        "go-test-bench",
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Algorithms:    rows,
-		Scenarios:     []scenario.ScenarioSweep{sweep},
+		Scenarios:     []scenario.ScenarioSweep{sweep, faults},
 	}
 	if err := scenario.WriteBench("BENCH.json", out); err != nil {
 		b.Fatal(err)
@@ -488,12 +492,19 @@ func BenchmarkTrafficSmoke(b *testing.B) {
 // spot. Wall-clock speedup depends on the machine's core count.
 func fleetShardSweep(b *testing.B) scenario.ScenarioSweep {
 	b.Helper()
-	spec, err := scenario.Load("internal/scenario/testdata/saps-512.json")
+	return scenarioSweep(b, "internal/scenario/testdata/saps-512.json", 1, 8)
+}
+
+// scenarioSweep runs one scenario spec across the given shard counts,
+// asserting byte determinism on the spot.
+func scenarioSweep(b *testing.B, path string, shardCounts ...int) scenario.ScenarioSweep {
+	b.Helper()
+	spec, err := scenario.Load(path)
 	if err != nil {
 		b.Fatal(err)
 	}
 	sweep := scenario.ScenarioSweep{Name: spec.Name, Algo: spec.Algo, Nodes: spec.Nodes, Rounds: spec.Rounds}
-	for _, shards := range []int{1, 8} {
+	for _, shards := range shardCounts {
 		res, err := spec.Run(shards)
 		if err != nil {
 			b.Fatal(err)

@@ -12,6 +12,14 @@
 //
 // Hub algorithms (-algo ps-psgd|fedavg|s-fedavg) need one extra worker
 // process: the last registered rank becomes the parameter server.
+//
+// Fault injection (-algo saps): -crash "2:30:10" kills the rank-2 worker
+// process at the round-30 boundary and re-admits it 10 rounds later (the
+// worker must be restarted with -resume; the coordinator holds the boundary
+// up to -rejoin-wait for its handshake). -mortality "0.01:4" adds seeded
+// random permanent deaths down to a floor of 4 workers. Unscheduled worker
+// losses are detected, the affected round is aborted and rolled back on
+// every survivor, and training re-plans over the remaining fleet.
 package main
 
 import (
@@ -20,7 +28,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"sapspsgd/internal/algos"
 	"sapspsgd/internal/engine"
@@ -55,9 +65,17 @@ func main() {
 		tthres      = flag.Int("tthres", 10, "recency window T_thres (rounds)")
 		measure     = flag.Bool("measure", false, "probe pairwise worker bandwidth before training (paper §II-C fn.3)")
 		probeKB     = flag.Int("probe-kb", 64, "probe payload size in KiB when -measure is set")
+		crash       = flag.String("crash", "", "fault injection (saps only): comma-separated rank:round[:rejoin_after] crash events, e.g. 2:30:10,5:40")
+		mortality   = flag.String("mortality", "", "fault injection (saps only): prob:min_alive seeded random permanent worker deaths, e.g. 0.01:4")
+		rejoinWait  = flag.Duration("rejoin-wait", time.Minute, "how long to hold a round boundary for a scheduled rejoiner")
 		out         = flag.String("out", "model.gob", "output file for the final model")
 	)
 	flag.Parse()
+
+	faults, err := parseFaults(*crash, *mortality, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	spec := transport.TaskSpec{
 		Arch: *arch, C: *channels, H: *size, W: *size, Classes: *classes,
@@ -80,6 +98,8 @@ func main() {
 		Measure:    *measure,
 		ProbeBytes: *probeKB << 10,
 		Gossip:     gossip.Config{BThres: *bthres, TThres: *tthres},
+		Faults:     faults,
+		RejoinWait: *rejoinWait,
 		Logf:       log.Printf,
 	}
 	led := &engine.CountingLedger{}
@@ -111,4 +131,55 @@ func serverNote(rec algos.Recipe) string {
 		return " + 1 parameter server"
 	}
 	return ""
+}
+
+// parseFaults builds the fault schedule from the -crash and -mortality
+// flags. Crash events are rank:round[:rejoin_after]; mortality is
+// prob:min_alive. An empty schedule returns nil.
+func parseFaults(crash, mortality string, n int, seed uint64) (*algos.FaultSchedule, error) {
+	if crash == "" && mortality == "" {
+		return nil, nil
+	}
+	sched := &algos.FaultSchedule{N: n, Seed: seed}
+	if crash != "" {
+		for _, part := range strings.Split(crash, ",") {
+			fields := strings.Split(strings.TrimSpace(part), ":")
+			if len(fields) != 2 && len(fields) != 3 {
+				return nil, fmt.Errorf("bad -crash event %q, want rank:round[:rejoin_after]", part)
+			}
+			var ev algos.FaultEvent
+			var err error
+			if ev.Rank, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("bad -crash rank in %q: %v", part, err)
+			}
+			if ev.Round, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("bad -crash round in %q: %v", part, err)
+			}
+			if len(fields) == 3 {
+				if ev.RejoinAfter, err = strconv.Atoi(fields[2]); err != nil {
+					return nil, fmt.Errorf("bad -crash rejoin_after in %q: %v", part, err)
+				}
+			}
+			sched.Events = append(sched.Events, ev)
+		}
+	}
+	if mortality != "" {
+		fields := strings.Split(mortality, ":")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad -mortality %q, want prob:min_alive", mortality)
+		}
+		prob, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -mortality prob: %v", err)
+		}
+		minAlive, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad -mortality min_alive: %v", err)
+		}
+		sched.Mortality = &algos.FaultMortality{Prob: prob, MinAlive: minAlive}
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return sched, nil
 }

@@ -31,6 +31,13 @@ func NewQSGD(levels int, seed uint64) *QSGD {
 	return &QSGD{Levels: levels, rnd: rng.New(seed)}
 }
 
+// RNGState captures the quantizer's stochastic-rounding stream position —
+// part of a rank's round-boundary checkpoint.
+func (q *QSGD) RNGState() rng.State { return q.rnd.State() }
+
+// SetRNGState restores a position captured by RNGState.
+func (q *QSGD) SetRNGState(st rng.State) { q.rnd.SetState(st) }
+
 // Quantized is a QSGD-encoded vector.
 type Quantized struct {
 	Norm float64

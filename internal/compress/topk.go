@@ -174,6 +174,16 @@ func (e *ErrorFeedback) CompressTopK(x []float64, k int) SparseVec {
 // Residual exposes the current residual (for tests and diagnostics).
 func (e *ErrorFeedback) Residual() []float64 { return e.residual }
 
+// SetResidual overwrites the residual with a checkpointed copy — restoring
+// it resumes the compensation stream exactly (error-feedback residuals are
+// part of a rank's round-boundary snapshot). It panics on a length mismatch.
+func (e *ErrorFeedback) SetResidual(r []float64) {
+	if len(r) != len(e.residual) {
+		panic(fmt.Sprintf("compress: SetResidual of %d values on %d-dimensional accumulator", len(r), len(e.residual)))
+	}
+	copy(e.residual, r)
+}
+
 // RandomK selects k coordinates uniformly at random (without replacement)
 // using the given RNG and returns them with their values. Unlike the shared-
 // mask scheme, the support is explicit, so the wire cost includes indices.

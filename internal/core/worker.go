@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"sapspsgd/internal/compress"
@@ -98,6 +99,41 @@ func (w *Worker) MergePeer(peerVals []float64) {
 		}
 	}
 	w.Model.SetFlatParams(w.flat)
+}
+
+// WorkerState is a Worker's complete round-boundary state: everything a
+// restarted process needs (beyond the shared config, which it re-derives
+// from the task spec) to continue the trajectory bit-identically. Model is
+// an nn checkpoint (parameters plus per-layer running statistics), Loader
+// the minibatch stream cursor, Velocity the optimizer's momentum buffer.
+type WorkerState struct {
+	Model    []byte
+	Loader   dataset.LoaderState
+	Velocity []float64
+}
+
+// CaptureState snapshots the worker at a round boundary.
+func (w *Worker) CaptureState() (WorkerState, error) {
+	var buf bytes.Buffer
+	if err := w.Model.Save(&buf); err != nil {
+		return WorkerState{}, err
+	}
+	return WorkerState{
+		Model:    buf.Bytes(),
+		Loader:   w.Loader.State(),
+		Velocity: w.Opt.Velocity(),
+	}, nil
+}
+
+// RestoreState restores a snapshot captured by CaptureState into an
+// identically constructed worker (same config, same shard).
+func (w *Worker) RestoreState(st WorkerState) error {
+	if err := w.Model.Load(bytes.NewReader(st.Model)); err != nil {
+		return err
+	}
+	w.Loader.SetState(st.Loader)
+	w.Opt.SetVelocity(st.Velocity)
+	return nil
 }
 
 // PayloadLen returns the number of values the current mask transmits.

@@ -123,6 +123,45 @@ func (l *Loader) Next() (xs [][]float64, labels []int) {
 	return xs, labels
 }
 
+// LoaderState is a Loader's complete serializable position in its minibatch
+// stream: the shuffle RNG cursor, the current epoch's sample order, and the
+// position within it. Restoring it resumes Next exactly where the captured
+// loader left off — data cursors are part of a rank's round-boundary
+// checkpoint (DESIGN.md §3).
+type LoaderState struct {
+	RNG    rng.State
+	Order  []int
+	Pos    int
+	Epochs int
+}
+
+// State captures the loader's current position (the order slice is copied).
+func (l *Loader) State() LoaderState {
+	return LoaderState{
+		RNG:    l.r.State(),
+		Order:  append([]int(nil), l.order...),
+		Pos:    l.pos,
+		Epochs: l.Epochs,
+	}
+}
+
+// SetState restores a position captured by State. It panics if the captured
+// order does not index this loader's dataset.
+func (l *Loader) SetState(st LoaderState) {
+	for _, i := range st.Order {
+		if i < 0 || i >= l.d.Len() {
+			panic(fmt.Sprintf("dataset: loader state order entry %d for dataset of %d", i, l.d.Len()))
+		}
+	}
+	if st.Pos < 0 || st.Pos > len(st.Order) {
+		panic(fmt.Sprintf("dataset: loader state pos %d of %d", st.Pos, len(st.Order)))
+	}
+	l.r.SetState(st.RNG)
+	l.order = append(l.order[:0], st.Order...)
+	l.pos = st.Pos
+	l.Epochs = st.Epochs
+}
+
 // BatchesPerEpoch returns the number of Next calls per full pass.
 func (l *Loader) BatchesPerEpoch() int {
 	b := l.d.Len() / l.batch

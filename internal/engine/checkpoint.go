@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// SnapshotVersion is the engine snapshot schema. Decode rejects other
+// versions so stale checkpoint files fail loudly instead of silently
+// resuming a diverged trajectory.
+const SnapshotVersion = 1
+
+// Stateful is implemented by Nodes and Codecs whose round-boundary state
+// must survive a checkpoint/restore cycle: model parameters and data-stream
+// cursors on nodes, error-feedback residuals and RNG cursors on codecs.
+// CaptureState must be called only at a round boundary (no round in flight);
+// RestoreState must be called on an identically constructed instance.
+// Stateless codecs (Dense, Masked) simply do not implement the interface.
+type Stateful interface {
+	// CaptureState serializes the complete round-boundary state.
+	CaptureState() ([]byte, error)
+	// RestoreState restores state captured by CaptureState.
+	RestoreState([]byte) error
+}
+
+// LedgerCheckpointer is implemented by ledgers whose cumulative accounting
+// can ride in a snapshot (CountingLedger, *netsim.Ledger), so a resumed run
+// reports byte-identical totals to an uninterrupted one.
+type LedgerCheckpointer interface {
+	// CaptureState serializes the ledger's cumulative totals.
+	CaptureState() ([]byte, error)
+	// RestoreState restores totals captured by CaptureState.
+	RestoreState([]byte) error
+}
+
+// RankSnapshot is one rank's serialized round-boundary state: the node blob
+// (model parameters, optimizer momentum, loader RNG cursors, replicas) and
+// the rank's encoder codec blob (error-feedback residual, quantizer RNG) —
+// nil for stateless codecs.
+type RankSnapshot struct {
+	Node  []byte
+	Codec []byte
+}
+
+// Snapshot is a versioned engine checkpoint taken at a round boundary:
+// restoring it into a freshly constructed engine (same recipe, same seed)
+// and re-running the remaining rounds reproduces the uninterrupted run
+// bit-identically. NextRound is the first round the restored engine should
+// execute; Ledger carries the cumulative traffic totals when the ledger is
+// checkpointable.
+type Snapshot struct {
+	Version   int
+	NextRound int
+	Ranks     []RankSnapshot
+	Ledger    []byte
+}
+
+// CaptureRank snapshots one rank's node and encoder codec. It fails when the
+// node does not support checkpointing.
+func CaptureRank(node Node, codec Codec) (RankSnapshot, error) {
+	sn, ok := node.(Stateful)
+	if !ok {
+		return RankSnapshot{}, fmt.Errorf("engine: node %T does not support checkpointing", node)
+	}
+	nb, err := sn.CaptureState()
+	if err != nil {
+		return RankSnapshot{}, err
+	}
+	rs := RankSnapshot{Node: nb}
+	if sc, ok := codec.(Stateful); ok {
+		cb, err := sc.CaptureState()
+		if err != nil {
+			return RankSnapshot{}, err
+		}
+		rs.Codec = cb
+	}
+	return rs, nil
+}
+
+// RestoreRank restores a rank snapshot into an identically constructed node
+// and codec.
+func RestoreRank(node Node, codec Codec, rs RankSnapshot) error {
+	sn, ok := node.(Stateful)
+	if !ok {
+		return fmt.Errorf("engine: node %T does not support checkpointing", node)
+	}
+	if err := sn.RestoreState(rs.Node); err != nil {
+		return err
+	}
+	sc, stateful := codec.(Stateful)
+	switch {
+	case rs.Codec == nil && !stateful:
+		return nil
+	case rs.Codec == nil || !stateful:
+		return fmt.Errorf("engine: snapshot codec state mismatch for %T", codec)
+	}
+	return sc.RestoreState(rs.Codec)
+}
+
+// Checkpoint captures the engine's complete round-boundary state: every
+// rank's node and codec, plus the ledger totals when led implements
+// LedgerCheckpointer (pass nil to skip ledger capture). nextRound is the
+// first round a restored engine will execute. It must not be called with a
+// round in flight.
+func (e *Engine) Checkpoint(nextRound int, led Ledger) (*Snapshot, error) {
+	snap := &Snapshot{
+		Version:   SnapshotVersion,
+		NextRound: nextRound,
+		Ranks:     make([]RankSnapshot, len(e.nodes)),
+	}
+	for i, node := range e.nodes {
+		rs, err := CaptureRank(node, e.codecs[i])
+		if err != nil {
+			return nil, fmt.Errorf("engine: checkpoint rank %d: %w", i, err)
+		}
+		snap.Ranks[i] = rs
+	}
+	if lc, ok := led.(LedgerCheckpointer); ok && led != nil {
+		lb, err := lc.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		snap.Ledger = lb
+	}
+	return snap, nil
+}
+
+// Restore loads a snapshot into this freshly constructed engine (same node
+// count, same recipe) and into led when both the snapshot and the ledger
+// support it. The caller must also re-point the planner: either construct it
+// fresh and ReplayPlans(snap.NextRound), or restore planner state by other
+// means — planner streams are not part of the snapshot because deployments
+// keep the coordinator alive across worker restarts.
+func (e *Engine) Restore(snap *Snapshot, led Ledger) error {
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("engine: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	if len(snap.Ranks) != len(e.nodes) {
+		return fmt.Errorf("engine: snapshot of %d ranks for %d nodes", len(snap.Ranks), len(e.nodes))
+	}
+	for i, rs := range snap.Ranks {
+		if err := RestoreRank(e.nodes[i], e.codecs[i], rs); err != nil {
+			return fmt.Errorf("engine: restore rank %d: %w", i, err)
+		}
+	}
+	if lc, ok := led.(LedgerCheckpointer); ok && snap.Ledger != nil {
+		return lc.RestoreState(snap.Ledger)
+	}
+	return nil
+}
+
+// ReplayPlans advances a freshly constructed planner to the stream position
+// it held at the snapshot's round boundary by planning (and discarding)
+// rounds [0, rounds). Planner outputs are deterministic functions of the
+// call sequence, so replay is exact; it is also cheap — planning touches no
+// model state.
+func (e *Engine) ReplayPlans(rounds int) {
+	for t := 0; t < rounds; t++ {
+		e.driver.Planner.Plan(t)
+	}
+}
+
+// Encode writes the snapshot as a gob stream.
+func (s *Snapshot) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("engine: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot written by Encode, rejecting other schema
+// versions.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("engine: decode snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("engine: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	return &s, nil
+}
+
+// gobBlob round-trips a value through gob — the shared helper behind the
+// Stateful implementations in this package.
+func gobBlob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobUnblob(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -215,6 +215,43 @@ func (t *TopK) Decode(_ RoundContext, words []float64) ([]float64, error) {
 // WireBytes implements Codec.
 func (t *TopK) WireBytes(words []float64) int64 { return sparseWireBytes(words) }
 
+// topKState is the codec's serialized checkpoint form.
+type topKState struct {
+	// Residual is the error-feedback residual; nil when error feedback is
+	// disabled or no Encode has run yet (the residual allocates lazily).
+	Residual []float64
+}
+
+// CaptureState implements Stateful: the error-feedback residual is the only
+// cross-round state.
+func (t *TopK) CaptureState() ([]byte, error) {
+	st := topKState{}
+	if t.ef != nil {
+		st.Residual = append([]float64(nil), t.ef.Residual()...)
+	}
+	return gobBlob(st)
+}
+
+// RestoreState implements Stateful.
+func (t *TopK) RestoreState(data []byte) error {
+	var st topKState
+	if err := gobUnblob(data, &st); err != nil {
+		return err
+	}
+	if st.Residual == nil {
+		t.ef = nil
+		return nil
+	}
+	if !t.useEF {
+		return fmt.Errorf("engine: topk snapshot carries a residual but error feedback is disabled")
+	}
+	if t.ef == nil || len(t.ef.Residual()) != len(st.Residual) {
+		t.ef = compress.NewErrorFeedback(len(st.Residual))
+	}
+	t.ef.SetResidual(st.Residual)
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // RandomK
 
@@ -254,6 +291,19 @@ func (r *RandomK) Decode(_ RoundContext, words []float64) ([]float64, error) {
 
 // WireBytes implements Codec.
 func (r *RandomK) WireBytes(words []float64) int64 { return sparseWireBytes(words) }
+
+// CaptureState implements Stateful: the support-drawing RNG cursor.
+func (r *RandomK) CaptureState() ([]byte, error) { return gobBlob(r.rnd.State()) }
+
+// RestoreState implements Stateful.
+func (r *RandomK) RestoreState(data []byte) error {
+	var st rng.State
+	if err := gobUnblob(data, &st); err != nil {
+		return err
+	}
+	r.rnd.SetState(st)
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // QSGD
@@ -312,6 +362,19 @@ func (q *QSGDCodec) WireBytes(words []float64) int64 {
 		return 0
 	}
 	return compress.QuantizedWireBytes(len(words)-1, q.Levels)
+}
+
+// CaptureState implements Stateful: the stochastic-rounding RNG cursor.
+func (q *QSGDCodec) CaptureState() ([]byte, error) { return gobBlob(q.q.RNGState()) }
+
+// RestoreState implements Stateful.
+func (q *QSGDCodec) RestoreState(data []byte) error {
+	var st rng.State
+	if err := gobUnblob(data, &st); err != nil {
+		return err
+	}
+	q.q.SetRNGState(st)
+	return nil
 }
 
 // trained reports whether a Compute loss marks the node as a training

@@ -66,6 +66,7 @@ type Options struct {
 // floor does not leak goroutines.
 type Engine struct {
 	nodes   []Node
+	codecs  []Codec
 	workers []*core.Worker // non-nil only for the Workers convenience form
 	pattern Pattern
 	driver  Driver
@@ -143,6 +144,7 @@ func New(opts Options) *Engine {
 	}
 	e := &Engine{
 		nodes:   nodes,
+		codecs:  codecs,
 		workers: workers,
 		pattern: pat,
 	}

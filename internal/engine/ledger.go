@@ -63,3 +63,35 @@ func (l *CountingLedger) WorkerBytes(i int) (sent, recv int64) {
 
 // Rounds returns the number of completed rounds.
 func (l *CountingLedger) Rounds() int { return len(l.roundBytes) }
+
+// countingLedgerState is the ledger's serialized checkpoint form.
+type countingLedgerState struct {
+	Sent, Recv, RoundBytes []int64
+	Cur, Total             int64
+}
+
+// CaptureState implements LedgerCheckpointer. Inner ledgers are not
+// captured; chain checkpointable ledgers and capture each.
+func (l *CountingLedger) CaptureState() ([]byte, error) {
+	return gobBlob(countingLedgerState{
+		Sent:       append([]int64(nil), l.sent...),
+		Recv:       append([]int64(nil), l.recv...),
+		RoundBytes: append([]int64(nil), l.roundBytes...),
+		Cur:        l.cur,
+		Total:      l.total,
+	})
+}
+
+// RestoreState implements LedgerCheckpointer.
+func (l *CountingLedger) RestoreState(data []byte) error {
+	var st countingLedgerState
+	if err := gobUnblob(data, &st); err != nil {
+		return err
+	}
+	l.sent = append(l.sent[:0], st.Sent...)
+	l.recv = append(l.recv[:0], st.Recv...)
+	l.roundBytes = append(l.roundBytes[:0], st.RoundBytes...)
+	l.cur = st.Cur
+	l.total = st.Total
+	return nil
+}

@@ -108,3 +108,22 @@ func (n *MaskedGossipNode) Merge(ctx RoundContext, msgs []PeerMsg) error {
 	}
 	return nil
 }
+
+// CaptureState implements Stateful: the wrapped worker's round-boundary
+// state (model checkpoint, loader cursor, optimizer momentum).
+func (n *MaskedGossipNode) CaptureState() ([]byte, error) {
+	st, err := n.W.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	return gobBlob(st)
+}
+
+// RestoreState implements Stateful.
+func (n *MaskedGossipNode) RestoreState(data []byte) error {
+	var st core.WorkerState
+	if err := gobUnblob(data, &st); err != nil {
+		return err
+	}
+	return n.W.RestoreState(st)
+}

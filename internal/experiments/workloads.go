@@ -1,5 +1,5 @@
 // Package experiments contains one driver per table and figure of the
-// paper's evaluation (see DESIGN.md §4 for the index). Workloads are
+// paper's evaluation (see DESIGN.md §5 for the index). Workloads are
 // CPU-scaled versions of the paper's three tasks (Table II): the model
 // architectures are the paper's, at reduced width and input size, trained on
 // the synthetic datasets that substitute for MNIST/CIFAR-10 (DESIGN.md §2).

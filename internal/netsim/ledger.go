@@ -1,6 +1,10 @@
 package netsim
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
 
 // Ledger accounts for every byte each worker sends and receives and converts
 // payloads into simulated communication time using a Bandwidth environment.
@@ -122,6 +126,54 @@ func (l *Ledger) MeanWorkerTrafficMB() float64 {
 		sum += l.sentBytes[i] + l.recvBytes[i]
 	}
 	return float64(sum) / float64(len(l.sentBytes)) / 1e6
+}
+
+// LedgerState is the ledger's serialized round-boundary checkpoint form
+// (engine.LedgerCheckpointer): cumulative per-worker and server byte totals
+// plus the simulated clock. Per-round scratch is zero at a boundary and is
+// not captured.
+type LedgerState struct {
+	SentBytes, RecvBytes   []int64
+	TotalTime              float64
+	ServerSent, ServerRecv int64
+	Rounds                 int
+}
+
+// CaptureState implements engine.LedgerCheckpointer. It must be called at a
+// round boundary (after EndRound).
+func (l *Ledger) CaptureState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := LedgerState{
+		SentBytes:  append([]int64(nil), l.sentBytes...),
+		RecvBytes:  append([]int64(nil), l.recvBytes...),
+		TotalTime:  l.totalTime,
+		ServerSent: l.serverSent,
+		ServerRecv: l.serverRecv,
+		Rounds:     l.rounds,
+	}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements engine.LedgerCheckpointer: it restores totals into
+// a freshly constructed ledger over the same environment.
+func (l *Ledger) RestoreState(data []byte) error {
+	var st LedgerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.SentBytes) != len(l.sentBytes) {
+		return fmt.Errorf("netsim: ledger state for %d workers, have %d", len(st.SentBytes), len(l.sentBytes))
+	}
+	copy(l.sentBytes, st.SentBytes)
+	copy(l.recvBytes, st.RecvBytes)
+	l.totalTime = st.TotalTime
+	l.serverSent = st.ServerSent
+	l.serverRecv = st.ServerRecv
+	l.rounds = st.Rounds
+	return nil
 }
 
 // ConservationOK verifies that every byte sent by some party was received by

@@ -47,6 +47,26 @@ func (s *SGD) Step(m *Model) {
 	}
 }
 
+// Velocity returns a copy of the optimizer's momentum buffer (nil when
+// momentum is unused or no step has run yet). It belongs in a worker's
+// round-boundary checkpoint alongside the model parameters.
+func (s *SGD) Velocity() []float64 {
+	if s.velocity == nil {
+		return nil
+	}
+	return append([]float64(nil), s.velocity...)
+}
+
+// SetVelocity restores a momentum buffer captured by Velocity (nil clears
+// it, matching a freshly constructed optimizer).
+func (s *SGD) SetVelocity(v []float64) {
+	if v == nil {
+		s.velocity = nil
+		return
+	}
+	s.velocity = append(s.velocity[:0], v...)
+}
+
 // TrainBatch performs one forward/backward/update cycle on a minibatch and
 // returns the batch loss.
 func TrainBatch(m *Model, opt *SGD, xs [][]float64, labels []int) float64 {

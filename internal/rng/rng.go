@@ -80,6 +80,30 @@ func (r *Source) Reseed(seed, id uint64) {
 	r.hasSpare = false
 }
 
+// State is a Source's complete serializable position in its stream: the
+// xoshiro256** words plus the cached Box-Muller spare. Capturing and later
+// restoring a State resumes the stream exactly where it left off, which is
+// what round-boundary checkpoints rely on (DESIGN.md §3: RNG cursors are part
+// of a rank's snapshot).
+type State struct {
+	S        [4]uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State returns the Source's current stream position.
+func (r *Source) State() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// SetState restores a position captured by State, making r's subsequent
+// outputs identical to the captured Source's.
+func (r *Source) SetState(st State) {
+	r.s = st.S
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).

@@ -81,11 +81,14 @@ func (s *Spec) Build(shards int) (algos.Algorithm, *netsim.Bandwidth, error) {
 			Gossip:      s.gossipConfig(),
 			Seed:        s.Seed,
 		}
-		if c := s.Churn; c != nil {
+		switch {
+		case s.Churn != nil:
 			alg = algos.NewSAPSChurn(fc, bw, cfg, algos.ChurnModel{
-				LeaveProb: c.LeaveProb, JoinProb: c.JoinProb, MinActive: c.MinActive,
+				LeaveProb: s.Churn.LeaveProb, JoinProb: s.Churn.JoinProb, MinActive: s.Churn.MinActive,
 			})
-		} else {
+		case s.Faults != nil:
+			alg = algos.NewSAPSFaults(fc, bw, cfg, s.Faults.Schedule(s.Nodes, s.Seed))
+		default:
 			alg = algos.NewSAPS(fc, bw, cfg)
 		}
 	case "psgd":

@@ -119,6 +119,50 @@ func TestSpecRejectsMalformed(t *testing.T) {
 			s.Algo, s.Compression = "saps", 10
 			s.Gossip = &GossipSpec{BThres: 1} // t_thres omitted in JSON decodes to 0
 		}, "t_thres 0"},
+		{"faults on non-saps", func(s *Spec) {
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Rank: 1, Round: 1, RejoinAfter: 1}}}
+		}, "faults require algo saps"},
+		{"faults with churn", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Churn = &ChurnSpec{LeaveProb: 0.1, JoinProb: 0.5, MinActive: 2}
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Rank: 1, Round: 1, RejoinAfter: 1}}}
+		}, "mutually exclusive"},
+		{"empty faults block", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Faults = &FaultsSpec{}
+		}, "empty faults block"},
+		{"crash beyond the run", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Rank: 1, Round: 7}}}
+		}, "only 2 rounds"},
+		{"crash rank out of range", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Rank: 4, Round: 1}}}
+		}, "rank 4 of 4"},
+		{"negative rejoin_after", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Rank: 1, Round: 1, RejoinAfter: -2}}}
+		}, "negative rejoin_after"},
+		{"overlapping crash windows", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Rounds = 6
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{
+				{Rank: 1, Round: 1, RejoinAfter: 3},
+				{Rank: 1, Round: 2, RejoinAfter: 1},
+			}}
+		}, "overlapping fault windows"},
+		{"crashes leaving one worker", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{
+				{Rank: 0, Round: 1, RejoinAfter: 1},
+				{Rank: 1, Round: 1, RejoinAfter: 1},
+				{Rank: 2, Round: 1, RejoinAfter: 1},
+			}}
+		}, "leave 1 of 4 workers"},
+		{"mortality floor below two", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Faults = &FaultsSpec{Mortality: &MortalitySpec{Prob: 0.1, MinAlive: 1}}
+		}, "min_alive 1 of 4"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -177,6 +221,43 @@ func TestRunDeterministicAcrossShards(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRunFaultScenario smoke-tests the fault path end to end: the golden
+// crash+rejoin scenario must run deterministically across shard counts, move
+// bytes, and actually exclude the crashed workers from traffic during their
+// windows (absent workers neither train nor communicate).
+func TestRunFaultScenario(t *testing.T) {
+	spec, err := Load(filepath.Join("testdata", "saps-crash-rejoin.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := spec.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := spec.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalBytes != sharded.TotalBytes || serial.FinalLoss != sharded.FinalLoss {
+		t.Fatalf("fault scenario diverged: serial %d B loss %v, sharded %d B loss %v",
+			serial.TotalBytes, serial.FinalLoss, sharded.TotalBytes, sharded.FinalLoss)
+	}
+	if serial.TotalBytes == 0 {
+		t.Fatal("fault scenario moved no bytes")
+	}
+	// The same spec without faults must move strictly more bytes: crashed
+	// workers stop communicating.
+	healthy := *spec
+	healthy.Faults = nil
+	full, err := healthy.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalBytes <= serial.TotalBytes {
+		t.Fatalf("faults did not reduce traffic: %d B with faults, %d B without", serial.TotalBytes, full.TotalBytes)
 	}
 }
 

@@ -66,6 +66,13 @@ type Spec struct {
 
 	// Churn switches SAPS to dynamic membership (leave/rejoin per round).
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Faults is the declarative fault-injection schedule (SAPS only):
+	// scheduled crash/rejoin windows and seeded random worker mortality,
+	// honored identically by the in-process engine (scheduled-dead workers
+	// are excluded from the round plan) and the TCP runtime (the
+	// coordinator crashes the corresponding worker processes and re-admits
+	// scheduled rejoiners). Mutually exclusive with Churn.
+	Faults *FaultsSpec `json:"faults,omitempty"`
 	// Straggler slows a deterministic subset of workers' links, modelling
 	// bandwidth-starved stragglers in an otherwise healthy fleet.
 	Straggler *StragglerSpec `json:"straggler,omitempty"`
@@ -124,6 +131,44 @@ type ChurnSpec struct {
 	LeaveProb float64 `json:"leave_prob"`
 	JoinProb  float64 `json:"join_prob"`
 	MinActive int     `json:"min_active"`
+}
+
+// FaultsSpec mirrors algos.FaultSchedule: the declarative fault-injection
+// block of a scenario.
+type FaultsSpec struct {
+	// Crashes are scheduled crash/rejoin windows.
+	Crashes []CrashSpec `json:"crashes,omitempty"`
+	// Mortality adds seeded random permanent worker deaths.
+	Mortality *MortalitySpec `json:"mortality,omitempty"`
+}
+
+// CrashSpec kills one worker at a round boundary: the rank is dead for
+// rounds [round, round+rejoin_after) and rejoins at round+rejoin_after;
+// rejoin_after 0 (or omitted) means it never returns.
+type CrashSpec struct {
+	Rank        int `json:"rank"`
+	Round       int `json:"round"`
+	RejoinAfter int `json:"rejoin_after,omitempty"`
+}
+
+// MortalitySpec is seeded random permanent worker death: before each round
+// every surviving worker dies with probability prob (drawn from the spec
+// seed), never to return; deaths stop at the min_alive floor.
+type MortalitySpec struct {
+	Prob     float64 `json:"prob"`
+	MinAlive int     `json:"min_alive"`
+}
+
+// Schedule converts the block to the algos-layer schedule for n workers.
+func (f *FaultsSpec) Schedule(n int, seed uint64) algos.FaultSchedule {
+	sched := algos.FaultSchedule{N: n, Seed: seed}
+	for _, c := range f.Crashes {
+		sched.Events = append(sched.Events, algos.FaultEvent{Rank: c.Rank, Round: c.Round, RejoinAfter: c.RejoinAfter})
+	}
+	if m := f.Mortality; m != nil {
+		sched.Mortality = &algos.FaultMortality{Prob: m.Prob, MinAlive: m.MinAlive}
+	}
+	return sched
 }
 
 // StragglerSpec slows a deterministic worker subset's links.
@@ -275,6 +320,30 @@ func (s *Spec) Validate() error {
 		}
 		if c.MinActive < 2 || c.MinActive > s.Nodes {
 			return fmt.Errorf("scenario %s: churn min_active %d of %d", s.Name, c.MinActive, s.Nodes)
+		}
+	}
+	if f := s.Faults; f != nil {
+		if s.Algo != "saps" {
+			return fmt.Errorf("scenario %s: faults require algo saps, have %s", s.Name, s.Algo)
+		}
+		if s.Churn != nil {
+			return fmt.Errorf("scenario %s: faults and churn are mutually exclusive", s.Name)
+		}
+		if len(f.Crashes) == 0 && f.Mortality == nil {
+			return fmt.Errorf("scenario %s: empty faults block (drop it or add crashes/mortality)", s.Name)
+		}
+		for _, c := range f.Crashes {
+			if c.Round >= s.Rounds {
+				return fmt.Errorf("scenario %s: crash of rank %d at round %d, but the run has only %d rounds",
+					s.Name, c.Rank, c.Round, s.Rounds)
+			}
+			if c.RejoinAfter < 0 {
+				return fmt.Errorf("scenario %s: crash of rank %d has negative rejoin_after %d", s.Name, c.Rank, c.RejoinAfter)
+			}
+		}
+		sched := f.Schedule(s.Nodes, s.Seed)
+		if err := sched.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	}
 	if st := s.Straggler; st != nil {

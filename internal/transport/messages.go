@@ -155,24 +155,79 @@ type (
 	// Peer is this worker's pairwise partner (-1: none; meaningful only
 	// for the pairwise pattern); Active, when non-nil, is the round's
 	// participation set over all node ranks (hub algorithms' chosen
-	// fraction).
+	// fraction, or the fault schedule's survivors). Attempt numbers the
+	// round's execution attempts: it starts at 0 and increments each time
+	// the coordinator aborts and re-plans the round after losing a worker.
+	// Addrs, when non-nil, is a fresh peer address book (rebroadcast after
+	// a rejoin changed a worker's listener).
 	RoundMsg struct {
-		Round  int
-		Seed   uint64
-		Peer   int
-		Active []bool
+		Round   int
+		Seed    uint64
+		Peer    int
+		Active  []bool
+		Attempt int
+		Addrs   []string
 	}
 	// RoundEnd is the worker's end-of-round notification: the measured
 	// outcome of its engine round. Flows carries the exact wire bytes the
 	// worker's codec produced per peer, which is what the coordinator's
-	// ledger charges.
+	// ledger charges. Workers excluded by Active stay silent instead.
 	RoundEnd struct {
 		Rank       int
 		Round      int
+		Attempt    int
 		Loss       float64
 		Trained    bool
 		PayloadLen int
 		Flows      []engine.Flow
+	}
+	// RoundFailed is a worker's report that its round attempt died on a
+	// peer exchange (the peer's process is gone): the coordinator marks the
+	// peer dead, aborts the round on every survivor, and re-plans it.
+	RoundFailed struct {
+		Rank   int
+		Round  int
+		Peer   int // the peer whose exchange failed, -1 if unknown
+		Reason string
+	}
+	// Abort tells every surviving worker to discard the named round's
+	// attempt: roll back to the round-boundary snapshot, drop stashed peer
+	// connections, and acknowledge. A re-planned RoundMsg (Attempt+1)
+	// follows.
+	Abort struct {
+		Round int
+	}
+	// AbortAck confirms a worker has rolled back to the round boundary.
+	AbortAck struct {
+		Rank  int
+		Round int
+	}
+	// CrashMsg is the coordinator's fault-injection kill: the scenario's
+	// fault schedule says this worker crashes at this round boundary. The
+	// worker flushes its committed snapshot and tears down exactly as a
+	// killed process would; WorkerClient.Run returns ErrCrashed.
+	CrashMsg struct {
+		Round int
+	}
+	// Rejoin is a restarted worker's registration: instead of Hello it
+	// announces the rank it held and the round its snapshot resumes from
+	// (which must equal the round the coordinator saw it die at).
+	Rejoin struct {
+		Rank       int
+		NextRound  int
+		ListenAddr string
+	}
+	// RejoinAck re-admits a rejoining worker: the coordinator's current
+	// round, the node count, and the fresh peer address book.
+	RejoinAck struct {
+		Round int
+		N     int
+		Addrs []string
+	}
+	// RejoinNack rejects a rejoin attempt with an actionable reason (wrong
+	// rank, stale snapshot, rank still alive).
+	RejoinNack struct {
+		Reason string
 	}
 	// CollectRequest asks a worker for its full model (Algorithm 1 line 8).
 	CollectRequest struct{}
@@ -189,12 +244,20 @@ type (
 // the same pair within one round (hub pull/push, collective phases): both
 // endpoints count their exchanges per (round, peer) and the numbers must
 // agree, which catches mispaired connections under out-of-order arrival.
+// Attempt distinguishes a re-planned round's exchanges from a stale aborted
+// attempt's. From -2 is the abort sentinel a worker dials into its own
+// listener to unblock a pending Accept.
 type PeerPayload struct {
-	Round int
-	From  int
-	Seq   int
-	Vals  []float64
+	Round   int
+	From    int
+	Seq     int
+	Attempt int
+	Vals    []float64
 }
+
+// abortSentinel is the PeerPayload.From value of the self-dialed wake-up
+// connection used to interrupt a blocked Accept during an abort.
+const abortSentinel = -2
 
 // wire is the gob envelope: encoding an interface value requires concrete
 // type registration, done in registerTypes.
@@ -207,6 +270,13 @@ func registerTypes() {
 	gob.Register(Welcome{})
 	gob.Register(RoundMsg{})
 	gob.Register(RoundEnd{})
+	gob.Register(RoundFailed{})
+	gob.Register(Abort{})
+	gob.Register(AbortAck{})
+	gob.Register(CrashMsg{})
+	gob.Register(Rejoin{})
+	gob.Register(RejoinAck{})
+	gob.Register(RejoinNack{})
 	gob.Register(CollectRequest{})
 	gob.Register(FinalModel{})
 	gob.Register(Done{})

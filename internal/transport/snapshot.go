@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sapspsgd/internal/engine"
+)
+
+// WorkerSnapshotVersion is the on-disk worker snapshot schema.
+// LoadWorkerSnapshot rejects other versions so stale files fail loudly.
+const WorkerSnapshotVersion = 1
+
+// WorkerSnapshot is a worker process's persisted round-boundary state: the
+// task spec (so `worker -resume` needs nothing but the file), the rank, the
+// first round the state is valid for, and the rank's engine snapshot — model
+// parameters plus normalization statistics, optimizer momentum, minibatch
+// RNG cursors, and the encoder codec's state (error-feedback residual,
+// quantizer RNG). A snapshot is written only for *committed* rounds (the
+// coordinator has charged the ledger), so resuming from it can never replay
+// or skip accounted work.
+type WorkerSnapshot struct {
+	Version   int
+	Rank      int
+	NextRound int
+	Task      TaskSpec
+	State     engine.RankSnapshot
+}
+
+// SaveWorkerSnapshot writes the snapshot atomically (temp file + rename in
+// the destination directory), so a crash mid-write leaves the previous
+// snapshot intact.
+func SaveWorkerSnapshot(path string, s *WorkerSnapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("transport: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(s); err != nil {
+		tmp.Close()
+		return fmt.Errorf("transport: encode snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("transport: commit snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadWorkerSnapshot reads a snapshot written by SaveWorkerSnapshot.
+func LoadWorkerSnapshot(path string) (*WorkerSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("transport: open snapshot: %w", err)
+	}
+	defer f.Close()
+	var s WorkerSnapshot
+	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+		return nil, fmt.Errorf("transport: decode snapshot %s: %w", path, err)
+	}
+	if s.Version != WorkerSnapshotVersion {
+		return nil, fmt.Errorf("transport: snapshot %s is version %d, want %d", path, s.Version, WorkerSnapshotVersion)
+	}
+	return &s, nil
+}

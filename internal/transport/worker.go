@@ -1,26 +1,51 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine"
 	"sapspsgd/internal/nn"
 )
 
+// ErrCrashed is returned by WorkerClient.Run when the coordinator's fault
+// schedule kills this worker: the process tore down abruptly (as a real
+// crash would) after flushing its last committed snapshot. Restart the
+// worker with Resume set (cmd/worker -resume) to rejoin the training.
+var ErrCrashed = errors.New("transport: worker crashed by fault injection (restart with -resume to rejoin)")
+
 // WorkerClient runs one engine node over TCP: it registers with the
 // coordinator, assembles its node/pattern/codecs from the broadcast task
 // recipe, trains locally, and exchanges encoded payloads with its per-round
 // peers over direct worker-to-worker connections. For hub algorithms the
 // last rank hosts the parameter server instead of training.
+//
+// Fault tolerance (DESIGN.md §3): with SnapshotPath set the worker persists
+// a versioned snapshot of its committed round-boundary state, and a process
+// restarted with Resume rejoins the training from it, bit-identically to a
+// worker that had simply been excluded from the missed rounds. During a
+// round the worker concurrently watches the coordinator channel for Abort
+// (another worker died mid-round): it cancels the attempt, rolls back to the
+// round-boundary state, and re-executes the coordinator's re-planned round.
 type WorkerClient struct {
 	// Logf receives progress lines; nil silences logging.
 	Logf func(format string, args ...any)
+	// SnapshotPath, when non-empty, persists the worker's state after every
+	// committed round (atomic rename), enabling Resume after a crash.
+	SnapshotPath string
+	// Resume rejoins an in-flight training from SnapshotPath instead of
+	// registering fresh: the worker reloads its rank, task, and state from
+	// the snapshot and sends a Rejoin handshake.
+	Resume bool
 
 	rank  int
 	n     int // total node count (trainers + server for hub recipes)
 	coord *Conn
+	task  TaskSpec
 
 	model   *nn.Model
 	node    engine.Node
@@ -36,6 +61,29 @@ type WorkerClient struct {
 	// seq counts this round's exchanges per peer; both endpoints of every
 	// meeting must agree on the sequence number.
 	seq map[int]int
+	// attempt is the current round's execution attempt (from RoundMsg).
+	attempt int
+
+	// aborting flags an in-flight round as cancelled; exchanges bail out.
+	aborting atomic.Bool
+	// inflight is the peer connection the round goroutine is currently
+	// blocked on; the main loop closes it to interrupt the round.
+	inflightMu sync.Mutex
+	inflight   *Conn
+
+	// boundary is the in-memory round-boundary state captured before the
+	// current round's compute, restored on abort; boundaryRound tags it.
+	boundary      engine.RankSnapshot
+	boundaryRound int
+	// pendingSnap is the snapshot produced by the last successful round,
+	// held back until the round commits (the coordinator moves on) so a
+	// rolled-back attempt can never reach disk.
+	pendingSnap *WorkerSnapshot
+
+	// dieAtRound, when non-nil, makes the worker tear down abruptly upon
+	// receiving the RoundMsg for that round — the unscheduled-crash test
+	// hook (the coordinator is NOT told, exercising the detection path).
+	dieAtRound *int
 }
 
 // pendingConn is one accepted-but-not-yet-consumed peer connection with its
@@ -44,6 +92,31 @@ type pendingConn struct {
 	conn *Conn
 	pp   PeerPayload
 }
+
+// recvResult is one message (or terminal error) from the coordinator reader.
+type recvResult struct {
+	msg any
+	err error
+}
+
+// roundResult is the outcome of one round attempt run by the round goroutine.
+type roundResult struct {
+	rep engine.NodeReport
+	err error
+}
+
+// peerError wraps a round failure with the peer whose exchange died, so the
+// coordinator can mark the right process dead.
+type peerError struct {
+	peer int
+	err  error
+}
+
+func (e *peerError) Error() string { return e.err.Error() }
+func (e *peerError) Unwrap() error { return e.err }
+
+// errAborted marks a round attempt cancelled by the coordinator's Abort.
+var errAborted = errors.New("transport: round attempt aborted")
 
 // Rank returns the coordinator-assigned rank (valid after Run registers).
 func (w *WorkerClient) Rank() int { return w.rank }
@@ -73,31 +146,157 @@ func (w *WorkerClient) Run(coordAddr, peerAddr string) ([]float64, error) {
 	w.coord = NewConn(nc)
 	defer w.coord.Close()
 
-	if err := w.coord.Send(Hello{ListenAddr: w.peerLn.Addr().String()}); err != nil {
-		return nil, err
+	if w.Resume {
+		err = w.rejoin()
+	} else {
+		err = w.register()
 	}
-	msg, err := w.coord.Recv()
 	if err != nil {
 		return nil, err
 	}
+
+	// A dedicated reader owns the coordinator's receive side, so the main
+	// loop can watch for Abort while a round is in flight.
+	msgs := make(chan recvResult, 8)
+	go func() {
+		for {
+			m, err := w.coord.Recv()
+			msgs <- recvResult{msg: m, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	for {
+		in := <-msgs
+		if in.err != nil {
+			return nil, fmt.Errorf("transport: worker %d: %w", w.rank, in.err)
+		}
+		switch m := in.msg.(type) {
+		case MeasureRequest:
+			rep := w.measurePeers(m)
+			if err := w.coord.Send(rep); err != nil {
+				return nil, err
+			}
+		case RoundMsg:
+			if err := w.handleRound(m, msgs); err != nil {
+				return nil, err
+			}
+		case Abort:
+			// The round already ended locally (RoundEnd sent, or this
+			// worker sat the round out); roll back and acknowledge.
+			if err := w.handleBoundaryAbort(m); err != nil {
+				return nil, err
+			}
+		case CrashMsg:
+			w.flushSnapshot()
+			w.logf("worker %d: fault injection: crashing at round %d", w.rank, m.Round)
+			w.coord.Close()
+			w.peerLn.Close()
+			return nil, ErrCrashed
+		case CollectRequest:
+			w.flushSnapshot()
+			if err := w.coord.Send(FinalModel{Params: w.model.FlatParams(nil)}); err != nil {
+				return nil, err
+			}
+		case Done:
+			w.flushSnapshot()
+			w.logf("worker %d: done", w.rank)
+			return w.model.FlatParams(nil), nil
+		default:
+			return nil, fmt.Errorf("transport: worker %d: unexpected %T", w.rank, in.msg)
+		}
+	}
+}
+
+// register performs the fresh Hello/Welcome handshake and builds the node.
+func (w *WorkerClient) register() error {
+	if err := w.coord.Send(Hello{ListenAddr: w.peerLn.Addr().String()}); err != nil {
+		return err
+	}
+	msg, err := w.coord.Recv()
+	if err != nil {
+		return err
+	}
 	welcome, ok := msg.(Welcome)
 	if !ok {
-		return nil, fmt.Errorf("transport: expected Welcome, got %T", msg)
+		return fmt.Errorf("transport: expected Welcome, got %T", msg)
 	}
 	w.rank = welcome.Rank
 	w.n = welcome.N
 	w.addrs = welcome.Addrs
-	w.pending = map[int][]*pendingConn{}
-	spec := welcome.Task
+	w.task = welcome.Task
+	if err := w.buildNode(); err != nil {
+		return err
+	}
+	w.boundaryRound = -1
+	// The initial state is committed by definition: persist it so a crash
+	// at round 0 is recoverable.
+	if w.SnapshotPath != "" {
+		snap, err := w.snapshotNow(0)
+		if err != nil {
+			return err
+		}
+		if err := SaveWorkerSnapshot(w.SnapshotPath, snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
+// rejoin reloads the snapshot and performs the Rejoin handshake.
+func (w *WorkerClient) rejoin() error {
+	if w.SnapshotPath == "" {
+		return fmt.Errorf("transport: Resume requires SnapshotPath")
+	}
+	snap, err := LoadWorkerSnapshot(w.SnapshotPath)
+	if err != nil {
+		return err
+	}
+	w.rank = snap.Rank
+	w.task = snap.Task
+	if err := w.coord.Send(Rejoin{Rank: snap.Rank, NextRound: snap.NextRound, ListenAddr: w.peerLn.Addr().String()}); err != nil {
+		return err
+	}
+	msg, err := w.coord.Recv()
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case RejoinAck:
+		w.n = m.N
+		w.addrs = m.Addrs
+	case RejoinNack:
+		return fmt.Errorf("transport: rejoin rejected: %s", m.Reason)
+	default:
+		return fmt.Errorf("transport: expected RejoinAck, got %T", msg)
+	}
+	if err := w.buildNode(); err != nil {
+		return err
+	}
+	if err := engine.RestoreRank(w.node, w.codecs[w.rank], snap.State); err != nil {
+		return fmt.Errorf("transport: worker %d restore: %w", w.rank, err)
+	}
+	w.boundaryRound = -1
+	w.logf("worker %d: rejoined from snapshot (state as of round %d)", w.rank, snap.NextRound)
+	return nil
+}
+
+// buildNode assembles the model, node, pattern, and codec table from the
+// task spec — identically whether registering fresh or resuming.
+func (w *WorkerClient) buildNode() error {
+	w.pending = map[int][]*pendingConn{}
+	spec := w.task
 	trainers := spec.Trainers(w.n)
 	rec := spec.Recipe(trainers)
 	if err := rec.Validate(); err != nil {
-		return nil, err
+		return err
 	}
+	var err error
 	w.model, err = spec.BuildModel()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	w.pattern = rec.Pattern()
 	w.codecs = rec.Codecs(w.model.ParamCount())
@@ -110,60 +309,206 @@ func (w *WorkerClient) Run(coordAddr, peerAddr string) ([]float64, error) {
 		w.logf("worker %d: ready for %q (%d params, %d local samples)",
 			w.rank, rec.Algo, w.model.ParamCount(), shards[w.rank].Len())
 	}
+	return nil
+}
+
+// snapshotNow captures the current state as an on-disk snapshot valid from
+// nextRound.
+func (w *WorkerClient) snapshotNow(nextRound int) (*WorkerSnapshot, error) {
+	st, err := engine.CaptureRank(w.node, w.codecs[w.rank])
+	if err != nil {
+		return nil, err
+	}
+	return &WorkerSnapshot{
+		Version:   WorkerSnapshotVersion,
+		Rank:      w.rank,
+		NextRound: nextRound,
+		Task:      w.task,
+		State:     st,
+	}, nil
+}
+
+// flushSnapshot persists the held-back snapshot of the last successful
+// round, now known to be committed.
+func (w *WorkerClient) flushSnapshot() {
+	if w.pendingSnap == nil || w.SnapshotPath == "" {
+		return
+	}
+	if err := SaveWorkerSnapshot(w.SnapshotPath, w.pendingSnap); err != nil {
+		w.logf("worker %d: snapshot write failed: %v", w.rank, err)
+	}
+	w.pendingSnap = nil
+}
+
+// handleRound executes one round attempt from the coordinator's control
+// message, watching msgs for a concurrent Abort.
+func (w *WorkerClient) handleRound(m RoundMsg, msgs <-chan recvResult) error {
+	if m.Addrs != nil {
+		w.addrs = m.Addrs
+	}
+	// A RoundMsg for a later round commits the held-back snapshot.
+	if w.pendingSnap != nil && m.Round >= w.pendingSnap.NextRound {
+		w.flushSnapshot()
+	}
+	if w.dieAtRound != nil && *w.dieAtRound == m.Round {
+		w.coord.Close()
+		w.peerLn.Close()
+		return ErrCrashed
+	}
+	if m.Active != nil && (w.rank >= len(m.Active) || !m.Active[w.rank]) {
+		// Not chosen this round: stay silent (the coordinator collects
+		// reports from the active set only) and keep state frozen.
+		w.boundaryRound = -1
+		return nil
+	}
+
+	// Capture the round-boundary state for a possible rollback, then run
+	// the attempt in its own goroutine so Abort stays deliverable.
+	var err error
+	w.boundary, err = engine.CaptureRank(w.node, w.codecs[w.rank])
+	if err != nil {
+		return err
+	}
+	w.boundaryRound = m.Round
+	w.attempt = m.Attempt
+	w.seq = map[int]int{}
+	w.aborting.Store(false)
+
+	plan := core.RoundPlan{Round: m.Round, Seed: m.Seed, Active: m.Active, Peer: peerTable(m.Peer, w.rank, w.n)}
+	ctx := engine.RoundContext{Round: m.Round, Seed: m.Seed, Self: w.rank, N: w.n, Plan: plan}
+	done := make(chan roundResult, 1)
+	go func() {
+		rep, err := engine.WorkerRound(w.node, w.pattern, w.codecs, peerDialer{w}, nil, ctx)
+		done <- roundResult{rep: rep, err: err}
+	}()
 
 	for {
-		msg, err := w.coord.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("transport: worker %d: %w", w.rank, err)
-		}
-		switch m := msg.(type) {
-		case MeasureRequest:
-			rep := w.measurePeers(m)
-			if err := w.coord.Send(rep); err != nil {
-				return nil, err
+		select {
+		case res := <-done:
+			switch {
+			case w.aborting.Load():
+				return w.rollbackAndAck(m.Round)
+			case res.err != nil:
+				// A peer died under us: report it, then wait for the
+				// coordinator's Abort before rolling back.
+				peer := -1
+				var pe *peerError
+				if errors.As(res.err, &pe) {
+					peer = pe.peer
+				}
+				w.logf("worker %d: round %d attempt %d failed (peer %d): %v", w.rank, m.Round, m.Attempt, peer, res.err)
+				if err := w.coord.Send(RoundFailed{Rank: w.rank, Round: m.Round, Peer: peer, Reason: res.err.Error()}); err != nil {
+					return err
+				}
+				if err := w.awaitAbort(m.Round, msgs); err != nil {
+					return err
+				}
+				return w.rollbackAndAck(m.Round)
+			default:
+				end := RoundEnd{
+					Rank:       w.rank,
+					Round:      m.Round,
+					Attempt:    m.Attempt,
+					Loss:       res.rep.Loss,
+					Trained:    res.rep.Trained,
+					PayloadLen: res.rep.PayloadLen,
+					Flows:      res.rep.Flows,
+				}
+				if err := w.coord.Send(end); err != nil {
+					return err
+				}
+				if w.SnapshotPath != "" {
+					snap, err := w.snapshotNow(m.Round + 1)
+					if err != nil {
+						return err
+					}
+					w.pendingSnap = snap
+				}
+				return nil
 			}
-		case RoundMsg:
-			end, err := w.runRound(m)
-			if err != nil {
-				return nil, err
+		case in := <-msgs:
+			if in.err != nil {
+				return fmt.Errorf("transport: worker %d: %w", w.rank, in.err)
 			}
-			if err := w.coord.Send(end); err != nil {
-				return nil, err
+			ab, ok := in.msg.(Abort)
+			if !ok || ab.Round != m.Round {
+				return fmt.Errorf("transport: worker %d: unexpected %T during round %d", w.rank, in.msg, m.Round)
 			}
-		case CollectRequest:
-			if err := w.coord.Send(FinalModel{Params: w.model.FlatParams(nil)}); err != nil {
-				return nil, err
-			}
-		case Done:
-			w.logf("worker %d: done", w.rank)
-			return w.model.FlatParams(nil), nil
-		default:
-			return nil, fmt.Errorf("transport: worker %d: unexpected %T", w.rank, msg)
+			w.startAbort()
+			// Keep looping: the round goroutine will fail out shortly.
 		}
 	}
 }
 
-// runRound executes one engine round from the coordinator's control message.
-func (w *WorkerClient) runRound(m RoundMsg) (RoundEnd, error) {
-	if m.Active != nil && !m.Active[w.rank] {
-		// Not chosen this round: hold the barrier without training.
-		return RoundEnd{Rank: w.rank, Round: m.Round}, nil
+// handleBoundaryAbort rolls back a round whose attempt already completed
+// locally (or never involved this worker) and acknowledges.
+func (w *WorkerClient) handleBoundaryAbort(m Abort) error {
+	if w.pendingSnap != nil && w.pendingSnap.NextRound == m.Round+1 {
+		// The aborted attempt's snapshot must never commit.
+		w.pendingSnap = nil
 	}
-	plan := core.RoundPlan{Round: m.Round, Seed: m.Seed, Active: m.Active, Peer: peerTable(m.Peer, w.rank, w.n)}
-	ctx := engine.RoundContext{Round: m.Round, Seed: m.Seed, Self: w.rank, N: w.n, Plan: plan}
-	w.seq = map[int]int{}
-	rep, err := engine.WorkerRound(w.node, w.pattern, w.codecs, peerDialer{w}, nil, ctx)
-	if err != nil {
-		return RoundEnd{}, err
+	if w.boundaryRound == m.Round {
+		return w.rollbackAndAck(m.Round)
 	}
-	return RoundEnd{
-		Rank:       w.rank,
-		Round:      m.Round,
-		Loss:       rep.Loss,
-		Trained:    rep.Trained,
-		PayloadLen: rep.PayloadLen,
-		Flows:      rep.Flows,
-	}, nil
+	return w.coord.Send(AbortAck{Rank: w.rank, Round: m.Round})
+}
+
+// awaitAbort consumes coordinator messages until the expected Abort arrives.
+func (w *WorkerClient) awaitAbort(round int, msgs <-chan recvResult) error {
+	for {
+		in := <-msgs
+		if in.err != nil {
+			return fmt.Errorf("transport: worker %d: %w", w.rank, in.err)
+		}
+		if ab, ok := in.msg.(Abort); ok && ab.Round == round {
+			return nil
+		}
+	}
+}
+
+// rollbackAndAck restores the round-boundary state, drops stashed peer
+// connections, and acknowledges the abort.
+func (w *WorkerClient) rollbackAndAck(round int) error {
+	if w.boundaryRound == round {
+		if err := engine.RestoreRank(w.node, w.codecs[w.rank], w.boundary); err != nil {
+			return fmt.Errorf("transport: worker %d rollback: %w", w.rank, err)
+		}
+	}
+	if w.pendingSnap != nil && w.pendingSnap.NextRound == round+1 {
+		w.pendingSnap = nil
+	}
+	for peer, list := range w.pending {
+		for _, pc := range list {
+			pc.conn.Close()
+		}
+		delete(w.pending, peer)
+	}
+	w.boundaryRound = -1
+	return w.coord.Send(AbortAck{Rank: w.rank, Round: round})
+}
+
+// startAbort cancels the in-flight round attempt: flag it, cut the blocked
+// peer connection, and wake a pending Accept with the sentinel.
+func (w *WorkerClient) startAbort() {
+	w.aborting.Store(true)
+	w.inflightMu.Lock()
+	if w.inflight != nil {
+		w.inflight.Close()
+	}
+	w.inflightMu.Unlock()
+	if nc, err := net.Dial("tcp", w.peerLn.Addr().String()); err == nil {
+		c := NewConn(nc)
+		c.Send(PeerPayload{From: abortSentinel})
+		c.Close()
+	}
+}
+
+// setInflight publishes the connection the round goroutine is about to block
+// on (nil clears it).
+func (w *WorkerClient) setInflight(c *Conn) {
+	w.inflightMu.Lock()
+	w.inflight = c
+	w.inflightMu.Unlock()
 }
 
 // peerTable reconstructs the pairwise peer table from this worker's own
@@ -191,7 +536,11 @@ type peerDialer struct{ w *WorkerClient }
 
 // Exchange implements engine.Transport.
 func (d peerDialer) Exchange(round, self, peer int, payload []float64) ([]float64, error) {
-	return d.w.exchange(round, peer, payload)
+	vals, err := d.w.exchange(round, peer, payload)
+	if err != nil && !errors.Is(err, errAborted) {
+		return nil, &peerError{peer: peer, err: err}
+	}
+	return vals, err
 }
 
 // exchange swaps encoded payloads with the peer: the lower rank dials, the
@@ -201,9 +550,12 @@ func (d peerDialer) Exchange(round, self, peer int, payload []float64) ([]float6
 // per-(round, peer) sequence number verifies both sides agree on which
 // meeting this is.
 func (w *WorkerClient) exchange(round, peer int, payload []float64) ([]float64, error) {
+	if w.aborting.Load() {
+		return nil, errAborted
+	}
 	seq := w.seq[peer]
 	w.seq[peer]++
-	out := PeerPayload{Round: round, From: w.rank, Seq: seq, Vals: payload}
+	out := PeerPayload{Round: round, From: w.rank, Seq: seq, Attempt: w.attempt, Vals: payload}
 
 	if w.rank < peer {
 		nc, err := net.Dial("tcp", w.addrs[peer])
@@ -211,41 +563,56 @@ func (w *WorkerClient) exchange(round, peer int, payload []float64) ([]float64, 
 			return nil, fmt.Errorf("transport: worker %d dial peer %d: %w", w.rank, peer, err)
 		}
 		conn := NewConn(nc)
+		w.setInflight(conn)
+		defer w.setInflight(nil)
 		defer conn.Close()
 		if err := conn.Send(out); err != nil {
 			return nil, err
 		}
 		msg, err := conn.Recv()
 		if err != nil {
+			if w.aborting.Load() {
+				return nil, errAborted
+			}
 			return nil, err
 		}
 		pp, ok := msg.(PeerPayload)
 		if !ok {
 			return nil, fmt.Errorf("transport: worker %d: peer sent %T", w.rank, msg)
 		}
-		if err := checkPayload(pp, round, peer, seq, w.rank); err != nil {
+		if err := w.checkPayload(pp, round, peer, seq); err != nil {
 			return nil, err
 		}
 		return pp.Vals, nil
 	}
 
-	pc, err := w.awaitPeer(peer)
+	pc, err := w.awaitPeer(round, peer)
 	if err != nil {
 		return nil, err
 	}
+	w.setInflight(pc.conn)
+	defer w.setInflight(nil)
 	defer pc.conn.Close()
-	if err := checkPayload(pc.pp, round, peer, seq, w.rank); err != nil {
+	if err := w.checkPayload(pc.pp, round, peer, seq); err != nil {
 		return nil, err
 	}
 	if err := pc.conn.Send(out); err != nil {
+		if w.aborting.Load() {
+			return nil, errAborted
+		}
 		return nil, err
 	}
 	return pc.pp.Vals, nil
 }
 
 // awaitPeer returns the oldest stashed connection from peer, accepting (and
-// stashing) incoming connections until one arrives.
-func (w *WorkerClient) awaitPeer(peer int) (*pendingConn, error) {
+// stashing) incoming connections until one arrives. The abort sentinel (a
+// self-dialed connection with From == abortSentinel) interrupts the wait
+// when the round is being cancelled. Stale payloads — dialed during an
+// aborted attempt and parked in the listener's TCP backlog until now — are
+// discarded here rather than stashed, so they can never pair with (and
+// fail) a re-planned round's exchange.
+func (w *WorkerClient) awaitPeer(round, peer int) (*pendingConn, error) {
 	for {
 		if list := w.pending[peer]; len(list) > 0 {
 			pc := list[0]
@@ -260,6 +627,9 @@ func (w *WorkerClient) awaitPeer(peer int) (*pendingConn, error) {
 		msg, err := conn.Recv()
 		if err != nil {
 			conn.Close()
+			if w.aborting.Load() {
+				return nil, errAborted
+			}
 			return nil, fmt.Errorf("transport: worker %d: peer hello: %w", w.rank, err)
 		}
 		pp, ok := msg.(PeerPayload)
@@ -267,15 +637,28 @@ func (w *WorkerClient) awaitPeer(peer int) (*pendingConn, error) {
 			conn.Close()
 			return nil, fmt.Errorf("transport: worker %d: accepted %T", w.rank, msg)
 		}
+		if pp.From == abortSentinel {
+			conn.Close()
+			if w.aborting.Load() {
+				return nil, errAborted
+			}
+			continue // stale sentinel from an already-resolved abort
+		}
+		if pp.Round < round || (pp.Round == round && pp.Attempt < w.attempt) {
+			conn.Close()
+			continue // stale payload from an aborted attempt's backlog
+		}
 		w.pending[pp.From] = append(w.pending[pp.From], &pendingConn{conn: conn, pp: pp})
 	}
 }
 
-// checkPayload validates an inbound payload's routing metadata.
-func checkPayload(pp PeerPayload, round, peer, seq, self int) error {
-	if pp.Round != round || pp.From != peer || pp.Seq != seq {
-		return fmt.Errorf("transport: worker %d: stale payload round=%d from=%d seq=%d, want round=%d from=%d seq=%d",
-			self, pp.Round, pp.From, pp.Seq, round, peer, seq)
+// checkPayload validates an inbound payload's routing metadata, including
+// the attempt number (a stale payload from an aborted attempt must never
+// pair with a re-planned round's exchange).
+func (w *WorkerClient) checkPayload(pp PeerPayload, round, peer, seq int) error {
+	if pp.Round != round || pp.From != peer || pp.Seq != seq || pp.Attempt != w.attempt {
+		return fmt.Errorf("transport: worker %d: stale payload round=%d from=%d seq=%d attempt=%d, want round=%d from=%d seq=%d attempt=%d",
+			w.rank, pp.Round, pp.From, pp.Seq, pp.Attempt, round, peer, seq, w.attempt)
 	}
 	return nil
 }
