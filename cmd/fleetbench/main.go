@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -33,6 +34,7 @@ var (
 	flagShards    = flag.String("shards", "1,8", "comma-separated engine shard counts to sweep")
 	flagRounds    = flag.Int("rounds", 0, "override every spec's round count (0 = spec value)")
 	flagOut       = flag.String("out", "BENCH.json", "summary output path")
+	flagTraceDir  = flag.String("trace-dir", "", "write per-round trace CSVs (<name>-shards<k>.csv) here for traceable specs")
 	flagDiff      = flag.String("diff", "", "baseline BENCH.json: diff mode, compares against the fresh file given as the positional argument (default BENCH.json)")
 	flagMaxWall   = flag.Float64("max-wall-regress", 0.25, "diff mode: tolerated fractional wall-time regression")
 )
@@ -92,48 +94,57 @@ func parseShards(s string) ([]int, error) {
 	return out, nil
 }
 
-func loadSpecs(path string) ([]*scenario.Spec, error) {
-	info, err := os.Stat(path)
-	if err != nil {
-		return nil, err
-	}
-	if info.IsDir() {
-		return scenario.LoadDir(path)
-	}
-	s, err := scenario.Load(path)
-	if err != nil {
-		return nil, err
-	}
-	return []*scenario.Spec{s}, nil
-}
-
 func sweep() error {
 	shards, err := parseShards(*flagShards)
 	if err != nil {
 		return err
 	}
-	specs, err := loadSpecs(*flagScenarios)
+	specs, err := scenario.LoadPath(*flagScenarios)
 	if err != nil {
 		return err
+	}
+	if *flagTraceDir != "" {
+		if err := os.MkdirAll(*flagTraceDir, 0o755); err != nil {
+			return err
+		}
 	}
 	out := &scenario.BenchFile{
 		SchemaVersion: scenario.BenchSchemaVersion,
 		Source:        "fleetbench",
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 	}
-	for _, spec := range specs {
+	for _, loaded := range specs {
+		// Sweep overrides apply to a copy: the loaded spec must survive
+		// unaltered in case another sweep (or a repeated -scenarios entry)
+		// reads it again in this invocation.
+		spec := loaded.Clone()
 		if *flagRounds > 0 {
 			spec.Rounds = *flagRounds
 		}
 		sw := scenario.ScenarioSweep{Name: spec.Name, Algo: spec.Algo, Nodes: spec.Nodes, Rounds: spec.Rounds}
 		for _, sc := range shards {
-			res, err := spec.Run(sc)
+			run, err := spec.RunFull(scenario.RunOptions{Shards: sc, Trace: *flagTraceDir != ""})
 			if err != nil {
 				return fmt.Errorf("scenario %s shards=%d: %w", spec.Name, sc, err)
 			}
+			res := run.Result
 			sw.Runs = append(sw.Runs, res)
 			fmt.Printf("%-24s shards=%-3d %8.3fs wall  %6.2f rounds/s  %12d B  sim %.2fs  loss %.4f\n",
 				spec.Name, sc, res.WallSeconds, res.RoundsPerSec, res.TotalBytes, res.SimSeconds, res.FinalLoss)
+			if *flagTraceDir != "" && run.Trace != nil {
+				path := filepath.Join(*flagTraceDir, fmt.Sprintf("%s-shards%d.csv", spec.Name, sc))
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := run.Trace.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
 		}
 		sw.ComputeSpeedup()
 		if sw.Speedup > 0 {

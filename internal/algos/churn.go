@@ -3,11 +3,13 @@ package algos
 import (
 	"fmt"
 
+	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
 	"sapspsgd/internal/rng"
+	"sapspsgd/internal/trace"
 )
 
 // ChurnModel describes per-round worker availability dynamics: an active
@@ -47,7 +49,14 @@ type SAPSChurn struct {
 	absent []int // rounds since last active (for MinActive recall)
 	// ActiveHistory records the number of active workers each round.
 	ActiveHistory []int
+	// Trace, when set, records one event per round like SAPS.Trace, with
+	// ActiveWorkers reflecting the round's surviving membership.
+	Trace *trace.Recorder
+	bw    *netsim.Bandwidth
 }
+
+// SetTrace attaches a round recorder (scenario.RunFull's hook).
+func (s *SAPSChurn) SetTrace(r *trace.Recorder) { s.Trace = r }
 
 // NewSAPSChurn builds SAPS-PSGD with the given churn model.
 func NewSAPSChurn(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config, churn ChurnModel) *SAPSChurn {
@@ -55,6 +64,7 @@ func NewSAPSChurn(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config, churn C
 	f := NewFleet(fc)
 	s := &SAPSChurn{
 		fleet:  f,
+		bw:     bw,
 		churn:  churn,
 		rnd:    rng.New(cfg.Seed).Derive(0xc4012),
 		active: make([]bool, f.N),
@@ -138,6 +148,11 @@ func (s *SAPSChurn) Step(round int, led engine.Ledger) float64 {
 	stats, err := s.eng.Step(round, led)
 	if err != nil {
 		panic(err)
+	}
+	if s.Trace != nil {
+		payload := compress.MaskedBytes(stats.PayloadLen)
+		s.Trace.Record(round, stats.Plan.Matching(), s.bw, stats.Plan.Forced,
+			payload, s.ActiveHistory[len(s.ActiveHistory)-1], stats.Loss)
 	}
 	return stats.Loss
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"sort"
 
+	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
 	"sapspsgd/internal/rng"
+	"sapspsgd/internal/trace"
 )
 
 // FaultEvent schedules one worker crash: Rank is dead for rounds
@@ -219,7 +221,14 @@ type SAPSFaults struct {
 	proc  *FaultProcess
 	// ActiveHistory records the number of active workers each round.
 	ActiveHistory []int
+	// Trace, when set, records one event per round like SAPS.Trace, with
+	// ActiveWorkers reflecting the round's surviving membership.
+	Trace *trace.Recorder
+	bw    *netsim.Bandwidth
 }
+
+// SetTrace attaches a round recorder (scenario.RunFull's hook).
+func (s *SAPSFaults) SetTrace(r *trace.Recorder) { s.Trace = r }
 
 // NewSAPSFaults builds SAPS-PSGD with the given fault schedule (whose N must
 // equal the fleet size).
@@ -230,6 +239,7 @@ func NewSAPSFaults(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config, sched 
 	f := NewFleet(fc)
 	s := &SAPSFaults{
 		fleet: f,
+		bw:    bw,
 		proc:  NewFaultProcess(sched),
 		coord: core.NewCoordinator(bw, cfg),
 	}
@@ -272,6 +282,11 @@ func (s *SAPSFaults) Step(round int, led engine.Ledger) float64 {
 	stats, err := s.eng.Step(round, led)
 	if err != nil {
 		panic(err)
+	}
+	if s.Trace != nil {
+		payload := compress.MaskedBytes(stats.PayloadLen)
+		s.Trace.Record(round, stats.Plan.Matching(), s.bw, stats.Plan.Forced,
+			payload, s.ActiveHistory[len(s.ActiveHistory)-1], stats.Loss)
 	}
 	return stats.Loss
 }

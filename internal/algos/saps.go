@@ -52,6 +52,10 @@ func NewSAPS(fc FleetConfig, bw *netsim.Bandwidth, cfg core.Config) *SAPS {
 	return s
 }
 
+// SetTrace attaches a round recorder (scenario.RunFull's hook; equivalent
+// to assigning Trace directly).
+func (s *SAPS) SetTrace(r *trace.Recorder) { s.Trace = r }
+
 // Name implements Algorithm.
 func (s *SAPS) Name() string { return "SAPS-PSGD" }
 

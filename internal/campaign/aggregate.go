@@ -1,0 +1,196 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"sapspsgd/internal/metrics"
+)
+
+// AggregateSchemaVersion is the aggregate.json schema.
+const AggregateSchemaVersion = 1
+
+// AggregateRow is one cell's summary inside aggregate.json (the per-round
+// series stay in the cell files; the row carries the figure-level totals).
+type AggregateRow struct {
+	// Cell is the run-matrix cell ID.
+	Cell string `json:"cell"`
+	// Algo through Compression label the cell (see CellResult).
+	Algo        string  `json:"algo"`
+	Nodes       int     `json:"nodes"`
+	Rounds      int     `json:"rounds"`
+	Seed        uint64  `json:"seed"`
+	Shards      int     `json:"shards"`
+	Bandwidth   string  `json:"bandwidth,omitempty"`
+	Compression float64 `json:"compression,omitempty"`
+	// TotalBytes, FinalLoss and SimSeconds are the cell's deterministic
+	// totals.
+	TotalBytes int64   `json:"total_bytes"`
+	FinalLoss  float64 `json:"final_loss"`
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// AggregateFile is aggregate.json: the campaign's deterministic cell
+// summary in run-matrix order.
+type AggregateFile struct {
+	// SchemaVersion must equal AggregateSchemaVersion.
+	SchemaVersion int `json:"schema_version"`
+	// Campaign is the campaign name.
+	Campaign string `json:"campaign"`
+	// Cells lists every cell in run-matrix order.
+	Cells []AggregateRow `json:"cells"`
+}
+
+// readCellResult loads and sanity-checks one persisted cell record.
+func readCellResult(outDir string, cell Cell) (*CellResult, error) {
+	data, err := os.ReadFile(cellFile(outDir, cell.ID))
+	if err != nil {
+		return nil, err
+	}
+	var res CellResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("campaign: cell %s: %w", cell.ID, err)
+	}
+	if res.SchemaVersion != CellResultSchemaVersion {
+		return nil, fmt.Errorf("campaign: cell %s: result schema_version %d, want %d", cell.ID, res.SchemaVersion, CellResultSchemaVersion)
+	}
+	if res.SpecSHA != cell.SHA {
+		return nil, fmt.Errorf("campaign: cell %s: result from spec %s, current spec is %s (stale output directory?)",
+			cell.ID, res.SpecSHA, cell.SHA)
+	}
+	return &res, nil
+}
+
+// Aggregate reads every cell's persisted result and writes the campaign's
+// figure artifacts into outDir:
+//
+//   - aggregate.json — per-cell totals in run-matrix order;
+//   - summary.md / summary.csv — the same rows as a metrics.Table;
+//   - traffic_by_algo.md / traffic_by_algo.csv — per-algorithm cell counts
+//     and mean traffic/loss (the paper's per-algo traffic comparison);
+//   - loss_vs_round.csv — one loss column per cell, one row per round;
+//   - loss_vs_bytes.csv — per cell and round, cumulative traffic (MB)
+//     against loss (the convergence-vs-traffic figure's underlying data).
+//
+// All inputs and outputs are deterministic: repeat runs of the same
+// campaign — interrupted or not — produce byte-identical artifacts.
+func Aggregate(c *Spec, cells []Cell, outDir string) error {
+	agg := &AggregateFile{SchemaVersion: AggregateSchemaVersion, Campaign: c.Name}
+	results := make([]*CellResult, 0, len(cells))
+	for _, cell := range cells {
+		res, err := readCellResult(outDir, cell)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		agg.Cells = append(agg.Cells, AggregateRow{
+			Cell:        res.Cell,
+			Algo:        res.Algo,
+			Nodes:       res.Nodes,
+			Rounds:      res.Rounds,
+			Seed:        res.Seed,
+			Shards:      res.Shards,
+			Bandwidth:   res.Bandwidth,
+			Compression: res.Compression,
+			TotalBytes:  res.TotalBytes,
+			FinalLoss:   res.FinalLoss,
+			SimSeconds:  res.SimSeconds,
+		})
+	}
+	data, err := json.MarshalIndent(agg, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(outDir, "aggregate.json"), append(data, '\n')); err != nil {
+		return err
+	}
+
+	summary := metrics.NewTable("Campaign "+c.Name,
+		"cell", "algo", "nodes", "rounds", "bandwidth", "compression", "seed", "shards",
+		"total", "sim_s", "final_loss")
+	for _, r := range results {
+		comp := ""
+		if r.Compression > 0 {
+			comp = compact(r.Compression)
+		}
+		summary.Add(r.Cell, r.Algo, strconv.Itoa(r.Nodes), strconv.Itoa(r.Rounds),
+			r.Bandwidth, comp, strconv.FormatUint(r.Seed, 10), strconv.Itoa(r.Shards),
+			metrics.MB(r.TotalBytes), metrics.F(r.SimSeconds), metrics.F(r.FinalLoss))
+	}
+	if err := writeTable(outDir, "summary", summary); err != nil {
+		return err
+	}
+
+	byAlgo := metrics.NewTable("Traffic by algorithm",
+		"algo", "cells", "mean_total_mb", "mean_sim_s", "mean_final_loss")
+	type acc struct {
+		cells     int
+		bytes     int64
+		sim, loss float64
+	}
+	accs := map[string]*acc{}
+	var order []string
+	for _, r := range results {
+		a, ok := accs[r.Algo]
+		if !ok {
+			a = &acc{}
+			accs[r.Algo] = a
+			order = append(order, r.Algo)
+		}
+		a.cells++
+		a.bytes += r.TotalBytes
+		a.sim += r.SimSeconds
+		a.loss += r.FinalLoss
+	}
+	for _, algo := range order {
+		a := accs[algo]
+		n := float64(a.cells)
+		byAlgo.Add(algo, strconv.Itoa(a.cells),
+			metrics.F(float64(a.bytes)/n/1e6), metrics.F(a.sim/n), metrics.F(a.loss/n))
+	}
+	if err := writeTable(outDir, "traffic_by_algo", byAlgo); err != nil {
+		return err
+	}
+
+	names := make([]string, len(results))
+	series := map[string][]float64{}
+	for i, r := range results {
+		names[i] = r.Cell
+		series[r.Cell] = r.Losses
+	}
+	var buf bytes.Buffer
+	metrics.Series(&buf, names, series)
+	if err := writeFileAtomic(filepath.Join(outDir, "loss_vs_round.csv"), buf.Bytes()); err != nil {
+		return err
+	}
+
+	lvb := metrics.NewTable("", "cell", "round", "cum_mb", "loss")
+	for _, r := range results {
+		for round := range r.Losses {
+			mb := 0.0
+			if round < len(r.CumBytes) {
+				mb = float64(r.CumBytes[round]) / 1e6
+			}
+			lvb.Add(r.Cell, strconv.Itoa(round), metrics.F(mb), metrics.F(r.Losses[round]))
+		}
+	}
+	buf.Reset()
+	lvb.WriteCSV(&buf)
+	return writeFileAtomic(filepath.Join(outDir, "loss_vs_bytes.csv"), buf.Bytes())
+}
+
+// writeTable writes a metrics.Table as both <name>.md and <name>.csv.
+func writeTable(outDir, name string, t *metrics.Table) error {
+	var buf bytes.Buffer
+	t.WriteMarkdown(&buf)
+	if err := writeFileAtomic(filepath.Join(outDir, name+".md"), buf.Bytes()); err != nil {
+		return err
+	}
+	buf.Reset()
+	t.WriteCSV(&buf)
+	return writeFileAtomic(filepath.Join(outDir, name+".csv"), buf.Bytes())
+}

@@ -1,0 +1,433 @@
+// Package campaign is the experiment-campaign orchestrator over the
+// scenario layer: a strict-schema JSON spec names a base scenario and a
+// parameter grid (algorithm, fleet size, rounds, bandwidth environments,
+// compression ratio, seeds, engine shard counts), and the package expands
+// the grid into a deterministic run matrix, executes the cells concurrently
+// across a bounded worker pool, journals every completed cell to an
+// append-only manifest so an interrupted campaign resumes without
+// re-running finished cells, and aggregates the per-cell results into the
+// paper-style artifacts (loss-vs-round and loss-vs-traffic series, per-algo
+// traffic totals). cmd/campaign is the CLI driver.
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"sapspsgd/internal/scenario"
+)
+
+// SpecSchemaVersion is the campaign file schema this package reads. Bump it
+// when a field changes meaning; Parse rejects other versions so stale specs
+// fail loudly instead of silently reshaping a sweep.
+const SpecSchemaVersion = 1
+
+// Spec is one declarative experiment campaign.
+type Spec struct {
+	// SchemaVersion must equal SpecSchemaVersion.
+	SchemaVersion int `json:"schema_version"`
+	// Name identifies the campaign in logs and aggregate artifacts.
+	Name string `json:"name"`
+	// Base is the path of the base scenario spec every grid cell derives
+	// from, resolved relative to the campaign file's directory.
+	Base string `json:"base"`
+	// Workers bounds the number of cells executing concurrently
+	// (0 = GOMAXPROCS). Each cell is itself a full engine run, so modest
+	// values usually saturate the machine.
+	Workers int `json:"workers,omitempty"`
+	// Trace writes a per-round trace CSV (traces/<cell>.csv) for every
+	// cell whose algorithm records one (the SAPS family).
+	Trace bool `json:"trace,omitempty"`
+	// Grid is the parameter grid crossed into the run matrix.
+	Grid Grid `json:"grid"`
+
+	// dir is the campaign file's directory, for resolving Base.
+	dir string
+}
+
+// Grid lists the swept axes. An omitted (empty) axis keeps the base
+// scenario's value; the run matrix is the cartesian product of the
+// non-empty axes, expanded in the fixed nesting order algo › compression ›
+// nodes › rounds › bandwidth › seed › shards (innermost varies fastest),
+// so the same spec always yields the same cell ordering.
+type Grid struct {
+	// Algo sweeps the algorithm (any -algo value the scenario layer
+	// accepts). Cells whose algorithm is not saps drop the base spec's
+	// saps-only blocks (compression, gossip, churn, faults, trace).
+	Algo []string `json:"algo,omitempty"`
+	// Nodes sweeps the trainer count.
+	Nodes []int `json:"nodes,omitempty"`
+	// Rounds sweeps the round count.
+	Rounds []int `json:"rounds,omitempty"`
+	// Bandwidth sweeps the link environment; each entry is a full
+	// scenario bandwidth block (kind, parameters, jitter) plus an
+	// optional name used in cell IDs (defaults to the kind, which must
+	// then be unique across the axis).
+	Bandwidth []GridBandwidth `json:"bandwidth,omitempty"`
+	// Compression sweeps the paper's compression ratio c (≥ 1): a worker
+	// transmits ~1/c of its entries. The value lands on each algorithm's
+	// own knob — the shared-mask ratio for saps, the sparsifier ratio for
+	// topk-psgd / dcd-psgd / s-fedavg (both use the same ratio-c
+	// convention). For algorithms without a ratio knob (psgd, d-psgd,
+	// ps-psgd, fedavg, qsgd-psgd) the axis collapses: only one cell is
+	// generated, with the base spec's parameters.
+	Compression []float64 `json:"compression,omitempty"`
+	// Seeds sweeps the reproducibility seed.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Shards sweeps the engine shard count (the scenario shards field).
+	Shards []int `json:"shards,omitempty"`
+}
+
+// GridBandwidth is one bandwidth-axis entry: a scenario bandwidth block
+// plus the name cell IDs use.
+type GridBandwidth struct {
+	// Name labels the environment in cell IDs and aggregates. Optional;
+	// defaults to the kind.
+	Name string `json:"name,omitempty"`
+	scenario.BandwidthSpec
+}
+
+// label returns the entry's cell-ID label.
+func (g *GridBandwidth) label() string {
+	if g.Name != "" {
+		return g.Name
+	}
+	return g.Kind
+}
+
+// Parse decodes a strict-schema campaign spec: unknown fields are rejected
+// and the result is validated. The base path resolves against dir.
+func Parse(data []byte, dir string) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Spec
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("campaign: trailing data after spec")
+	}
+	c.dir = dir
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Load reads and parses one campaign file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Parse(data, filepath.Dir(path))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// LoadBase loads the campaign's base scenario spec.
+func (c *Spec) LoadBase() (*scenario.Spec, error) {
+	path := c.Base
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(c.dir, path)
+	}
+	return scenario.Load(path)
+}
+
+// Validate returns an error describing the first invalid campaign-level
+// field, if any. Per-cell scenario validity is checked by Expand, which can
+// name the offending cell.
+func (c *Spec) Validate() error {
+	switch {
+	case c.SchemaVersion != SpecSchemaVersion:
+		return fmt.Errorf("campaign: schema_version %d, want %d", c.SchemaVersion, SpecSchemaVersion)
+	case c.Name == "":
+		return fmt.Errorf("campaign: missing name")
+	case c.Base == "":
+		return fmt.Errorf("campaign: missing base scenario path")
+	case c.Workers < 0:
+		return fmt.Errorf("campaign %s: %d workers", c.Name, c.Workers)
+	}
+	g := &c.Grid
+	if len(g.Algo) == 0 && len(g.Nodes) == 0 && len(g.Rounds) == 0 && len(g.Bandwidth) == 0 &&
+		len(g.Compression) == 0 && len(g.Seeds) == 0 && len(g.Shards) == 0 {
+		return fmt.Errorf("campaign %s: empty grid (declare at least one axis)", c.Name)
+	}
+	for _, n := range g.Nodes {
+		if n < 1 {
+			return fmt.Errorf("campaign %s: grid nodes %d", c.Name, n)
+		}
+	}
+	for _, r := range g.Rounds {
+		if r < 1 {
+			return fmt.Errorf("campaign %s: grid rounds %d", c.Name, r)
+		}
+	}
+	for _, v := range g.Compression {
+		if v < 1 {
+			return fmt.Errorf("campaign %s: grid compression ratio %v < 1", c.Name, v)
+		}
+	}
+	for _, s := range g.Shards {
+		if s < 1 {
+			return fmt.Errorf("campaign %s: grid shards %d", c.Name, s)
+		}
+	}
+	seen := map[string]bool{}
+	for i := range g.Bandwidth {
+		label := g.Bandwidth[i].label()
+		if label == "" {
+			return fmt.Errorf("campaign %s: bandwidth entry %d has neither name nor kind", c.Name, i)
+		}
+		if !safeLabel(label) {
+			return fmt.Errorf("campaign %s: bandwidth label %q is not filename-safe (want [A-Za-z0-9][A-Za-z0-9._-]*)", c.Name, label)
+		}
+		if seen[label] {
+			return fmt.Errorf("campaign %s: duplicate bandwidth label %q (give entries distinct names)", c.Name, label)
+		}
+		seen[label] = true
+	}
+	return nil
+}
+
+// safeLabel reports whether a cell-ID component is filename-safe: cell IDs
+// become paths under the output directory (cells/<id>.json,
+// traces/<id>.csv), so a label must not smuggle separators or dot-relative
+// segments into them.
+func safeLabel(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case i > 0 && (r == '.' || r == '_' || r == '-'):
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// Cell is one expanded grid point: a fully overridden, validated scenario
+// spec plus the identifiers the manifest and aggregates key on.
+type Cell struct {
+	// Index is the cell's position in the deterministic run matrix.
+	Index int
+	// ID is the stable, filename-safe cell identifier built from the
+	// swept axis values, not the matrix index: appending values to an
+	// already-swept axis keeps existing IDs — and their manifest entries —
+	// valid. (Sweeping a previously-unswept axis adds a new part to every
+	// ID, so those cells re-run.) When every swept axis collapses to the
+	// base value the ID is "base".
+	ID string
+	// SHA is the truncated sha256 of the cell spec's canonical form; the
+	// manifest stores it so resume re-runs cells whose definition
+	// changed.
+	SHA string
+	// Spec is the cell's scenario, derived from the campaign base.
+	Spec *scenario.Spec
+	// Bandwidth is the bandwidth-axis label ("" when the axis is not
+	// swept).
+	Bandwidth string
+	// Compression is the swept compression ratio c (0 when the axis does
+	// not apply to this cell's algorithm or is not swept).
+	Compression float64
+}
+
+// hasCompressionKnob reports whether the algorithm exposes a compression
+// ratio the grid axis can drive.
+func hasCompressionKnob(algo string) bool {
+	switch algo {
+	case "saps", "topk-psgd", "dcd-psgd", "s-fedavg":
+		return true
+	}
+	return false
+}
+
+// applyCompression maps the unified ratio c onto the algorithm's own knob.
+func applyCompression(s *scenario.Spec, ratio float64) {
+	switch s.Algo {
+	case "saps":
+		s.Compression = ratio
+	case "topk-psgd", "dcd-psgd", "s-fedavg":
+		s.C = ratio
+	}
+}
+
+// compact renders a float for cell IDs (shortest round-trip form, "." kept —
+// it is filename-safe on every platform the repo targets).
+func compact(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Expand crosses the grid over the base scenario into the deterministic run
+// matrix. Every cell's scenario is validated; the first invalid cell aborts
+// the expansion with an error naming it. The same campaign and base specs
+// always produce the identical cell sequence (IDs, order, and SHAs).
+func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
+	g := &c.Grid
+	algos := g.Algo
+	if len(algos) == 0 {
+		algos = []string{base.Algo}
+	}
+	// Materialize each axis as override closures; nil-value sentinels keep
+	// the base value. Using index slices keeps the nesting generic.
+	type axis struct {
+		n     int
+		apply func(s *scenario.Spec, i int)
+		part  func(s *scenario.Spec, i int) string
+	}
+	// curBW carries the bandwidth axis's label out of its apply closure to
+	// the cell under construction (Expand is sequential).
+	var curBW string
+	oneOrLen := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	axes := []axis{
+		{oneOrLen(len(g.Nodes)), func(s *scenario.Spec, i int) {
+			if len(g.Nodes) > 0 {
+				s.Nodes = g.Nodes[i]
+			}
+		}, func(s *scenario.Spec, i int) string {
+			if len(g.Nodes) == 0 {
+				return ""
+			}
+			return "n" + strconv.Itoa(g.Nodes[i])
+		}},
+		{oneOrLen(len(g.Rounds)), func(s *scenario.Spec, i int) {
+			if len(g.Rounds) > 0 {
+				s.Rounds = g.Rounds[i]
+			}
+		}, func(s *scenario.Spec, i int) string {
+			if len(g.Rounds) == 0 {
+				return ""
+			}
+			return "r" + strconv.Itoa(g.Rounds[i])
+		}},
+		{oneOrLen(len(g.Bandwidth)), func(s *scenario.Spec, i int) {
+			if len(g.Bandwidth) > 0 {
+				s.Bandwidth = g.Bandwidth[i].BandwidthSpec
+				curBW = g.Bandwidth[i].label()
+			}
+		}, func(s *scenario.Spec, i int) string {
+			if len(g.Bandwidth) == 0 {
+				return ""
+			}
+			return g.Bandwidth[i].label()
+		}},
+		{oneOrLen(len(g.Seeds)), func(s *scenario.Spec, i int) {
+			if len(g.Seeds) > 0 {
+				s.Seed = g.Seeds[i]
+			}
+		}, func(s *scenario.Spec, i int) string {
+			if len(g.Seeds) == 0 {
+				return ""
+			}
+			return "s" + strconv.FormatUint(g.Seeds[i], 10)
+		}},
+		{oneOrLen(len(g.Shards)), func(s *scenario.Spec, i int) {
+			if len(g.Shards) > 0 {
+				s.Shards = g.Shards[i]
+			}
+		}, func(s *scenario.Spec, i int) string {
+			if len(g.Shards) == 0 {
+				return ""
+			}
+			return "sh" + strconv.Itoa(g.Shards[i])
+		}},
+	}
+	var cells []Cell
+	ids := map[string]int{}
+	for _, algo := range algos {
+		comps := g.Compression
+		if len(comps) == 0 || !hasCompressionKnob(algo) {
+			// Axis absent, or the algorithm has no ratio knob: a single
+			// cell with the base parameters (the axis collapses).
+			comps = []float64{0}
+		}
+		for _, comp := range comps {
+			// The fixed-order cartesian product over the remaining axes:
+			// nodes › rounds › bandwidth › seed › shards. Iterate a mixed-
+			// radix counter so the nesting order is explicit and stable.
+			total := 1
+			for _, a := range axes {
+				total *= a.n
+			}
+			for k := 0; k < total; k++ {
+				idx := make([]int, len(axes))
+				rem := k
+				for a := len(axes) - 1; a >= 0; a-- {
+					idx[a] = rem % axes[a].n
+					rem /= axes[a].n
+				}
+				s := base.Clone()
+				s.Algo = algo
+				if algo != "saps" {
+					// The saps-only blocks do not transfer to other
+					// algorithms; drop them instead of failing the cell.
+					s.Compression = 0
+					s.Gossip = nil
+					s.Churn = nil
+					s.Faults = nil
+					s.Trace = false
+				}
+				var parts []string
+				if len(g.Algo) > 0 {
+					parts = append(parts, algo)
+				}
+				// Apply nodes/rounds/bandwidth before compression so the
+				// ratio lands on the final algorithm/knob combination.
+				curBW = ""
+				for a, ax := range axes {
+					ax.apply(s, idx[a])
+				}
+				cell := Cell{Spec: s, Bandwidth: curBW}
+				if comp > 0 {
+					applyCompression(s, comp)
+					cell.Compression = comp
+				}
+				for a, ax := range axes {
+					if p := ax.part(s, idx[a]); p != "" {
+						parts = append(parts, p)
+					}
+				}
+				if comp > 0 {
+					parts = append(parts, "c"+compact(comp))
+				}
+				id := strings.Join(parts, "_")
+				if id == "" {
+					// Every swept axis collapsed to the base value (e.g. a
+					// compression-only grid over a knobless algorithm).
+					id = "base"
+				}
+				if prev, dup := ids[id]; dup {
+					return nil, fmt.Errorf("campaign %s: cells %d and %d share id %q (duplicate axis values?)",
+						c.Name, prev, len(cells), id)
+				}
+				ids[id] = len(cells)
+				s.Name = id
+				if err := s.Validate(); err != nil {
+					return nil, fmt.Errorf("campaign %s: cell %s: %w", c.Name, id, err)
+				}
+				canon, err := s.Canonical()
+				if err != nil {
+					return nil, fmt.Errorf("campaign %s: cell %s: %w", c.Name, id, err)
+				}
+				sum := sha256.Sum256(canon)
+				cell.Index = len(cells)
+				cell.ID = id
+				cell.SHA = hex.EncodeToString(sum[:8])
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}

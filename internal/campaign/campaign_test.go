@@ -1,0 +1,365 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sapspsgd/internal/scenario"
+)
+
+// loadExample loads the committed example campaign and its base scenario.
+func loadExample(t *testing.T) (*Spec, *scenario.Spec) {
+	t.Helper()
+	c, err := Load(filepath.Join("testdata", "example.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.LoadBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, base
+}
+
+// TestExpandDeterministic pins the run-matrix contract: the committed
+// example expands to at least eight cells, expansion is a pure function of
+// the specs (identical IDs, order and SHAs on repeat), IDs are unique, and
+// every cell spec validates.
+func TestExpandDeterministic(t *testing.T) {
+	c, base := loadExample(t)
+	first, err := c.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) < 8 {
+		t.Fatalf("example campaign expands to %d cells, want >= 8", len(first))
+	}
+	second, err := c.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("expansion size changed: %d vs %d", len(first), len(second))
+	}
+	seen := map[string]bool{}
+	for i := range first {
+		if first[i].ID != second[i].ID || first[i].SHA != second[i].SHA || first[i].Index != i {
+			t.Fatalf("cell %d drifted: (%s, %s, %d) vs (%s, %s, %d)",
+				i, first[i].ID, first[i].SHA, first[i].Index, second[i].ID, second[i].SHA, second[i].Index)
+		}
+		if seen[first[i].ID] {
+			t.Fatalf("duplicate cell id %s", first[i].ID)
+		}
+		seen[first[i].ID] = true
+		if err := first[i].Spec.Validate(); err != nil {
+			t.Fatalf("cell %s does not validate: %v", first[i].ID, err)
+		}
+	}
+}
+
+// TestCompressionAxisCollapses pins the ratio-knob rule: algorithms without
+// a compression knob yield one cell per remaining grid point however many
+// ratios are swept, while knobbed algorithms get one cell per ratio.
+func TestCompressionAxisCollapses(t *testing.T) {
+	c, base := loadExample(t)
+	c.Grid = Grid{Algo: []string{"saps", "psgd"}, Compression: []float64{10, 100}}
+	cells, err := c.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, cell := range cells {
+		ids = append(ids, cell.ID)
+	}
+	want := []string{"saps_c10", "saps_c100", "psgd"}
+	if strings.Join(ids, " ") != strings.Join(want, " ") {
+		t.Fatalf("cells %v, want %v", ids, want)
+	}
+	if cells[0].Spec.Compression != 10 || cells[1].Spec.Compression != 100 {
+		t.Fatalf("saps compression knobs %v/%v", cells[0].Spec.Compression, cells[1].Spec.Compression)
+	}
+	if cells[2].Spec.Compression != 0 || cells[2].Compression != 0 {
+		t.Fatalf("psgd cell carries a compression ratio")
+	}
+
+	// A compression-only grid over a knobless base algorithm collapses to
+	// one cell with the fallback ID (no swept axis contributes a part).
+	c.Grid = Grid{Compression: []float64{10, 100}}
+	base2 := base.Clone()
+	base2.Algo, base2.Compression = "psgd", 0
+	only, err := c.Expand(base2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 1 || only[0].ID != "base" {
+		t.Fatalf("fully collapsed grid: %d cells, id %q", len(only), only[0].ID)
+	}
+}
+
+func TestCampaignRejectsMalformed(t *testing.T) {
+	valid := `{
+		"schema_version": 1, "name": "t", "base": "tiny-base.json",
+		"grid": {"seeds": [1, 2]}
+	}`
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"wrong schema version", strings.Replace(valid, `"schema_version": 1`, `"schema_version": 9`, 1), "schema_version"},
+		{"missing name", strings.Replace(valid, `"name": "t"`, `"name": ""`, 1), "missing name"},
+		{"missing base", strings.Replace(valid, `"base": "tiny-base.json"`, `"base": ""`, 1), "missing base"},
+		{"empty grid", strings.Replace(valid, `{"seeds": [1, 2]}`, `{}`, 1), "empty grid"},
+		{"unknown field", strings.Replace(valid, `"name": "t"`, `"name": "t", "warp": 9`, 1), "warp"},
+		{"compression below one", strings.Replace(valid, `{"seeds": [1, 2]}`, `{"compression": [0.5]}`, 1), "compression ratio"},
+		{"zero grid nodes", strings.Replace(valid, `{"seeds": [1, 2]}`, `{"nodes": [0]}`, 1), "grid nodes"},
+		{"zero grid rounds", strings.Replace(valid, `{"seeds": [1, 2]}`, `{"rounds": [0]}`, 1), "grid rounds"},
+		{"zero grid shards", strings.Replace(valid, `{"seeds": [1, 2]}`, `{"shards": [0]}`, 1), "grid shards"},
+		{"negative workers", strings.Replace(valid, `"base": "tiny-base.json"`, `"base": "tiny-base.json", "workers": -1`, 1), "workers"},
+		{"duplicate bandwidth labels", strings.Replace(valid, `{"seeds": [1, 2]}`,
+			`{"bandwidth": [{"kind": "uniform", "lo": 1, "hi": 5}, {"kind": "uniform", "lo": 2, "hi": 9}]}`, 1), "duplicate bandwidth label"},
+		{"path-traversal bandwidth name", strings.Replace(valid, `{"seeds": [1, 2]}`,
+			`{"bandwidth": [{"name": "../escape", "kind": "uniform", "lo": 1, "hi": 5}]}`, 1), "not filename-safe"},
+		{"separator in bandwidth name", strings.Replace(valid, `{"seeds": [1, 2]}`,
+			`{"bandwidth": [{"name": "a/b", "kind": "uniform", "lo": 1, "hi": 5}]}`, 1), "not filename-safe"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json), "testdata")
+			if err == nil {
+				t.Fatalf("accepted a campaign with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExpandRejectsInvalidCells checks grid-level problems that only
+// surface per cell: invalid derived scenarios are reported with the cell
+// ID, and duplicate axis values collide on their IDs.
+func TestExpandRejectsInvalidCells(t *testing.T) {
+	c, base := loadExample(t)
+	c.Grid = Grid{Bandwidth: []GridBandwidth{{
+		Name:          "cities",
+		BandwidthSpec: scenario.BandwidthSpec{Kind: "cities"},
+	}}}
+	if _, err := c.Expand(base); err == nil || !strings.Contains(err.Error(), "cell cities") || !strings.Contains(err.Error(), "14 nodes") {
+		t.Fatalf("cities/nodes mismatch not reported per cell: %v", err)
+	}
+	c.Grid = Grid{Seeds: []uint64{7, 7}}
+	if _, err := c.Expand(base); err == nil || !strings.Contains(err.Error(), "share id") {
+		t.Fatalf("duplicate axis values not caught: %v", err)
+	}
+}
+
+// runExample executes the committed example campaign into dir and returns
+// the executed cell IDs in completion order.
+func runExample(t *testing.T, dir string, opts Options) (Stats, []string) {
+	t.Helper()
+	c, _ := loadExample(t)
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	opts.OutDir = dir
+	opts.Observer = func(id string) {
+		mu.Lock()
+		ids = append(ids, id)
+		mu.Unlock()
+	}
+	stats, err := Run(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, ids
+}
+
+// aggregateArtifacts are the campaign outputs pinned byte-for-byte across
+// repeat and resumed runs.
+var aggregateArtifacts = []string{
+	"aggregate.json", "summary.md", "summary.csv",
+	"traffic_by_algo.md", "traffic_by_algo.csv",
+	"loss_vs_round.csv", "loss_vs_bytes.csv",
+}
+
+// TestRunResumeAndDeterminism is the campaign acceptance gate: interrupt a
+// campaign mid-flight (MaxCells), resume it, and verify no cell executed
+// twice and every aggregate artifact is byte-identical to an uninterrupted
+// run's. A third no-op invocation must skip everything.
+func TestRunResumeAndDeterminism(t *testing.T) {
+	full := t.TempDir()
+	statsFull, idsFull := runExample(t, full, Options{})
+	if statsFull.Planned < 8 || statsFull.Executed != statsFull.Planned || !statsFull.Aggregated {
+		t.Fatalf("uninterrupted run: %+v", statsFull)
+	}
+
+	resumed := t.TempDir()
+	statsA, idsA := runExample(t, resumed, Options{MaxCells: 3})
+	if statsA.Executed != 3 || statsA.Remaining != statsFull.Planned-3 || statsA.Aggregated {
+		t.Fatalf("interrupted run: %+v", statsA)
+	}
+	statsB, idsB := runExample(t, resumed, Options{})
+	if statsB.Skipped != 3 || statsB.Executed != statsFull.Planned-3 || statsB.Remaining != 0 || !statsB.Aggregated {
+		t.Fatalf("resumed run: %+v", statsB)
+	}
+	ran := map[string]int{}
+	for _, id := range append(idsA, idsB...) {
+		ran[id]++
+	}
+	if len(ran) != statsFull.Planned {
+		t.Fatalf("interrupt+resume covered %d cells, want %d", len(ran), statsFull.Planned)
+	}
+	for id, n := range ran {
+		if n != 1 {
+			t.Fatalf("cell %s executed %d times across interrupt+resume", id, n)
+		}
+	}
+	if len(idsFull) != statsFull.Planned {
+		t.Fatalf("observer saw %d executions on the full run, want %d", len(idsFull), statsFull.Planned)
+	}
+	for _, name := range aggregateArtifacts {
+		a, err := os.ReadFile(filepath.Join(full, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(resumed, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between the uninterrupted and resumed campaigns", name)
+		}
+	}
+
+	statsC, idsC := runExample(t, resumed, Options{})
+	if statsC.Executed != 0 || statsC.Skipped != statsFull.Planned || len(idsC) != 0 {
+		t.Fatalf("no-op re-run executed cells: %+v", statsC)
+	}
+}
+
+// TestManifestToleratesTornTail simulates the kill-mid-journal case: a
+// truncated trailing line must not poison resume — its cell simply runs
+// again.
+func TestManifestToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	stats, _ := runExample(t, dir, Options{MaxCells: 2})
+	if stats.Executed != 2 {
+		t.Fatalf("setup: %+v", stats)
+	}
+	path := filepath.Join(dir, ManifestName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"cell":"saps_jittery_s1_c50","spec_sha":"deadbeef`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	stats2, _ := runExample(t, dir, Options{})
+	if stats2.Skipped != 2 || stats2.Remaining != 0 || !stats2.Aggregated {
+		t.Fatalf("resume over torn manifest: %+v", stats2)
+	}
+}
+
+// TestManifestRejectsStaleSpec pins the spec-hash guard: an entry recorded
+// under a different cell definition must not count as done.
+func TestManifestRejectsStaleSpec(t *testing.T) {
+	entries, err := ReadManifest(filepath.Join(t.TempDir(), "missing.jsonl"))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("missing manifest: %v, %d entries", err, len(entries))
+	}
+
+	dir := t.TempDir()
+	if _, ids := runExample(t, dir, Options{}); len(ids) < 8 {
+		t.Fatalf("setup executed %d cells", len(ids))
+	}
+	// Tamper with one journaled hash: exactly that cell must re-run.
+	path := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	lines[0] = strings.Replace(lines[0], `"spec_sha":"`, `"spec_sha":"0000`, 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, ids := runExample(t, dir, Options{})
+	if stats.Executed != 1 || len(ids) != 1 {
+		t.Fatalf("stale-hash cell did not re-run exactly once: %+v (%v)", stats, ids)
+	}
+}
+
+// TestEnableTraceOnFinishedCampaign pins the trace/resume interaction:
+// turning tracing on for an already-completed campaign must re-run exactly
+// the traceable cells (instead of reporting success with no traces), and
+// the untouched cells stay cached.
+func TestEnableTraceOnFinishedCampaign(t *testing.T) {
+	dir := t.TempDir()
+	c, base := loadExample(t)
+	c.Trace = false
+	if _, err := Run(c, Options{OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "traces")); err == nil {
+		t.Fatal("traceless campaign wrote traces/")
+	}
+	c.Trace = true
+	stats, err := Run(c, Options{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := c.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceable := 0
+	for _, cell := range cells {
+		if cell.Spec.Algo == "saps" {
+			traceable++
+			if _, err := os.Stat(traceFile(dir, cell.ID)); err != nil {
+				t.Errorf("cell %s: no trace after enabling tracing: %v", cell.ID, err)
+			}
+		}
+	}
+	if stats.Executed != traceable || stats.Skipped != stats.Planned-traceable {
+		t.Fatalf("trace enablement re-ran %d of %d cells, want the %d traceable ones", stats.Executed, stats.Planned, traceable)
+	}
+}
+
+// TestTraceArtifacts verifies the per-cell trace CSVs: every saps cell of
+// the example campaign (trace: true) gets one with a line per round, and
+// non-traceable algorithms get none.
+func TestTraceArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	runExample(t, dir, Options{})
+	c, base := loadExample(t)
+	cells, err := c.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		path := traceFile(dir, cell.ID)
+		data, err := os.ReadFile(path)
+		if cell.Spec.Algo != "saps" {
+			if err == nil {
+				t.Errorf("cell %s (algo %s) has a trace CSV", cell.ID, cell.Spec.Algo)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("cell %s: %v", cell.ID, err)
+			continue
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines != cell.Spec.Rounds+1 {
+			t.Errorf("cell %s trace has %d lines, want %d rounds + header", cell.ID, lines, cell.Spec.Rounds)
+		}
+	}
+}

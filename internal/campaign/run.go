@@ -1,0 +1,336 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"sapspsgd/internal/scenario"
+)
+
+// CellResultSchemaVersion is the cells/<id>.json schema.
+const CellResultSchemaVersion = 1
+
+// CellResult is one executed cell's persisted record
+// (cells/<id>.json). Every field is deterministic — a repeat run of the
+// same campaign writes byte-identical files — so the aggregates derived
+// from these records are reproducible too; wall timings live only in the
+// manifest.
+type CellResult struct {
+	// SchemaVersion must equal CellResultSchemaVersion.
+	SchemaVersion int `json:"schema_version"`
+	// Cell and SpecSHA key the record to the run matrix.
+	Cell    string `json:"cell"`
+	SpecSHA string `json:"spec_sha"`
+	// Algo, Nodes, Rounds, Seed, Shards, Bandwidth and Compression label
+	// the cell for aggregation (Bandwidth and Compression are the grid
+	// labels; empty/zero when the axis is not swept).
+	Algo        string  `json:"algo"`
+	Nodes       int     `json:"nodes"`
+	Rounds      int     `json:"rounds"`
+	Seed        uint64  `json:"seed"`
+	Shards      int     `json:"shards"`
+	Bandwidth   string  `json:"bandwidth,omitempty"`
+	Compression float64 `json:"compression,omitempty"`
+	// TotalBytes is the fleet's deterministic traffic total, FinalLoss the
+	// last round's mean training loss, SimSeconds the simulated
+	// communication time.
+	TotalBytes int64   `json:"total_bytes"`
+	FinalLoss  float64 `json:"final_loss"`
+	SimSeconds float64 `json:"sim_seconds"`
+	// Losses, CumBytes and CumSimSeconds are the per-round convergence
+	// series (loss vs round, loss vs cumulative traffic, and the
+	// simulated-time axis for time-to-accuracy reads).
+	Losses        []float64 `json:"losses"`
+	CumBytes      []int64   `json:"cum_bytes"`
+	CumSimSeconds []float64 `json:"cum_sim_seconds"`
+}
+
+// tracesRounds reports whether the cell's algorithm records a round trace
+// (the SAPS family — the only implementers of SetTrace).
+func tracesRounds(s *scenario.Spec) bool { return s.Algo == "saps" }
+
+// cellFile is the cell's result path under the campaign output directory.
+func cellFile(outDir, id string) string {
+	return filepath.Join(outDir, "cells", id+".json")
+}
+
+// traceFile is the cell's per-round trace CSV path.
+func traceFile(outDir, id string) string {
+	return filepath.Join(outDir, "traces", id+".csv")
+}
+
+// writeFileAtomic writes via a temp file + rename so a kill mid-write never
+// leaves a truncated artifact behind (resume treats a missing file as
+// not-done, a corrupt one would poison the aggregates).
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// Options tunes one campaign invocation (everything not declared in the
+// spec itself).
+type Options struct {
+	// OutDir is the campaign's output directory: manifest.jsonl, cells/,
+	// traces/ and the aggregate artifacts all live under it. Created if
+	// missing; an existing manifest drives resume.
+	OutDir string
+	// Workers overrides the spec's concurrency bound (0 defers to the
+	// spec, which defaults to GOMAXPROCS).
+	Workers int
+	// MaxCells, when positive, stops the invocation after executing that
+	// many cells — the smoke-test and interruption-simulation hook. The
+	// campaign is left resumable; aggregates are only written once every
+	// cell is done.
+	MaxCells int
+	// Log receives progress lines (nil discards them).
+	Log io.Writer
+	// Observer, when set, is called once per actually executed cell (not
+	// for skipped ones) — a test seam for resume accounting.
+	Observer func(cellID string)
+}
+
+// Stats summarizes one Run invocation.
+type Stats struct {
+	// Planned is the full run-matrix size.
+	Planned int
+	// Skipped cells were already journaled (same ID and spec SHA, result
+	// file present) and did not re-run.
+	Skipped int
+	// Executed cells ran in this invocation.
+	Executed int
+	// Remaining cells are still pending (only non-zero under MaxCells or
+	// after an error).
+	Remaining int
+	// Aggregated reports whether the aggregate artifacts were (re)written
+	// — true exactly when Remaining is zero and no error occurred.
+	Aggregated bool
+}
+
+// Run executes the campaign into opts.OutDir: expand the grid, skip the
+// cells the manifest already records, run the rest across the worker pool,
+// journal each completion, and — once every cell is done — write the
+// aggregate artifacts. Safe to invoke repeatedly; each invocation does only
+// the missing work.
+func Run(c *Spec, opts Options) (Stats, error) {
+	var st Stats
+	if opts.OutDir == "" {
+		return st, fmt.Errorf("campaign %s: no output directory", c.Name)
+	}
+	base, err := c.LoadBase()
+	if err != nil {
+		return st, fmt.Errorf("campaign %s: base scenario: %w", c.Name, err)
+	}
+	cells, err := c.Expand(base)
+	if err != nil {
+		return st, err
+	}
+	st.Planned = len(cells)
+	logw := opts.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	if err := os.MkdirAll(filepath.Join(opts.OutDir, "cells"), 0o755); err != nil {
+		return st, err
+	}
+	if c.Trace {
+		if err := os.MkdirAll(filepath.Join(opts.OutDir, "traces"), 0o755); err != nil {
+			return st, err
+		}
+	}
+	manifestPath := filepath.Join(opts.OutDir, ManifestName)
+	done, err := ReadManifest(manifestPath)
+	if err != nil {
+		return st, err
+	}
+	var pending []Cell
+	for _, cell := range cells {
+		if e, ok := done[cell.ID]; ok && e.SpecSHA == cell.SHA {
+			if _, err := os.Stat(cellFile(opts.OutDir, cell.ID)); err == nil {
+				// With tracing on, a traceable cell's CSV is part of the
+				// contract: enabling trace on a finished campaign re-runs
+				// those cells rather than silently reporting success with
+				// an empty traces/ directory.
+				if c.Trace && tracesRounds(cell.Spec) {
+					if _, err := os.Stat(traceFile(opts.OutDir, cell.ID)); err != nil {
+						pending = append(pending, cell)
+						continue
+					}
+				}
+				st.Skipped++
+				continue
+			}
+		}
+		pending = append(pending, cell)
+	}
+	capped := pending
+	if opts.MaxCells > 0 && len(capped) > opts.MaxCells {
+		capped = capped[:opts.MaxCells]
+	}
+	fmt.Fprintf(logw, "campaign %s: %d cell(s), %d already done, running %d\n",
+		c.Name, st.Planned, st.Skipped, len(capped))
+
+	journal, err := openManifest(manifestPath)
+	if err != nil {
+		return st, err
+	}
+	defer journal.Close()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = c.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(capped) {
+		workers = len(capped)
+	}
+
+	jobs := make(chan Cell)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		executed int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range jobs {
+				if failed() {
+					continue
+				}
+				start := time.Now()
+				res, err := runCell(c, cell, opts.OutDir)
+				if err != nil {
+					fail(fmt.Errorf("campaign %s: cell %s: %w", c.Name, cell.ID, err))
+					continue
+				}
+				if err := journal.Append(ManifestEntry{
+					Cell:        cell.ID,
+					SpecSHA:     cell.SHA,
+					TotalBytes:  res.TotalBytes,
+					FinalLoss:   res.FinalLoss,
+					SimSeconds:  res.SimSeconds,
+					WallSeconds: time.Since(start).Seconds(),
+				}); err != nil {
+					fail(fmt.Errorf("campaign %s: cell %s: journal: %w", c.Name, cell.ID, err))
+					continue
+				}
+				mu.Lock()
+				executed++
+				n := executed
+				mu.Unlock()
+				if opts.Observer != nil {
+					opts.Observer(cell.ID)
+				}
+				fmt.Fprintf(logw, "  [%d/%d] %-40s %12d B  sim %8.2fs  loss %.4f\n",
+					n, len(capped), cell.ID, res.TotalBytes, res.SimSeconds, res.FinalLoss)
+			}
+		}()
+	}
+	for _, cell := range capped {
+		jobs <- cell
+	}
+	close(jobs)
+	wg.Wait()
+	st.Executed = executed
+	st.Remaining = st.Planned - st.Skipped - st.Executed
+	if firstErr != nil {
+		return st, firstErr
+	}
+	if st.Remaining > 0 {
+		fmt.Fprintf(logw, "campaign %s: stopped with %d cell(s) remaining (re-run to resume)\n", c.Name, st.Remaining)
+		return st, nil
+	}
+	if err := Aggregate(c, cells, opts.OutDir); err != nil {
+		return st, err
+	}
+	st.Aggregated = true
+	fmt.Fprintf(logw, "campaign %s: complete — aggregates written to %s\n", c.Name, opts.OutDir)
+	return st, nil
+}
+
+// runCell executes one cell and persists its result (and trace, when
+// enabled) under outDir. The written artifacts are fully deterministic.
+func runCell(c *Spec, cell Cell, outDir string) (*CellResult, error) {
+	out, err := cell.Spec.RunFull(scenario.RunOptions{Series: true, Trace: c.Trace})
+	if err != nil {
+		return nil, err
+	}
+	res := &CellResult{
+		SchemaVersion: CellResultSchemaVersion,
+		Cell:          cell.ID,
+		SpecSHA:       cell.SHA,
+		Algo:          cell.Spec.Algo,
+		Nodes:         cell.Spec.Nodes,
+		Rounds:        cell.Spec.Rounds,
+		Seed:          cell.Spec.Seed,
+		Shards:        cell.Spec.Shards,
+		Bandwidth:     cell.Bandwidth,
+		Compression:   cell.Compression,
+		TotalBytes:    out.Result.TotalBytes,
+		FinalLoss:     out.Result.FinalLoss,
+		SimSeconds:    out.Result.SimSeconds,
+		Losses:        out.Losses,
+		CumBytes:      out.CumBytes,
+		CumSimSeconds: out.CumSimSeconds,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(cellFile(outDir, cell.ID), append(data, '\n')); err != nil {
+		return nil, err
+	}
+	if out.Trace != nil {
+		var buf bytes.Buffer
+		if err := out.Trace.WriteCSV(&buf); err != nil {
+			return nil, err
+		}
+		// A recorder can also come from the cell scenario's own trace flag
+		// (not just the campaign's), so ensure the directory here rather
+		// than relying on the upfront creation.
+		path := traceFile(outDir, cell.ID)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, err
+		}
+		if err := writeFileAtomic(path, buf.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -8,6 +8,12 @@ import "sapspsgd/internal/rng"
 // — "the bandwidth between two workers may also vary" — and lets the
 // ablation benches measure how adaptive peer selection tracks a moving
 // target. Advance with Tick; the snapshot is exposed as a *Bandwidth.
+//
+// The snapshot pointer is stable: Tick rewrites the same *Bandwidth in
+// place, so a planner or ledger constructed over Current() observes the
+// fresh link speeds after every Tick without re-plumbing. Consequently a
+// snapshot must not be retained across ticks by code that needs the old
+// values — copy it first.
 type DynamicBandwidth struct {
 	base    *Bandwidth
 	current *Bandwidth
@@ -27,10 +33,15 @@ func NewDynamicBandwidth(base *Bandwidth, jitter float64, seed uint64) *DynamicB
 	return d
 }
 
-// Tick resamples the jitter, producing the next round's snapshot.
+// Tick resamples the jitter, producing the next round's snapshot. The
+// returned pointer is the same *Bandwidth on every call (see the type
+// comment); only its link speeds change.
 func (d *DynamicBandwidth) Tick() *Bandwidth {
 	n := d.base.N
-	cur := &Bandwidth{N: n, mbps: make([]float64, n*n)}
+	cur := d.current
+	if cur == nil {
+		cur = &Bandwidth{N: n, mbps: make([]float64, n*n)}
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			scale := 1 + d.Jitter*(2*d.rnd.Float64()-1)

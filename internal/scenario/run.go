@@ -12,11 +12,14 @@ import (
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
 	"sapspsgd/internal/rng"
+	"sapspsgd/internal/trace"
 )
 
-// Env builds the spec's bandwidth environment, including the straggler
-// scaling. Every random draw derives from the spec seed, so the environment
-// is part of the reproducibility capsule.
+// Env builds the spec's static bandwidth environment, including the
+// straggler scaling. Every random draw derives from the spec seed, so the
+// environment is part of the reproducibility capsule. When the spec sets
+// bandwidth.jitter this is the *base* of the time-varying environment;
+// Build layers the netsim.DynamicBandwidth wrapper on top.
 func (s *Spec) Env() *netsim.Bandwidth {
 	var bw *netsim.Bandwidth
 	switch s.Bandwidth.Kind {
@@ -52,10 +55,19 @@ func (s *Spec) gossipConfig() gossip.Config {
 
 // Build assembles the spec's algorithm over the sharded engine runtime.
 // shards overrides the spec's default shard count when > 0; pass 0 to use
-// the spec's and -1 to force the serial goroutine-per-node pool.
+// the spec's and -1 to force the serial goroutine-per-node pool. With
+// bandwidth.jitter set, the returned *netsim.Bandwidth is the dynamic
+// environment's stable snapshot (rewritten in place every round by Run).
 func (s *Spec) Build(shards int) (algos.Algorithm, *netsim.Bandwidth, error) {
+	alg, bw, _, err := s.build(shards)
+	return alg, bw, err
+}
+
+// build is Build plus the dynamic-bandwidth wrapper Run ticks each round
+// (nil for static environments).
+func (s *Spec) build(shards int) (algos.Algorithm, *netsim.Bandwidth, *netsim.DynamicBandwidth, error) {
 	if err := s.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	runtimeShards := s.effectiveShards(shards)
 	tr, _ := dataset.TinyTask(s.Data.Samples, s.Data.Classes, s.Seed)
@@ -69,6 +81,14 @@ func (s *Spec) Build(shards int) (algos.Algorithm, *netsim.Bandwidth, error) {
 		RuntimeShards: runtimeShards,
 	}
 	bw := s.Env()
+	var dyn *netsim.DynamicBandwidth
+	if s.Bandwidth.Jitter > 0 {
+		// The dynamic wrapper's snapshot pointer is stable, so the planner
+		// and ledger built over it observe the fresh speeds after every
+		// Tick. Round 0 uses the constructor's initial sample.
+		dyn = netsim.NewDynamicBandwidth(bw, s.Bandwidth.Jitter, rng.New(s.Seed).Derive(0xd14a).Uint64())
+		bw = dyn.Current()
+	}
 	var alg algos.Algorithm
 	switch s.Algo {
 	case "saps":
@@ -108,9 +128,9 @@ func (s *Spec) Build(shards int) (algos.Algorithm, *netsim.Bandwidth, error) {
 	case "s-fedavg":
 		alg = algos.NewSFedAvg(fc, bw, s.Fraction, s.localSteps(), s.C)
 	default:
-		return nil, nil, fmt.Errorf("scenario %s: unknown algorithm %q", s.Name, s.Algo)
+		return nil, nil, nil, fmt.Errorf("scenario %s: unknown algorithm %q", s.Name, s.Algo)
 	}
-	return alg, bw, nil
+	return alg, bw, dyn, nil
 }
 
 // effectiveShards resolves a sweep override against the spec default:
@@ -142,35 +162,99 @@ type Result struct {
 // Run builds and executes the scenario with the given shard override (see
 // Build) against a bandwidth-accounted ledger.
 func (s *Spec) Run(shards int) (Result, error) {
-	alg, bw, err := s.Build(shards)
+	out, err := s.RunFull(RunOptions{Shards: shards})
 	if err != nil {
 		return Result{}, err
+	}
+	return out.Result, nil
+}
+
+// RunOptions tunes one scenario execution beyond what the spec declares.
+type RunOptions struct {
+	// Shards is the engine shard override, interpreted exactly as Build's
+	// parameter (0 = spec default, -1 = serial pool).
+	Shards int
+	// Trace attaches a trace.Recorder even when the spec does not set
+	// trace; it is ignored for algorithms that cannot record one (only
+	// the SAPS family can).
+	Trace bool
+	// Series collects the per-round convergence series (Losses, CumBytes,
+	// CumSimSeconds) the campaign aggregator turns into paper figures.
+	Series bool
+}
+
+// RunOutput is one execution's full yield: the BENCH-row Result plus the
+// optional per-round series and trace.
+type RunOutput struct {
+	// Result is the summary row (also what Run returns).
+	Result Result
+	// Losses is the per-round mean training loss (Series only).
+	Losses []float64
+	// CumBytes is the cumulative fleet traffic after each round (Series
+	// only) — the x-axis of the paper's convergence-vs-traffic figures.
+	CumBytes []int64
+	// CumSimSeconds is the cumulative simulated communication time after
+	// each round (Series only).
+	CumSimSeconds []float64
+	// Trace is the round recorder, non-nil when the spec or options asked
+	// for tracing and the algorithm supports it.
+	Trace *trace.Recorder
+}
+
+// RunFull builds and executes the scenario against a bandwidth-accounted
+// ledger, ticking the dynamic environment (bandwidth.jitter) at every round
+// boundary and collecting whatever extras the options request.
+func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
+	alg, bw, dyn, err := s.build(opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunOutput{}
+	if opts.Trace || s.Trace {
+		if tr, ok := alg.(interface{ SetTrace(*trace.Recorder) }); ok {
+			out.Trace = trace.NewRecorder()
+			tr.SetTrace(out.Trace)
+		}
 	}
 	led := netsim.NewLedger(bw)
 	var loss float64
 	start := time.Now()
 	for r := 0; r < s.Rounds; r++ {
+		if dyn != nil && r > 0 {
+			// Round 0 runs on the constructor's sample; every later round
+			// resamples the links in place before planning.
+			dyn.Tick()
+		}
 		loss = alg.Step(r, led)
+		if opts.Series {
+			out.Losses = append(out.Losses, loss)
+			out.CumBytes = append(out.CumBytes, fleetBytes(led, s.Nodes))
+			out.CumSimSeconds = append(out.CumSimSeconds, led.TotalTime())
+		}
 	}
 	wall := time.Since(start).Seconds()
 	if c, ok := alg.(interface{ Close() }); ok {
 		c.Close()
 	}
-	var total int64
-	for w := 0; w < s.Nodes; w++ {
-		snt, rcv := led.WorkerBytes(w)
-		total += snt + rcv
-	}
-	total += led.ServerBytes()
-	res := Result{
-		Shards:      s.effectiveShards(shards),
+	out.Result = Result{
+		Shards:      s.effectiveShards(opts.Shards),
 		WallSeconds: wall,
-		TotalBytes:  total,
+		TotalBytes:  fleetBytes(led, s.Nodes),
 		SimSeconds:  led.TotalTime(),
 		FinalLoss:   loss,
 	}
 	if wall > 0 {
-		res.RoundsPerSec = float64(s.Rounds) / wall
+		out.Result.RoundsPerSec = float64(s.Rounds) / wall
 	}
-	return res, nil
+	return out, nil
+}
+
+// fleetBytes sums every endpoint's sent+received bytes, server included.
+func fleetBytes(led *netsim.Ledger, nodes int) int64 {
+	var total int64
+	for w := 0; w < nodes; w++ {
+		snt, rcv := led.WorkerBytes(w)
+		total += snt + rcv
+	}
+	return total + led.ServerBytes()
 }

@@ -110,6 +110,9 @@ func TestSpecRejectsMalformed(t *testing.T) {
 			s.Churn = &ChurnSpec{LeaveProb: 1.5, JoinProb: 0.5, MinActive: 2}
 		}, "churn probabilities"},
 		{"straggler slowdown below one", func(s *Spec) { s.Straggler = &StragglerSpec{Fraction: 0.5, Slowdown: 0.5} }, "straggler slowdown"},
+		{"jitter at one", func(s *Spec) { s.Bandwidth.Jitter = 1 }, "jitter"},
+		{"negative jitter", func(s *Spec) { s.Bandwidth.Jitter = -0.2 }, "jitter"},
+		{"trace on non-saps", func(s *Spec) { s.Trace = true }, "trace requires algo saps"},
 		{"negative shards", func(s *Spec) { s.Shards = -2 }, "-2 shards"},
 		{"wrong schema version", func(s *Spec) { s.SchemaVersion = 99 }, "schema_version"},
 		{"saps without compression", func(s *Spec) { s.Algo = "saps" }, "compression"},
@@ -301,6 +304,131 @@ func TestScaledBandwidth(t *testing.T) {
 				t.Fatalf("link %d-%d: %v, want %v", i, j, got, want)
 			}
 		}
+	}
+}
+
+// TestJitterScenario covers the time-varying environment end to end: the
+// golden jitter spec must run deterministically across shard counts, and
+// the jitter must actually reach the run — dropping it changes the
+// simulated communication time.
+func TestJitterScenario(t *testing.T) {
+	spec, err := Load(filepath.Join("testdata", "saps-jitter.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := spec.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalBytes == 0 {
+		t.Fatal("jitter scenario moved no bytes")
+	}
+	for _, shards := range []int{1, 3} {
+		got, err := spec.Run(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TotalBytes != serial.TotalBytes || got.FinalLoss != serial.FinalLoss || got.SimSeconds != serial.SimSeconds {
+			t.Errorf("shards=%d diverged: %d B loss %v sim %v, serial %d B loss %v sim %v",
+				shards, got.TotalBytes, got.FinalLoss, got.SimSeconds,
+				serial.TotalBytes, serial.FinalLoss, serial.SimSeconds)
+		}
+	}
+	static := spec.Clone()
+	static.Bandwidth.Jitter = 0
+	flat, err := static.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.SimSeconds == serial.SimSeconds {
+		t.Error("jitter did not change the simulated communication time")
+	}
+}
+
+// TestTraceFromEngineRuns pins the trace hook on the canonical engine path:
+// a spec with trace set yields a recorder with one event per round (plain
+// SAPS via the spec flag; churned SAPS via the run option), with sane
+// active-worker counts.
+func TestTraceFromEngineRuns(t *testing.T) {
+	spec, err := Load(filepath.Join("testdata", "saps-jitter.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := spec.RunFull(RunOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("spec trace flag did not attach a recorder")
+	}
+	if out.Trace.Len() != spec.Rounds {
+		t.Fatalf("recorded %d rounds, ran %d", out.Trace.Len(), spec.Rounds)
+	}
+	if out.Trace.MeanMatchedBandwidth() <= 0 {
+		t.Error("trace recorded no matched bandwidth")
+	}
+
+	churn, err := Load(filepath.Join("testdata", "saps-cities-churn.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cout, err := churn.RunFull(RunOptions{Shards: 2, Trace: true, Series: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cout.Trace == nil || cout.Trace.Len() != churn.Rounds {
+		t.Fatalf("churn trace: %v", cout.Trace)
+	}
+	for _, ev := range cout.Trace.Events() {
+		if ev.ActiveWorkers < 1 || ev.ActiveWorkers > churn.Nodes {
+			t.Fatalf("round %d: %d active workers of %d", ev.Round, ev.ActiveWorkers, churn.Nodes)
+		}
+	}
+	if len(cout.Losses) != churn.Rounds || len(cout.CumBytes) != churn.Rounds {
+		t.Fatalf("series lengths %d/%d, want %d", len(cout.Losses), len(cout.CumBytes), churn.Rounds)
+	}
+	if cout.CumBytes[churn.Rounds-1] != cout.Result.TotalBytes {
+		t.Errorf("cumulative series ends at %d bytes, total is %d", cout.CumBytes[churn.Rounds-1], cout.Result.TotalBytes)
+	}
+	for i := 1; i < len(cout.CumBytes); i++ {
+		if cout.CumBytes[i] < cout.CumBytes[i-1] {
+			t.Fatalf("cumulative bytes decreased at round %d", i)
+		}
+	}
+}
+
+// TestClone pins the deep copy: mutating every shared block of a clone must
+// leave the original untouched (the fleetbench -rounds fix and the campaign
+// grid expansion both rely on it).
+func TestClone(t *testing.T) {
+	orig := minimal()
+	orig.Algo, orig.Compression = "saps", 10
+	orig.Bandwidth = BandwidthSpec{Kind: "matrix", Matrix: [][]float64{{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}}}
+	orig.Gossip = &GossipSpec{BThres: 1, TThres: 5}
+	orig.Churn = &ChurnSpec{LeaveProb: 0.1, JoinProb: 0.5, MinActive: 2}
+	orig.Straggler = &StragglerSpec{Fraction: 0.25, Slowdown: 2}
+	clone := orig.Clone()
+	clone.Rounds = 99
+	clone.Model.Hidden[0] = 77
+	clone.Bandwidth.Matrix[0][1] = 42
+	clone.Gossip.TThres = 42
+	clone.Churn.MinActive = 3
+	clone.Straggler.Slowdown = 9
+	if orig.Rounds == 99 || orig.Model.Hidden[0] == 77 || orig.Bandwidth.Matrix[0][1] == 42 ||
+		orig.Gossip.TThres == 42 || orig.Churn.MinActive == 3 || orig.Straggler.Slowdown == 9 {
+		t.Fatalf("clone shares state with the original: %+v", orig)
+	}
+	fault := minimal()
+	fault.Algo, fault.Compression, fault.Rounds = "saps", 10, 6
+	fault.Faults = &FaultsSpec{
+		Crashes:   []CrashSpec{{Rank: 1, Round: 1, RejoinAfter: 2}},
+		Mortality: &MortalitySpec{Prob: 0.01, MinAlive: 3},
+	}
+	fclone := fault.Clone()
+	fclone.Faults.Crashes[0].Round = 4
+	fclone.Faults.Mortality.MinAlive = 2
+	if fault.Faults.Crashes[0].Round == 4 || fault.Faults.Mortality.MinAlive == 2 {
+		t.Fatalf("fault blocks shared between clone and original")
 	}
 }
 

@@ -80,6 +80,13 @@ type Spec struct {
 	// Shards is the default engine shard count for this scenario (0 = the
 	// engine's goroutine-per-node pool). Sweeps usually override it.
 	Shards int `json:"shards,omitempty"`
+
+	// Trace attaches a trace.Recorder to the run (RunFull returns it):
+	// one event per round with the matched pairs, their link bandwidths,
+	// the forced-reconnection flag, payload size, active-worker count and
+	// loss. Only the SAPS family records traces, so trace requires algo
+	// saps (with or without churn/faults).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // GossipSpec is Algorithm 3's tuning (SAPS only).
@@ -124,6 +131,13 @@ type BandwidthSpec struct {
 	// "matrix" (MB/s; asymmetric entries are min-symmetrized like every
 	// other environment).
 	Matrix [][]float64 `json:"matrix,omitempty"`
+	// Jitter, when positive, makes the environment time-varying
+	// (netsim.DynamicBandwidth): every round each link's speed is its base
+	// value scaled by an independent multiplicative draw from
+	// [1-jitter, 1+jitter] — the paper's "the bandwidth between two
+	// workers may also vary". Must lie in [0, 1); 0 keeps the links
+	// static. The jitter stream derives from the spec seed.
+	Jitter float64 `json:"jitter,omitempty"`
 }
 
 // ChurnSpec mirrors algos.ChurnModel.
@@ -211,6 +225,24 @@ func Load(path string) (*Spec, error) {
 	return s, nil
 }
 
+// LoadPath loads specs from a file or a directory: a directory loads every
+// *.json spec in it (LoadDir), a file loads that one spec. cmd/fleetbench
+// and cmd/campaign share this resolution rule.
+func LoadPath(path string) ([]*Spec, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return LoadDir(path)
+	}
+	s, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return []*Spec{s}, nil
+}
+
 // LoadDir loads every *.json spec under dir (non-recursive), sorted by file
 // name so sweep order is stable.
 func LoadDir(dir string) ([]*Spec, error) {
@@ -237,6 +269,41 @@ func LoadDir(dir string) ([]*Spec, error) {
 		specs = append(specs, s)
 	}
 	return specs, nil
+}
+
+// Clone returns a deep copy of the spec: mutating the copy (sweep round
+// overrides, campaign grid cells) never alters the loaded original. Every
+// pointer block and slice is duplicated.
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Model.Hidden = append([]int(nil), s.Model.Hidden...)
+	if s.Bandwidth.Matrix != nil {
+		c.Bandwidth.Matrix = make([][]float64, len(s.Bandwidth.Matrix))
+		for i, row := range s.Bandwidth.Matrix {
+			c.Bandwidth.Matrix[i] = append([]float64(nil), row...)
+		}
+	}
+	if s.Gossip != nil {
+		g := *s.Gossip
+		c.Gossip = &g
+	}
+	if s.Churn != nil {
+		ch := *s.Churn
+		c.Churn = &ch
+	}
+	if s.Faults != nil {
+		f := FaultsSpec{Crashes: append([]CrashSpec(nil), s.Faults.Crashes...)}
+		if s.Faults.Mortality != nil {
+			m := *s.Faults.Mortality
+			f.Mortality = &m
+		}
+		c.Faults = &f
+	}
+	if s.Straggler != nil {
+		st := *s.Straggler
+		c.Straggler = &st
+	}
+	return &c
 }
 
 // Canonical renders the spec in the stable on-disk form (indented JSON with
@@ -302,6 +369,9 @@ func (s *Spec) Validate() error {
 	}
 	if err := s.Bandwidth.validate(s.Name, s.Nodes); err != nil {
 		return err
+	}
+	if s.Trace && s.Algo != "saps" {
+		return fmt.Errorf("scenario %s: trace requires algo saps, have %s", s.Name, s.Algo)
 	}
 	if g := s.Gossip; g != nil {
 		if s.Algo != "saps" {
@@ -390,6 +460,9 @@ func (b *BandwidthSpec) validate(name string, nodes int) error {
 		}
 	default:
 		return fmt.Errorf("scenario %s: unknown bandwidth kind %q", name, b.Kind)
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		return fmt.Errorf("scenario %s: bandwidth jitter %v outside [0, 1)", name, b.Jitter)
 	}
 	return nil
 }
