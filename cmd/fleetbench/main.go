@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sapspsgd/internal/profiling"
 	"sapspsgd/internal/scenario"
 )
 
@@ -37,11 +38,22 @@ var (
 	flagTraceDir  = flag.String("trace-dir", "", "write per-round trace CSVs (<name>-shards<k>.csv) here for traceable specs")
 	flagDiff      = flag.String("diff", "", "baseline BENCH.json: diff mode, compares against the fresh file given as the positional argument (default BENCH.json)")
 	flagMaxWall   = flag.Float64("max-wall-regress", 0.25, "diff mode: tolerated fractional wall-time regression")
+	prof          profiling.Config
 )
 
 func main() {
+	prof.AddFlags(nil)
 	flag.Parse()
-	if err := run(); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetbench:", err)
+		os.Exit(1)
+	}
+	err = run()
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetbench:", err)
 		os.Exit(1)
 	}

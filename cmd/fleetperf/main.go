@@ -1,0 +1,382 @@
+// Command fleetperf is the pinned multicore throughput harness for the
+// engine's hot path: it sweeps the round loop over a grid of pattern × codec
+// × fleet size × model size × shard count, measures wall time, allocations,
+// and wire traffic per round, and emits the rows into the stable-schema
+// BENCH.json summary (schema v2 "perf" section) that cmd/fleetbench -diff
+// gates in CI.
+//
+// Unlike cmd/fleetbench, which executes full declarative scenarios (real
+// models, bandwidth ledgers), fleetperf drives the engine with a deliberately
+// trivial node so the measurement isolates the runtime itself: rendezvous,
+// barriers, codecs, and report plumbing.
+//
+//	fleetperf -short -out PERF.json              # CI single-core smoke grid
+//	fleetperf -procs 1,0 -pin 8 -out PERF.json   # dev box: pinned, 1-core + all-core rows
+//	fleetperf -short -base BENCH.json -out bench_baseline.json
+//
+// Every row records the GOMAXPROCS it ran under, so single-core rows taken
+// on a wide machine stay comparable against a single-core CI baseline. -pin
+// restricts the process to the first N logical CPUs (Linux only), keeping
+// multicore numbers stable on shared machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
+	"sapspsgd/internal/profiling"
+	"sapspsgd/internal/scenario"
+)
+
+var (
+	flagOut    = flag.String("out", "PERF.json", "summary output path")
+	flagBase   = flag.String("base", "", "existing BENCH.json to merge the perf rows into (its algorithm/scenario sections are kept)")
+	flagShort  = flag.Bool("short", false, "small single-machine smoke grid (the CI perf gate)")
+	flagRounds = flag.Int("rounds", 0, "override measured rounds per cell (0 = grid default)")
+	flagWarm   = flag.Int("warm", 0, "override warmup rounds per cell (0 = grid default)")
+	flagProcs  = flag.String("procs", "0", "comma-separated GOMAXPROCS values to run the grid under (0 = current setting)")
+	flagPin    = flag.Int("pin", 0, "pin the process to the first N logical CPUs before measuring (Linux; 0 = no pinning)")
+
+	prof profiling.Config
+)
+
+func main() {
+	prof.AddFlags(nil)
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetperf:", err)
+		os.Exit(1)
+	}
+}
+
+// cell is one grid point of the sweep.
+type cell struct {
+	pattern string
+	codec   string
+	nodes   int
+	dim     int
+	shards  int
+}
+
+func (c cell) name(procs int) string {
+	return fmt.Sprintf("%s/%s/n%d/d%d/s%d/p%d", c.pattern, c.codec, c.nodes, c.dim, c.shards, procs)
+}
+
+// grid returns the sweep cells plus the per-cell round counts. The short
+// grid is sized for the single-core CI container; the full grid adds the
+// hub and collective patterns, a larger model, and the 512-node SAPS-shaped
+// headline cells behind the paper's multicore speedup claim.
+func grid(short bool) (cells []cell, rounds, warm int) {
+	codecs := []string{"dense", "masked", "topk", "qsgd"}
+	if short {
+		for _, cd := range codecs {
+			for _, sh := range []int{1, 2} {
+				cells = append(cells, cell{pattern: "pairwise", codec: cd, nodes: 64, dim: 1024, shards: sh})
+			}
+		}
+		cells = append(cells,
+			cell{pattern: "hub", codec: "dense", nodes: 33, dim: 1024, shards: 2},
+			cell{pattern: "collective", codec: "dense", nodes: 32, dim: 1024, shards: 2},
+		)
+		return cells, 25, 5
+	}
+	for _, pat := range []string{"pairwise", "hub", "collective"} {
+		for _, cd := range codecs {
+			for _, dim := range []int{1024, 8192} {
+				for _, sh := range []int{1, 2, 4, 8} {
+					n := 64
+					if pat == "hub" {
+						n = 65 // 64 trainers + server
+					}
+					cells = append(cells, cell{pattern: pat, codec: cd, nodes: n, dim: dim, shards: sh})
+				}
+			}
+		}
+	}
+	// Headline: the paper's 512-node SAPS fleet shape (pairwise masked
+	// gossip) across shard counts — the ≥1.5× multicore throughput row.
+	for _, sh := range []int{1, 2, 4, 8} {
+		cells = append(cells, cell{pattern: "pairwise", codec: "masked", nodes: 512, dim: 4096, shards: sh})
+	}
+	return cells, 50, 8
+}
+
+func run() error {
+	procs, err := parseProcs(*flagProcs)
+	if err != nil {
+		return err
+	}
+	if *flagPin > 0 {
+		if err := pinCPUs(*flagPin); err != nil {
+			return fmt.Errorf("pin: %w", err)
+		}
+	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetperf: profiling:", err)
+		}
+	}()
+
+	cells, rounds, warm := grid(*flagShort)
+	if *flagRounds > 0 {
+		rounds = *flagRounds
+	}
+	if *flagWarm > 0 {
+		warm = *flagWarm
+	}
+
+	var rows []scenario.PerfRow
+	defaultProcs := runtime.GOMAXPROCS(0)
+	for _, p := range procs {
+		target := p
+		if target == 0 {
+			target = defaultProcs
+		}
+		prev := runtime.GOMAXPROCS(target)
+		for _, c := range cells {
+			row, err := runCell(c, rounds, warm)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return fmt.Errorf("%s: %w", c.name(target), err)
+			}
+			rows = append(rows, row)
+			fmt.Printf("BENCH %-40s %10.0f ns/op %8.2f allocs/op %12d bytes %8.3fs wall\n",
+				row.Name, row.NsPerOp, row.AllocsPerOp, row.BytesMoved, row.WallSeconds)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+
+	out := &scenario.BenchFile{
+		SchemaVersion: scenario.BenchSchemaVersion,
+		Source:        "fleetperf",
+		GoMaxProcs:    defaultProcs,
+	}
+	if *flagBase != "" {
+		base, err := scenario.ReadBench(*flagBase)
+		if err != nil {
+			return err
+		}
+		if base.SchemaVersion != scenario.BenchSchemaVersion {
+			return fmt.Errorf("%s: schema_version %d, want %d", *flagBase, base.SchemaVersion, scenario.BenchSchemaVersion)
+		}
+		out.Algorithms = base.Algorithms
+		out.Scenarios = base.Scenarios
+		out.Perf = base.Perf
+	}
+	out.Perf = mergeRows(out.Perf, rows)
+	if err := scenario.WriteBench(*flagOut, out); err != nil {
+		return err
+	}
+	fmt.Printf("fleetperf: wrote %s (%d perf row(s))\n", *flagOut, len(out.Perf))
+	return nil
+}
+
+// mergeRows replaces same-name rows and appends new ones, keeping the
+// existing order stable so baseline diffs stay reviewable.
+func mergeRows(existing, fresh []scenario.PerfRow) []scenario.PerfRow {
+	idx := map[string]int{}
+	for i, r := range existing {
+		idx[r.Name] = i
+	}
+	for _, r := range fresh {
+		if i, ok := idx[r.Name]; ok {
+			existing[i] = r
+		} else {
+			idx[r.Name] = len(existing)
+			existing = append(existing, r)
+		}
+	}
+	return existing
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -procs entry %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -procs")
+	}
+	return out, nil
+}
+
+// runCell measures one grid point: build the fleet, warm the pools, then
+// time the steady-state round loop and count its heap allocations via the
+// runtime's exact Mallocs counter (one ReadMemStats on each side of the
+// measured window — the same accounting testing.AllocsPerRun uses).
+func runCell(c cell, rounds, warm int) (scenario.PerfRow, error) {
+	nodes, codecs, pat, planner, err := buildCell(c)
+	if err != nil {
+		return scenario.PerfRow{}, err
+	}
+	eng := engine.New(engine.Options{Nodes: nodes, Codecs: codecs, Pattern: pat, Planner: planner, Shards: c.shards})
+	defer eng.Close()
+	led := &engine.CountingLedger{}
+	led.Reserve(c.nodes, warm+rounds)
+
+	for t := 0; t < warm; t++ {
+		if _, err := eng.Step(t, led); err != nil {
+			return scenario.PerfRow{}, err
+		}
+	}
+	baseBytes := led.TotalBytes()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for t := warm; t < warm+rounds; t++ {
+		if _, err := eng.Step(t, led); err != nil {
+			return scenario.PerfRow{}, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	return scenario.PerfRow{
+		Name:        c.name(runtime.GOMAXPROCS(0)),
+		Pattern:     c.pattern,
+		Codec:       c.codec,
+		Nodes:       c.nodes,
+		Dim:         c.dim,
+		Shards:      c.shards,
+		Procs:       runtime.GOMAXPROCS(0),
+		Rounds:      rounds,
+		WallSeconds: wall.Seconds(),
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(rounds),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
+		BytesMoved:  led.TotalBytes() - baseBytes,
+		// Seed a conservative timing tolerance: short sweeps on shared CI
+		// runners see ±30-40% jitter per row. Tighten by hand in the
+		// committed baseline when measuring on quiet dedicated hardware.
+		MaxNsRegress: 0.5,
+	}, nil
+}
+
+// buildCell assembles the fleet for one grid point: trivial nodes, per-rank
+// codecs, and a static allocation-free planner.
+func buildCell(c cell) ([]engine.Node, []engine.Codec, engine.Pattern, engine.Planner, error) {
+	n := c.nodes
+	nodes := make([]engine.Node, n)
+	codecs := make([]engine.Codec, n)
+	for r := range nodes {
+		nodes[r] = newBenchNode(c.dim, uint64(r))
+		cd, err := buildCodec(c, uint64(r))
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		codecs[r] = cd
+	}
+	var pat engine.Pattern
+	var planner engine.Planner
+	switch c.pattern {
+	case "pairwise":
+		if n%2 != 0 {
+			return nil, nil, nil, nil, fmt.Errorf("pairwise needs an even fleet, have %d", n)
+		}
+		// Static neighbor matching; the peer table is shared across rounds
+		// so planning allocates nothing.
+		peers := make([]int, n)
+		for i := range peers {
+			peers[i] = i ^ 1
+		}
+		pat = engine.Pairwise{}
+		planner = engine.PlannerFunc(func(t int) core.RoundPlan {
+			return core.RoundPlan{Round: t, Seed: roundSeed(t), Peer: peers}
+		})
+	case "hub":
+		pat = engine.Hub{Server: n - 1}
+		planner = engine.PlannerFunc(func(t int) core.RoundPlan {
+			return core.RoundPlan{Round: t, Seed: roundSeed(t)}
+		})
+	case "collective":
+		pat = engine.Collective{}
+		planner = engine.PlannerFunc(func(t int) core.RoundPlan {
+			return core.RoundPlan{Round: t, Seed: roundSeed(t)}
+		})
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("unknown pattern %q", c.pattern)
+	}
+	return nodes, codecs, pat, planner, nil
+}
+
+// roundSeed derives a per-round mask seed the way the coordinator would:
+// deterministic, distinct per round.
+func roundSeed(t int) uint64 {
+	return (uint64(t) + 1) * 0x9e3779b97f4a7c15
+}
+
+func buildCodec(c cell, rank uint64) (engine.Codec, error) {
+	switch c.codec {
+	case "dense":
+		return engine.Dense{}, nil
+	case "masked":
+		return engine.NewMasked(100), nil
+	case "topk":
+		return engine.NewTopK(max(1, c.dim/100), c.dim, true), nil
+	case "qsgd":
+		return engine.NewQSGDCodec(127, rank*0x9e3779b97f4a7c15+0x51), nil
+	default:
+		return nil, fmt.Errorf("unknown codec %q", c.codec)
+	}
+}
+
+// benchNode is the deliberately trivial participant: a cheap deterministic
+// local update and a bounded merge, so cell timings measure the engine, not
+// a model. The shared payload is a copy of the model (the transport borrows
+// payloads until the round barrier, so Merge must not write into the slice
+// Compute returned).
+type benchNode struct {
+	model []float64
+	out   []float64
+}
+
+func newBenchNode(dim int, seed uint64) *benchNode {
+	b := &benchNode{model: make([]float64, dim), out: make([]float64, dim)}
+	x := seed*2654435761 + 1
+	for i := range b.model {
+		x = x*6364136223846793005 + 1442695040888963407
+		b.model[i] = float64(int64(x>>33)) / float64(1<<31)
+	}
+	return b
+}
+
+// Compute implements engine.Node.
+func (b *benchNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	s := 0.0
+	for i := range b.model {
+		b.model[i] *= 0.999
+		s += b.model[i]
+	}
+	copy(b.out, b.model)
+	return s / float64(len(b.model)), b.out, nil
+}
+
+// Merge implements engine.Node: average full-dimension peer vectors into the
+// model; sub-dimension payloads (masked values, which need the shared mask
+// to place) only contribute to the traffic measurement.
+func (b *benchNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	for _, m := range msgs {
+		if len(m.Vals) != len(b.model) {
+			continue
+		}
+		for i, v := range m.Vals {
+			b.model[i] = 0.5*b.model[i] + 0.5*v
+		}
+	}
+	return nil
+}

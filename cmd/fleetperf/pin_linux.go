@@ -1,0 +1,35 @@
+//go:build linux
+
+package main
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// pinCPUs restricts the process to the first n logical CPUs via
+// sched_setaffinity, the same discipline benchmark drivers use to keep
+// multicore numbers stable on shared machines. It must run before the
+// measurement spawns its worker threads: Linux affinity is per-thread and
+// inherited on clone, so threads created after the call stay pinned while
+// pre-existing runtime threads may not be. fleetperf pins first thing in
+// run(), before any engine exists.
+func pinCPUs(n int) error {
+	if n < 1 {
+		return nil
+	}
+	const maxCPUs = 1024
+	if n > maxCPUs {
+		n = maxCPUs
+	}
+	var mask [maxCPUs / 64]uint64
+	for i := 0; i < n; i++ {
+		mask[i/64] |= 1 << (i % 64)
+	}
+	if _, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY, 0,
+		uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0]))); errno != 0 {
+		return fmt.Errorf("sched_setaffinity: %v", errno)
+	}
+	return nil
+}

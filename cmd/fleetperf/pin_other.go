@@ -1,0 +1,14 @@
+//go:build !linux
+
+package main
+
+import "fmt"
+
+// pinCPUs is unavailable off Linux; -pin fails loudly rather than silently
+// measuring unpinned.
+func pinCPUs(n int) error {
+	if n < 1 {
+		return nil
+	}
+	return fmt.Errorf("-pin requires Linux sched_setaffinity; run without -pin on this platform")
+}

@@ -29,6 +29,7 @@ import (
 	"sapspsgd/internal/metrics"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
+	"sapspsgd/internal/profiling"
 	"sapspsgd/internal/trace"
 	"sapspsgd/internal/trainer"
 )
@@ -49,10 +50,21 @@ var (
 	flagEnv      = flag.Int("env", 14, "fig5 environment: 14 (cities) or 32 (random)")
 	flagSeed     = flag.Uint64("seed", 7, "random seed")
 	flagCSV      = flag.Bool("csv", false, "emit tables as CSV instead of markdown")
+	prof         profiling.Config
 )
 
-func run() error {
+func run() (err error) {
+	prof.AddFlags(nil)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); err == nil {
+			err = perr
+		}
+	}()
 	switch *flagExp {
 	case "table1":
 		return table1()

@@ -50,29 +50,76 @@ type Quantized struct {
 // equals x (unbiasedness, verified by the tests).
 func (q *QSGD) Quantize(x []float64) Quantized {
 	out := Quantized{Codes: make([]int16, len(x)), Levels: q.Levels}
-	norm := 0.0
-	for _, v := range x {
-		norm += v * v
-	}
-	norm = math.Sqrt(norm)
+	norm := l2(x)
 	out.Norm = norm
 	if norm == 0 {
 		return out
 	}
 	s := float64(q.Levels)
 	for i, v := range x {
-		a := math.Abs(v) / norm * s // in [0, s]
-		lo := math.Floor(a)
-		code := lo
-		if q.rnd.Float64() < a-lo {
-			code = lo + 1
-		}
-		if v < 0 {
-			code = -code
-		}
-		out.Codes[i] = int16(code)
+		out.Codes[i] = int16(q.code(v, norm, s))
 	}
 	return out
+}
+
+// AppendQuantized encodes x directly into the codec wire layout
+// [norm, code...] appended to dst, reusing dst's storage — the zero-copy
+// twin of Quantize for the engine's QSGD codec hot path. It draws the
+// stochastic-rounding RNG in exactly Quantize's order (one draw per
+// coordinate when the norm is nonzero, none otherwise) and produces
+// bit-identical codes, so the two entry points are interchangeable without
+// perturbing a run's trajectory.
+func (q *QSGD) AppendQuantized(dst []float64, x []float64) []float64 {
+	dst = dst[:0]
+	if cap(dst) < len(x)+1 {
+		dst = make([]float64, 0, len(x)+1)
+	}
+	norm := l2(x)
+	dst = append(dst, norm)
+	dst = dst[:len(x)+1]
+	out := dst[1:]
+	if norm == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return dst
+	}
+	s := float64(q.Levels)
+	for i, v := range x {
+		out[i] = q.code(v, norm, s)
+	}
+	return dst
+}
+
+// code is the shared per-coordinate stochastic-rounding kernel. The
+// expression order (|v| / norm * s, floor, compare) is load-bearing: hoisting
+// s/norm out of the division would reassociate the scaling and change low
+// bits. Both data-dependent selections are simple conditional assignments
+// (compiled to conditional moves, not branches). The sign uses the v < 0
+// comparison — not Copysign — so a -0.0 input yields +0.0, exactly as the
+// historical int16 encoding did.
+func (q *QSGD) code(v, norm, s float64) float64 {
+	a := math.Abs(v) / norm * s // in [0, s]
+	lo := math.Floor(a)
+	add := 0.0
+	if q.rnd.Float64() < a-lo {
+		add = 1
+	}
+	c := lo + add
+	if v < 0 {
+		c = -c
+	}
+	return c
+}
+
+// l2 is the Euclidean norm with a single sequential accumulator (the sum
+// order is part of the bit-reproducibility contract).
+func l2(x []float64) float64 {
+	norm := 0.0
+	for _, v := range x {
+		norm += v * v
+	}
+	return math.Sqrt(norm)
 }
 
 // Decode reconstructs the (unbiased) estimate of the original vector.

@@ -55,31 +55,49 @@ func TopKInto(out *SparseVec, mags []float64, x []float64, k int) []float64 {
 	}
 	thresh := quickselectDesc(mags, k)
 
-	// First pass: take strictly-greater entries; second: fill with equals.
+	// Single pass in ascending index order: keep every entry whose magnitude
+	// clears the threshold, counting the threshold ties. Quickselect
+	// guarantees at most k-1 strictly-greater entries and at least k entries
+	// overall, so the surplus (if any) consists entirely of ties; a short
+	// compaction then drops the highest-indexed ties down to exactly k.
+	// Because the pass visits indices in order, the result is already
+	// index-sorted — no sort needed, unlike the historical two-pass + sort,
+	// and the selected set and ordering are identical (all strictly-greater
+	// entries plus the lowest-indexed ties).
+	eq := 0
 	for i, v := range x {
 		m := v
 		if m < 0 {
 			m = -m
 		}
-		if m > thresh {
-			out.Idx = append(out.Idx, int32(i))
-			out.Val = append(out.Val, v)
-		}
-	}
-	for i, v := range x {
-		if len(out.Idx) == k {
-			break
-		}
-		m := v
-		if m < 0 {
-			m = -m
+		if m < thresh {
+			continue
 		}
 		if m == thresh {
-			out.Idx = append(out.Idx, int32(i))
-			out.Val = append(out.Val, v)
+			eq++
 		}
+		out.Idx = append(out.Idx, int32(i))
+		out.Val = append(out.Val, v)
 	}
-	sortSparseByIndex(out)
+	if drop := len(out.Idx) - k; drop > 0 {
+		keepEq := eq - drop
+		w := 0
+		for r := 0; r < len(out.Idx); r++ {
+			m := out.Val[r]
+			if m < 0 {
+				m = -m
+			}
+			if m == thresh {
+				if keepEq == 0 {
+					continue
+				}
+				keepEq--
+			}
+			out.Idx[w], out.Val[w] = out.Idx[r], out.Val[r]
+			w++
+		}
+		out.Idx, out.Val = out.Idx[:w], out.Val[:w]
+	}
 	return mags
 }
 
@@ -114,22 +132,6 @@ func quickselectDesc(a []float64, k int) float64 {
 		default:
 			lo = store + 1
 		}
-	}
-}
-
-func sortSparseByIndex(s *SparseVec) {
-	// Insertion sort is fine: the vectors are built nearly sorted (two
-	// ascending passes), so this is close to O(k).
-	for i := 1; i < len(s.Idx); i++ {
-		ji, jv := s.Idx[i], s.Val[i]
-		j := i - 1
-		for j >= 0 && s.Idx[j] > ji {
-			s.Idx[j+1] = s.Idx[j]
-			s.Val[j+1] = s.Val[j]
-			j--
-		}
-		s.Idx[j+1] = ji
-		s.Val[j+1] = jv
 	}
 }
 
@@ -188,16 +190,31 @@ func (e *ErrorFeedback) SetResidual(r []float64) {
 // using the given RNG and returns them with their values. Unlike the shared-
 // mask scheme, the support is explicit, so the wire cost includes indices.
 func RandomK(x []float64, k int, r *rng.Source) SparseVec {
+	var out SparseVec
+	RandomKInto(&out, make(map[int32]bool, k), x, k, r)
+	return out
+}
+
+// RandomKInto is RandomK writing into out and reusing chosen as the
+// sampling-set scratch (cleared on entry, so a persistent map makes the
+// steady state allocation-free). It draws the RNG in exactly RandomK's
+// order, so the two entry points produce identical supports from the same
+// stream position.
+func RandomKInto(out *SparseVec, chosen map[int32]bool, x []float64, k int, r *rng.Source) {
 	n := len(x)
 	if k > n {
 		k = n
 	}
-	out := SparseVec{N: n, Idx: make([]int32, 0, k), Val: make([]float64, 0, k)}
+	out.N = n
+	out.Idx = out.Idx[:0]
+	out.Val = out.Val[:0]
 	if k == 0 {
-		return out
+		return
 	}
-	// Floyd's sampling: k uniform draws without replacement in O(k).
-	chosen := make(map[int32]bool, k)
+	// Floyd's sampling: k uniform draws without replacement in O(k). The
+	// map is only ever membership-tested in ascending index order, so its
+	// (randomized) iteration order cannot leak into the result.
+	clear(chosen)
 	for j := n - k; j < n; j++ {
 		t := int32(r.Intn(j + 1))
 		if chosen[t] {
@@ -211,5 +228,4 @@ func RandomK(x []float64, k int, r *rng.Source) SparseVec {
 			out.Val = append(out.Val, x[i])
 		}
 	}
-	return out
 }

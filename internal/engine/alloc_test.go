@@ -1,0 +1,185 @@
+// Allocation regression tests for the hot path: every codec's steady-state
+// Encode and Decode(Into), and the sharded runtime's full round loop, must
+// perform zero heap allocations once their pooled buffers are warm. These
+// are hard gates — a refactor that reintroduces a per-round allocation fails
+// here before it shows up as a throughput regression in CI's perf smoke.
+package engine_test
+
+import (
+	"testing"
+
+	"sapspsgd/internal/core"
+	"sapspsgd/internal/engine"
+)
+
+// fillDeterministic gives the codecs a non-trivial input (distinct
+// magnitudes so top-k selection and quantization do real work).
+func fillDeterministic(x []float64, seed uint64) {
+	s := seed*2654435761 + 1
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		x[i] = float64(int64(s>>33)) / float64(1<<31)
+	}
+}
+
+// TestCodecZeroAlloc locks in the zero-allocation steady state of every
+// codec's Encode and, where DecodeInto exists, its decode path. The round
+// context is held fixed so the masked codec's payload population count (a
+// per-round Bernoulli draw, inherently variable-size) stays put too.
+func TestCodecZeroAlloc(t *testing.T) {
+	const dim = 512
+	vec := make([]float64, dim)
+	fillDeterministic(vec, 5)
+	ctx := engine.RoundContext{Round: 3, Seed: 99, Self: 0, N: 2}
+
+	cases := []struct {
+		name  string
+		codec engine.Codec
+	}{
+		{"dense", engine.Dense{}},
+		{"masked", engine.NewMasked(50)},
+		{"topk", engine.NewTopK(16, dim, true)},
+		{"randomk", engine.NewRandomK(16, 7)},
+		{"qsgd", engine.NewQSGDCodec(127, 7)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/encode", func(t *testing.T) {
+			// Warm the codec-owned buffers (and, for error feedback, the
+			// lazily allocated residual).
+			for i := 0; i < 3; i++ {
+				if _, err := tc.codec.Encode(ctx, vec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := tc.codec.Encode(ctx, vec); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Encode allocates %.1f times per call, want 0", allocs)
+			}
+		})
+		t.Run(tc.name+"/decode", func(t *testing.T) {
+			words, err := tc.codec.Encode(ctx, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var allocs float64
+			if d, ok := tc.codec.(engine.DecoderInto); ok {
+				dst, err := d.DecodeInto(nil, ctx, words)
+				if err != nil {
+					t.Fatal(err)
+				}
+				allocs = testing.AllocsPerRun(10, func() {
+					if dst, err = d.DecodeInto(dst, ctx, words); err != nil {
+						t.Fatal(err)
+					}
+				})
+			} else {
+				// Identity codecs return the received words; no warmup to do.
+				allocs = testing.AllocsPerRun(10, func() {
+					if _, err := tc.codec.Decode(ctx, words); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state decode allocates %.1f times per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// allocNode is a minimal allocation-free participant: Merge averages into
+// the model, Compute shares a copy (the transport borrows payloads until the
+// round barrier, so Merge must not write into the returned slice).
+type allocNode struct {
+	model, out []float64
+}
+
+func newAllocNode(dim int, seed uint64) *allocNode {
+	n := &allocNode{model: make([]float64, dim), out: make([]float64, dim)}
+	fillDeterministic(n.model, seed)
+	return n
+}
+
+func (n *allocNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	for i := range n.model {
+		n.model[i] *= 0.999
+	}
+	copy(n.out, n.model)
+	return 0.1, n.out, nil
+}
+
+func (n *allocNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	for _, m := range msgs {
+		if len(m.Vals) != len(n.model) {
+			continue
+		}
+		for i, v := range m.Vals {
+			n.model[i] = 0.5*n.model[i] + 0.5*v
+		}
+	}
+	return nil
+}
+
+// TestShardedRoundZeroAlloc drives the sharded runtime's full round loop —
+// plan, phases, report aggregation, ledger charge — and requires the steady
+// state to allocate nothing, per codec family. The masked codec is exempt by
+// design: its payload length is a per-round Bernoulli population count, so a
+// round may legitimately grow the payload buffer past any previous high-water
+// mark.
+func TestShardedRoundZeroAlloc(t *testing.T) {
+	const (
+		n      = 16
+		dim    = 256
+		rounds = 30
+	)
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i ^ 1
+	}
+	planner := engine.PlannerFunc(func(tt int) core.RoundPlan {
+		return core.RoundPlan{Round: tt, Seed: (uint64(tt) + 1) * 0x9e3779b97f4a7c15, Peer: peers}
+	})
+
+	for _, tc := range []struct {
+		name  string
+		codec func(rank int) engine.Codec
+	}{
+		{"dense", func(int) engine.Codec { return engine.Dense{} }},
+		{"topk", func(int) engine.Codec { return engine.NewTopK(8, dim, true) }},
+		{"qsgd", func(rank int) engine.Codec { return engine.NewQSGDCodec(127, uint64(rank)+1) }},
+	} {
+		for _, shards := range []int{1, 2} {
+			t.Run(tc.name+"/shards="+string(rune('0'+shards)), func(t *testing.T) {
+				nodes := make([]engine.Node, n)
+				codecs := make([]engine.Codec, n)
+				for r := range nodes {
+					nodes[r] = newAllocNode(dim, uint64(r))
+					codecs[r] = tc.codec(r)
+				}
+				eng := engine.New(engine.Options{Nodes: nodes, Codecs: codecs, Pattern: engine.Pairwise{}, Planner: planner, Shards: shards})
+				defer eng.Close()
+				led := &engine.CountingLedger{}
+				led.Reserve(n, rounds)
+
+				round := 0
+				step := func() {
+					if _, err := eng.Step(round, led); err != nil {
+						t.Fatal(err)
+					}
+					round++
+				}
+				for i := 0; i < 5; i++ {
+					step() // warm the phase states, codecs, and aggregator
+				}
+				allocs := testing.AllocsPerRun(10, step)
+				if allocs != 0 {
+					t.Errorf("steady-state sharded round allocates %.1f times per round, want 0", allocs)
+				}
+			})
+		}
+	}
+}

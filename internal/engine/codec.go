@@ -41,6 +41,28 @@ type Codec interface {
 	WireBytes(words []float64) int64
 }
 
+// DecoderInto is the optional Codec extension the sharded runtime's hot path
+// uses to decode without allocating: DecodeInto behaves exactly like Decode
+// but expands into dst (grown as needed — the returned slice may alias
+// dst's storage), so a caller that reuses its scratch buffer decodes
+// allocation-free in steady state. Like Decode it must be stateless and safe
+// for concurrent use: receivers decode with the sender's codec instance, and
+// only dst is caller-owned. Codecs whose Decode is the identity (dense,
+// masked) deliberately do not implement it — returning the received words
+// unchanged is already allocation-free.
+type DecoderInto interface {
+	DecodeInto(dst []float64, ctx RoundContext, words []float64) ([]float64, error)
+}
+
+// decodeWith dispatches to DecodeInto when the codec offers it (reusing dst)
+// and falls back to the allocating Decode otherwise.
+func decodeWith(c Codec, dst []float64, ctx RoundContext, words []float64) ([]float64, error) {
+	if d, ok := c.(DecoderInto); ok {
+		return d.DecodeInto(dst, ctx, words)
+	}
+	return c.Decode(ctx, words)
+}
+
 // ---------------------------------------------------------------------------
 // Dense
 
@@ -135,11 +157,16 @@ func SparseWords(words []float64) (dim int, idx []float64, vals []float64, err e
 
 // decodeSparse expands sparse words to a dense vector.
 func decodeSparse(words []float64) ([]float64, error) {
+	return decodeSparseInto(nil, words)
+}
+
+// decodeSparseInto expands sparse words into dst (grown as needed).
+func decodeSparseInto(dst []float64, words []float64) ([]float64, error) {
 	dim, idx, vals, err := SparseWords(words)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, dim)
+	out := resizeZeroed(dst, dim)
 	for i, ix := range idx {
 		j := int(ix)
 		if j < 0 || j >= dim {
@@ -148,6 +175,19 @@ func decodeSparse(words []float64) ([]float64, error) {
 		out[j] = vals[i]
 	}
 	return out, nil
+}
+
+// resizeZeroed returns a zeroed length-n slice, reusing dst's storage when it
+// is large enough.
+func resizeZeroed(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // sparseWireBytes charges k (index, value) pairs, ignoring the carrier
@@ -212,6 +252,11 @@ func (t *TopK) Decode(_ RoundContext, words []float64) ([]float64, error) {
 	return decodeSparse(words)
 }
 
+// DecodeInto implements DecoderInto: Decode into caller-owned scratch.
+func (t *TopK) DecodeInto(dst []float64, _ RoundContext, words []float64) ([]float64, error) {
+	return decodeSparseInto(dst, words)
+}
+
 // WireBytes implements Codec.
 func (t *TopK) WireBytes(words []float64) int64 { return sparseWireBytes(words) }
 
@@ -263,7 +308,9 @@ type RandomK struct {
 	K   int
 	rnd *rng.Source
 
-	words []float64
+	out    compress.SparseVec
+	chosen map[int32]bool
+	words  []float64
 }
 
 // NewRandomK returns a random-k codec drawing from the given seed.
@@ -277,16 +324,25 @@ func NewRandomK(k int, seed uint64) *RandomK {
 // Name implements Codec.
 func (r *RandomK) Name() string { return "randomk" }
 
-// Encode implements Codec.
+// Encode implements Codec. The support map, sparse vector, and wire buffer
+// are codec-owned and reused, so the steady state allocates nothing.
 func (r *RandomK) Encode(_ RoundContext, dense []float64) ([]float64, error) {
-	sv := compress.RandomK(dense, r.K, r.rnd)
-	r.words = packSparse(r.words, sv)
+	if r.chosen == nil {
+		r.chosen = make(map[int32]bool, r.K)
+	}
+	compress.RandomKInto(&r.out, r.chosen, dense, r.K, r.rnd)
+	r.words = packSparse(r.words, r.out)
 	return r.words, nil
 }
 
 // Decode implements Codec.
 func (r *RandomK) Decode(_ RoundContext, words []float64) ([]float64, error) {
 	return decodeSparse(words)
+}
+
+// DecodeInto implements DecoderInto: Decode into caller-owned scratch.
+func (r *RandomK) DecodeInto(dst []float64, _ RoundContext, words []float64) ([]float64, error) {
+	return decodeSparseInto(dst, words)
 }
 
 // WireBytes implements Codec.
@@ -327,30 +383,43 @@ func NewQSGDCodec(levels int, seed uint64) *QSGDCodec {
 // Name implements Codec.
 func (q *QSGDCodec) Name() string { return "qsgd" }
 
-// Encode implements Codec. Words layout: [norm, code...].
+// Encode implements Codec. Words layout: [norm, code...]. The quantizer
+// writes codes straight into the codec's reused wire buffer — no
+// intermediate integer-code vector — so the steady state allocates nothing.
 func (q *QSGDCodec) Encode(_ RoundContext, dense []float64) ([]float64, error) {
-	enc := q.q.Quantize(dense)
-	q.words = q.words[:0]
-	q.words = append(q.words, enc.Norm)
-	for _, c := range enc.Codes {
-		q.words = append(q.words, float64(c))
-	}
+	q.words = q.q.AppendQuantized(q.words, dense)
 	return q.words, nil
 }
 
 // Decode implements Codec.
 func (q *QSGDCodec) Decode(_ RoundContext, words []float64) ([]float64, error) {
+	return q.DecodeInto(nil, RoundContext{}, words)
+}
+
+// DecodeInto implements DecoderInto: Decode into caller-owned scratch.
+func (q *QSGDCodec) DecodeInto(dst []float64, _ RoundContext, words []float64) ([]float64, error) {
 	if len(words) < 1 {
 		return nil, fmt.Errorf("engine: qsgd payload of %d words", len(words))
 	}
 	norm := words[0]
-	out := make([]float64, len(words)-1)
 	if norm == 0 {
-		return out, nil
+		return resizeZeroed(dst, len(words)-1), nil
 	}
+	if cap(dst) < len(words)-1 {
+		dst = make([]float64, len(words)-1)
+	}
+	out := dst[:len(words)-1]
 	s := float64(q.Levels)
-	for i, c := range words[1:] {
-		out[i] = norm * c / s
+	codes := words[1:]
+	n := len(codes) &^ 3
+	for i := 0; i < n; i += 4 {
+		out[i] = norm * codes[i] / s
+		out[i+1] = norm * codes[i+1] / s
+		out[i+2] = norm * codes[i+2] / s
+		out[i+3] = norm * codes[i+3] / s
+	}
+	for i := n; i < len(codes); i++ {
+		out[i] = norm * codes[i] / s
 	}
 	return out, nil
 }

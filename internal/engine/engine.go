@@ -36,7 +36,7 @@
 package engine
 
 import (
-	"sort"
+	"slices"
 
 	"sapspsgd/internal/core"
 )
@@ -135,41 +135,69 @@ type RoundStats struct {
 // AggregateFlows folds per-node sender-attributed flows into per-pair
 // traffic, using only each sender's own measurement (both endpoints compute
 // WireBytes over the same words, so the receiver's number is redundant).
-// reports is rank-indexed; entries for absent nodes are zero values.
+// reports is rank-indexed; entries for absent nodes are zero values. The
+// returned slice is freshly allocated; the in-process runtimes use a pooled
+// flowAgg instead so steady-state rounds do not allocate.
 func AggregateFlows(reports []NodeReport) []PairTraffic {
-	type dir struct{ iToJ, jToI int64 }
-	acc := map[[2]int]*dir{}
-	var keys [][2]int
+	var agg flowAgg
+	return append([]PairTraffic(nil), agg.aggregate(reports)...)
+}
+
+// flowAgg is the reusable flow aggregator behind AggregateFlows and the
+// in-process runtimes' per-round reports: the pair index map and the output
+// slice persist across rounds, so a steady-state aggregate performs no heap
+// allocations. Not safe for concurrent use; each runtime owns one.
+type flowAgg struct {
+	idx   map[uint64]int
+	pairs []PairTraffic
+}
+
+// aggregate folds reports into per-pair traffic ordered by (I, J). The
+// returned slice aliases the aggregator's pooled storage and is valid until
+// the next aggregate call.
+func (a *flowAgg) aggregate(reports []NodeReport) []PairTraffic {
+	if a.idx == nil {
+		a.idx = make(map[uint64]int)
+	} else {
+		clear(a.idx)
+	}
+	a.pairs = a.pairs[:0]
 	for rank, rep := range reports {
 		for _, f := range rep.Flows {
 			if f.Sent == 0 && f.Recv == 0 {
 				continue
 			}
-			i, j := rank, f.Peer
-			key := [2]int{min(i, j), max(i, j)}
-			d, ok := acc[key]
+			i, j := min(rank, f.Peer), max(rank, f.Peer)
+			key := uint64(uint32(i))<<32 | uint64(uint32(j))
+			p, ok := a.idx[key]
 			if !ok {
-				d = &dir{}
-				acc[key] = d
-				keys = append(keys, key)
+				p = len(a.pairs)
+				a.idx[key] = p
+				a.pairs = append(a.pairs, PairTraffic{I: i, J: j})
 			}
-			if i < j {
-				d.iToJ += f.Sent
+			if rank < f.Peer {
+				a.pairs[p].IToJ += f.Sent
 			} else {
-				d.jToI += f.Sent
+				a.pairs[p].JToI += f.Sent
 			}
 		}
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		return keys[a][0] < keys[b][0] || (keys[a][0] == keys[b][0] && keys[a][1] < keys[b][1])
-	})
-	out := make([]PairTraffic, 0, len(keys))
-	for _, k := range keys {
-		d := acc[k]
-		if d.iToJ == 0 && d.jToI == 0 {
+	// Drop pairs whose sender-attributed bytes net to zero (both endpoints
+	// reported empty sends), matching the historical output exactly.
+	w := 0
+	for _, p := range a.pairs {
+		if p.IToJ == 0 && p.JToI == 0 {
 			continue
 		}
-		out = append(out, PairTraffic{I: k[0], J: k[1], IToJ: d.iToJ, JToI: d.jToI})
+		a.pairs[w] = p
+		w++
 	}
-	return out
+	a.pairs = a.pairs[:w]
+	slices.SortFunc(a.pairs, func(x, y PairTraffic) int {
+		if x.I != y.I {
+			return x.I - y.I
+		}
+		return x.J - y.J
+	})
+	return a.pairs
 }

@@ -80,6 +80,7 @@ type Engine struct {
 	sharded *shardRunner
 	// Per-round collection scratch (RunRound is single-threaded).
 	reports []NodeReport
+	agg     flowAgg
 }
 
 // poolStop closes the runtime's command channels exactly once, whether via
@@ -87,7 +88,7 @@ type Engine struct {
 type poolStop struct {
 	once   sync.Once
 	cmds   []chan core.RoundPlan
-	phased []chan int
+	phased []chan shardCmd
 }
 
 func (s *poolStop) shutdown() {
@@ -227,16 +228,17 @@ func (e *Engine) RunRound(plan core.RoundPlan) (ControlReport, error) {
 	if firstErr != nil {
 		return ControlReport{}, firstErr
 	}
-	return buildReport(e.reports), nil
+	return buildReport(&e.agg, e.reports), nil
 }
 
 // buildReport folds the rank-indexed node reports into the round's control
 // report: rank-ordered flow aggregation, loss mean over trained nodes, and
 // the largest payload. Both runtimes funnel through it, which is one of the
 // two deterministic commit points (the other is the Driver's rank-ordered
-// ledger charge).
-func buildReport(reports []NodeReport) ControlReport {
-	rep := ControlReport{Pairs: AggregateFlows(reports)}
+// ledger charge). The report's Pairs alias agg's pooled storage and stay
+// valid until the runtime's next round.
+func buildReport(agg *flowAgg, reports []NodeReport) ControlReport {
+	rep := ControlReport{Pairs: agg.aggregate(reports)}
 	sum, k := 0.0, 0
 	for _, nr := range reports {
 		if nr.PayloadLen > rep.PayloadLen {

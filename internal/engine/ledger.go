@@ -18,9 +18,26 @@ type CountingLedger struct {
 }
 
 func (l *CountingLedger) grow(i int) {
-	for len(l.sent) <= i {
-		l.sent = append(l.sent, 0)
-		l.recv = append(l.recv, 0)
+	if i < len(l.sent) {
+		return
+	}
+	// One bulk extension instead of element-at-a-time appends: the first
+	// Exchange of a fleet run typically names the highest rank within a few
+	// rounds, after which this is a bounds check and nothing else.
+	l.sent = append(l.sent, make([]int64, i+1-len(l.sent))...)
+	l.recv = append(l.recv, make([]int64, i+1-len(l.recv))...)
+}
+
+// Reserve pre-sizes the per-worker counters for ranks [0, n) and the
+// per-round series for rounds completed rounds, so a benchmark or fleet run
+// of known shape performs no ledger allocations after this call. Reserving
+// is optional and never changes observable totals.
+func (l *CountingLedger) Reserve(n, rounds int) {
+	l.grow(n - 1)
+	if cap(l.roundBytes)-len(l.roundBytes) < rounds {
+		rb := make([]int64, len(l.roundBytes), len(l.roundBytes)+rounds)
+		copy(rb, l.roundBytes)
+		l.roundBytes = rb
 	}
 }
 

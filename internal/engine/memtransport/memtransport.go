@@ -9,7 +9,21 @@ package memtransport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// denseSlotLimit bounds the dense slot array: fleets with at most this many
+// directed pairs get a flat preallocated pointer array (one atomic load per
+// slot lookup, no locks); larger fleets fall back to sharded-mutex striping
+// so a sparse communication pattern does not pin O(n²) memory. 2²⁰ pointers
+// is 8 MB — n ≤ 1024 stays dense, which covers every fleet the repository's
+// scenarios run in one process.
+const denseSlotLimit = 1 << 20
+
+// slotStripes is the stripe count of the large-n fallback. Power of two so
+// the stripe index is a shift-free mask; 64 stripes keep the per-stripe
+// mutexes effectively uncontended at realistic shard counts.
+const slotStripes = 64
 
 // Hub pairs in-process nodes for payload swaps. Exchange deposits the
 // caller's payload in the self→peer slot and blocks until the peer→self
@@ -21,8 +35,23 @@ import (
 // next round starts. Payload slices are handed over by reference — the
 // channel send is the happens-before edge that makes the peer's read
 // race-free.
+//
+// Slot lookup is lock-free for fleets up to 1024 nodes: the hub preallocates
+// a dense per-directed-pair pointer array and materializes each pair's
+// channel at most once with a compare-and-swap, so the steady-state path is
+// a single atomic load — no mutex, no map hash. Larger fleets stripe the
+// lazily-built pair map across independently locked shards.
 type Hub struct {
-	n     int
+	n int
+	// dense[from*n+to] is the from→to channel, nil until first use.
+	// Non-nil only when n*n <= denseSlotLimit.
+	dense []atomic.Pointer[chan []float64]
+	// stripes is the sparse fallback for large n.
+	stripes []slotStripe
+}
+
+// slotStripe is one lock shard of the sparse slot table.
+type slotStripe struct {
 	mu    sync.Mutex
 	slots map[uint64]chan []float64
 }
@@ -33,25 +62,49 @@ func NewHub(n int) *Hub {
 	if n < 1 {
 		panic(fmt.Sprintf("memtransport: hub of %d", n))
 	}
-	return &Hub{n: n, slots: make(map[uint64]chan []float64)}
+	h := &Hub{n: n}
+	if n*n <= denseSlotLimit {
+		h.dense = make([]atomic.Pointer[chan []float64], n*n)
+	} else {
+		h.stripes = make([]slotStripe, slotStripes)
+		for i := range h.stripes {
+			h.stripes[i].slots = make(map[uint64]chan []float64)
+		}
+	}
+	return h
 }
 
 // slot returns (lazily creating) the from→to channel. A small buffer keeps a
 // sender from blocking on its own deposit. The blocking Exchange path never
 // has more than one message per directed pair outstanding (a pattern's next
-// meeting with the same peer starts only after the previous rendezvous
+// meeting with the same pair starts only after the previous rendezvous
 // completed on both sides); the phased Send/Recv path can briefly hold two —
 // the sharded collective deposits its next butterfly chunk while the peer is
 // still draining the previous phase's — so the capacity is 2.
 func (h *Hub) slot(from, to int) chan []float64 {
+	if h.dense != nil {
+		p := &h.dense[from*h.n+to]
+		if c := p.Load(); c != nil {
+			return *c
+		}
+		// First meeting of this pair: materialize the channel. A losing CAS
+		// means a concurrent caller won; both sides then share the winner's.
+		c := make(chan []float64, 2)
+		if p.CompareAndSwap(nil, &c) {
+			return c
+		}
+		return *p.Load()
+	}
 	key := uint64(uint32(from))<<32 | uint64(uint32(to))
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	c, ok := h.slots[key]
+	// Fibonacci mixing spreads sequential rank pairs across stripes.
+	st := &h.stripes[(key*0x9e3779b97f4a7c15)>>(64-6)&(slotStripes-1)]
+	st.mu.Lock()
+	c, ok := st.slots[key]
 	if !ok {
 		c = make(chan []float64, 2)
-		h.slots[key] = c
+		st.slots[key] = c
 	}
+	st.mu.Unlock()
 	return c
 }
 

@@ -276,16 +276,21 @@ func (h Hub) Validate(plan core.RoundPlan, n int) error {
 
 // chosen returns the round's participating worker ranks, ascending.
 func (h Hub) chosen(plan core.RoundPlan, n int) []int {
-	out := make([]int, 0, n-1)
+	return h.chosenInto(make([]int, 0, n-1), plan, n)
+}
+
+// chosenInto appends the participating worker ranks to dst in ascending
+// order — the pooled form the phased hot path uses.
+func (h Hub) chosenInto(dst []int, plan core.RoundPlan, n int) []int {
 	for i := 0; i < n; i++ {
 		if i == h.Server {
 			continue
 		}
 		if plan.Active == nil || plan.Active[i] {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // RunRound implements Pattern.

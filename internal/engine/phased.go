@@ -13,9 +13,14 @@ import (
 // *memtransport.Hub implements it (and therefore so does the simtransport
 // backend, which returns a Hub).
 //
-// The sharded runtime only ever calls Recv for a payload deposited in a
-// strictly earlier, barrier-separated phase, so a conforming phase program
-// never blocks in Recv.
+// Recv must block until the matching deposit arrives: when a pattern fuses
+// adjacent phases (PhaseFuser) the runtime elides the barrier between them,
+// so a receive may run before the peer's send and synchronizes on the FIFO
+// itself. Every Recv still consumes a deposit made in a strictly earlier
+// phase of the same round, and each shard executes its phases in order with
+// all of a phase's sends issued before the next phase begins, so waits only
+// ever point at earlier phases of other shards — the wait graph is acyclic
+// and a conforming phase program cannot deadlock.
 type PhasedTransport interface {
 	Send(round, from, to int, payload []float64) error
 	Recv(round, from, to int) ([]float64, error)
@@ -24,23 +29,50 @@ type PhasedTransport interface {
 // PhasedPattern is the optional Pattern extension the sharded runtime
 // executes: the round split into barrier-separated phases. Within a phase a
 // rank may compute, encode, decode, merge, and Send; every Recv must consume
-// a deposit made in an earlier phase (the barrier is the happens-before
-// edge). All built-in patterns implement PhasedPattern with per-rank
-// operation sequences identical to their blocking RunRound, which is what
-// makes the sharded runtime bit-identical to the goroutine-per-node pool.
+// a deposit made in an earlier phase (the barrier — or, for fused phases,
+// the transport FIFO — is the happens-before edge). All built-in patterns
+// implement PhasedPattern with per-rank operation sequences identical to
+// their blocking RunRound, which is what makes the sharded runtime
+// bit-identical to the goroutine-per-node pool.
 type PhasedPattern interface {
 	Pattern
 	// PhaseCount returns the number of barrier-separated phases one round
 	// needs over n nodes under plan.
 	PhaseCount(plan core.RoundPlan, n int) int
 	// RunPhase executes rank ctx.Self's slice of phase p. st is the rank's
-	// private in-flight state, zeroed by the runtime at round start.
+	// private in-flight state, reset by the runtime at round start.
 	RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error
 }
 
+// PhaseFuser is an optional PhasedPattern extension for barrier elision: a
+// false entry in PhaseDeps tells the sharded runtime that the boundary
+// between phases p and p+1 needs no barrier, so the two phases fuse into one
+// dispatch per shard. A boundary may be declared fusable only when (a) every
+// buffer a rank deposits before the boundary stays unwritten by its owner
+// until the round completes (receivers may still be reading it), and (b) all
+// post-boundary receives tolerate blocking in Recv for the deposit (see
+// PhasedTransport). Patterns that rewrite their send scratch phase over
+// phase — the butterfly collective — must not fuse.
+type PhaseFuser interface {
+	// PhaseDeps appends PhaseCount-1 booleans to deps, one per adjacent
+	// phase boundary in order: true keeps the barrier, false fuses.
+	PhaseDeps(plan core.RoundPlan, n int, deps []bool) []bool
+}
+
+// PhaseParticipants is an optional PhasedPattern extension for dispatch
+// elision: PhaseRanks names the half-open rank interval [lo, hi) that has
+// work in a phase, and the runtime skips shards entirely outside it (their
+// reports read as zero for the round unless another phase involves them).
+// Over-approximating is always safe — RunPhase on a rank with nothing to do
+// is a no-op.
+type PhaseParticipants interface {
+	PhaseRanks(plan core.RoundPlan, n int, phase int) (lo, hi int)
+}
+
 // PhaseState carries one rank's in-flight round state across the round's
-// phases. The sharded runtime owns one per rank; patterns use the private
-// fields as scratch.
+// phases. The sharded runtime owns one per rank and recycles it round over
+// round via reset, so all scratch below keeps its capacity and a
+// steady-state round allocates nothing.
 type PhaseState struct {
 	// Rep accumulates the rank's NodeReport across phases.
 	Rep NodeReport
@@ -48,8 +80,77 @@ type PhaseState struct {
 	skip   bool      // round finished early (e.g. unmatched pairwise rank)
 	sent   int64     // wire bytes of the in-flight outbound payload
 	vec    []float64 // running sum (collective / all-gather)
-	msgs   []PeerMsg // pending merge messages (neighborhood)
+	msgs   []PeerMsg // pending merge messages
 	lo, hi int       // owned segment (halving/doubling)
+	peers  []int     // chosen-worker scratch (hub server)
+
+	// dec is the single-slot decode scratch for payloads consumed within
+	// the same phase; decBufs hold per-message decodes that must stay alive
+	// together until a Merge. Both only ever store buffers produced by a
+	// codec's DecodeInto — a plain Decode result may alias the sender's
+	// storage, which the receiver must never write into.
+	dec     []float64
+	decBufs [][]float64
+	decUsed int
+
+	// wbufs double-buffer the butterfly's outbound chunk words by phase
+	// parity: a deposit made in phase p is drained in p+1, so its buffer is
+	// reusable at p+2 — which is exactly when the parity index repeats.
+	wbufs [2][]float64
+}
+
+// reset prepares the state for a new round, keeping every buffer's capacity.
+func (st *PhaseState) reset() {
+	st.Rep = NodeReport{Flows: st.Rep.Flows[:0]}
+	st.skip = false
+	st.sent = 0
+	st.vec = st.vec[:0]
+	st.msgs = st.msgs[:0]
+	st.lo, st.hi = 0, 0
+	st.decUsed = 0
+}
+
+// decodeScratch decodes words with c into the single-slot scratch when the
+// codec supports DecodeInto. The result is only valid until the next
+// decodeScratch call on the same state — callers consume it immediately.
+func (st *PhaseState) decodeScratch(c Codec, ctx RoundContext, words []float64) ([]float64, error) {
+	if d, ok := c.(DecoderInto); ok {
+		out, err := d.DecodeInto(st.dec, ctx, words)
+		if err != nil {
+			return nil, err
+		}
+		st.dec = out
+		return out, nil
+	}
+	return c.Decode(ctx, words)
+}
+
+// decodeMsg decodes words into the next pooled per-message buffer; results
+// from consecutive calls stay valid together until the round's Merge. Codecs
+// without DecodeInto fall back to Decode and their result is not pooled (it
+// may alias sender-owned storage).
+func (st *PhaseState) decodeMsg(c Codec, ctx RoundContext, words []float64) ([]float64, error) {
+	d, ok := c.(DecoderInto)
+	if !ok {
+		return c.Decode(ctx, words)
+	}
+	if st.decUsed == len(st.decBufs) {
+		st.decBufs = append(st.decBufs, nil)
+	}
+	out, err := d.DecodeInto(st.decBufs[st.decUsed], ctx, words)
+	if err != nil {
+		return nil, err
+	}
+	st.decBufs[st.decUsed] = out
+	st.decUsed++
+	return out, nil
+}
+
+// mergeOne hands a single peer message to the node through the pooled
+// message slice.
+func (st *PhaseState) mergeOne(ctx RoundContext, node Node, msg PeerMsg) error {
+	st.msgs = append(st.msgs[:0], msg)
+	return node.Merge(ctx, st.msgs)
 }
 
 // ---------------------------------------------------------------------------
@@ -57,6 +158,14 @@ type PhaseState struct {
 
 // PhaseCount implements PhasedPattern: encode+send, then recv+merge.
 func (Pairwise) PhaseCount(core.RoundPlan, int) int { return 2 }
+
+// PhaseDeps implements PhaseFuser: the two phases fuse. A rank's payload is
+// immutable from its Send until the round barrier (the codec re-encodes only
+// next round), so the only cross-rank dependency is the deposit itself and
+// the FIFO orders it.
+func (Pairwise) PhaseDeps(_ core.RoundPlan, _ int, deps []bool) []bool {
+	return append(deps, false)
+}
 
 // RunPhase implements PhasedPattern.
 func (Pairwise) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
@@ -70,7 +179,7 @@ func (Pairwise) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr 
 		if err != nil {
 			return err
 		}
-		st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+		st.Rep.Loss, st.Rep.Trained = loss, trained(loss)
 		if peer < 0 {
 			st.skip = true
 			return nil
@@ -90,13 +199,13 @@ func (Pairwise) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr 
 		if err != nil {
 			return err
 		}
-		vals, err := codecs[peer].Decode(ctx, peerWords)
+		vals, err := st.decodeScratch(codecs[peer], ctx, peerWords)
 		if err != nil {
 			return err
 		}
 		recv := codecs[peer].WireBytes(peerWords)
 		st.Rep.Flows = append(st.Rep.Flows, Flow{Peer: peer, Sent: st.sent, Recv: recv})
-		return node.Merge(ctx, []PeerMsg{{From: peer, Vals: vals, Words: peerWords, Bytes: recv}})
+		return st.mergeOne(ctx, node, PeerMsg{From: peer, Vals: vals, Words: peerWords, Bytes: recv})
 	}
 	return nil
 }
@@ -107,6 +216,12 @@ func (Pairwise) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr 
 // PhaseCount implements PhasedPattern: broadcast, then gather+merge.
 func (p *Neighborhood) PhaseCount(core.RoundPlan, int) int { return 2 }
 
+// PhaseDeps implements PhaseFuser: broadcast payloads are immutable after
+// their sends, so gather fuses onto broadcast and synchronizes on the FIFOs.
+func (p *Neighborhood) PhaseDeps(_ core.RoundPlan, _ int, deps []bool) []bool {
+	return append(deps, false)
+}
+
 // RunPhase implements PhasedPattern.
 func (p *Neighborhood) RunPhase(ctx RoundContext, phase int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
 	peers := p.adj[ctx.Self]
@@ -116,7 +231,7 @@ func (p *Neighborhood) RunPhase(ctx RoundContext, phase int, node Node, codecs [
 		if err != nil {
 			return err
 		}
-		st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+		st.Rep.Loss, st.Rep.Trained = loss, trained(loss)
 		if len(peers) == 0 {
 			st.skip = true
 			return nil
@@ -129,7 +244,7 @@ func (p *Neighborhood) RunPhase(ctx RoundContext, phase int, node Node, codecs [
 		st.Rep.PayloadLen = len(words)
 		st.msgs = st.msgs[:0]
 		if p.includeSelf {
-			vals, err := codecs[ctx.Self].Decode(ctx, words)
+			vals, err := st.decodeMsg(codecs[ctx.Self], ctx, words)
 			if err != nil {
 				return err
 			}
@@ -150,7 +265,7 @@ func (p *Neighborhood) RunPhase(ctx RoundContext, phase int, node Node, codecs [
 			if err != nil {
 				return err
 			}
-			vals, err := codecs[q].Decode(ctx, w)
+			vals, err := st.decodeMsg(codecs[q], ctx, w)
 			if err != nil {
 				return err
 			}
@@ -170,6 +285,16 @@ func (p *Neighborhood) RunPhase(ctx RoundContext, phase int, node Node, codecs [
 // pull-train-push; server uplink merge.
 func (Hub) PhaseCount(core.RoundPlan, int) int { return 3 }
 
+// PhaseRanks implements PhaseParticipants: the downlink and uplink phases
+// touch only the server's rank, so worker shards are dispatched for the
+// middle phase alone (and hand their reports over as soon as it completes).
+func (h Hub) PhaseRanks(_ core.RoundPlan, n int, phase int) (int, int) {
+	if phase == 1 {
+		return 0, n
+	}
+	return h.Server, h.Server + 1
+}
+
 // RunPhase implements PhasedPattern. The runtime never calls RunPhase for an
 // inactive rank, so a worker reaching here is always chosen.
 func (h Hub) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
@@ -186,36 +311,37 @@ func (h Hub) serverPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr 
 		if err != nil {
 			return err
 		}
-		st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+		st.Rep.Loss, st.Rep.Trained = loss, trained(loss)
 		words, err := codecs[ctx.Self].Encode(ctx, out)
 		if err != nil {
 			return err
 		}
 		st.sent = codecs[ctx.Self].WireBytes(words) // downlink bytes
 		st.Rep.PayloadLen = len(words)
-		for _, w := range h.chosen(ctx.Plan, ctx.N) {
+		st.peers = h.chosenInto(st.peers[:0], ctx.Plan, ctx.N)
+		for _, w := range st.peers {
 			if err := tr.Send(ctx.Round, ctx.Self, w, words); err != nil {
 				return err
 			}
 		}
 		return nil
 	case 2:
-		chosen := h.chosen(ctx.Plan, ctx.N)
-		msgs := make([]PeerMsg, 0, len(chosen))
-		for _, w := range chosen {
+		st.peers = h.chosenInto(st.peers[:0], ctx.Plan, ctx.N)
+		st.msgs = st.msgs[:0]
+		for _, w := range st.peers {
 			uw, err := tr.Recv(ctx.Round, ctx.Self, w)
 			if err != nil {
 				return err
 			}
-			vals, err := codecs[w].Decode(ctx, uw)
+			vals, err := st.decodeMsg(codecs[w], ctx, uw)
 			if err != nil {
 				return err
 			}
 			b := codecs[w].WireBytes(uw)
 			st.Rep.Flows = append(st.Rep.Flows, Flow{Peer: w, Sent: st.sent, Recv: b})
-			msgs = append(msgs, PeerMsg{From: w, Vals: vals, Words: uw, Bytes: b})
+			st.msgs = append(st.msgs, PeerMsg{From: w, Vals: vals, Words: uw, Bytes: b})
 		}
-		return node.Merge(ctx, msgs)
+		return node.Merge(ctx, st.msgs)
 	}
 	return nil
 }
@@ -228,19 +354,19 @@ func (h Hub) workerPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr 
 	if err != nil {
 		return err
 	}
-	vals, err := codecs[h.Server].Decode(ctx, downWords)
+	vals, err := st.decodeScratch(codecs[h.Server], ctx, downWords)
 	if err != nil {
 		return err
 	}
 	down := codecs[h.Server].WireBytes(downWords)
-	if err := node.Merge(ctx, []PeerMsg{{From: h.Server, Vals: vals, Words: downWords, Bytes: down}}); err != nil {
+	if err := st.mergeOne(ctx, node, PeerMsg{From: h.Server, Vals: vals, Words: downWords, Bytes: down}); err != nil {
 		return err
 	}
 	loss, out, err := node.Compute(ctx)
 	if err != nil {
 		return err
 	}
-	st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+	st.Rep.Loss, st.Rep.Trained = loss, trained(loss)
 	words, err := codecs[ctx.Self].Encode(ctx, out)
 	if err != nil {
 		return err
@@ -279,7 +405,7 @@ func phaseRecvSumAll(ctx RoundContext, codecs []Codec, tr PhasedTransport, st *P
 		if err != nil {
 			return err
 		}
-		vals, err := codecs[q].Decode(ctx, pw)
+		vals, err := st.decodeScratch(codecs[q], ctx, pw)
 		if err != nil {
 			return err
 		}
@@ -300,6 +426,12 @@ func phaseRecvSumAll(ctx RoundContext, codecs []Codec, tr PhasedTransport, st *P
 // PhaseCount implements PhasedPattern: broadcast, then gather+sum+merge.
 func (AllGather) PhaseCount(core.RoundPlan, int) int { return 2 }
 
+// PhaseDeps implements PhaseFuser: as with Neighborhood, the broadcast
+// payload is immutable after its sends, so the gather phase fuses.
+func (AllGather) PhaseDeps(_ core.RoundPlan, _ int, deps []bool) []bool {
+	return append(deps, false)
+}
+
 // RunPhase implements PhasedPattern.
 func (AllGather) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr PhasedTransport, st *PhaseState) error {
 	switch p {
@@ -308,24 +440,24 @@ func (AllGather) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr
 		if err != nil {
 			return err
 		}
-		st.Rep = NodeReport{Loss: loss, Trained: trained(loss)}
+		st.Rep.Loss, st.Rep.Trained = loss, trained(loss)
 		words, err := codecs[ctx.Self].Encode(ctx, out)
 		if err != nil {
 			return err
 		}
 		st.Rep.PayloadLen = len(words)
-		own, err := codecs[ctx.Self].Decode(ctx, words)
+		own, err := st.decodeScratch(codecs[ctx.Self], ctx, words)
 		if err != nil {
 			return err
 		}
-		st.vec = append([]float64(nil), own...)
+		st.vec = append(st.vec[:0], own...)
 		st.sent = codecs[ctx.Self].WireBytes(words)
 		return phaseSendAll(ctx, tr, words)
 	case 1:
 		if err := phaseRecvSumAll(ctx, codecs, tr, st, st.vec); err != nil {
 			return err
 		}
-		return node.Merge(ctx, []PeerMsg{{From: -1, Vals: st.vec}})
+		return st.mergeOne(ctx, node, PeerMsg{From: -1, Vals: st.vec})
 	}
 	return nil
 }
@@ -337,6 +469,9 @@ func (AllGather) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr
 // (2·log₂n exchange steps, each split across adjacent phases: the deposit in
 // phase p, the matching receive in phase p+1), other sizes the two-phase
 // exact all-gather, and a single node trains and merges in one phase.
+// Collective deliberately does not implement PhaseFuser: the butterfly
+// rewrites its parity-indexed chunk buffers phase over phase, so every
+// barrier is load-bearing (see PhaseState.wbufs).
 func (Collective) PhaseCount(_ core.RoundPlan, n int) int {
 	if n <= 1 {
 		return 1
@@ -359,10 +494,10 @@ func (c Collective) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec,
 		if err != nil {
 			return err
 		}
-		st.Rep = NodeReport{Loss: loss, Trained: trained(loss), PayloadLen: len(out)}
-		st.vec = append([]float64(nil), out...)
+		st.Rep.Loss, st.Rep.Trained, st.Rep.PayloadLen = loss, trained(loss), len(out)
+		st.vec = append(st.vec[:0], out...)
 		if ctx.N == 1 {
-			return node.Merge(ctx, []PeerMsg{{From: -1, Vals: st.vec}})
+			return st.mergeOne(ctx, node, PeerMsg{From: -1, Vals: st.vec})
 		}
 		words, err := codecs[ctx.Self].Encode(ctx, out)
 		if err != nil {
@@ -374,33 +509,39 @@ func (c Collective) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec,
 		if err := phaseRecvSumAll(ctx, codecs, tr, st, st.vec); err != nil {
 			return err
 		}
-		return node.Merge(ctx, []PeerMsg{{From: -1, Vals: st.vec}})
+		return st.mergeOne(ctx, node, PeerMsg{From: -1, Vals: st.vec})
 	}
 	return nil
 }
 
-// sendChunk encodes a copy of vec[lo:hi] and deposits it with partner — the
-// send half of the blocking path's exchangeChunk, same copies, same order.
-func (st *PhaseState) sendChunk(ctx RoundContext, codecs []Codec, tr PhasedTransport, lo, hi, partner int) error {
-	chunk := append([]float64(nil), st.vec[lo:hi]...)
-	words, err := codecs[ctx.Self].Encode(ctx, chunk)
+// sendChunk encodes vec[lo:hi] and deposits a copy of the words with partner
+// — the send half of the blocking path's exchangeChunk, encoding the same
+// values in the same order. The copy lands in the phase-parity wire buffer:
+// a deposit made in phase p is drained (and, for identity codecs, read) in
+// the barrier-separated phase p+1, so the buffer is free again when the
+// parity repeats at p+2.
+func (st *PhaseState) sendChunk(ctx RoundContext, codecs []Codec, tr PhasedTransport, lo, hi, partner, p int) error {
+	words, err := codecs[ctx.Self].Encode(ctx, st.vec[lo:hi])
 	if err != nil {
 		return err
 	}
-	wcopy := append([]float64(nil), words...)
-	st.sent = codecs[ctx.Self].WireBytes(wcopy)
-	return tr.Send(ctx.Round, ctx.Self, partner, wcopy)
+	w := append(st.wbufs[p&1][:0], words...)
+	st.wbufs[p&1] = w
+	st.sent = codecs[ctx.Self].WireBytes(w)
+	return tr.Send(ctx.Round, ctx.Self, partner, w)
 }
 
 // recvChunk drains partner's deposit and decodes it — the receive half of
 // exchangeChunk. The flow pairs this receive with the bytes of the chunk
-// sent to the same partner one phase earlier.
+// sent to the same partner one phase earlier. The returned values live in
+// the single-slot decode scratch (or the sender's deposit, for identity
+// codecs) and are consumed before the phase ends.
 func (st *PhaseState) recvChunk(ctx RoundContext, codecs []Codec, tr PhasedTransport, partner int) ([]float64, error) {
 	pw, err := tr.Recv(ctx.Round, ctx.Self, partner)
 	if err != nil {
 		return nil, err
 	}
-	vals, err := codecs[partner].Decode(ctx, pw)
+	vals, err := st.decodeScratch(codecs[partner], ctx, pw)
 	if err != nil {
 		return nil, err
 	}
@@ -434,11 +575,11 @@ func (Collective) butterflyPhase(ctx RoundContext, p int, node Node, codecs []Co
 		if err != nil {
 			return err
 		}
-		st.Rep = NodeReport{Loss: loss, Trained: trained(loss), PayloadLen: len(out)}
-		st.vec = append([]float64(nil), out...)
+		st.Rep.Loss, st.Rep.Trained, st.Rep.PayloadLen = loss, trained(loss), len(out)
+		st.vec = append(st.vec[:0], out...)
 		st.lo, st.hi = 0, len(st.vec)
 		partner, sendLo, sendHi, _, _ := rsGeometry(self, n, 0, st.lo, st.hi)
-		return st.sendChunk(ctx, codecs, tr, sendLo, sendHi, partner)
+		return st.sendChunk(ctx, codecs, tr, sendLo, sendHi, partner, p)
 	}
 	D := len(st.vec)
 	if p <= q {
@@ -459,12 +600,12 @@ func (Collective) butterflyPhase(ctx RoundContext, p int, node Node, codecs []Co
 		if p < q {
 			// Deposit reduce-scatter step p.
 			partner, sendLo, sendHi, _, _ := rsGeometry(self, n, p, st.lo, st.hi)
-			return st.sendChunk(ctx, codecs, tr, sendLo, sendHi, partner)
+			return st.sendChunk(ctx, codecs, tr, sendLo, sendHi, partner, p)
 		}
 		// Deposit all-gather step 0.
 		partner = self ^ 1
 		myLo, myHi := segAfter(self, q, D, n)
-		return st.sendChunk(ctx, codecs, tr, myLo, myHi, partner)
+		return st.sendChunk(ctx, codecs, tr, myLo, myHi, partner, p)
 	}
 	// Drain all-gather step g-1.
 	g := p - q
@@ -482,16 +623,22 @@ func (Collective) butterflyPhase(ctx RoundContext, p int, node Node, codecs []Co
 		// Deposit all-gather step g.
 		partner := self ^ (1 << g)
 		myLo, myHi := segAfter(self, q-g, D, n)
-		return st.sendChunk(ctx, codecs, tr, myLo, myHi, partner)
+		return st.sendChunk(ctx, codecs, tr, myLo, myHi, partner, p)
 	}
-	return node.Merge(ctx, []PeerMsg{{From: -1, Vals: st.vec}})
+	return st.mergeOne(ctx, node, PeerMsg{From: -1, Vals: st.vec})
 }
 
-// Compile-time checks: every built-in pattern supports the sharded runtime.
+// Compile-time checks: every built-in pattern supports the sharded runtime,
+// and the barrier/dispatch elision extensions stay wired to their patterns.
 var (
 	_ PhasedPattern = Pairwise{}
 	_ PhasedPattern = (*Neighborhood)(nil)
 	_ PhasedPattern = Hub{}
 	_ PhasedPattern = Collective{}
 	_ PhasedPattern = AllGather{}
+
+	_ PhaseFuser        = Pairwise{}
+	_ PhaseFuser        = (*Neighborhood)(nil)
+	_ PhaseFuser        = AllGather{}
+	_ PhaseParticipants = Hub{}
 )

@@ -22,6 +22,16 @@ import (
 //   - reports are collected rank-indexed and the Driver charges the ledger
 //     from the rank-ordered pair aggregation, so traffic accounting is
 //     byte-identical regardless of completion order.
+//
+// Synchronization is minimized three ways (DESIGN.md, performance chapter):
+// adjacent phases with no cross-rank dependency fuse into one dispatch (per
+// the pattern's PhaseDeps — and with a single shard every boundary fuses,
+// because one executor already runs the phases in the barriered order);
+// phases naming a participant interval (PhaseParticipants) are dispatched
+// only to the shards that intersect it; and each shard hands its ranks'
+// reports over in one batch as part of its final command of the round.
+// Per-round scratch (phase states, contexts, reports) is pooled, so a
+// steady-state round performs no heap allocations.
 type shardRunner struct {
 	n       int
 	pattern PhasedPattern
@@ -29,8 +39,13 @@ type shardRunner struct {
 	codecs  []Codec
 	tr      PhasedTransport
 
-	cmds []chan int // one per shard, carrying the phase index
-	done chan error // one message per shard per phase
+	cmds []chan shardCmd // one per shard
+	done chan error      // one message per shard per dispatched command
+
+	// plan is the round's control message, written by runRound before the
+	// first dispatch (the command-channel send is the happens-before edge
+	// that publishes it to the shard goroutines).
+	plan core.RoundPlan
 
 	// Per-round scratch, written only between barriers or by the owning
 	// shard's ranks.
@@ -38,6 +53,30 @@ type shardRunner struct {
 	ctxs    []RoundContext
 	active  []bool
 	reports []NodeReport
+
+	// Dispatch scratch, coordinator-owned.
+	deps     []bool
+	runs     []phaseRun
+	firstRun []int // per shard: index into runs of its first dispatch, -1 if none
+	lastRun  []int // per shard: index of its last dispatch
+	bounds   []int // shard i covers ranks [bounds[i], bounds[i+1])
+	agg      flowAgg
+}
+
+// shardCmd is one dispatch to a shard: execute phases [lo, hi) over the
+// shard's ranks. first marks the shard's first command of the round (reset
+// per-rank state before executing); last marks its final one (publish the
+// shard's reports after executing).
+type shardCmd struct {
+	lo, hi      int
+	first, last bool
+}
+
+// phaseRun is a maximal fused range of phases [lo, hi) with the union of the
+// phases' participant ranks [rankLo, rankHi).
+type phaseRun struct {
+	lo, hi         int
+	rankLo, rankHi int
 }
 
 // newShardRunner spawns shards executor goroutines over the rank space.
@@ -51,41 +90,97 @@ func newShardRunner(nodes []Node, codecs []Codec, pat PhasedPattern, tr PhasedTr
 		shards = n
 	}
 	s := &shardRunner{
-		n:       n,
-		pattern: pat,
-		nodes:   nodes,
-		codecs:  codecs,
-		tr:      tr,
-		cmds:    make([]chan int, shards),
-		done:    make(chan error, shards),
-		states:  make([]PhaseState, n),
-		ctxs:    make([]RoundContext, n),
-		active:  make([]bool, n),
-		reports: make([]NodeReport, n),
+		n:        n,
+		pattern:  pat,
+		nodes:    nodes,
+		codecs:   codecs,
+		tr:       tr,
+		cmds:     make([]chan shardCmd, shards),
+		done:     make(chan error, shards),
+		states:   make([]PhaseState, n),
+		ctxs:     make([]RoundContext, n),
+		active:   make([]bool, n),
+		reports:  make([]NodeReport, n),
+		firstRun: make([]int, shards),
+		lastRun:  make([]int, shards),
+		bounds:   make([]int, shards+1),
 	}
 	for i := range s.cmds {
-		lo, hi := i*n/shards, (i+1)*n/shards
-		s.cmds[i] = make(chan int)
-		go s.shardLoop(lo, hi, s.cmds[i])
+		s.bounds[i] = i * n / shards
+		s.cmds[i] = make(chan shardCmd)
+		go s.shardLoop(i*n/shards, (i+1)*n/shards, s.cmds[i])
 	}
+	s.bounds[shards] = n
 	return s
 }
 
-// shardLoop serves one shard's ranks phase by phase until the command
+// shardLoop serves one shard's ranks command by command until the command
 // channel closes. It deliberately holds no reference to the Engine, so an
 // abandoned engine stays collectable.
-func (s *shardRunner) shardLoop(lo, hi int, cmds <-chan int) {
-	for phase := range cmds {
-		var firstErr error
-		for r := lo; r < hi; r++ {
-			if !s.active[r] {
-				continue
+func (s *shardRunner) shardLoop(lo, hi int, cmds <-chan shardCmd) {
+	for cmd := range cmds {
+		if cmd.first {
+			for r := lo; r < hi; r++ {
+				s.states[r].reset()
+				s.ctxs[r] = RoundContext{Round: s.plan.Round, Seed: s.plan.Seed, Self: r, N: s.n, Plan: s.plan}
+				s.active[r] = s.plan.Active == nil || s.plan.Active[r]
 			}
-			if err := s.pattern.RunPhase(s.ctxs[r], phase, s.nodes[r], s.codecs, s.tr, &s.states[r]); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("engine: node %d: %w", r, err)
+		}
+		var firstErr error
+		for phase := cmd.lo; phase < cmd.hi; phase++ {
+			for r := lo; r < hi; r++ {
+				if !s.active[r] {
+					continue
+				}
+				if err := s.pattern.RunPhase(s.ctxs[r], phase, s.nodes[r], s.codecs, s.tr, &s.states[r]); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("engine: node %d: %w", r, err)
+				}
+			}
+		}
+		if cmd.last {
+			// Batched report handoff: the shard publishes all its ranks'
+			// reports with its final done signal instead of the coordinator
+			// walking every rank afterwards.
+			for r := lo; r < hi; r++ {
+				s.reports[r] = s.states[r].Rep
 			}
 		}
 		s.done <- firstErr
+	}
+}
+
+// planRuns groups the round's phases into maximal fused runs: a barrier is
+// kept between adjacent phases only when the pattern declares a cross-rank
+// dependency there (PhaseDeps; absent = every boundary) AND more than one
+// shard exists — a single executor already runs fused phases in exactly the
+// barriered order, so one shard always collapses the round into one command.
+func (s *shardRunner) planRuns(plan core.RoundPlan, phases int) {
+	s.deps = s.deps[:0]
+	if len(s.cmds) > 1 {
+		if f, ok := s.pattern.(PhaseFuser); ok {
+			s.deps = f.PhaseDeps(plan, s.n, s.deps)
+		} else {
+			for p := 0; p < phases-1; p++ {
+				s.deps = append(s.deps, true)
+			}
+		}
+	}
+	s.runs = s.runs[:0]
+	lo := 0
+	for p := 0; p < phases; p++ {
+		if p == phases-1 || (p < len(s.deps) && s.deps[p]) {
+			run := phaseRun{lo: lo, hi: p + 1, rankLo: s.n, rankHi: 0}
+			for q := run.lo; q < run.hi; q++ {
+				pl, ph := 0, s.n
+				if pp, ok := s.pattern.(PhaseParticipants); ok {
+					pl, ph = pp.PhaseRanks(plan, s.n, q)
+				}
+				run.rankLo = min(run.rankLo, pl)
+				run.rankHi = max(run.rankHi, ph)
+			}
+			s.runs = append(s.runs, run)
+			lo = p + 1
+		}
 	}
 }
 
@@ -93,19 +188,45 @@ func (s *shardRunner) shardLoop(lo, hi int, cmds <-chan int) {
 // the remaining phases and leaves the engine unusable (undelivered deposits
 // may linger in the transport); in-process patterns over valid plans cannot
 // fail, so this only matters for defective custom codecs or transports.
+// The returned report's Pairs slice aliases pooled storage valid until the
+// next runRound call — the Driver consumes it before planning the next
+// round.
 func (s *shardRunner) runRound(plan core.RoundPlan) (ControlReport, error) {
-	for r := 0; r < s.n; r++ {
-		s.states[r] = PhaseState{}
-		s.ctxs[r] = RoundContext{Round: plan.Round, Seed: plan.Seed, Self: r, N: s.n, Plan: plan}
-		s.active[r] = plan.Active == nil || plan.Active[r]
-	}
 	phases := s.pattern.PhaseCount(plan, s.n)
-	for p := 0; p < phases; p++ {
-		for _, c := range s.cmds {
-			c <- p
+	s.plan = plan
+	s.planRuns(plan, phases)
+
+	// Per-shard first/last dispatch indices; shards outside every run's
+	// participant interval are never dispatched, so the coordinator zeroes
+	// their ranks' reports itself.
+	for i := range s.cmds {
+		s.firstRun[i], s.lastRun[i] = -1, -1
+		for ri, run := range s.runs {
+			if run.rankLo < s.bounds[i+1] && s.bounds[i] < run.rankHi {
+				if s.firstRun[i] < 0 {
+					s.firstRun[i] = ri
+				}
+				s.lastRun[i] = ri
+			}
+		}
+		if s.firstRun[i] < 0 {
+			for r := s.bounds[i]; r < s.bounds[i+1]; r++ {
+				s.reports[r] = NodeReport{}
+			}
+		}
+	}
+
+	for ri, run := range s.runs {
+		dispatched := 0
+		for i, c := range s.cmds {
+			if ri < s.firstRun[i] || ri > s.lastRun[i] {
+				continue
+			}
+			c <- shardCmd{lo: run.lo, hi: run.hi, first: ri == s.firstRun[i], last: ri == s.lastRun[i]}
+			dispatched++
 		}
 		var firstErr error
-		for range s.cmds {
+		for k := 0; k < dispatched; k++ {
 			if err := <-s.done; err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -114,8 +235,5 @@ func (s *shardRunner) runRound(plan core.RoundPlan) (ControlReport, error) {
 			return ControlReport{}, firstErr
 		}
 	}
-	for r := 0; r < s.n; r++ {
-		s.reports[r] = s.states[r].Rep
-	}
-	return buildReport(s.reports), nil
+	return buildReport(&s.agg, s.reports), nil
 }

@@ -1,0 +1,91 @@
+// Package profiling wires the standard Go profilers into the repository's
+// command-line tools as one shared flag set: -cpuprofile, -memprofile, and
+// -trace mean the same thing on every binary that takes them, and the
+// outputs feed straight into `go tool pprof` / `go tool trace`.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config names the optional profile outputs a command records. The zero
+// value records nothing.
+type Config struct {
+	// CPUProfile is the CPU profile output path ("" = off).
+	CPUProfile string
+	// MemProfile is the allocation profile output path, written at Stop
+	// ("" = off).
+	MemProfile string
+	// Trace is the runtime execution trace output path ("" = off).
+	Trace string
+}
+
+// AddFlags registers the shared profiling flags on fs (the default
+// CommandLine set when fs is nil).
+func (c *Config) AddFlags(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write an allocation profile to `file` on exit")
+	fs.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to `file`")
+}
+
+// Start begins the configured recordings and returns the stop function the
+// caller must run (typically deferred) before exiting: it ends the CPU
+// profile and trace, and writes the allocation profile. A Start failure
+// leaves nothing running.
+func (c Config) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if c.CPUProfile != "" {
+		if cpuFile, err = os.Create(c.CPUProfile); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		if traceFile, err = os.Create(c.Trace); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err = trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if c.MemProfile == "" {
+			return nil
+		}
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// An up-to-date heap picture, as `go test -memprofile` takes it.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return fmt.Errorf("mem profile: %w", err)
+		}
+		return nil
+	}, nil
+}

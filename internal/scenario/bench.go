@@ -10,7 +10,10 @@ import (
 // BenchSchemaVersion is the BENCH.json schema. The CI regression gate
 // refuses to compare files of different versions, so schema changes require
 // regenerating the committed baseline in the same commit.
-const BenchSchemaVersion = 1
+//
+// v2 added the Perf rows (cmd/fleetperf's round-loop microbenchmarks with
+// per-row regression tolerances).
+const BenchSchemaVersion = 2
 
 // BenchFile is the stable-schema benchmark summary: the per-algorithm
 // traffic smoke rows (written by the repository's bench suite) and the
@@ -24,6 +27,40 @@ type BenchFile struct {
 
 	Algorithms []AlgoRow       `json:"algorithms,omitempty"`
 	Scenarios  []ScenarioSweep `json:"scenarios,omitempty"`
+	Perf       []PerfRow       `json:"perf,omitempty"`
+}
+
+// PerfRow is one cmd/fleetperf round-loop measurement: a (pattern, codec,
+// nodes, dim, shards, procs) cell of the sweep grid. BytesMoved is
+// deterministic and diffed exactly; NsPerOp is machine-dependent and diffed
+// within a tolerance on like machines only; AllocsPerOp is gated everywhere
+// (steady-state allocation counts are a property of the code, not the
+// machine).
+type PerfRow struct {
+	// Name uniquely keys the row across files ("pairwise/masked/n64/d1024/s2/p1").
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+	Codec   string `json:"codec"`
+	Nodes   int    `json:"nodes"`
+	Dim     int    `json:"dim"`
+	Shards  int    `json:"shards"`
+	// Procs is the GOMAXPROCS the row ran under — single-core rows stay
+	// comparable against a single-core baseline even when the rest of the
+	// file was produced on a wide machine.
+	Procs  int `json:"procs"`
+	Rounds int `json:"rounds"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	NsPerOp     float64 `json:"ns_per_op"`     // wall nanoseconds per round
+	AllocsPerOp float64 `json:"allocs_per_op"` // heap allocations per round
+	BytesMoved  int64   `json:"bytes_moved"`   // wire bytes over the measured rounds
+
+	// MaxNsRegress and MaxAllocRegress are per-row regression tolerances
+	// carried by the baseline file (fractions: 0.3 = +30%). Zero means the
+	// differ's defaults apply. Hand-edit the committed baseline to widen a
+	// row known to be noisy.
+	MaxNsRegress    float64 `json:"max_ns_regress,omitempty"`
+	MaxAllocRegress float64 `json:"max_alloc_regress,omitempty"`
 }
 
 // AlgoRow is one algorithm's traffic-smoke measurement.
@@ -103,6 +140,10 @@ func ReadBench(path string) (*BenchFile, error) {
 //     between like machines, so this check runs only when WallComparable
 //     (regenerate the baseline from a CI-produced BENCH.json artifact to
 //     arm it there); byte counts are gated unconditionally.
+//   - fleetperf rows (matched by name): bytes moved exactly, allocs/op
+//     within the baseline row's tolerance on every machine, and ns/op
+//     within the row's tolerance when the files are wall-comparable and the
+//     row ran at the same GOMAXPROCS in both.
 //
 // Rows present in only one file are ignored — adding a scenario must not
 // require touching the baseline in the same commit, and removals surface in
@@ -158,6 +199,7 @@ func Diff(baseline, fresh *BenchFile, maxWallRegress float64) error {
 			}
 		}
 	}
+	problems = append(problems, diffPerf(baseline, fresh, maxWallRegress)...)
 	if WallComparable(baseline, fresh) {
 		// Algorithm rows (per-round milliseconds) and scenario runs
 		// (absolute seconds) are different units, so each pool is gated
@@ -177,6 +219,54 @@ func Diff(baseline, fresh *BenchFile, maxWallRegress float64) error {
 		return fmt.Errorf("bench diff: %d regression(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
 	}
 	return nil
+}
+
+// Default per-row perf tolerances, used when a baseline row does not carry
+// its own. Allocation counts get a small absolute slack on top (the runtime
+// occasionally charges a row a stray background allocation).
+const (
+	defaultMaxAllocRegress = 0.10
+	allocAbsSlack          = 2.0
+)
+
+// diffPerf gates the fleetperf rows shared by name: bytes exactly and
+// unconditionally, allocs/op within the row's tolerance everywhere, and
+// ns/op within the row's tolerance only between like machines at the same
+// per-row GOMAXPROCS.
+func diffPerf(baseline, fresh *BenchFile, maxWallRegress float64) []string {
+	var problems []string
+	basePerf := map[string]PerfRow{}
+	for _, r := range baseline.Perf {
+		basePerf[r.Name] = r
+	}
+	for _, r := range fresh.Perf {
+		b, ok := basePerf[r.Name]
+		if !ok {
+			continue
+		}
+		if b.BytesMoved != r.BytesMoved {
+			problems = append(problems, fmt.Sprintf("perf %s: bytes moved %d → %d", r.Name, b.BytesMoved, r.BytesMoved))
+		}
+		allocTol := b.MaxAllocRegress
+		if allocTol == 0 {
+			allocTol = defaultMaxAllocRegress
+		}
+		if r.AllocsPerOp > b.AllocsPerOp*(1+allocTol)+allocAbsSlack {
+			problems = append(problems, fmt.Sprintf("perf %s: allocs/op %.1f → %.1f (limit +%.0f%% + %.0f)",
+				r.Name, b.AllocsPerOp, r.AllocsPerOp, 100*allocTol, allocAbsSlack))
+		}
+		if WallComparable(baseline, fresh) && b.Procs == r.Procs && b.NsPerOp > 0 {
+			nsTol := b.MaxNsRegress
+			if nsTol == 0 {
+				nsTol = maxWallRegress
+			}
+			if r.NsPerOp > b.NsPerOp*(1+nsTol) {
+				problems = append(problems, fmt.Sprintf("perf %s: ns/op %.0f → %.0f (+%.0f%%, limit +%.0f%%)",
+					r.Name, b.NsPerOp, r.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*nsTol))
+			}
+		}
+	}
+	return problems
 }
 
 // WallComparable reports whether the two summaries' wall timings can be

@@ -210,6 +210,14 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 		return nil, err
 	}
 	out := &RunOutput{}
+	if opts.Series {
+		// The series lengths are known up front; preallocating keeps the
+		// round loop free of append regrowth (which would otherwise copy
+		// O(rounds) elements log(rounds) times over a long campaign run).
+		out.Losses = make([]float64, 0, s.Rounds)
+		out.CumBytes = make([]int64, 0, s.Rounds)
+		out.CumSimSeconds = make([]float64, 0, s.Rounds)
+	}
 	if opts.Trace || s.Trace {
 		if tr, ok := alg.(interface{ SetTrace(*trace.Recorder) }); ok {
 			out.Trace = trace.NewRecorder()

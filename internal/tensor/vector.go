@@ -22,9 +22,19 @@ func Clone(v []float64) []float64 {
 	return out
 }
 
+// The element-wise kernels below process four elements per iteration. The
+// unrolling is bit-transparent — each element's arithmetic is independent, so
+// the results are identical to the scalar loop (unlike reductions, where
+// reassociation would change the floating-point sum; Dot and Sum therefore
+// keep a single sequential accumulator).
+
 // Fill sets every element of v to x.
 func Fill(v []float64, x float64) {
-	for i := range v {
+	n := len(v) &^ 3
+	for i := 0; i < n; i += 4 {
+		v[i], v[i+1], v[i+2], v[i+3] = x, x, x, x
+	}
+	for i := n; i < len(v); i++ {
 		v[i] = x
 	}
 }
@@ -32,14 +42,29 @@ func Fill(v []float64, x float64) {
 // Axpy computes y += a*x element-wise. It panics if lengths differ.
 func Axpy(a float64, x, y []float64) {
 	assertSameLen(len(x), len(y))
-	for i, xi := range x {
-		y[i] += a * xi
+	y = y[:len(x)]
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		y[i] += a * x[i]
 	}
 }
 
 // Scale multiplies every element of v by a in place.
 func Scale(a float64, v []float64) {
-	for i := range v {
+	n := len(v) &^ 3
+	for i := 0; i < n; i += 4 {
+		v[i] *= a
+		v[i+1] *= a
+		v[i+2] *= a
+		v[i+3] *= a
+	}
+	for i := n; i < len(v); i++ {
 		v[i] *= a
 	}
 }
@@ -48,7 +73,15 @@ func Scale(a float64, v []float64) {
 func Add(dst, a, b []float64) {
 	assertSameLen(len(a), len(b))
 	assertSameLen(len(dst), len(a))
-	for i := range dst {
+	b, dst = b[:len(a)], dst[:len(a)]
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] = a[i] + b[i]
+		dst[i+1] = a[i+1] + b[i+1]
+		dst[i+2] = a[i+2] + b[i+2]
+		dst[i+3] = a[i+3] + b[i+3]
+	}
+	for i := n; i < len(a); i++ {
 		dst[i] = a[i] + b[i]
 	}
 }
@@ -57,12 +90,22 @@ func Add(dst, a, b []float64) {
 func Sub(dst, a, b []float64) {
 	assertSameLen(len(a), len(b))
 	assertSameLen(len(dst), len(a))
-	for i := range dst {
+	b, dst = b[:len(a)], dst[:len(a)]
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] = a[i] - b[i]
+		dst[i+1] = a[i+1] - b[i+1]
+		dst[i+2] = a[i+2] - b[i+2]
+		dst[i+3] = a[i+3] - b[i+3]
+	}
+	for i := n; i < len(a); i++ {
 		dst[i] = a[i] - b[i]
 	}
 }
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b. The accumulation is a single
+// sequential chain — unrolling with partial sums would reassociate the
+// floating-point additions and break bit-identical reproducibility.
 func Dot(a, b []float64) float64 {
 	assertSameLen(len(a), len(b))
 	s := 0.0
@@ -96,7 +139,15 @@ func Mean(v []float64) float64 {
 func Hadamard(dst, a, b []float64) {
 	assertSameLen(len(a), len(b))
 	assertSameLen(len(dst), len(a))
-	for i := range dst {
+	b, dst = b[:len(a)], dst[:len(a)]
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] = a[i] * b[i]
+		dst[i+1] = a[i+1] * b[i+1]
+		dst[i+2] = a[i+2] * b[i+2]
+		dst[i+3] = a[i+3] * b[i+3]
+	}
+	for i := n; i < len(a); i++ {
 		dst[i] = a[i] * b[i]
 	}
 }
