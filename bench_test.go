@@ -186,7 +186,7 @@ func BenchmarkAblationTThres(b *testing.B) {
 					r := gen.Next(t)
 					total += gossip.MeanMatchedBandwidth(r.Match, bw)
 					if t < 100 {
-						ws = append(ws, r.W)
+						ws = append(ws, r.W())
 					}
 				}
 				mean = total / iters

@@ -30,7 +30,9 @@ import (
 	"time"
 
 	"sapspsgd/internal/core"
+	"sapspsgd/internal/dataset"
 	"sapspsgd/internal/engine"
+	"sapspsgd/internal/nn"
 	"sapspsgd/internal/profiling"
 	"sapspsgd/internal/scenario"
 )
@@ -39,6 +41,7 @@ var (
 	flagOut    = flag.String("out", "PERF.json", "summary output path")
 	flagBase   = flag.String("base", "", "existing BENCH.json to merge the perf rows into (its algorithm/scenario sections are kept)")
 	flagShort  = flag.Bool("short", false, "small single-machine smoke grid (the CI perf gate)")
+	flagGrid   = flag.String("grid", "all", "which sweep to run: all | engine (round-loop cells) | planner (large-N planner-only cells)")
 	flagRounds = flag.Int("rounds", 0, "override measured rounds per cell (0 = grid default)")
 	flagWarm   = flag.Int("warm", 0, "override warmup rounds per cell (0 = grid default)")
 	flagProcs  = flag.String("procs", "0", "comma-separated GOMAXPROCS values to run the grid under (0 = current setting)")
@@ -56,13 +59,17 @@ func main() {
 	}
 }
 
-// cell is one grid point of the sweep.
+// cell is one grid point of the sweep. Planner cells (pattern "planner")
+// measure the coordinator-side large-N path instead of the engine round loop:
+// codec holds the sparse bandwidth kind, dim the mask dimension, and shards
+// is always 0 (there is no engine).
 type cell struct {
 	pattern string
 	codec   string
 	nodes   int
 	dim     int
 	shards  int
+	degree  int // planner cells: sparse topology mean degree
 }
 
 func (c cell) name(procs int) string {
@@ -108,6 +115,26 @@ func grid(short bool) (cells []cell, rounds, warm int) {
 	return cells, 50, 8
 }
 
+// plannerDim is the planner cells' mask dimension: the TinyTask MLP with one
+// 64-wide hidden layer and 10 classes (the same geometry the large-N scenario
+// capsules declare).
+var plannerDim = nn.MLPParamCount(dataset.TinyInputDim, []int{64}, 10)
+
+// plannerGrid returns the large-N planner-only cells: Algorithm 3 planning +
+// mask accounting + ledger charging over a sparse environment, no engine. The
+// short grid's 10k-node cell is the CI large-N smoke gate; the full grid adds
+// the 50k-node headline cell (the fleet scaled 100× past the paper's 512).
+func plannerGrid(short bool) (cells []cell, rounds, warm int) {
+	sizes := []int{10000}
+	if !short {
+		sizes = append(sizes, 50000)
+	}
+	for _, n := range sizes {
+		cells = append(cells, cell{pattern: "planner", codec: "sparse-uniform", nodes: n, dim: plannerDim, degree: 8})
+	}
+	return cells, 20, 5
+}
+
 func run() error {
 	procs, err := parseProcs(*flagProcs)
 	if err != nil {
@@ -128,12 +155,23 @@ func run() error {
 		}
 	}()
 
-	cells, rounds, warm := grid(*flagShort)
-	if *flagRounds > 0 {
-		rounds = *flagRounds
+	type sweep struct {
+		cells        []cell
+		rounds, warm int
 	}
-	if *flagWarm > 0 {
-		warm = *flagWarm
+	var sweeps []sweep
+	switch *flagGrid {
+	case "all", "engine":
+		cells, rounds, warm := grid(*flagShort)
+		sweeps = append(sweeps, sweep{cells, rounds, warm})
+	}
+	switch *flagGrid {
+	case "all", "planner":
+		cells, rounds, warm := plannerGrid(*flagShort)
+		sweeps = append(sweeps, sweep{cells, rounds, warm})
+	}
+	if len(sweeps) == 0 {
+		return fmt.Errorf("unknown -grid %q (want all, engine, or planner)", *flagGrid)
 	}
 
 	var rows []scenario.PerfRow
@@ -144,15 +182,30 @@ func run() error {
 			target = defaultProcs
 		}
 		prev := runtime.GOMAXPROCS(target)
-		for _, c := range cells {
-			row, err := runCell(c, rounds, warm)
-			if err != nil {
-				runtime.GOMAXPROCS(prev)
-				return fmt.Errorf("%s: %w", c.name(target), err)
+		for _, sw := range sweeps {
+			rounds, warm := sw.rounds, sw.warm
+			if *flagRounds > 0 {
+				rounds = *flagRounds
 			}
-			rows = append(rows, row)
-			fmt.Printf("BENCH %-40s %10.0f ns/op %8.2f allocs/op %12d bytes %8.3fs wall\n",
-				row.Name, row.NsPerOp, row.AllocsPerOp, row.BytesMoved, row.WallSeconds)
+			if *flagWarm > 0 {
+				warm = *flagWarm
+			}
+			for _, c := range sw.cells {
+				var row scenario.PerfRow
+				var err error
+				if c.pattern == "planner" {
+					row, err = runPlannerCell(c, rounds, warm)
+				} else {
+					row, err = runCell(c, rounds, warm)
+				}
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					return fmt.Errorf("%s: %w", c.name(target), err)
+				}
+				rows = append(rows, row)
+				fmt.Printf("BENCH %-40s %10.0f ns/op %8.2f allocs/op %12d bytes %7d MB rss %8.3fs wall\n",
+					row.Name, row.NsPerOp, row.AllocsPerOp, row.BytesMoved, row.PeakRSSBytes>>20, row.WallSeconds)
+			}
 		}
 		runtime.GOMAXPROCS(prev)
 	}
@@ -236,6 +289,7 @@ func runCell(c cell, rounds, warm int) (scenario.PerfRow, error) {
 	}
 	baseBytes := led.TotalBytes()
 	runtime.GC()
+	profiling.ResetPeakRSS()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
@@ -248,22 +302,89 @@ func runCell(c cell, rounds, warm int) (scenario.PerfRow, error) {
 	runtime.ReadMemStats(&m1)
 
 	return scenario.PerfRow{
-		Name:        c.name(runtime.GOMAXPROCS(0)),
-		Pattern:     c.pattern,
-		Codec:       c.codec,
-		Nodes:       c.nodes,
-		Dim:         c.dim,
-		Shards:      c.shards,
-		Procs:       runtime.GOMAXPROCS(0),
-		Rounds:      rounds,
-		WallSeconds: wall.Seconds(),
-		NsPerOp:     float64(wall.Nanoseconds()) / float64(rounds),
-		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
-		BytesMoved:  led.TotalBytes() - baseBytes,
+		Name:         c.name(runtime.GOMAXPROCS(0)),
+		Pattern:      c.pattern,
+		Codec:        c.codec,
+		Nodes:        c.nodes,
+		Dim:          c.dim,
+		Shards:       c.shards,
+		Procs:        runtime.GOMAXPROCS(0),
+		Rounds:       rounds,
+		WallSeconds:  wall.Seconds(),
+		NsPerOp:      float64(wall.Nanoseconds()) / float64(rounds),
+		AllocsPerOp:  float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
+		BytesMoved:   led.TotalBytes() - baseBytes,
+		PeakRSSBytes: profiling.PeakRSS(),
 		// Seed a conservative timing tolerance: short sweeps on shared CI
 		// runners see ±30-40% jitter per row. Tighten by hand in the
 		// committed baseline when measuring on quiet dedicated hardware.
 		MaxNsRegress: 0.5,
+		// RSS is process-wide (the GC's retained heap floats under it), so
+		// seed the same generous fraction; the differ adds a 64 MB absolute
+		// slack on top.
+		MaxRSSRegress: 0.5,
+	}, nil
+}
+
+// plannerSpec assembles the scenario capsule a planner cell measures.
+func plannerSpec(c cell, rounds int) *scenario.Spec {
+	return &scenario.Spec{
+		SchemaVersion: scenario.SpecSchemaVersion,
+		Name:          fmt.Sprintf("planner-n%d", c.nodes),
+		Algo:          "saps",
+		Nodes:         c.nodes,
+		Rounds:        rounds,
+		Seed:          42,
+		LR:            0.05,
+		Batch:         8,
+		Compression:   100,
+		Gossip:        &scenario.GossipSpec{BThres: 1, TThres: 10},
+		Model:         scenario.ModelSpec{Hidden: []int{64}},
+		Data:          scenario.DataSpec{Samples: c.nodes, Classes: 10},
+		Bandwidth:     scenario.BandwidthSpec{Kind: c.codec, Lo: 0.5, Hi: 5, Degree: c.degree},
+		PlannerOnly:   true,
+	}
+}
+
+// runPlannerCell measures one large-N planner-only cell: a warmup run primes
+// the code paths, then the measured run times Algorithm 3 planning + mask
+// accounting + ledger charging end to end (environment construction
+// included — building the topology is part of the large-N path). BytesMoved
+// is the run's deterministic ledger total; PeakRSSBytes is the cell's own
+// high-water mark (the warmup's peak is cleared first), which is what the
+// regression gate watches for an O(N²) reintroduction.
+func runPlannerCell(c cell, rounds, warm int) (scenario.PerfRow, error) {
+	if warm > 0 {
+		if _, err := plannerSpec(c, warm).Run(0); err != nil {
+			return scenario.PerfRow{}, err
+		}
+	}
+	spec := plannerSpec(c, rounds)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := spec.Run(0) // brackets ResetPeakRSS/PeakRSS itself
+	if err != nil {
+		return scenario.PerfRow{}, err
+	}
+	runtime.ReadMemStats(&m1)
+
+	return scenario.PerfRow{
+		Name:          c.name(runtime.GOMAXPROCS(0)),
+		Pattern:       c.pattern,
+		Codec:         c.codec,
+		Nodes:         c.nodes,
+		Dim:           c.dim,
+		Shards:        0,
+		Procs:         runtime.GOMAXPROCS(0),
+		Rounds:        rounds,
+		WallSeconds:   res.WallSeconds,
+		NsPerOp:       res.WallSeconds * 1e9 / float64(rounds),
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
+		BytesMoved:    res.TotalBytes,
+		PeakRSSBytes:  res.PeakRSSBytes,
+		MaxNsRegress:  0.5,
+		MaxRSSRegress: 0.5,
 	}, nil
 }
 

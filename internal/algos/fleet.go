@@ -242,14 +242,13 @@ func (l *hubLedger) EndRound() float64 { return l.inner.EndRound() }
 // placement).
 func serverLinks(bw *netsim.Bandwidth) []float64 {
 	out := make([]float64, bw.N)
-	for i := 0; i < bw.N; i++ {
-		best := 0.0
-		for j := 0; j < bw.N; j++ {
-			if v := bw.MBps(i, j); v > best {
-				best = v
-			}
+	bw.ForEachEdge(0, func(u, v int, w float64) {
+		if w > out[u] {
+			out[u] = w
 		}
-		out[i] = best
-	}
+		if w > out[v] {
+			out[v] = w
+		}
+	})
 	return out
 }

@@ -3,6 +3,7 @@ package algos
 import (
 	"fmt"
 
+	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/dataset"
 	"sapspsgd/internal/engine"
@@ -180,10 +181,16 @@ func (r Recipe) Pattern() engine.Pattern {
 func (r Recipe) Codecs(dim int) []engine.Codec {
 	n := r.Nodes()
 	out := make([]engine.Codec, n)
+	// The masked codec's round mask is identical across ranks, so every
+	// codec in one table (= one process) shares a single cached mask.
+	var masks *compress.MaskCache
 	for rank := 0; rank < n; rank++ {
 		switch r.Algo {
 		case "saps":
-			out[rank] = engine.NewMasked(r.Compression)
+			if masks == nil {
+				masks = &compress.MaskCache{}
+			}
+			out[rank] = engine.NewMaskedShared(r.Compression, masks)
 		case "psgd", "d-psgd", "ps-psgd", "fedavg":
 			out[rank] = engine.Dense{}
 		case "topk-psgd":

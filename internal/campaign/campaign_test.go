@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -240,6 +241,83 @@ func TestRunResumeAndDeterminism(t *testing.T) {
 	statsC, idsC := runExample(t, resumed, Options{})
 	if statsC.Executed != 0 || statsC.Skipped != statsFull.Planned || len(idsC) != 0 {
 		t.Fatalf("no-op re-run executed cells: %+v", statsC)
+	}
+}
+
+// TestLargeNCampaignExpands validates the committed large-N campaign capsule
+// without running it (the 50k cell is an off-CI artifact, ~7 s/round on one
+// core): every cell must stay planner-only over a sparse environment — the
+// point of the capsule is that no cell ever materializes an N² bandwidth
+// matrix or a per-rank model fleet.
+func TestLargeNCampaignExpands(t *testing.T) {
+	c, err := Load(filepath.Join("testdata", "largen.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.LoadBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := c.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("largen expands to %d cells, want 3", len(cells))
+	}
+	want50k := false
+	for _, cell := range cells {
+		if !cell.Spec.PlannerOnly {
+			t.Errorf("cell %s lost planner_only", cell.ID)
+		}
+		if !strings.HasPrefix(cell.Spec.Bandwidth.Kind, "sparse-") {
+			t.Errorf("cell %s runs over dense bandwidth kind %q", cell.ID, cell.Spec.Bandwidth.Kind)
+		}
+		if cell.Spec.Nodes == 50000 {
+			want50k = true
+		}
+	}
+	if !want50k {
+		t.Fatal("largen campaign has no 50k-node cell")
+	}
+}
+
+// TestPlannerOnlyCampaignRuns executes a scaled-down planner-only campaign
+// end to end through the orchestrator: cells complete, account deterministic
+// traffic, and aggregate without ever training a model (final loss is zero
+// by construction on the planner-only path).
+func TestPlannerOnlyCampaignRuns(t *testing.T) {
+	spec := `{
+		"schema_version": 1, "name": "largen-smoke", "base": "largen-base.json",
+		"grid": {"nodes": [16, 32]}
+	}`
+	c, err := Parse([]byte(spec), "testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	stats, err := Run(c, Options{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Planned != 2 || stats.Executed != 2 || !stats.Aggregated {
+		t.Fatalf("planner-only campaign: %+v", stats)
+	}
+	for _, id := range []string{"n16", "n32"} {
+		data, err := os.ReadFile(cellFile(dir, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res CellResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalBytes <= 0 || res.SimSeconds <= 0 {
+			t.Errorf("cell %s accounted nothing: %+v", id, res)
+		}
+		if res.FinalLoss != 0 {
+			t.Errorf("cell %s reports a loss %v from a planner-only run", id, res.FinalLoss)
+		}
 	}
 }
 

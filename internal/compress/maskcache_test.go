@@ -1,0 +1,80 @@
+package compress
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMaskCacheMatchesMaskInto pins the sharing contract: the cached mask is
+// bit-identical to a direct MaskInto evaluation for every key, including
+// after key changes.
+func TestMaskCacheMatchesMaskInto(t *testing.T) {
+	mc := &MaskCache{}
+	keys := []struct {
+		seed  uint64
+		round int
+		n     int
+		c     float64
+	}{
+		{1, 0, 128, 4},
+		{1, 1, 128, 4},
+		{1, 1, 128, 4}, // repeat: must hit the cache
+		{9, 1, 64, 2},
+		{1, 1, 128, 4}, // back to an evicted key: must recompute correctly
+	}
+	for _, k := range keys {
+		got := mc.Get(k.seed, k.round, k.n, k.c)
+		want := Mask(k.seed, k.round, k.n, k.c)
+		if len(got) != len(want) {
+			t.Fatalf("key %+v: len %d, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("key %+v: bit %d differs", k, i)
+			}
+		}
+	}
+}
+
+// TestMaskCacheHitReturnsSameSlice pins the memory contract: repeated hits
+// return the same backing slice (no per-rank copies), and the previous
+// generation's slice survives one key change (double buffering), so a
+// barrier-lagged holder never observes a torn mask.
+func TestMaskCacheHitReturnsSameSlice(t *testing.T) {
+	mc := &MaskCache{}
+	a := mc.Get(7, 0, 256, 4)
+	b := mc.Get(7, 0, 256, 4)
+	if &a[0] != &b[0] {
+		t.Fatal("cache hit returned a different slice")
+	}
+	snapshot := append([]bool(nil), a...)
+	mc.Get(7, 1, 256, 4) // advance one generation
+	for i := range a {
+		if a[i] != snapshot[i] {
+			t.Fatal("previous generation was overwritten after one key change")
+		}
+	}
+}
+
+// TestMaskCacheConcurrent exercises the fleet access pattern: many rank
+// goroutines asking for the same key at once, all receiving the identical
+// correct mask (run with -race to check the locking).
+func TestMaskCacheConcurrent(t *testing.T) {
+	mc := &MaskCache{}
+	want := Mask(42, 3, 512, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := mc.Get(42, 3, 512, 8)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("bit %d differs", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -23,8 +23,12 @@ type Worker struct {
 	cfg Config
 
 	flat    []float64 // scratch for the flat parameter vector
-	mask    []bool    // scratch for the round mask
+	mask    []bool    // round mask: worker scratch, or the shared cache's slice
 	payload []float64 // scratch for the packed masked payload
+
+	// masks, when set, replaces the per-worker mask scratch with a
+	// fleet-shared cache (see ShareMasks).
+	masks *compress.MaskCache
 }
 
 // NewWorker assembles a worker from its already-constructed model and data
@@ -54,12 +58,25 @@ func (w *Worker) LocalSGD() float64 {
 	return total / float64(w.cfg.LocalSteps)
 }
 
+// ShareMasks redirects RoundMask through a fleet-shared cache: ranks hosted
+// in the same process regenerate one mask per round between them instead of
+// one per rank, so per-rank steady-state memory stays O(model) independent of
+// how many ranks the process hosts. The mask is a pure function of
+// (seed, round, n, c), so sharing is bit-invisible; the worker only ever
+// reads the returned slice.
+func (w *Worker) ShareMasks(mc *compress.MaskCache) { w.masks = mc }
+
 // RoundMask regenerates the shared round mask from the coordinator's seed
 // (Algorithm 2 line 6). Every worker calls this with identical arguments and
-// obtains an identical mask. The mask is written into per-worker scratch, so
-// steady-state rounds allocate nothing.
+// obtains an identical mask. The mask lands in per-worker scratch (or the
+// fleet-shared cache after ShareMasks), so steady-state rounds allocate
+// nothing.
 func (w *Worker) RoundMask(seed uint64, round int) []bool {
 	n := w.Model.ParamCount()
+	if w.masks != nil {
+		w.mask = w.masks.Get(seed, round, n, w.cfg.Compression)
+		return w.mask
+	}
 	w.mask = compress.MaskInto(w.mask, seed, round, n, w.cfg.Compression)
 	return w.mask
 }

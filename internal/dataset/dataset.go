@@ -131,6 +131,11 @@ func CIFARLike(train, valid int, seed uint64) (tr, va *Dataset) {
 	return split(Synthetic(cfg, train+valid, seed), train)
 }
 
+// TinyInputDim is TinyTask's flattened input dimension (1×8×8). Planner-only
+// scenario runs derive the model's parameter count from it without ever
+// generating the dataset.
+const TinyInputDim = 64
+
 // TinyTask returns a small low-dimensional task for fast unit tests: 8×8×1,
 // nclasses classes.
 func TinyTask(n, nclasses int, seed uint64) (tr, va *Dataset) {

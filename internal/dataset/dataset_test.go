@@ -212,3 +212,27 @@ func TestLoaderPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestPartitionSharesBackingArrays pins the memory model the large-N
+// in-process fleets rely on: partitioning copies Sample headers, not pixel
+// data, so every shard is a view into the parent dataset and per-rank data
+// memory is O(1) beyond the shared arrays.
+func TestPartitionSharesBackingArrays(t *testing.T) {
+	tr, _ := TinyTask(200, 4, 7)
+	parent := make(map[*float64]bool, len(tr.Samples))
+	for i := range tr.Samples {
+		parent[&tr.Samples[i].X[0]] = true
+	}
+	for _, shards := range [][]*Dataset{
+		PartitionIID(tr, 8, 1),
+		PartitionByLabel(tr, 8, 2, 1),
+	} {
+		for w, s := range shards {
+			for k := range s.Samples {
+				if !parent[&s.Samples[k].X[0]] {
+					t.Fatalf("shard %d sample %d copied its pixel data", w, k)
+				}
+			}
+		}
+	}
+}

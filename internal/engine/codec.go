@@ -96,6 +96,7 @@ type Masked struct {
 
 	mask    []bool
 	payload []float64
+	cache   *compress.MaskCache
 }
 
 // NewMasked returns a shared-seed mask codec with ratio c.
@@ -106,13 +107,27 @@ func NewMasked(c float64) *Masked {
 	return &Masked{C: c}
 }
 
+// NewMaskedShared returns a masked codec whose round masks come from a
+// fleet-shared cache instead of per-codec scratch: every rank hosted in the
+// same process regenerates one mask per round between them. Bit-identical to
+// NewMasked (the mask is a pure function of seed, round, n, c).
+func NewMaskedShared(c float64, mc *compress.MaskCache) *Masked {
+	m := NewMasked(c)
+	m.cache = mc
+	return m
+}
+
 // Name implements Codec.
 func (m *Masked) Name() string { return "masked" }
 
 // Encode implements Codec: regenerate the round mask from (seed, round) and
 // pack the surviving values.
 func (m *Masked) Encode(ctx RoundContext, dense []float64) ([]float64, error) {
-	m.mask = compress.MaskInto(m.mask, ctx.Seed, ctx.Round, len(dense), m.C)
+	if m.cache != nil {
+		m.mask = m.cache.Get(ctx.Seed, ctx.Round, len(dense), m.C)
+	} else {
+		m.mask = compress.MaskInto(m.mask, ctx.Seed, ctx.Round, len(dense), m.C)
+	}
 	m.payload = compress.ExtractInto(m.payload, dense, m.mask)
 	return m.payload, nil
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine/memtransport"
 )
@@ -118,9 +119,13 @@ func New(opts Options) *Engine {
 		workers = opts.Workers
 		nodes = make([]Node, len(workers))
 		codecs = make([]Codec, len(workers))
+		// One mask per round per fleet, not per rank: all in-process ranks
+		// share a single mask cache, keeping per-rank state O(model).
+		mc := &compress.MaskCache{}
 		for i, w := range workers {
+			w.ShareMasks(mc)
 			nodes[i] = NewMaskedGossipNode(w)
-			codecs[i] = NewMasked(w.CompressionRatio())
+			codecs[i] = NewMaskedShared(w.CompressionRatio(), mc)
 		}
 	} else if len(opts.Workers) != 0 {
 		panic("engine: both Nodes and Workers set")

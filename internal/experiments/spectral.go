@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/graph"
 	"sapspsgd/internal/metrics"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/spectral"
-	"sapspsgd/internal/tensor"
 )
 
 // SpectralDiagnostics quantifies the theory section's quantities for a given
@@ -24,22 +24,24 @@ type SpectralDiagnostics struct {
 	Samples      int
 }
 
-// DiagnoseGossip samples `rounds` gossip matrices from Algorithm 3 and
-// computes the diagnostics. keepP is the mask keep-probability 1/c.
+// DiagnoseGossip samples `rounds` gossip matchings from Algorithm 3 and
+// computes the diagnostics matrix-free (ρ via spectral.RhoOfMatchings, so
+// the ablation runs at large N without ever building a dense W). keepP is
+// the mask keep-probability 1/c.
 func DiagnoseGossip(bw *netsim.Bandwidth, cfg gossip.Config, keepP float64, rounds int, seed uint64) SpectralDiagnostics {
 	gen := gossip.NewGenerator(bw, cfg, seed)
-	var ws []*tensor.Matrix
+	ms := make([]graph.Matching, 0, rounds)
 	total := 0.0
 	forced := 0
 	for t := 0; t < rounds; t++ {
 		r := gen.Next(t)
-		ws = append(ws, r.W)
+		ms = append(ms, r.Match)
 		total += gossip.MeanMatchedBandwidth(r.Match, bw)
 		if r.Forced {
 			forced++
 		}
 	}
-	rho := spectral.RhoOfExpectedWtW(ws, 400)
+	rho := spectral.RhoOfMatchings(ms, 400)
 	return SpectralDiagnostics{
 		Rho:          rho,
 		MixingRate:   spectral.MixingRate(keepP, rho),

@@ -48,7 +48,7 @@ func TestNextActiveOddActiveCount(t *testing.T) {
 	}
 	// W must still be doubly stochastic: unmatched and inactive workers
 	// keep their model.
-	if !r.W.IsDoublyStochastic(1e-12) {
+	if !r.W().IsDoublyStochastic(1e-12) {
 		t.Fatal("W not doubly stochastic under churn")
 	}
 }

@@ -27,26 +27,74 @@ type Config struct {
 	TThres int
 }
 
-// Round is the output of one gossip-matrix generation: the peer matching and
-// its doubly stochastic matrix W_t.
+// Round is the output of one gossip-matrix generation: the peer matching,
+// with the doubly stochastic matrix W_t available on demand via W.
 type Round struct {
 	Match graph.Matching
-	W     *tensor.Matrix
 	// Forced reports whether this round had to inject connectivity-restoring
 	// edges (the RC graph had gone stale/disconnected).
 	Forced bool
 }
 
+// W materializes the round's doubly stochastic gossip matrix. The matrix is
+// dense N×N — small-N diagnostics and spectral tests only; the training path
+// applies Match directly and never builds it.
+func (r Round) W() *tensor.Matrix { return MatchingW(r.Match) }
+
+// edgeKey packs an unordered vertex pair into one map key (smaller vertex in
+// the high half, so unpacking recovers u < v).
+func edgeKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// edgeStamp is one timestamp-matrix update awaiting TThres-window expiry.
+type edgeStamp struct {
+	key   uint64
+	round int
+}
+
 // Generator produces the per-round gossip matchings for a fixed bandwidth
 // environment, maintaining the timestamp matrix R across rounds. It is the
 // coordinator-side state of Algorithm 3.
+//
+// The implementation is fully sparse — O(E + N) per round and O(N·TThres)
+// state, never O(N²) — so it plans for 50k-node fleets in seconds. The
+// timestamp matrix lives as an edge-keyed map whose entries expire once they
+// leave the TThres recency window, the RC graph is maintained incrementally
+// as edges are stamped and expired, and candidate edges stream out of the
+// Bandwidth representation in lexicographic order. The matching sequence is
+// bit-identical to the retained dense formulation (ReferenceGenerator);
+// the equivalence suite pins that across N, seeds, churn, and forced rounds.
+//
+// One consequence of eviction: rounds must be generated in non-decreasing
+// order (Next(t) then Next(t') with t' < t panics). The dense reference has
+// no such restriction, but every driver advances rounds monotonically.
 type Generator struct {
 	bw   *netsim.Bandwidth
 	cfg  Config
 	seed uint64
-	// lastUsed is the timestamp matrix R: lastUsed[i][j] is the last round
-	// in which edge (i,j) carried an exchange, or -1 if never.
-	lastUsed [][]int
+	n    int
+
+	// lastUsed is the sparse timestamp matrix R. Invariant: a key is
+	// present iff its edge is currently recently-connected, i.e. its last
+	// stamp is inside the TThres window of the most recent round — the map
+	// and rcAdj always describe the same edge set.
+	lastUsed map[uint64]int
+	recent   []edgeStamp // FIFO of stamps awaiting expiry
+	head     int         // index of the oldest un-expired stamp in recent
+	rcAdj    [][]int32   // incremental RC adjacency (mirrors lastUsed)
+	lastT    int         // most recent round generated
+
+	// Per-round scratch, reused across rounds so steady-state planning
+	// allocates only what the matching itself needs.
+	candidate []graph.WeightedEdge
+	extra     []graph.WeightedEdge
+	seen      []bool
+	stack     []int32
+	compOf    []int32
 }
 
 // NewGenerator returns a Generator over the environment bw. The seed drives
@@ -57,31 +105,152 @@ func NewGenerator(bw *netsim.Bandwidth, cfg Config, seed uint64) *Generator {
 		panic(fmt.Sprintf("gossip: TThres %d < 1", cfg.TThres))
 	}
 	n := bw.N
-	last := make([][]int, n)
-	for i := range last {
-		last[i] = make([]int, n)
-		for j := range last[i] {
-			last[i][j] = -1
-		}
+	return &Generator{
+		bw:       bw,
+		cfg:      cfg,
+		seed:     seed,
+		n:        n,
+		lastUsed: make(map[uint64]int),
+		rcAdj:    make([][]int32, n),
+		lastT:    -1,
+		seen:     make([]bool, n),
+		compOf:   make([]int32, n),
 	}
-	return &Generator{bw: bw, cfg: cfg, seed: seed, lastUsed: last}
 }
 
-// rcGraph builds the graph of recently-connected edges at round t.
-func (g *Generator) rcGraph(t int) *graph.Graph {
-	rc := graph.New(g.bw.N)
-	for i := 0; i < g.bw.N; i++ {
-		for j := i + 1; j < g.bw.N; j++ {
-			if g.lastUsed[i][j] > t-g.cfg.TThres {
-				rc.AddEdge(i, j)
+// expire pops every stamp that left the recency window at round t. A stamp
+// only retires its edge if it is still the edge's latest use — a refreshed
+// edge has a younger stamp later in the FIFO.
+func (g *Generator) expire(t int) {
+	cut := t - g.cfg.TThres
+	for g.head < len(g.recent) && g.recent[g.head].round <= cut {
+		st := g.recent[g.head]
+		g.head++
+		if last, ok := g.lastUsed[st.key]; ok && last == st.round {
+			delete(g.lastUsed, st.key)
+			u, v := int(st.key>>32), int(uint32(st.key))
+			g.rcAdj[u] = removeNeighbor(g.rcAdj[u], int32(v))
+			g.rcAdj[v] = removeNeighbor(g.rcAdj[v], int32(u))
+		}
+	}
+	if g.head == len(g.recent) {
+		g.recent, g.head = g.recent[:0], 0
+	} else if g.head >= 1024 && g.head*2 >= len(g.recent) {
+		n := copy(g.recent, g.recent[g.head:])
+		g.recent, g.head = g.recent[:n], 0
+	}
+}
+
+// removeNeighbor swap-deletes one occurrence of v (RC adjacency order is
+// immaterial: only connectivity and the component partition are read).
+func removeNeighbor(adj []int32, v int32) []int32 {
+	for i, w := range adj {
+		if w == v {
+			adj[i] = adj[len(adj)-1]
+			return adj[:len(adj)-1]
+		}
+	}
+	return adj
+}
+
+// stamp records that edge (u, v) carried an exchange at round t.
+func (g *Generator) stamp(u, v, t int) {
+	key := edgeKey(u, v)
+	if _, ok := g.lastUsed[key]; !ok {
+		g.rcAdj[u] = append(g.rcAdj[u], int32(v))
+		g.rcAdj[v] = append(g.rcAdj[v], int32(u))
+	}
+	g.lastUsed[key] = t
+	g.recent = append(g.recent, edgeStamp{key: key, round: t})
+}
+
+// virtuallyComplete reports whether round t is early enough that never-used
+// edges still count as recently connected. The timestamp matrix initializes
+// to -1, and -1 > t-TThres holds through round TThres-2 — until then the RC
+// graph contains every pair and is trivially connected, so neither it nor
+// its components ever need materializing.
+func (g *Generator) virtuallyComplete(t int) bool { return t <= g.cfg.TThres-2 }
+
+// rcConnected reports whether the active-induced RC subgraph is connected at
+// round t (vacuously true for fewer than two active vertices).
+func (g *Generator) rcConnected(t int, active []bool) bool {
+	if g.virtuallyComplete(t) {
+		return true
+	}
+	n := g.n
+	start, count := 0, n
+	if active != nil {
+		start, count = -1, 0
+		for i := 0; i < n; i++ {
+			if active[i] {
+				count++
+				if start == -1 {
+					start = i
+				}
 			}
 		}
 	}
-	return rc
+	if count <= 1 {
+		return true
+	}
+	seen := g.seen
+	for i := range seen {
+		seen[i] = false
+	}
+	stack := g.stack[:0]
+	stack = append(stack, int32(start))
+	seen[start] = true
+	reached := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.rcAdj[v] {
+			if seen[w] || (active != nil && !active[w]) {
+				continue
+			}
+			seen[w] = true
+			reached++
+			stack = append(stack, w)
+		}
+	}
+	g.stack = stack
+	return reached == count
 }
 
-// Next runs Algorithm 3 for round t and returns the matching, its gossip
-// matrix, and updates the timestamp matrix R.
+// rcComponents labels every vertex with its RC component. Labels follow the
+// smallest-vertex discovery order, matching the dense FindConnectedSubgraph;
+// only label equality is consumed downstream.
+func (g *Generator) rcComponents() []int32 {
+	compOf := g.compOf
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	stack := g.stack[:0]
+	var c int32
+	for s := 0; s < g.n; s++ {
+		if compOf[s] != -1 {
+			continue
+		}
+		compOf[s] = c
+		stack = append(stack, int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.rcAdj[v] {
+				if compOf[w] == -1 {
+					compOf[w] = c
+					stack = append(stack, w)
+				}
+			}
+		}
+		c++
+	}
+	g.stack = stack[:0]
+	return compOf
+}
+
+// Next runs Algorithm 3 for round t: it returns the matching and updates the
+// timestamp matrix R.
 func (g *Generator) Next(t int) Round { return g.NextActive(t, nil) }
 
 // NextActive is Next restricted to the currently active workers (nil means
@@ -91,45 +260,37 @@ func (g *Generator) Next(t int) Round { return g.NextActive(t, nil) }
 // restricts to active workers, so a long-absent worker cannot block the
 // recency check.
 func (g *Generator) NextActive(t int, active []bool) Round {
-	n := g.bw.N
+	n := g.n
+	if t < g.lastT {
+		panic(fmt.Sprintf("gossip: rounds must be non-decreasing (round %d after %d)", t, g.lastT))
+	}
+	g.lastT = t
+	g.expire(t)
 	rnd := rng.New(g.seed).Derive(uint64(t) + 0x90551b)
 	isActive := func(i int) bool { return active == nil || active[i] }
 
-	rc := g.rcGraph(t)
-	// Restrict the connectivity question to active workers: build the
-	// induced subgraph's component structure over active vertices only.
-	connected := activeConnected(rc, active)
+	connected := g.rcConnected(t, active)
 
-	var candidate []graph.WeightedEdge
+	candidate := g.candidate[:0]
 	forced := false
 	if connected {
 		// Line 2: E = B* — the bandwidth-filtered graph.
-		for _, e := range g.bw.Edges(g.cfg.BThres) {
-			if isActive(e.U) && isActive(e.V) {
-				candidate = append(candidate, e)
+		g.bw.ForEachEdge(g.cfg.BThres, func(u, v int, w float64) {
+			if isActive(u) && isActive(v) {
+				candidate = append(candidate, graph.WeightedEdge{U: u, V: v, Weight: w})
 			}
-		}
+		})
 	} else {
 		// Lines 4: connect the RC components using any available links.
 		forced = true
-		comps := rc.Components()
-		compOf := make([]int, n)
-		for ci, comp := range comps {
-			for _, v := range comp {
-				compOf[v] = ci
+		compOf := g.rcComponents()
+		g.bw.ForEachEdge(0, func(u, v int, w float64) {
+			if isActive(u) && isActive(v) && compOf[u] != compOf[v] {
+				candidate = append(candidate, graph.WeightedEdge{U: u, V: v, Weight: w})
 			}
-		}
-		for i := 0; i < n; i++ {
-			if !isActive(i) {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if isActive(j) && compOf[i] != compOf[j] && g.bw.MBps(i, j) > 0 {
-					candidate = append(candidate, graph.WeightedEdge{U: i, V: j, Weight: g.bw.MBps(i, j)})
-				}
-			}
-		}
+		})
 	}
+	g.candidate = candidate
 
 	// Line 5: bandwidth-preferring maximum match on the candidate edges.
 	match := graph.BandwidthAwareMaximumMatching(n, candidate, rnd)
@@ -137,17 +298,13 @@ func (g *Generator) NextActive(t int, active []bool) Round {
 	// Lines 6–8: complete the matching over still-unmatched active workers
 	// using the unfiltered bandwidth matrix.
 	if match.Size() < n/2 {
-		var extra []graph.WeightedEdge
-		for i := 0; i < n; i++ {
-			if match[i] != -1 || !isActive(i) {
-				continue
+		extra := g.extra[:0]
+		g.bw.ForEachEdge(0, func(u, v int, w float64) {
+			if match[u] == -1 && match[v] == -1 && isActive(u) && isActive(v) {
+				extra = append(extra, graph.WeightedEdge{U: u, V: v, Weight: w})
 			}
-			for j := i + 1; j < n; j++ {
-				if isActive(j) && match[j] == -1 && g.bw.MBps(i, j) > 0 {
-					extra = append(extra, graph.WeightedEdge{U: i, V: j, Weight: g.bw.MBps(i, j)})
-				}
-			}
-		}
+		})
+		g.extra = extra
 		second := graph.BandwidthAwareMaximumMatching(n, extra, rnd)
 		for v, p := range second {
 			if p > v && match[v] == -1 && match[p] == -1 {
@@ -160,52 +317,22 @@ func (g *Generator) NextActive(t int, active []bool) Round {
 	// Record timestamps for the edges used this round.
 	for v, p := range match {
 		if p > v {
-			g.lastUsed[v][p] = t
-			g.lastUsed[p][v] = t
+			g.stamp(v, p, t)
 		}
 	}
 
-	return Round{Match: match, W: MatchingW(match), Forced: forced}
+	return Round{Match: match, Forced: forced}
 }
 
-// LastUsed exposes R[i][j] (for tests and diagnostics).
-func (g *Generator) LastUsed(i, j int) int { return g.lastUsed[i][j] }
-
-// activeConnected reports whether the active-induced subgraph of rc is
-// connected (vacuously true for fewer than two active vertices).
-func activeConnected(rc *graph.Graph, active []bool) bool {
-	if active == nil {
-		return rc.IsConnected()
+// LastUsed exposes R[i][j] (for tests and diagnostics). Unlike the dense
+// reference, entries that fell out of the TThres recency window read as -1:
+// an expired timestamp and a never-used edge are indistinguishable, which is
+// exactly the distinction Algorithm 3 never needs.
+func (g *Generator) LastUsed(i, j int) int {
+	if last, ok := g.lastUsed[edgeKey(i, j)]; ok {
+		return last
 	}
-	var start = -1
-	count := 0
-	for i := 0; i < rc.N; i++ {
-		if active[i] {
-			count++
-			if start == -1 {
-				start = i
-			}
-		}
-	}
-	if count <= 1 {
-		return true
-	}
-	seen := make([]bool, rc.N)
-	stack := []int{start}
-	seen[start] = true
-	reached := 1
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, w := range rc.Neighbors(v) {
-			if active[w] && !seen[w] {
-				seen[w] = true
-				reached++
-				stack = append(stack, w)
-			}
-		}
-	}
-	return reached == count
+	return -1
 }
 
 // MatchingW converts a matching into the doubly stochastic gossip matrix of

@@ -85,7 +85,7 @@ func TestGeneratorProducesPerfectMatchings(t *testing.T) {
 		if r.Match.Size() != 16 {
 			t.Fatalf("round %d: matching size %d, want 16", round, r.Match.Size())
 		}
-		if !r.W.IsDoublyStochastic(1e-12) {
+		if !r.W().IsDoublyStochastic(1e-12) {
 			t.Fatalf("round %d: W not doubly stochastic", round)
 		}
 	}
@@ -158,7 +158,7 @@ func TestGeneratorRhoBelowOne(t *testing.T) {
 	g := NewGenerator(bw, Config{BThres: 2, TThres: 5}, 13)
 	var ws []*tensor.Matrix
 	for round := 0; round < 200; round++ {
-		ws = append(ws, g.Next(round).W)
+		ws = append(ws, g.Next(round).W())
 	}
 	rho := spectral.RhoOfExpectedWtW(ws, 400)
 	if rho >= 1-1e-6 {

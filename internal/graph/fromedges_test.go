@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"testing"
+
+	"sapspsgd/internal/rng"
+)
+
+// randomEdgeList draws a duplicate-free random edge list on n vertices.
+func randomEdgeList(n, count int, r *rng.Source) []WeightedEdge {
+	seen := map[[2]int]bool{}
+	var edges []WeightedEdge
+	for len(edges) < count {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		edges = append(edges, WeightedEdge{U: u, V: v, Weight: 1 + r.Float64()})
+	}
+	return edges
+}
+
+// TestNewFromEdgesMatchesAddEdge pins the bulk constructor's contract: the
+// graph must behave exactly like one built by repeated AddEdge calls in the
+// same edge order — identical neighbor order (which downstream DFS and
+// matching draws depend on), connectivity, components, and HasEdge answers.
+func TestNewFromEdgesMatchesAddEdge(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		const n = 50
+		edges := randomEdgeList(n, 120, rng.New(seed))
+		bulk := NewFromEdges(n, edges)
+		inc := New(n)
+		for _, e := range edges {
+			inc.AddEdge(e.U, e.V)
+		}
+		for v := 0; v < n; v++ {
+			bn, in := bulk.Neighbors(v), inc.Neighbors(v)
+			if len(bn) != len(in) {
+				t.Fatalf("seed %d vertex %d: %d neighbors, want %d", seed, v, len(bn), len(in))
+			}
+			for k := range bn {
+				if bn[k] != in[k] {
+					t.Fatalf("seed %d vertex %d: neighbor order %v, want %v", seed, v, bn, in)
+				}
+			}
+		}
+		if bulk.EdgeCount() != inc.EdgeCount() || bulk.IsConnected() != inc.IsConnected() {
+			t.Fatalf("seed %d: edge count/connectivity diverged", seed)
+		}
+		bc, ic := bulk.Components(), inc.Components()
+		if len(bc) != len(ic) {
+			t.Fatalf("seed %d: %d components, want %d", seed, len(bc), len(ic))
+		}
+		for _, e := range edges {
+			if !bulk.HasEdge(e.U, e.V) || !bulk.HasEdge(e.V, e.U) {
+				t.Fatalf("seed %d: edge (%d,%d) missing", seed, e.U, e.V)
+			}
+		}
+		if bulk.HasEdge(0, 0) {
+			t.Fatal("self-loop reported present")
+		}
+	}
+}
+
+// TestNewFromEdgesRejectsBadEdges pins the panic contract shared with
+// netsim.NewSparseBandwidth: self-loops and out-of-range endpoints are
+// construction bugs, not data.
+func TestNewFromEdgesRejectsBadEdges(t *testing.T) {
+	for name, edges := range map[string][]WeightedEdge{
+		"self-loop":    {{U: 2, V: 2}},
+		"out of range": {{U: 0, V: 5}},
+		"negative":     {{U: -1, V: 2}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			NewFromEdges(4, edges)
+		}()
+	}
+}
+
+// TestNewFromEdgesEmpty covers the degenerate shapes the planner hits under
+// heavy thresholding: no edges, and n = 0.
+func TestNewFromEdgesEmpty(t *testing.T) {
+	g := NewFromEdges(3, nil)
+	if g.EdgeCount() != 0 || g.IsConnected() {
+		t.Fatalf("empty graph: %d edges, connected=%v", g.EdgeCount(), g.IsConnected())
+	}
+	if comps := g.Components(); len(comps) != 3 {
+		t.Fatalf("empty graph has %d components, want 3", len(comps))
+	}
+	if NewFromEdges(0, nil).N != 0 {
+		t.Fatal("n=0 graph")
+	}
+}

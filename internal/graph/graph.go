@@ -11,6 +11,9 @@ import "fmt"
 type Graph struct {
 	N   int
 	adj [][]int
+	// has is the duplicate-detection index behind AddEdge/HasEdge. Graphs
+	// built by NewFromEdges leave it nil (no per-vertex map allocations)
+	// and fall back to adjacency scans.
 	has []map[int]bool
 }
 
@@ -26,27 +29,74 @@ func New(n int) *Graph {
 	return g
 }
 
+// NewFromEdges builds the graph in two passes over a duplicate-free edge
+// list (unordered pairs must be unique; self-loops and out-of-range
+// endpoints panic). All adjacency lists share one backing array, so the
+// whole graph costs two allocations regardless of N — the constructor for
+// the large-N planner path. Neighbors appear in exactly the order repeated
+// AddEdge calls would have produced: edge-list order.
+func NewFromEdges(n int, edges []WeightedEdge) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	deg := make([]int, n+1)
+	for _, e := range edges {
+		if e.U == e.V || e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+			panic(fmt.Sprintf("graph: bad edge (%d,%d) over %d vertices", e.U, e.V, n))
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	backing := make([]int, 2*len(edges))
+	g := &Graph{N: n, adj: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		g.adj[v] = backing[deg[v]:deg[v]:deg[v+1]]
+	}
+	for _, e := range edges {
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+		g.adj[e.V] = append(g.adj[e.V], e.U)
+	}
+	return g
+}
+
 // AddEdge inserts the undirected edge (u, v). Self-loops and duplicate edges
 // are ignored.
 func (g *Graph) AddEdge(u, v int) {
 	if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
 		return
 	}
-	if g.has[u][v] {
+	if g.hasEdge(u, v) {
 		return
 	}
-	g.has[u][v] = true
-	g.has[v][u] = true
+	if g.has != nil {
+		g.has[u][v] = true
+		g.has[v][u] = true
+	}
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 }
 
 // HasEdge reports whether (u, v) is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || u >= g.N {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
 		return false
 	}
-	return g.has[u][v]
+	return g.hasEdge(u, v)
+}
+
+func (g *Graph) hasEdge(u, v int) bool {
+	if g.has != nil {
+		return g.has[u][v]
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Neighbors returns the adjacency list of v (shared storage; do not mutate).

@@ -84,11 +84,10 @@ func weightBucket(w float64) int {
 // then Edmonds augmentation completes it to maximum cardinality (never
 // un-matching a seeded vertex). This realizes the paper's "maximum match
 // using the filtered bandwidth matrix B*" with its bandwidth preference.
+// The candidate list must be duplicate-free (every caller enumerates each
+// link once), which lets the graph build map-free in O(E).
 func BandwidthAwareMaximumMatching(n int, edges []WeightedEdge, rnd *rng.Source) Matching {
-	g := New(n)
-	for _, e := range edges {
-		g.AddEdge(e.U, e.V)
-	}
+	g := NewFromEdges(n, edges)
 	seed := GreedyWeightedMatching(n, edges, rnd)
 	return AugmentToMaximum(g, seed, rnd)
 }

@@ -11,12 +11,41 @@ import (
 	"sapspsgd/internal/rng"
 )
 
-// Bandwidth holds a symmetric pairwise bandwidth matrix in MB/s. As in the
-// paper (§II-C), the effective bandwidth of a link is the minimum of the two
-// directions: B_ij = B_ji = min(B_ij, B_ji).
+// Bandwidth holds a symmetric pairwise bandwidth environment in MB/s. As in
+// the paper (§II-C), the effective bandwidth of a link is the minimum of the
+// two directions: B_ij = B_ji = min(B_ij, B_ji).
+//
+// Two storage modes share the one API. Dense mode (NewBandwidth,
+// RandomUniform, Clustered, FourteenCities) materializes the full N×N matrix
+// and is right up to a few thousand workers. Sparse mode (NewSparseBandwidth,
+// SparseRandomUniform, SparseClustered) stores only the existing links in a
+// CSR-style adjacency layout — absent pairs read as 0 MB/s — so a 50k-node
+// environment costs O(E) floats instead of ~20 GB of matrix. Callers that
+// must scale iterate links via ForEachEdge/AppendEdges rather than probing
+// all N² pairs.
 type Bandwidth struct {
 	N    int
-	mbps []float64 // row-major N×N, symmetric, zero diagonal
+	mbps []float64 // dense mode: row-major N×N, symmetric, zero diagonal
+
+	// Sparse mode (mbps == nil): CSR over both edge directions, neighbor
+	// lists sorted ascending. off has N+1 entries; nbr/wts are parallel.
+	off []int
+	nbr []int32
+	wts []float64
+}
+
+// Sparse reports whether b uses the adjacency-list representation.
+func (b *Bandwidth) Sparse() bool { return b.mbps == nil && b.off != nil }
+
+// Links returns the number of undirected links with positive bandwidth that
+// the representation stores (dense mode counts nonzero pairs).
+func (b *Bandwidth) Links() int {
+	if b.Sparse() {
+		return len(b.nbr) / 2
+	}
+	count := 0
+	b.ForEachEdge(0, func(int, int, float64) { count++ })
+	return count
 }
 
 // NewBandwidth builds a symmetric Bandwidth from a possibly asymmetric
@@ -46,59 +75,128 @@ func NewBandwidth(raw [][]float64) *Bandwidth {
 }
 
 // MBps returns the symmetric link bandwidth between workers i and j in
-// megabytes per second (0 for i == j).
-func (b *Bandwidth) MBps(i, j int) float64 { return b.mbps[i*b.N+j] }
-
-// Filter returns the thresholded adjacency B* of Algorithm 1 (lines 9–12):
-// an edge exists iff the link bandwidth is at least thresh MB/s.
-func (b *Bandwidth) Filter(thresh float64) [][]bool {
-	out := make([][]bool, b.N)
-	for i := range out {
-		out[i] = make([]bool, b.N)
-		for j := range out[i] {
-			out[i][j] = i != j && b.MBps(i, j) >= thresh
+// megabytes per second (0 for i == j and for absent sparse links).
+func (b *Bandwidth) MBps(i, j int) float64 {
+	if b.mbps != nil {
+		return b.mbps[i*b.N+j]
+	}
+	lo, hi := b.off[i], b.off[i+1]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(b.nbr[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return out
+	if lo < b.off[i+1] && int(b.nbr[lo]) == j {
+		return b.wts[lo]
+	}
+	return 0
+}
+
+// ForEachEdge calls fn for every link with positive bandwidth at least
+// thresh, in lexicographic (u < v) order — the same enumeration order as
+// Edges, without allocating. Sparse mode walks only the stored adjacency.
+func (b *Bandwidth) ForEachEdge(thresh float64, fn func(u, v int, w float64)) {
+	if b.mbps != nil {
+		for i := 0; i < b.N; i++ {
+			row := b.mbps[i*b.N : (i+1)*b.N]
+			for j := i + 1; j < b.N; j++ {
+				if w := row[j]; w >= thresh && w > 0 {
+					fn(i, j, w)
+				}
+			}
+		}
+		return
+	}
+	for u := 0; u < b.N; u++ {
+		for k := b.off[u]; k < b.off[u+1]; k++ {
+			v := int(b.nbr[k])
+			if v <= u {
+				continue
+			}
+			if w := b.wts[k]; w >= thresh && w > 0 {
+				fn(u, v, w)
+			}
+		}
+	}
+}
+
+// Filter returns the thresholded adjacency B* of Algorithm 1 (lines 9–12):
+// an edge exists iff the link bandwidth is positive and at least thresh MB/s.
+func (b *Bandwidth) Filter(thresh float64) [][]bool { return b.FilterInto(nil, thresh) }
+
+// FilterInto is Filter reusing dst's rows when their capacity suffices,
+// so steady-state callers allocate nothing. Dense output: do not call it
+// for very large sparse environments.
+func (b *Bandwidth) FilterInto(dst [][]bool, thresh float64) [][]bool {
+	if cap(dst) >= b.N {
+		dst = dst[:b.N]
+	} else {
+		dst = make([][]bool, b.N)
+	}
+	for i := range dst {
+		if cap(dst[i]) >= b.N {
+			dst[i] = dst[i][:b.N]
+			for j := range dst[i] {
+				dst[i][j] = false
+			}
+		} else {
+			dst[i] = make([]bool, b.N)
+		}
+	}
+	b.ForEachEdge(thresh, func(u, v int, _ float64) {
+		dst[u][v] = true
+		dst[v][u] = true
+	})
+	return dst
 }
 
 // Edges returns all links with bandwidth at least thresh as weighted edges
 // (weight = bandwidth in MB/s), with U < V.
 func (b *Bandwidth) Edges(thresh float64) []graph.WeightedEdge {
-	var out []graph.WeightedEdge
-	for i := 0; i < b.N; i++ {
-		for j := i + 1; j < b.N; j++ {
-			if w := b.MBps(i, j); w >= thresh && w > 0 {
-				out = append(out, graph.WeightedEdge{U: i, V: j, Weight: w})
-			}
-		}
-	}
-	return out
+	return b.AppendEdges(nil, thresh)
+}
+
+// AppendEdges appends the Edges result to dst (reusing its capacity) and
+// returns the extended slice — the allocation-free form for per-round use.
+func (b *Bandwidth) AppendEdges(dst []graph.WeightedEdge, thresh float64) []graph.WeightedEdge {
+	b.ForEachEdge(thresh, func(u, v int, w float64) {
+		dst = append(dst, graph.WeightedEdge{U: u, V: v, Weight: w})
+	})
+	return dst
 }
 
 // FilterGraph returns the thresholded connectivity as a graph.Graph.
 func (b *Bandwidth) FilterGraph(thresh float64) *graph.Graph {
 	g := graph.New(b.N)
-	for _, e := range b.Edges(thresh) {
-		g.AddEdge(e.U, e.V)
-	}
+	b.ForEachEdge(thresh, func(u, v int, _ float64) { g.AddEdge(u, v) })
 	return g
 }
 
-// MeanBandwidth returns the mean off-diagonal link bandwidth.
+// MeanBandwidth returns the mean over all N(N-1) ordered off-diagonal pairs
+// (absent sparse links count as 0, keeping the two modes comparable).
 func (b *Bandwidth) MeanBandwidth() float64 {
 	if b.N < 2 {
 		return 0
 	}
-	sum := 0.0
-	for i := 0; i < b.N; i++ {
-		for j := 0; j < b.N; j++ {
-			if i != j {
-				sum += b.MBps(i, j)
+	if b.mbps != nil {
+		sum := 0.0
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < b.N; j++ {
+				if i != j {
+					sum += b.MBps(i, j)
+				}
 			}
 		}
+		return sum / float64(b.N*(b.N-1))
 	}
-	return sum / float64(b.N*(b.N-1))
+	sum := 0.0
+	for _, w := range b.wts {
+		sum += w
+	}
+	return sum / (float64(b.N) * float64(b.N-1))
 }
 
 // Cities lists the 14 data-center locations of Fig. 1, in matrix order.

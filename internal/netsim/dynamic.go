@@ -21,6 +21,9 @@ type DynamicBandwidth struct {
 	// (0.3 = ±30%). Must lie in [0, 1).
 	Jitter float64
 	rnd    *rng.Source
+	// rev maps each directed sparse entry k to the index of its reverse
+	// direction, so Tick writes both halves of a link with one draw.
+	rev []int32
 }
 
 // NewDynamicBandwidth wraps base with per-round jitter.
@@ -29,6 +32,24 @@ func NewDynamicBandwidth(base *Bandwidth, jitter float64, seed uint64) *DynamicB
 		panic("netsim: jitter must be in [0,1)")
 	}
 	d := &DynamicBandwidth{base: base, Jitter: jitter, rnd: rng.New(seed)}
+	if base.Sparse() {
+		d.rev = make([]int32, len(base.nbr))
+		for u := 0; u < base.N; u++ {
+			for k := base.off[u]; k < base.off[u+1]; k++ {
+				v := int(base.nbr[k])
+				lo, hi := base.off[v], base.off[v+1]
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if int(base.nbr[mid]) < u {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				d.rev[k] = int32(lo)
+			}
+		}
+	}
 	d.Tick()
 	return d
 }
@@ -39,6 +60,26 @@ func NewDynamicBandwidth(base *Bandwidth, jitter float64, seed uint64) *DynamicB
 func (d *DynamicBandwidth) Tick() *Bandwidth {
 	n := d.base.N
 	cur := d.current
+	if d.base.Sparse() {
+		if cur == nil {
+			cur = &Bandwidth{N: n, off: d.base.off, nbr: d.base.nbr, wts: make([]float64, len(d.base.wts))}
+		}
+		// One draw per undirected link, in the u < v iteration order the
+		// sparse layout stores; both directions get the scaled value.
+		for u := 0; u < n; u++ {
+			for k := d.base.off[u]; k < d.base.off[u+1]; k++ {
+				if int(d.base.nbr[k]) <= u {
+					continue
+				}
+				scale := 1 + d.Jitter*(2*d.rnd.Float64()-1)
+				v := d.base.wts[k] * scale
+				cur.wts[k] = v
+				cur.wts[d.rev[k]] = v
+			}
+		}
+		d.current = cur
+		return cur
+	}
 	if cur == nil {
 		cur = &Bandwidth{N: n, mbps: make([]float64, n*n)}
 	}

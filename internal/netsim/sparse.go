@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"sapspsgd/internal/graph"
+	"sapspsgd/internal/rng"
+)
+
+// NewSparseBandwidth builds a sparse environment over n workers from an
+// explicit undirected edge list. Edges must connect distinct in-range
+// vertices and be unique as unordered pairs; negative weights clamp to 0 and
+// zero-weight edges are dropped (a zero link is indistinguishable from an
+// absent one everywhere in the API).
+func NewSparseBandwidth(n int, edges []graph.WeightedEdge) *Bandwidth {
+	if n < 0 {
+		panic(fmt.Sprintf("netsim: negative worker count %d", n))
+	}
+	type half struct {
+		src, dst int32
+		w        float64
+	}
+	halves := make([]half, 0, 2*len(edges))
+	for _, e := range edges {
+		if e.U == e.V || e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+			panic(fmt.Sprintf("netsim: bad sparse edge (%d,%d) over %d workers", e.U, e.V, n))
+		}
+		w := e.Weight
+		if w < 0 {
+			w = 0
+		}
+		if w == 0 {
+			continue
+		}
+		halves = append(halves,
+			half{src: int32(e.U), dst: int32(e.V), w: w},
+			half{src: int32(e.V), dst: int32(e.U), w: w})
+	}
+	sort.Slice(halves, func(i, j int) bool {
+		if halves[i].src != halves[j].src {
+			return halves[i].src < halves[j].src
+		}
+		return halves[i].dst < halves[j].dst
+	})
+	b := &Bandwidth{
+		N:   n,
+		off: make([]int, n+1),
+		nbr: make([]int32, len(halves)),
+		wts: make([]float64, len(halves)),
+	}
+	for k, h := range halves {
+		if k > 0 && halves[k-1].src == h.src && halves[k-1].dst == h.dst {
+			panic(fmt.Sprintf("netsim: duplicate sparse edge (%d,%d)", h.src, h.dst))
+		}
+		b.off[h.src+1]++
+		b.nbr[k] = h.dst
+		b.wts[k] = h.w
+	}
+	for i := 0; i < n; i++ {
+		b.off[i+1] += b.off[i]
+	}
+	return b
+}
+
+// sparseTopology draws a connected random topology: a Hamiltonian ring
+// guarantees connectivity, then random chords are added until the mean
+// degree reaches degree. weight is called once per accepted edge, in
+// acceptance order, so equal seeds give identical environments.
+func sparseTopology(n, degree int, r *rng.Source, weight func(u, v int) float64) *Bandwidth {
+	if n < 3 {
+		panic(fmt.Sprintf("netsim: sparse topology needs n >= 3, got %d", n))
+	}
+	if degree < 2 || degree >= n {
+		panic(fmt.Sprintf("netsim: sparse degree %d outside [2, %d]", degree, n-1))
+	}
+	target := n * degree / 2
+	seen := make(map[uint64]bool, target)
+	edges := make([]graph.WeightedEdge, 0, target)
+	add := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		edges = append(edges, graph.WeightedEdge{U: u, V: v, Weight: weight(u, v)})
+		return true
+	}
+	for i := 0; i < n; i++ {
+		add(i, (i+1)%n)
+	}
+	// Chords: rejection-sample pairs; cap the attempts so pathological
+	// degree targets terminate (the edge count then lands below target).
+	for tries, budget := 0, 100*(target-len(edges)+1); len(edges) < target && tries < budget; tries++ {
+		add(r.Intn(n), r.Intn(n))
+	}
+	return NewSparseBandwidth(n, edges)
+}
+
+// SparseRandomUniform is RandomUniform's sparse counterpart: a connected
+// random topology of mean degree `degree` whose link speeds are drawn
+// uniformly from (lo, hi] MB/s. Only the stored links exist — all other
+// pairs read 0 MB/s — so memory is O(n·degree), never O(n²).
+func SparseRandomUniform(n, degree int, lo, hi float64, r *rng.Source) *Bandwidth {
+	if lo < 0 || hi <= 0 || hi < lo {
+		panic(fmt.Sprintf("netsim: bad uniform range (%v, %v]", lo, hi))
+	}
+	return sparseTopology(n, degree, r, func(_, _ int) float64 {
+		return lo + (hi-lo)*(1-r.Float64()) // (lo, hi]
+	})
+}
+
+// SparseClustered is Clustered's sparse counterpart: same connected random
+// topology as SparseRandomUniform, with intra-cluster links (i%clusters ==
+// j%clusters) drawn around fast MB/s and cross-cluster links around slow,
+// both with ±50% jitter.
+func SparseClustered(n, clusters, degree int, fast, slow float64, r *rng.Source) *Bandwidth {
+	if clusters < 1 || fast <= 0 || slow <= 0 {
+		panic(fmt.Sprintf("netsim: bad clustered profile (clusters=%d fast=%v slow=%v)", clusters, fast, slow))
+	}
+	return sparseTopology(n, degree, r, func(u, v int) float64 {
+		base := slow
+		if u%clusters == v%clusters {
+			base = fast
+		}
+		return base * (0.5 + r.Float64()) // ±50% jitter
+	})
+}

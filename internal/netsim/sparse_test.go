@@ -1,0 +1,242 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"sapspsgd/internal/graph"
+	"sapspsgd/internal/rng"
+)
+
+// denseTwin materializes a sparse environment as a dense one over the same
+// links, for API-equivalence checks.
+func denseTwin(b *Bandwidth) *Bandwidth {
+	raw := make([][]float64, b.N)
+	for i := range raw {
+		raw[i] = make([]float64, b.N)
+	}
+	b.ForEachEdge(0, func(u, v int, w float64) {
+		raw[u][v] = w
+		raw[v][u] = w
+	})
+	return NewBandwidth(raw)
+}
+
+// TestSparseMatchesDenseAPI pins the dual-mode contract: a sparse
+// environment and its dense twin must be indistinguishable through every
+// read path — MBps, Edges, Filter, Links, MeanBandwidth.
+func TestSparseMatchesDenseAPI(t *testing.T) {
+	sp := SparseRandomUniform(40, 6, 0.5, 5, rng.New(9))
+	if !sp.Sparse() {
+		t.Fatal("SparseRandomUniform returned a dense environment")
+	}
+	dn := denseTwin(sp)
+	for i := 0; i < sp.N; i++ {
+		for j := 0; j < sp.N; j++ {
+			if sp.MBps(i, j) != dn.MBps(i, j) {
+				t.Fatalf("MBps(%d,%d): sparse %v, dense %v", i, j, sp.MBps(i, j), dn.MBps(i, j))
+			}
+		}
+	}
+	for _, thresh := range []float64{0, 1, 3} {
+		se, de := sp.Edges(thresh), dn.Edges(thresh)
+		if len(se) != len(de) {
+			t.Fatalf("thresh %v: %d sparse edges, %d dense", thresh, len(se), len(de))
+		}
+		for k := range se {
+			if se[k] != de[k] {
+				t.Fatalf("thresh %v edge %d: %+v vs %+v", thresh, k, se[k], de[k])
+			}
+		}
+		sf, df := sp.Filter(thresh), dn.Filter(thresh)
+		for i := range sf {
+			for j := range sf[i] {
+				if sf[i][j] != df[i][j] {
+					t.Fatalf("thresh %v Filter[%d][%d] differs", thresh, i, j)
+				}
+			}
+		}
+	}
+	if sp.Links() != dn.Links() {
+		t.Fatalf("links: sparse %d, dense %d", sp.Links(), dn.Links())
+	}
+	if math.Abs(sp.MeanBandwidth()-dn.MeanBandwidth()) > 1e-12 {
+		t.Fatalf("mean bandwidth: sparse %v, dense %v", sp.MeanBandwidth(), dn.MeanBandwidth())
+	}
+}
+
+// TestSparseTopologyConnectedAndDeterministic pins the generator contract:
+// same seed, same environment; the topology is connected; every link speed
+// lies in (lo, hi]; and the edge count tracks the mean-degree target.
+func TestSparseTopologyConnectedAndDeterministic(t *testing.T) {
+	const n, degree = 200, 8
+	a := SparseRandomUniform(n, degree, 0.5, 5, rng.New(3))
+	b := SparseRandomUniform(n, degree, 0.5, 5, rng.New(3))
+	ae, be := a.Edges(0), b.Edges(0)
+	if len(ae) != len(be) {
+		t.Fatalf("same seed, different edge counts: %d vs %d", len(ae), len(be))
+	}
+	for k := range ae {
+		if ae[k] != be[k] {
+			t.Fatalf("same seed, edge %d differs: %+v vs %+v", k, ae[k], be[k])
+		}
+	}
+	if !a.FilterGraph(0).IsConnected() {
+		t.Fatal("sparse topology is not connected")
+	}
+	for _, e := range ae {
+		if e.Weight <= 0.5 || e.Weight > 5 {
+			t.Fatalf("edge (%d,%d) speed %v outside (0.5, 5]", e.U, e.V, e.Weight)
+		}
+	}
+	// Ring (n edges) <= total <= target (n*degree/2).
+	if len(ae) < n || len(ae) > n*degree/2 {
+		t.Fatalf("%d edges for n=%d degree=%d", len(ae), n, degree)
+	}
+	if got := SparseRandomUniform(n, degree, 0.5, 5, rng.New(4)).Edges(0); len(got) == len(ae) {
+		same := true
+		for k := range got {
+			if got[k] != ae[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical environments")
+		}
+	}
+}
+
+// TestSparseClusteredFasterInside mirrors TestClusteredFasterInside for the
+// sparse generator: intra-cluster links must be faster on average.
+func TestSparseClusteredFasterInside(t *testing.T) {
+	b := SparseClustered(60, 3, 10, 8, 0.5, rng.New(5))
+	var fastSum, slowSum float64
+	var fastN, slowN int
+	b.ForEachEdge(0, func(u, v int, w float64) {
+		if u%3 == v%3 {
+			fastSum += w
+			fastN++
+		} else {
+			slowSum += w
+			slowN++
+		}
+	})
+	if fastN == 0 || slowN == 0 {
+		t.Fatalf("degenerate topology: %d intra, %d cross links", fastN, slowN)
+	}
+	if fastSum/float64(fastN) <= slowSum/float64(slowN) {
+		t.Fatalf("intra-cluster mean %v not above cross-cluster mean %v",
+			fastSum/float64(fastN), slowSum/float64(slowN))
+	}
+}
+
+// TestSparseScaledAndDynamic pins the straggler and jitter paths on the CSR
+// representation: Scaled divides exactly the links touching a straggler and
+// shares the immutable topology; DynamicBandwidth ticks stay symmetric and
+// within the jitter envelope without ever leaving sparse mode.
+func TestSparseScaledAndDynamic(t *testing.T) {
+	base := SparseRandomUniform(30, 4, 1, 4, rng.New(7))
+	sc := base.Scaled([]int{2, 5}, 4)
+	if !sc.Sparse() || sc.Links() != base.Links() {
+		t.Fatal("Scaled changed the representation or topology")
+	}
+	base.ForEachEdge(0, func(u, v int, w float64) {
+		want := w
+		if u == 2 || v == 2 || u == 5 || v == 5 {
+			want = w / 4
+		}
+		if got := sc.MBps(u, v); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Scaled link (%d,%d): %v, want %v", u, v, got, want)
+		}
+	})
+
+	d := NewDynamicBandwidth(base, 0.3, 11)
+	for tick := 0; tick < 5; tick++ {
+		cur := d.Tick()
+		if !cur.Sparse() || cur.Links() != base.Links() {
+			t.Fatal("Tick changed the representation or topology")
+		}
+		base.ForEachEdge(0, func(u, v int, w float64) {
+			ratio := cur.MBps(u, v) / w
+			if ratio < 0.7-1e-9 || ratio > 1.3+1e-9 {
+				t.Fatalf("tick %d link (%d,%d) jitter ratio %v", tick, u, v, ratio)
+			}
+			if cur.MBps(u, v) != cur.MBps(v, u) {
+				t.Fatalf("tick %d link (%d,%d) asymmetric", tick, u, v)
+			}
+		})
+	}
+}
+
+// TestNewSparseBandwidthValidation pins the constructor's edge rules:
+// self-loops, out-of-range endpoints and duplicate pairs panic; zero and
+// negative weights drop the link entirely.
+func TestNewSparseBandwidthValidation(t *testing.T) {
+	mustPanic := func(name string, edges []graph.WeightedEdge) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s accepted", name)
+			}
+		}()
+		NewSparseBandwidth(4, edges)
+	}
+	mustPanic("self-loop", []graph.WeightedEdge{{U: 1, V: 1, Weight: 2}})
+	mustPanic("out of range", []graph.WeightedEdge{{U: 0, V: 9, Weight: 2}})
+	mustPanic("duplicate pair", []graph.WeightedEdge{
+		{U: 0, V: 1, Weight: 2}, {U: 1, V: 0, Weight: 3},
+	})
+
+	b := NewSparseBandwidth(4, []graph.WeightedEdge{
+		{U: 0, V: 1, Weight: 2},
+		{U: 1, V: 2, Weight: 0},
+		{U: 2, V: 3, Weight: -1},
+	})
+	if b.Links() != 1 || b.MBps(0, 1) != 2 {
+		t.Fatalf("kept %d links, MBps(0,1)=%v", b.Links(), b.MBps(0, 1))
+	}
+	if b.MBps(1, 2) != 0 || b.MBps(2, 3) != 0 {
+		t.Fatal("zero/negative-weight links not dropped")
+	}
+}
+
+// TestEdgeAndFilterBufferReuse pins the allocation-free per-round forms:
+// AppendEdges extends the caller's buffer in place when capacity suffices,
+// and FilterInto reuses the destination rows.
+func TestEdgeAndFilterBufferReuse(t *testing.T) {
+	b := SparseRandomUniform(20, 4, 1, 5, rng.New(2))
+	buf := make([]graph.WeightedEdge, 0, 4*b.Links())
+	out := b.AppendEdges(buf, 0)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendEdges reallocated despite sufficient capacity")
+	}
+	again := b.AppendEdges(out[:0], 0)
+	if &again[0] != &out[0] || len(again) != len(out) {
+		t.Fatal("AppendEdges did not reuse the buffer on the second round")
+	}
+
+	dst := b.FilterInto(nil, 0)
+	rows := make([]*bool, len(dst))
+	for i := range dst {
+		rows[i] = &dst[i][0]
+	}
+	dst2 := b.FilterInto(dst, 2)
+	if &dst2[0] != &dst[0] {
+		t.Fatal("FilterInto reallocated the row index")
+	}
+	for i := range dst2 {
+		if &dst2[i][0] != rows[i] {
+			t.Fatalf("FilterInto reallocated row %d", i)
+		}
+	}
+	// The reused rows must reflect only the new threshold.
+	want := b.Filter(2)
+	for i := range want {
+		for j := range want[i] {
+			if dst2[i][j] != want[i][j] {
+				t.Fatalf("stale bit at (%d,%d) after row reuse", i, j)
+			}
+		}
+	}
+}

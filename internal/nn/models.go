@@ -102,3 +102,15 @@ func NewMLP(inDim int, hidden []int, classes int, seed uint64) *Model {
 	layers = append(layers, NewDense(prev, classes, r))
 	return NewModel("mlp", Shape{C: 1, H: 1, W: inDim}, classes, layers...)
 }
+
+// MLPParamCount returns NewMLP's parameter count without building the model
+// (dense layers: weights + biases). Planner-only scenario runs use it to
+// size the round mask with no per-rank model in memory.
+func MLPParamCount(inDim int, hidden []int, classes int) int {
+	total, prev := 0, inDim
+	for _, h := range hidden {
+		total += prev*h + h
+		prev = h
+	}
+	return total + prev*classes + classes
+}

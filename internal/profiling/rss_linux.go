@@ -1,0 +1,54 @@
+//go:build linux
+
+package profiling
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// PeakRSS returns the process's peak resident set size in bytes — the
+// kernel's VmHWM high-water mark from /proc/self/status — or 0 when it
+// cannot be read. The mark is monotone within the process; bracket a
+// measurement with ResetPeakRSS to attribute the peak to one workload.
+func PeakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	return parseVmHWM(data)
+}
+
+func parseVmHWM(status []byte) int64 {
+	for len(status) > 0 {
+		line := status
+		if i := bytes.IndexByte(status, '\n'); i >= 0 {
+			line, status = status[:i], status[i+1:]
+		} else {
+			status = nil
+		}
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) == 0 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024 // VmHWM is reported in kB
+	}
+	return 0
+}
+
+// ResetPeakRSS clears the kernel's peak-RSS watermark (best effort: writing
+// "5" to /proc/self/clear_refs) so successive measurements see their own
+// high-water mark rather than the largest workload run so far. Failure is
+// silent — the mark then stays monotone, which only makes readings
+// conservative (never under-reported).
+func ResetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}

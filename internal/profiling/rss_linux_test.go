@@ -1,0 +1,15 @@
+//go:build linux
+
+package profiling
+
+import "testing"
+
+func TestParseVmHWM(t *testing.T) {
+	status := []byte("Name:\tx\nVmPeak:\t  999 kB\nVmHWM:\t  1536 kB\nVmRSS:\t 12 kB\n")
+	if got := parseVmHWM(status); got != 1536*1024 {
+		t.Fatalf("parseVmHWM = %d, want %d", got, 1536*1024)
+	}
+	if got := parseVmHWM([]byte("Name:\tx\n")); got != 0 {
+		t.Fatalf("parseVmHWM without VmHWM = %d, want 0", got)
+	}
+}

@@ -1,0 +1,16 @@
+package profiling
+
+import "testing"
+
+func TestPeakRSSPositive(t *testing.T) {
+	ResetPeakRSS()
+	// Touch some memory so a freshly-reset watermark is re-established.
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if got := PeakRSS(); got <= 0 {
+		t.Fatalf("PeakRSS = %d, want > 0", got)
+	}
+	_ = buf[len(buf)-1]
+}

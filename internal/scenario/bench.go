@@ -54,13 +54,19 @@ type PerfRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`     // wall nanoseconds per round
 	AllocsPerOp float64 `json:"allocs_per_op"` // heap allocations per round
 	BytesMoved  int64   `json:"bytes_moved"`   // wire bytes over the measured rounds
+	// PeakRSSBytes is the process's peak resident memory over the cell (the
+	// kernel's VmHWM, reset per cell on Linux). It is what catches an
+	// accidental O(N²) reintroduction at large N, so the differ gates it on
+	// every machine (memory footprints, unlike wall times, travel).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 
-	// MaxNsRegress and MaxAllocRegress are per-row regression tolerances
-	// carried by the baseline file (fractions: 0.3 = +30%). Zero means the
-	// differ's defaults apply. Hand-edit the committed baseline to widen a
-	// row known to be noisy.
+	// MaxNsRegress, MaxAllocRegress and MaxRSSRegress are per-row regression
+	// tolerances carried by the baseline file (fractions: 0.3 = +30%). Zero
+	// means the differ's defaults apply. Hand-edit the committed baseline to
+	// widen a row known to be noisy.
 	MaxNsRegress    float64 `json:"max_ns_regress,omitempty"`
 	MaxAllocRegress float64 `json:"max_alloc_regress,omitempty"`
+	MaxRSSRegress   float64 `json:"max_rss_regress,omitempty"`
 }
 
 // AlgoRow is one algorithm's traffic-smoke measurement.
@@ -140,10 +146,10 @@ func ReadBench(path string) (*BenchFile, error) {
 //     between like machines, so this check runs only when WallComparable
 //     (regenerate the baseline from a CI-produced BENCH.json artifact to
 //     arm it there); byte counts are gated unconditionally.
-//   - fleetperf rows (matched by name): bytes moved exactly, allocs/op
-//     within the baseline row's tolerance on every machine, and ns/op
-//     within the row's tolerance when the files are wall-comparable and the
-//     row ran at the same GOMAXPROCS in both.
+//   - fleetperf rows (matched by name): bytes moved exactly, allocs/op and
+//     peak RSS within the baseline row's tolerances on every machine, and
+//     ns/op within the row's tolerance when the files are wall-comparable
+//     and the row ran at the same GOMAXPROCS in both.
 //
 // Rows present in only one file are ignored — adding a scenario must not
 // require touching the baseline in the same commit, and removals surface in
@@ -227,6 +233,13 @@ func Diff(baseline, fresh *BenchFile, maxWallRegress float64) error {
 const (
 	defaultMaxAllocRegress = 0.10
 	allocAbsSlack          = 2.0
+	// RSS readings are process-wide and quantized by the allocator, so the
+	// gate combines a generous fraction with an absolute floor: a row only
+	// fails when it grows past both. A 10k-node planner cell regressing from
+	// sparse (tens of MB) to dense (hundreds of MB to GB) clears the gate by
+	// an order of magnitude.
+	defaultMaxRSSRegress = 0.50
+	rssAbsSlackBytes     = int64(64) << 20
 )
 
 // diffPerf gates the fleetperf rows shared by name: bytes exactly and
@@ -254,6 +267,16 @@ func diffPerf(baseline, fresh *BenchFile, maxWallRegress float64) []string {
 		if r.AllocsPerOp > b.AllocsPerOp*(1+allocTol)+allocAbsSlack {
 			problems = append(problems, fmt.Sprintf("perf %s: allocs/op %.1f → %.1f (limit +%.0f%% + %.0f)",
 				r.Name, b.AllocsPerOp, r.AllocsPerOp, 100*allocTol, allocAbsSlack))
+		}
+		if b.PeakRSSBytes > 0 && r.PeakRSSBytes > 0 {
+			rssTol := b.MaxRSSRegress
+			if rssTol == 0 {
+				rssTol = defaultMaxRSSRegress
+			}
+			if limit := int64(float64(b.PeakRSSBytes)*(1+rssTol)) + rssAbsSlackBytes; r.PeakRSSBytes > limit {
+				problems = append(problems, fmt.Sprintf("perf %s: peak RSS %d → %d bytes (limit +%.0f%% + %d MB)",
+					r.Name, b.PeakRSSBytes, r.PeakRSSBytes, 100*rssTol, rssAbsSlackBytes>>20))
+			}
 		}
 		if WallComparable(baseline, fresh) && b.Procs == r.Procs && b.NsPerOp > 0 {
 			nsTol := b.MaxNsRegress

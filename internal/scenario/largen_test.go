@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/nn"
+)
+
+// plannerBase is a full-training SAPS spec small enough to run both ways.
+func plannerBase() *Spec {
+	return &Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Name:          "planner-equiv",
+		Algo:          "saps",
+		Nodes:         10,
+		Rounds:        8,
+		Seed:          21,
+		LR:            0.05,
+		Batch:         8,
+		Compression:   20,
+		Gossip:        &GossipSpec{BThres: 1, TThres: 4},
+		Model:         ModelSpec{Hidden: []int{16}},
+		Data:          DataSpec{Samples: 120, Classes: 4},
+		Bandwidth:     BandwidthSpec{Kind: "uniform", Lo: 0.5, Hi: 5},
+	}
+}
+
+// TestPlannerOnlyMatchesFullRun is the planner-only path's correctness
+// anchor: on a spec small enough to train, the coordinator-side replay must
+// charge exactly the bytes and simulated seconds of the full run — same mask
+// seed stream, same matchings, same per-pair payloads.
+func TestPlannerOnlyMatchesFullRun(t *testing.T) {
+	for _, kind := range []string{"uniform", "sparse-uniform"} {
+		full := plannerBase()
+		if kind == "sparse-uniform" {
+			full.Bandwidth = BandwidthSpec{Kind: "sparse-uniform", Lo: 0.5, Hi: 5, Degree: 4}
+		}
+		fr, err := full.Run(0)
+		if err != nil {
+			t.Fatalf("%s full run: %v", kind, err)
+		}
+		planner := full.Clone()
+		planner.PlannerOnly = true
+		pr, err := planner.Run(0)
+		if err != nil {
+			t.Fatalf("%s planner run: %v", kind, err)
+		}
+		if fr.TotalBytes == 0 {
+			t.Fatalf("%s: full run moved no bytes", kind)
+		}
+		if pr.TotalBytes != fr.TotalBytes {
+			t.Errorf("%s: planner-only bytes %d, full run %d", kind, pr.TotalBytes, fr.TotalBytes)
+		}
+		if pr.SimSeconds != fr.SimSeconds {
+			t.Errorf("%s: planner-only sim time %v, full run %v", kind, pr.SimSeconds, fr.SimSeconds)
+		}
+	}
+}
+
+// TestMLPParamCountMatchesModel guards the dimension the planner-only path
+// masks over: the closed-form count must equal the real model's.
+func TestMLPParamCountMatchesModel(t *testing.T) {
+	for _, hidden := range [][]int{nil, {16}, {64, 32}} {
+		want := nn.NewMLP(dataset.TinyInputDim, hidden, 10, 1).ParamCount()
+		if got := nn.MLPParamCount(dataset.TinyInputDim, hidden, 10); got != want {
+			t.Fatalf("hidden %v: MLPParamCount %d, model has %d", hidden, got, want)
+		}
+	}
+}
+
+// TestSparseScenarioTrains runs full SAPS training over a sparse CSR
+// environment end to end (the sparse kinds are not planner-only-restricted).
+func TestSparseScenarioTrains(t *testing.T) {
+	s, err := Load("testdata/saps-sparse-small.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes <= 0 || res.SimSeconds <= 0 {
+		t.Fatalf("sparse training run accounted nothing: %+v", res)
+	}
+	if res.FinalLoss <= 0 {
+		t.Fatalf("sparse training run has no loss: %+v", res)
+	}
+}
+
+// TestLargeNSpecsLoad validates the committed large-N capsules without
+// running them (the 50k run is the BENCH harness's job), and pins that they
+// live outside the default sweep directory.
+func TestLargeNSpecsLoad(t *testing.T) {
+	for _, path := range []string{
+		"testdata/largen/saps-10k-planner.json",
+		"testdata/largen/saps-50k-planner.json",
+	} {
+		s, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.PlannerOnly || !strings.HasPrefix(s.Bandwidth.Kind, "sparse-") {
+			t.Fatalf("%s: large-N capsule must be planner_only over a sparse environment", path)
+		}
+	}
+	sweep, err := LoadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sweep {
+		if s.Nodes > 1000 {
+			t.Fatalf("default sweep picked up large-N spec %s (%d nodes)", s.Name, s.Nodes)
+		}
+	}
+}
+
+// TestPlannerOnlyValidation pins the planner_only and sparse-kind rejection
+// rules.
+func TestPlannerOnlyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"planner_only on non-saps", func(s *Spec) { s.Algo, s.Compression = "psgd", 0; s.PlannerOnly = true }, "requires algo saps"},
+		{"planner_only with churn", func(s *Spec) {
+			s.PlannerOnly = true
+			s.Churn = &ChurnSpec{LeaveProb: 0.1, JoinProb: 0.5, MinActive: 2}
+		}, "excludes churn"},
+		{"planner_only with trace", func(s *Spec) { s.PlannerOnly, s.Trace = true, true }, "excludes churn/faults/trace"},
+		{"sparse degree too small", func(s *Spec) {
+			s.Bandwidth = BandwidthSpec{Kind: "sparse-uniform", Lo: 1, Hi: 5, Degree: 1}
+		}, "degree 1"},
+		{"sparse degree too large", func(s *Spec) {
+			s.Bandwidth = BandwidthSpec{Kind: "sparse-uniform", Lo: 1, Hi: 5, Degree: 10}
+		}, "degree 10"},
+		{"sparse-clustered without speeds", func(s *Spec) {
+			s.Bandwidth = BandwidthSpec{Kind: "sparse-clustered", Clusters: 2, Degree: 4}
+		}, "sparse-clustered bandwidth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := plannerBase()
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBenchDiffRSSGate pins the peak-RSS regression gate on perf rows: gated
+// on every machine (unlike ns/op), with the fraction+absolute-slack rule, and
+// skipped when either side lacks a reading.
+func TestBenchDiffRSSGate(t *testing.T) {
+	row := PerfRow{Name: "planner/sparse-uniform/n10000/d4810/s0/p1",
+		BytesMoved: 100, PeakRSSBytes: 200 << 20}
+	mk := func(mut func(*PerfRow)) *BenchFile {
+		r := row
+		mut(&r)
+		return &BenchFile{SchemaVersion: BenchSchemaVersion, Perf: []PerfRow{r}}
+	}
+	base := mk(func(*PerfRow) {})
+
+	if err := Diff(base, mk(func(*PerfRow) {}), 0.25); err != nil {
+		t.Fatalf("identical RSS diffed dirty: %v", err)
+	}
+	// Within +50% + 64MB: clean.
+	if err := Diff(base, mk(func(r *PerfRow) { r.PeakRSSBytes = 300 << 20 }), 0.25); err != nil {
+		t.Fatalf("in-tolerance RSS growth rejected: %v", err)
+	}
+	// 200MB → 2GB (a dense-path reintroduction at 10k nodes): caught, even
+	// cross-machine.
+	f := mk(func(r *PerfRow) { r.PeakRSSBytes = 2 << 30 })
+	f.GoMaxProcs = base.GoMaxProcs + 7
+	if err := Diff(base, f, 0.25); err == nil || !strings.Contains(err.Error(), "peak RSS") {
+		t.Fatalf("RSS blow-up not caught: %v", err)
+	}
+	// A baseline row carrying its own tolerance overrides the default.
+	wide := mk(func(r *PerfRow) { r.MaxRSSRegress = 12 })
+	if err := Diff(wide, mk(func(r *PerfRow) { r.PeakRSSBytes = 2 << 30 }), 0.25); err != nil {
+		t.Fatalf("per-row RSS tolerance ignored: %v", err)
+	}
+	// No reading on one side: skipped.
+	if err := Diff(mk(func(r *PerfRow) { r.PeakRSSBytes = 0 }), mk(func(r *PerfRow) { r.PeakRSSBytes = 4 << 30 }), 0.25); err != nil {
+		t.Fatalf("unreadable baseline RSS gated: %v", err)
+	}
+}

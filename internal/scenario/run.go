@@ -6,11 +6,13 @@ import (
 	"time"
 
 	"sapspsgd/internal/algos"
+	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/dataset"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
+	"sapspsgd/internal/profiling"
 	"sapspsgd/internal/rng"
 	"sapspsgd/internal/trace"
 )
@@ -31,6 +33,10 @@ func (s *Spec) Env() *netsim.Bandwidth {
 		bw = netsim.FourteenCities()
 	case "matrix":
 		bw = netsim.NewBandwidth(s.Bandwidth.Matrix)
+	case "sparse-uniform":
+		bw = netsim.SparseRandomUniform(s.Nodes, s.Bandwidth.Degree, s.Bandwidth.Lo, s.Bandwidth.Hi, rng.New(s.Seed).Derive(0xba7d))
+	case "sparse-clustered":
+		bw = netsim.SparseClustered(s.Nodes, s.Bandwidth.Clusters, s.Bandwidth.Degree, s.Bandwidth.Fast, s.Bandwidth.Slow, rng.New(s.Seed).Derive(0xba7d))
 	default:
 		panic("scenario: Env on unvalidated spec: " + s.Bandwidth.Kind)
 	}
@@ -157,6 +163,10 @@ type Result struct {
 	TotalBytes   int64   `json:"total_bytes"`
 	SimSeconds   float64 `json:"sim_seconds"`
 	FinalLoss    float64 `json:"final_loss"`
+	// PeakRSSBytes is the process's peak resident memory over the run
+	// (informational: process-wide, so concurrent runs in one process
+	// attribute each other's peaks; 0 when unreadable).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // Run builds and executes the scenario with the given shard override (see
@@ -205,10 +215,17 @@ type RunOutput struct {
 // ledger, ticking the dynamic environment (bandwidth.jitter) at every round
 // boundary and collecting whatever extras the options request.
 func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
+	if s.PlannerOnly {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		return s.runPlannerOnly(opts)
+	}
 	alg, bw, dyn, err := s.build(opts.Shards)
 	if err != nil {
 		return nil, err
 	}
+	profiling.ResetPeakRSS()
 	out := &RunOutput{}
 	if opts.Series {
 		// The series lengths are known up front; preallocating keeps the
@@ -245,11 +262,80 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 		c.Close()
 	}
 	out.Result = Result{
-		Shards:      s.effectiveShards(opts.Shards),
-		WallSeconds: wall,
-		TotalBytes:  fleetBytes(led, s.Nodes),
-		SimSeconds:  led.TotalTime(),
-		FinalLoss:   loss,
+		Shards:       s.effectiveShards(opts.Shards),
+		WallSeconds:  wall,
+		TotalBytes:   fleetBytes(led, s.Nodes),
+		SimSeconds:   led.TotalTime(),
+		FinalLoss:    loss,
+		PeakRSSBytes: profiling.PeakRSS(),
+	}
+	if wall > 0 {
+		out.Result.RoundsPerSec = float64(s.Rounds) / wall
+	}
+	return out, nil
+}
+
+// runPlannerOnly executes the coordinator side alone: Algorithm 3 planning,
+// the shared round mask's byte accounting, and the ledger charges — exactly
+// the Exchange(v, p, payload, payload) per matched pair that the engine's
+// driver issues — with no models, data, or worker state. TotalBytes and
+// SimSeconds are bit-identical to the full run's (the coordinator's mask-seed
+// stream and matchings are the same); the per-round series carry zero losses.
+func (s *Spec) runPlannerOnly(opts RunOptions) (*RunOutput, error) {
+	profiling.ResetPeakRSS()
+	bw := s.Env()
+	var dyn *netsim.DynamicBandwidth
+	if s.Bandwidth.Jitter > 0 {
+		dyn = netsim.NewDynamicBandwidth(bw, s.Bandwidth.Jitter, rng.New(s.Seed).Derive(0xd14a).Uint64())
+		bw = dyn.Current()
+	}
+	coord := core.NewCoordinator(bw, core.Config{
+		Workers:     s.Nodes,
+		Compression: s.Compression,
+		LR:          s.LR,
+		Batch:       s.Batch,
+		LocalSteps:  s.localSteps(),
+		Gossip:      s.gossipConfig(),
+		Seed:        s.Seed,
+	})
+	// The model is never instantiated; only its parameter count matters for
+	// the mask dimension, and MLP geometry determines it exactly.
+	dim := nn.MLPParamCount(dataset.TinyInputDim, s.Model.Hidden, s.Data.Classes)
+	led := netsim.NewLedger(bw)
+	out := &RunOutput{}
+	if opts.Series {
+		out.Losses = make([]float64, 0, s.Rounds)
+		out.CumBytes = make([]int64, 0, s.Rounds)
+		out.CumSimSeconds = make([]float64, 0, s.Rounds)
+	}
+	var mask []bool
+	start := time.Now()
+	for r := 0; r < s.Rounds; r++ {
+		if dyn != nil && r > 0 {
+			dyn.Tick()
+		}
+		plan := coord.PlanActive(r, nil)
+		mask = compress.MaskInto(mask, plan.Seed, r, dim, s.Compression)
+		payload := compress.MaskedBytes(compress.CountOnes(mask))
+		for v, p := range plan.Peer {
+			if p > v {
+				led.Exchange(v, p, payload, payload)
+			}
+		}
+		led.EndRound()
+		if opts.Series {
+			out.Losses = append(out.Losses, 0)
+			out.CumBytes = append(out.CumBytes, fleetBytes(led, s.Nodes))
+			out.CumSimSeconds = append(out.CumSimSeconds, led.TotalTime())
+		}
+	}
+	wall := time.Since(start).Seconds()
+	out.Result = Result{
+		Shards:       s.effectiveShards(opts.Shards),
+		WallSeconds:  wall,
+		TotalBytes:   fleetBytes(led, s.Nodes),
+		SimSeconds:   led.TotalTime(),
+		PeakRSSBytes: profiling.PeakRSS(),
 	}
 	if wall > 0 {
 		out.Result.RoundsPerSec = float64(s.Rounds) / wall

@@ -87,6 +87,15 @@ type Spec struct {
 	// loss. Only the SAPS family records traces, so trace requires algo
 	// saps (with or without churn/faults).
 	Trace bool `json:"trace,omitempty"`
+
+	// PlannerOnly runs the coordinator side alone (Algorithm 3 matching +
+	// mask accounting + ledger charging) with no models, data, or workers —
+	// the large-N scaling harness, where 50k-node planning fits in memory
+	// that the full training fleet never could. The byte and simulated-time
+	// totals are exactly what the full run would charge (the mask seed
+	// stream and matchings are identical); FinalLoss is 0. Requires algo
+	// saps without churn/faults/trace.
+	PlannerOnly bool `json:"planner_only,omitempty"`
 }
 
 // GossipSpec is Algorithm 3's tuning (SAPS only).
@@ -118,7 +127,10 @@ type BandwidthSpec struct {
 	// Kind selects the generator: "uniform" (links drawn from (Lo, Hi]
 	// MB/s), "clustered" (Fast within clusters, Slow across, ±50% jitter),
 	// "cities" (the paper's measured 14-city matrix; requires Nodes == 14),
-	// or "matrix" (an explicit symmetric trace in MB/s).
+	// "matrix" (an explicit symmetric trace in MB/s), or the large-N sparse
+	// generators "sparse-uniform" / "sparse-clustered" (ring-plus-random-
+	// chords topologies of the given Degree whose adjacency-list environment
+	// never materializes the N² matrix).
 	Kind string `json:"kind"`
 	// Lo and Hi bound the uniform draw in MB/s.
 	Lo float64 `json:"lo,omitempty"`
@@ -127,6 +139,9 @@ type BandwidthSpec struct {
 	Clusters int     `json:"clusters,omitempty"`
 	Fast     float64 `json:"fast,omitempty"`
 	Slow     float64 `json:"slow,omitempty"`
+	// Degree is the sparse generators' target mean degree (links per node,
+	// in [2, Nodes-1]); sparse topologies need at least 3 nodes.
+	Degree int `json:"degree,omitempty"`
 	// Matrix is the explicit Nodes×Nodes link-speed trace for kind
 	// "matrix" (MB/s; asymmetric entries are min-symmetrized like every
 	// other environment).
@@ -373,6 +388,14 @@ func (s *Spec) Validate() error {
 	if s.Trace && s.Algo != "saps" {
 		return fmt.Errorf("scenario %s: trace requires algo saps, have %s", s.Name, s.Algo)
 	}
+	if s.PlannerOnly {
+		if s.Algo != "saps" {
+			return fmt.Errorf("scenario %s: planner_only requires algo saps, have %s", s.Name, s.Algo)
+		}
+		if s.Churn != nil || s.Faults != nil || s.Trace {
+			return fmt.Errorf("scenario %s: planner_only excludes churn/faults/trace", s.Name)
+		}
+	}
 	if g := s.Gossip; g != nil {
 		if s.Algo != "saps" {
 			return fmt.Errorf("scenario %s: gossip thresholds require algo saps, have %s", s.Name, s.Algo)
@@ -437,6 +460,20 @@ func (b *BandwidthSpec) validate(name string, nodes int) error {
 		if b.Clusters < 1 || b.Fast <= 0 || b.Slow <= 0 {
 			return fmt.Errorf("scenario %s: clustered bandwidth %d clusters fast=%v slow=%v", name, b.Clusters, b.Fast, b.Slow)
 		}
+	case "sparse-uniform":
+		if b.Lo < 0 || b.Hi <= 0 || b.Hi < b.Lo {
+			return fmt.Errorf("scenario %s: sparse-uniform bandwidth (%v, %v] MB/s", name, b.Lo, b.Hi)
+		}
+		if err := b.validateDegree(name, nodes); err != nil {
+			return err
+		}
+	case "sparse-clustered":
+		if b.Clusters < 1 || b.Fast <= 0 || b.Slow <= 0 {
+			return fmt.Errorf("scenario %s: sparse-clustered bandwidth %d clusters fast=%v slow=%v", name, b.Clusters, b.Fast, b.Slow)
+		}
+		if err := b.validateDegree(name, nodes); err != nil {
+			return err
+		}
 	case "cities":
 		if nodes != 14 {
 			return fmt.Errorf("scenario %s: cities bandwidth needs 14 nodes, have %d", name, nodes)
@@ -463,6 +500,16 @@ func (b *BandwidthSpec) validate(name string, nodes int) error {
 	}
 	if b.Jitter < 0 || b.Jitter >= 1 {
 		return fmt.Errorf("scenario %s: bandwidth jitter %v outside [0, 1)", name, b.Jitter)
+	}
+	return nil
+}
+
+func (b *BandwidthSpec) validateDegree(name string, nodes int) error {
+	if nodes < 3 {
+		return fmt.Errorf("scenario %s: sparse bandwidth needs at least 3 nodes, have %d", name, nodes)
+	}
+	if b.Degree < 2 || b.Degree > nodes-1 {
+		return fmt.Errorf("scenario %s: sparse bandwidth degree %d outside [2, %d]", name, b.Degree, nodes-1)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ package spectral
 import (
 	"math"
 
+	"sapspsgd/internal/graph"
 	"sapspsgd/internal/rng"
 	"sapspsgd/internal/tensor"
 )
@@ -22,7 +23,16 @@ func PowerIteration(a *tensor.Matrix, iters int) (float64, []float64) {
 // against the given (unit-norm) vectors, computing the dominant eigenpair of
 // a restricted to their orthogonal complement.
 func powerDeflated(a *tensor.Matrix, iters int, against [][]float64) (float64, []float64) {
-	n := a.Rows
+	return powerDeflatedOp(a.Rows, func(dst, src []float64) {
+		copy(dst, tensor.MatVec(a, src))
+	}, iters, against)
+}
+
+// powerDeflatedOp is powerDeflated over an abstract symmetric operator:
+// apply must write the operator applied to src into dst (the slices never
+// alias). This lets large-N callers supply an O(N) matvec and skip the dense
+// matrix entirely.
+func powerDeflatedOp(n int, apply func(dst, src []float64), iters int, against [][]float64) (float64, []float64) {
 	if n == 0 {
 		return 0, nil
 	}
@@ -34,16 +44,19 @@ func powerDeflated(a *tensor.Matrix, iters int, against [][]float64) (float64, [
 	orthogonalize(v, against)
 	normalize(v)
 	lambda := 0.0
+	w := make([]float64, n)
+	tmp := make([]float64, n)
 	for it := 0; it < iters; it++ {
-		w := tensor.MatVec(a, v)
+		apply(w, v)
 		orthogonalize(w, against)
 		nw := tensor.Norm2(w)
 		if nw == 0 {
 			return 0, v
 		}
 		tensor.Scale(1/nw, w)
-		lambda = tensor.Dot(w, tensor.MatVec(a, w))
-		v = w
+		apply(tmp, w)
+		lambda = tensor.Dot(w, tmp)
+		v, w = w, v
 	}
 	return lambda, v
 }
@@ -78,6 +91,39 @@ func RhoOfExpectedWtW(ws []*tensor.Matrix, iters int) float64 {
 		one[i] = 1 / math.Sqrt(float64(n))
 	}
 	l2, _ := powerDeflated(e, iters, [][]float64{one})
+	return l2
+}
+
+// RhoOfMatchings is RhoOfExpectedWtW computed matrix-free from the sampled
+// matchings themselves. A matching's gossip matrix is symmetric and
+// idempotent (WᵀW = W² = W), so E[WᵀW] equals the arithmetic mean of the
+// matching operators, and each power-iteration step costs O(samples·N)
+// with no N×N matrix anywhere — the form that scales to 50k-node fleets.
+func RhoOfMatchings(ms []graph.Matching, iters int) float64 {
+	if len(ms) == 0 {
+		return math.NaN()
+	}
+	n := len(ms[0])
+	scale := 1 / float64(len(ms))
+	apply := func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		for _, m := range ms {
+			for v, p := range m {
+				if p == -1 {
+					dst[v] += scale * src[v]
+				} else {
+					dst[v] += scale * 0.5 * (src[v] + src[p])
+				}
+			}
+		}
+	}
+	one := make([]float64, n)
+	for i := range one {
+		one[i] = 1 / math.Sqrt(float64(n))
+	}
+	l2, _ := powerDeflatedOp(n, apply, iters, [][]float64{one})
 	return l2
 }
 

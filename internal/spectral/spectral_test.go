@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"sapspsgd/internal/graph"
+	"sapspsgd/internal/rng"
 	"sapspsgd/internal/tensor"
 )
 
@@ -114,5 +116,59 @@ func TestMixingRate(t *testing.T) {
 func TestRhoEmptyIsNaN(t *testing.T) {
 	if !math.IsNaN(RhoOfExpectedWtW(nil, 10)) {
 		t.Fatal("expected NaN for no matrices")
+	}
+	if !math.IsNaN(RhoOfMatchings(nil, 10)) {
+		t.Fatal("expected NaN for no matchings")
+	}
+}
+
+// matchingW materializes a matching's doubly stochastic gossip matrix — the
+// dense object RhoOfMatchings avoids building.
+func matchingW(m graph.Matching) *tensor.Matrix {
+	var pairs [][2]int
+	for v, p := range m {
+		if p > v {
+			pairs = append(pairs, [2]int{v, p})
+		}
+	}
+	return pairW(len(m), pairs)
+}
+
+// TestRhoOfMatchingsMatchesDense pins the matrix-free form against the dense
+// oracle: over random matching samples the two must agree to power-iteration
+// precision, on both connected (ρ < 1) and disconnected (ρ = 1) ensembles.
+func TestRhoOfMatchingsMatchesDense(t *testing.T) {
+	const n, samples, iters = 12, 8, 800
+	r := rng.New(17)
+	var ms []graph.Matching
+	var ws []*tensor.Matrix
+	for s := 0; s < samples; s++ {
+		var edges []graph.WeightedEdge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.3 {
+					edges = append(edges, graph.WeightedEdge{U: u, V: v, Weight: 1 + r.Float64()})
+				}
+			}
+		}
+		m := graph.GreedyWeightedMatching(n, edges, rng.New(uint64(100+s)))
+		ms = append(ms, m)
+		ws = append(ws, matchingW(m))
+	}
+	sparse, dense := RhoOfMatchings(ms, iters), RhoOfExpectedWtW(ws, iters)
+	if math.Abs(sparse-dense) > 1e-6 {
+		t.Fatalf("matrix-free rho %v, dense rho %v", sparse, dense)
+	}
+	if sparse >= 1-1e-9 || sparse < 0 {
+		t.Fatalf("rho %v outside [0, 1) for a connected ensemble", sparse)
+	}
+
+	// A single fixed pairing never connects the fleet: both forms must say
+	// rho = 1 exactly (to iteration precision).
+	split := make(graph.Matching, 4)
+	split[0], split[1], split[2], split[3] = 1, 0, 3, 2
+	sp, de := RhoOfMatchings([]graph.Matching{split}, iters), RhoOfExpectedWtW([]*tensor.Matrix{matchingW(split)}, iters)
+	if math.Abs(sp-1) > 1e-6 || math.Abs(de-1) > 1e-6 {
+		t.Fatalf("disconnected ensemble: matrix-free %v, dense %v, want 1", sp, de)
 	}
 }
