@@ -1,0 +1,91 @@
+package algos
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/engine"
+	"sapspsgd/internal/nn"
+)
+
+// This file implements AD-PSGD (Lian et al., "Asynchronous Decentralized
+// Parallel Stochastic Gradient Descent", ICML 2018) as an engine.AsyncNode:
+// each rank loops local SGD and then rendezvouses with one uniformly drawn
+// neighbor, both endpoints atomically averaging their parameter vectors
+// x_i, x_j ← (x_i + x_j)/2. There is no global barrier; a slow rank delays
+// only the partners that draw it. The atomic-average semantics live in the
+// async driver (the passive partner surrenders its current vector at
+// delivery time); this node only trains and averages.
+
+// adpsgdNode is one AD-PSGD rank.
+type adpsgdNode struct {
+	t          *localTrainer
+	localSteps int
+	params     []float64
+	mixed      []float64
+}
+
+// Compute implements engine.Node: localSteps minibatch SGD steps, then the
+// dense parameter snapshot the rendezvous ships.
+func (a *adpsgdNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	total := 0.0
+	for s := 0; s < a.localSteps; s++ {
+		total += a.t.sgdStep()
+	}
+	a.params = a.t.model.FlatParams(a.params)
+	return total / float64(a.localSteps), a.params, nil
+}
+
+// Snapshot implements engine.AsyncNode: the passive side of a rendezvous
+// surrenders its current parameters.
+func (a *adpsgdNode) Snapshot() []float64 {
+	a.params = a.t.model.FlatParams(a.params)
+	return a.params
+}
+
+// Merge implements engine.Node: the pairwise average x ← (x + x_peer)/2.
+func (a *adpsgdNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	for _, m := range msgs {
+		a.mixed = a.t.model.FlatParams(a.mixed)
+		if len(m.Vals) != len(a.mixed) {
+			return fmt.Errorf("algos: adpsgd rank received %d values for %d params", len(m.Vals), len(a.mixed))
+		}
+		for j, v := range m.Vals {
+			a.mixed[j] = 0.5 * (a.mixed[j] + v)
+		}
+		a.t.model.SetFlatParams(a.mixed)
+	}
+	return nil
+}
+
+// AsyncFleet bundles one asynchronous algorithm's per-rank state for
+// engine.NewAsync: the nodes, the shared codec table, and the live models
+// whose average is the current global model.
+type AsyncFleet struct {
+	Nodes  []engine.AsyncNode
+	Codecs []engine.Codec
+	Models []*nn.Model
+	Dim    int
+}
+
+// NewAsyncFleet builds the async fleet for an asynchronous recipe (adpsgd or
+// gradpush) over the shared fleet plumbing: identically initialized models,
+// deterministic per-rank loader streams.
+func NewAsyncFleet(fc FleetConfig, r Recipe) *AsyncFleet {
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	if !r.Async() {
+		panic("algos: NewAsyncFleet on synchronous recipe " + r.Algo)
+	}
+	f := NewFleet(fc)
+	af := &AsyncFleet{
+		Nodes:  make([]engine.AsyncNode, f.N),
+		Codecs: r.Codecs(f.Dim),
+		Models: f.Models,
+		Dim:    f.Dim,
+	}
+	for i := 0; i < f.N; i++ {
+		af.Nodes[i] = r.NewNode(i, f.Models[i], fc.Shards[i], nil).(engine.AsyncNode)
+	}
+	return af
+}

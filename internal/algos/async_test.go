@@ -1,0 +1,199 @@
+package algos
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/engine"
+	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/nn"
+	"sapspsgd/internal/rng"
+)
+
+// asyncFixture builds a small async fleet plus its engine options.
+func asyncFixture(t *testing.T, algo string, n, steps int, bw *netsim.Bandwidth, slowRanks []int, slowFactor float64) (*AsyncFleet, engine.AsyncOptions) {
+	t.Helper()
+	tr, _ := dataset.TinyTask(32*n, 3, 11)
+	rec := Recipe{Algo: algo, Workers: n, LR: 0.05, Batch: 8, Seed: 11}
+	fc := FleetConfig{
+		N:       n,
+		Factory: func() *nn.Model { return nn.NewMLP(tr.Dim(), []int{8}, 3, 11) },
+		Shards:  dataset.PartitionIID(tr, n, 11),
+		LR:      rec.LR,
+		Batch:   rec.Batch,
+		Seed:    rec.Seed,
+	}
+	af := NewAsyncFleet(fc, rec)
+	opts := engine.AsyncOptions{
+		Nodes:     af.Nodes,
+		Codecs:    af.Codecs,
+		Bandwidth: bw,
+		Seed:      rec.Seed,
+		Steps:     steps,
+		OneWay:    rec.OneWay(),
+		Compute: engine.AsyncComputeModel{
+			MeanSeconds: 0.01, Jitter: 0.3, SlowFactor: slowFactor, SlowRanks: slowRanks,
+		},
+	}
+	return af, opts
+}
+
+// runAsync builds and runs one async engine.
+func runAsync(t *testing.T, opts engine.AsyncOptions) *engine.AsyncResult {
+	t.Helper()
+	eng, err := engine.NewAsync(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestADPSGDConverges: the rendezvous-averaging run trains — the loss series
+// falls substantially, every sample is finite, and the byte totals balance.
+func TestADPSGDConverges(t *testing.T) {
+	const n, steps = 8, 30
+	bw := netsim.RandomUniform(n, 5, 50, rng.New(3))
+	_, opts := asyncFixture(t, "adpsgd", n, steps, bw, nil, 0)
+	res := runAsync(t, opts)
+	if res.Steps != n*steps {
+		t.Fatalf("completed %d gossips, want %d", res.Steps, n*steps)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	first, last := res.Samples[0].MeanLoss, res.FinalLoss
+	if !(last < 0.7*first) {
+		t.Fatalf("loss did not fall: first sample %v, final %v", first, last)
+	}
+	for _, s := range res.Samples {
+		if math.IsNaN(s.MeanLoss) || math.IsInf(s.MeanLoss, 0) {
+			t.Fatalf("non-finite sample loss %v", s.MeanLoss)
+		}
+		if s.Time < 0 || s.Time > res.FinalTime {
+			t.Fatalf("sample time %v outside [0, %v]", s.Time, res.FinalTime)
+		}
+	}
+	var sent, recv int64
+	for r := 0; r < n; r++ {
+		sent += res.SentBytes[r]
+		recv += res.RecvBytes[r]
+	}
+	if sent != recv {
+		t.Fatalf("byte conservation: sent %d, received %d", sent, recv)
+	}
+	if sent+recv != res.TotalBytes {
+		t.Fatalf("TotalBytes %d, endpoint sum %d", res.TotalBytes, sent+recv)
+	}
+}
+
+// TestGradPushMassConservation: push-sum's invariant — with no transfer in
+// flight, the rank weights sum to n and the de-biased models stay finite.
+// Also a convergence smoke: gradient push trains.
+func TestGradPushMassConservation(t *testing.T) {
+	const n, steps = 8, 30
+	bw := netsim.RandomUniform(n, 5, 50, rng.New(3))
+	af, opts := asyncFixture(t, "gradpush", n, steps, bw, nil, 0)
+	res := runAsync(t, opts)
+	var wSum float64
+	for _, node := range af.Nodes {
+		snap := node.Snapshot()
+		wSum += snap[len(snap)-1]
+	}
+	if math.Abs(wSum-float64(n)) > 1e-9 {
+		t.Fatalf("push-sum weights sum to %v, want %d", wSum, n)
+	}
+	for i, m := range af.Models {
+		for _, v := range m.FlatParams(nil) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("rank %d has non-finite parameter", i)
+			}
+		}
+	}
+	if !(res.FinalLoss < 0.8*res.Samples[0].MeanLoss) {
+		t.Fatalf("gradpush loss did not fall: first %v, final %v", res.Samples[0].MeanLoss, res.FinalLoss)
+	}
+}
+
+// TestAsyncDeterministic: two runs of the identical configuration produce
+// byte-identical event logs, per-rank ledgers, and final model parameters.
+// This is the in-process half of the CI determinism gate (which adds
+// GOMAXPROCS variation on top).
+func TestAsyncDeterministic(t *testing.T) {
+	for _, algo := range AsyncAlgoNames {
+		t.Run(algo, func(t *testing.T) {
+			type capture struct {
+				log    []byte
+				params [][]float64
+				sent   []int64
+			}
+			var runs [2]capture
+			for rep := 0; rep < 2; rep++ {
+				bw := netsim.RandomUniform(6, 5, 50, rng.New(3))
+				af, opts := asyncFixture(t, algo, 6, 10, bw, nil, 0)
+				var log netsim.EventLog
+				opts.Sink = &log
+				res := runAsync(t, opts)
+				c := capture{log: log.Bytes(), sent: res.SentBytes}
+				for _, m := range af.Models {
+					c.params = append(c.params, m.FlatParams(nil))
+				}
+				runs[rep] = c
+			}
+			if !bytes.Equal(runs[0].log, runs[1].log) {
+				t.Fatal("event logs differ between identical runs")
+			}
+			for r := range runs[0].sent {
+				if runs[0].sent[r] != runs[1].sent[r] {
+					t.Fatalf("rank %d sent %d vs %d bytes", r, runs[0].sent[r], runs[1].sent[r])
+				}
+			}
+			for i := range runs[0].params {
+				for j := range runs[0].params[i] {
+					if runs[0].params[i][j] != runs[1].params[i][j] {
+						t.Fatalf("rank %d param %d differs bitwise", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAsyncStragglerLocality is the honest-straggler claim: with two
+// disjoint gossip pairs (0–1 and 2–3) and rank 0 slowed 50×, the 2–3 pair
+// finishes its steps at fast-pair speed while rank 1 is dragged out by its
+// slow partner — a slow rank delays only its rendezvous partners, never the
+// fleet.
+func TestAsyncStragglerLocality(t *testing.T) {
+	const mb = 20.0
+	matrix := [][]float64{
+		{0, mb, 0, 0},
+		{mb, 0, 0, 0},
+		{0, 0, 0, mb},
+		{0, 0, mb, 0},
+	}
+	bw := netsim.NewBandwidth(matrix)
+	_, opts := asyncFixture(t, "adpsgd", 4, 6, bw, []int{0}, 50)
+	var log netsim.EventLog
+	opts.Sink = &log
+	runAsync(t, opts)
+	// A rank's finish time is its last transfer-complete involvement.
+	finish := make([]float64, 4)
+	for _, e := range log.Events {
+		if e.Kind != netsim.EventTransferComplete {
+			continue
+		}
+		finish[e.Rank] = e.Time
+		finish[e.Peer] = e.Time
+	}
+	fast := math.Max(finish[2], finish[3])
+	slow := math.Max(finish[0], finish[1])
+	if !(fast*5 < slow) {
+		t.Fatalf("fast pair finished at %v, slow pair at %v: straggler is not localized", fast, slow)
+	}
+}

@@ -1,0 +1,108 @@
+package algos
+
+import (
+	"fmt"
+
+	"sapspsgd/internal/engine"
+	"sapspsgd/internal/tensor"
+)
+
+// This file implements Gradient Push — stochastic gradient push (Assran et
+// al., "Stochastic Gradient Push for Distributed Deep Learning", ICML 2019)
+// — as an engine.AsyncNode for the one-way async driver. Each rank keeps
+// the push-sum pair (x, w): the de-biased model is z = x/w, gradients are
+// taken at z and applied to x, and a gossip halves (x, w) locally while
+// pushing the other half to one neighbor, whose Merge just adds it in. The
+// receiver is never blocked (OneWay mode), which is the algorithm's whole
+// point: pure one-sided communication. The payload is the dim+1 dense
+// vector [x/2..., w/2] over the dense codec.
+
+// gradPushNode is one Gradient Push rank.
+type gradPushNode struct {
+	t          *localTrainer
+	lr         float64
+	localSteps int
+	x          []float64 // push-sum numerator
+	w          float64   // push-sum weight
+	z          []float64 // de-biased model scratch
+	out        []float64 // outbound [x/2, w/2] payload scratch
+	grads      []float64
+}
+
+// newGradPushNode initializes the pair at (x0, 1) so z0 equals the shared
+// initial model.
+func newGradPushNode(t *localTrainer, lr float64, localSteps int) *gradPushNode {
+	return &gradPushNode{
+		t: t, lr: lr, localSteps: localSteps,
+		x: t.model.FlatParams(nil), w: 1,
+	}
+}
+
+// debias writes z = x/w into the model, so the trainer's forward/backward
+// passes run on the de-biased parameters.
+func (g *gradPushNode) debias() {
+	if cap(g.z) < len(g.x) {
+		g.z = make([]float64, len(g.x))
+	}
+	g.z = g.z[:len(g.x)]
+	inv := 1 / g.w
+	for j, v := range g.x {
+		g.z[j] = v * inv
+	}
+	g.t.model.SetFlatParams(g.z)
+}
+
+// Compute implements engine.Node: localSteps SGD steps on z applied to x,
+// then the halved (x, w) push payload. The local halves are kept
+// immediately — the send is committed the moment it is scheduled.
+func (g *gradPushNode) Compute(engine.RoundContext) (float64, []float64, error) {
+	total := 0.0
+	for s := 0; s < g.localSteps; s++ {
+		g.debias()
+		total += g.t.gradStep()
+		g.grads = g.t.model.FlatGrads(g.grads)
+		tensor.Axpy(-g.lr, g.grads, g.x)
+	}
+	if cap(g.out) < len(g.x)+1 {
+		g.out = make([]float64, len(g.x)+1)
+	}
+	g.out = g.out[:len(g.x)+1]
+	for j, v := range g.x {
+		half := 0.5 * v
+		g.x[j] = half
+		g.out[j] = half
+	}
+	g.w *= 0.5
+	g.out[len(g.x)] = g.w
+	// Leave the model at the post-step de-biased state (halving x and w
+	// together does not change z).
+	g.debias()
+	return total / float64(g.localSteps), g.out, nil
+}
+
+// Snapshot implements engine.AsyncNode. Gradient Push runs one-way, so the
+// driver never calls this; it returns the current (x, w) pair for
+// completeness.
+func (g *gradPushNode) Snapshot() []float64 {
+	if cap(g.out) < len(g.x)+1 {
+		g.out = make([]float64, len(g.x)+1)
+	}
+	g.out = g.out[:len(g.x)+1]
+	copy(g.out, g.x)
+	g.out[len(g.x)] = g.w
+	return g.out
+}
+
+// Merge implements engine.Node: push-sum reception, (x, w) += (x', w').
+func (g *gradPushNode) Merge(_ engine.RoundContext, msgs []engine.PeerMsg) error {
+	for _, m := range msgs {
+		if len(m.Vals) != len(g.x)+1 {
+			return fmt.Errorf("algos: gradpush rank received %d values for %d params", len(m.Vals), len(g.x))
+		}
+		tensor.Axpy(1, m.Vals[:len(g.x)], g.x)
+		g.w += m.Vals[len(g.x)]
+		// Keep the evaluated model in sync with the freshly received mass.
+		g.debias()
+	}
+	return nil
+}

@@ -21,7 +21,9 @@ import (
 // deployments produce bit-identical trajectories).
 type Recipe struct {
 	// Algo selects the algorithm: saps | psgd | topk-psgd | qsgd-psgd |
-	// d-psgd | dcd-psgd | ps-psgd | fedavg | s-fedavg.
+	// d-psgd | dcd-psgd | ps-psgd | fedavg | s-fedavg, or the asynchronous
+	// recipes adpsgd | gradpush (driven by engine.AsyncEngine instead of
+	// the round loop — see Async).
 	Algo string
 	// Workers is the trainer count n. Hub algorithms add the parameter
 	// server as one extra rank (rank n), so Nodes() is n or n+1.
@@ -44,7 +46,12 @@ type Recipe struct {
 // AlgoNames lists the recipes' canonical -algo values.
 var AlgoNames = []string{
 	"saps", "psgd", "topk-psgd", "qsgd-psgd", "d-psgd", "dcd-psgd", "ps-psgd", "fedavg", "s-fedavg",
+	"adpsgd", "gradpush",
 }
+
+// AsyncAlgoNames lists the asynchronous recipes (the tail of AlgoNames):
+// barrier-free algorithms the event-driven async engine executes.
+var AsyncAlgoNames = []string{"adpsgd", "gradpush"}
 
 // Validate returns an error describing the first invalid field, if any.
 func (r Recipe) Validate() error {
@@ -59,7 +66,7 @@ func (r Recipe) Validate() error {
 		if r.Compression < 1 {
 			return fmt.Errorf("algos: saps compression %v", r.Compression)
 		}
-	case "psgd", "d-psgd", "ps-psgd":
+	case "psgd", "d-psgd", "ps-psgd", "adpsgd", "gradpush":
 	case "topk-psgd", "dcd-psgd":
 		if r.C < 1 {
 			return fmt.Errorf("algos: %s ratio c=%v", r.Algo, r.C)
@@ -88,6 +95,17 @@ func (r Recipe) Validate() error {
 func (r Recipe) Hub() bool {
 	return r.Algo == "ps-psgd" || r.Algo == "fedavg" || r.Algo == "s-fedavg"
 }
+
+// Async reports whether the recipe is an asynchronous (barrier-free)
+// algorithm: it has no synchronous Pattern and runs on engine.AsyncEngine
+// (see NewAsyncFleet).
+func (r Recipe) Async() bool {
+	return r.Algo == "adpsgd" || r.Algo == "gradpush"
+}
+
+// OneWay reports whether the async recipe gossips one-way (push) instead of
+// by bidirectional rendezvous.
+func (r Recipe) OneWay() bool { return r.Algo == "gradpush" }
 
 // Nodes is the total rank count (trainers plus server).
 func (r Recipe) Nodes() int {
@@ -171,6 +189,8 @@ func (r Recipe) Pattern() engine.Pattern {
 		return engine.NewNeighborhood(ringAdjacency(r.Workers), true)
 	case "ps-psgd", "fedavg", "s-fedavg":
 		return engine.Hub{Server: r.ServerRank()}
+	case "adpsgd", "gradpush":
+		panic("algos: asynchronous recipe " + r.Algo + " has no synchronous pattern (run it on engine.NewAsync)")
 	}
 	panic("algos: Pattern on invalid recipe: " + r.Algo)
 }
@@ -191,7 +211,7 @@ func (r Recipe) Codecs(dim int) []engine.Codec {
 				masks = &compress.MaskCache{}
 			}
 			out[rank] = engine.NewMaskedShared(r.Compression, masks)
-		case "psgd", "d-psgd", "ps-psgd", "fedavg":
+		case "psgd", "d-psgd", "ps-psgd", "fedavg", "adpsgd", "gradpush":
 			out[rank] = engine.Dense{}
 		case "topk-psgd":
 			out[rank] = engine.NewTopK(sparseK(dim, r.C), dim, true)
@@ -258,6 +278,10 @@ func (r Recipe) NewNode(rank int, model *nn.Model, shard *dataset.Dataset, mirro
 		return &fedWorkerNode{t: t, localSteps: r.localSteps()}
 	case "s-fedavg":
 		return &fedWorkerNode{t: t, localSteps: r.localSteps(), delta: true}
+	case "adpsgd":
+		return &adpsgdNode{t: t, localSteps: r.localSteps()}
+	case "gradpush":
+		return newGradPushNode(t, r.LR, r.localSteps())
 	}
 	panic("algos: NewNode on invalid recipe: " + r.Algo)
 }

@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sapspsgd/internal/scenario"
+)
+
+// loadAsyncBase loads the committed asynchronous base scenario.
+func loadAsyncBase(t *testing.T) *scenario.Spec {
+	t.Helper()
+	base, err := scenario.Load(filepath.Join("testdata", "async-base.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestAsyncAlgoAxisExpands pins the sync-vs-async grid axis: a mixed
+// algorithm sweep over an async base yields synchronous cells with the
+// async block dropped, asynchronous cells with it kept, and a shards axis
+// that collapses for async cells (and only for them).
+func TestAsyncAlgoAxisExpands(t *testing.T) {
+	c := &Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Name:          "mixed",
+		Base:          "testdata/async-base.json",
+		Grid: Grid{
+			Algo:        []string{"saps", "psgd", "adpsgd", "gradpush"},
+			Compression: []float64{100},
+			Shards:      []int{1, 2},
+		},
+	}
+	cells, err := c.Expand(loadAsyncBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, cell := range cells {
+		ids = append(ids, cell.ID)
+	}
+	want := []string{"saps_sh1_c100", "saps_sh2_c100", "psgd_sh1", "psgd_sh2", "adpsgd", "gradpush"}
+	if strings.Join(ids, " ") != strings.Join(want, " ") {
+		t.Fatalf("cells %v, want %v", ids, want)
+	}
+	for _, cell := range cells {
+		async := scenario.AsyncAlgo(cell.Spec.Algo)
+		if async != (cell.Spec.Async != nil) {
+			t.Fatalf("cell %s: async block presence does not match algo %s", cell.ID, cell.Spec.Algo)
+		}
+		if async && cell.Spec.Shards != 0 {
+			t.Fatalf("async cell %s carries %d shards", cell.ID, cell.Spec.Shards)
+		}
+		if err := cell.Spec.Validate(); err != nil {
+			t.Fatalf("cell %s does not validate: %v", cell.ID, err)
+		}
+	}
+}
+
+// TestAsyncCampaignRuns executes a small sync-vs-async campaign end to end:
+// every cell (one synchronous, two asynchronous) runs through the shared
+// runner, persists a series-bearing cell record, and aggregates.
+func TestAsyncCampaignRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (if tiny) campaign")
+	}
+	c := &Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Name:          "mixed-run",
+		Base:          "testdata/async-base.json",
+		Grid:          Grid{Algo: []string{"psgd", "adpsgd", "gradpush"}},
+	}
+	dir := t.TempDir()
+	stats, err := Run(c, Options{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Planned != 3 || stats.Executed != 3 || !stats.Aggregated {
+		t.Fatalf("campaign stats %+v", stats)
+	}
+	for _, id := range []string{"psgd", "adpsgd", "gradpush"} {
+		data, err := os.ReadFile(filepath.Join(dir, "cells", id+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec CellResult
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.TotalBytes <= 0 || len(rec.Losses) == 0 || len(rec.Losses) != len(rec.CumBytes) {
+			t.Fatalf("cell %s: degenerate record %+v", id, rec)
+		}
+		if rec.SimSeconds <= 0 {
+			t.Fatalf("cell %s: no simulated time", id)
+		}
+	}
+}

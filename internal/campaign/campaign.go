@@ -59,8 +59,12 @@ type Spec struct {
 // so the same spec always yields the same cell ordering.
 type Grid struct {
 	// Algo sweeps the algorithm (any -algo value the scenario layer
-	// accepts). Cells whose algorithm is not saps drop the base spec's
-	// saps-only blocks (compression, gossip, churn, faults, trace).
+	// accepts, the asynchronous recipes included). Cells whose algorithm is
+	// not saps drop the base spec's saps-only blocks (compression, gossip,
+	// churn, faults, trace). Synchronous cells drop the base's async block;
+	// asynchronous cells (adpsgd, gradpush) require the base to carry one
+	// and run unsharded on the event-driven engine, so the shards axis
+	// collapses for them.
 	Algo []string `json:"algo,omitempty"`
 	// Nodes sweeps the trainer count.
 	Nodes []int `json:"nodes,omitempty"`
@@ -334,11 +338,14 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 			return "s" + strconv.FormatUint(g.Seeds[i], 10)
 		}},
 		{oneOrLen(len(g.Shards)), func(s *scenario.Spec, i int) {
-			if len(g.Shards) > 0 {
+			// Async cells run unsharded on the event-driven engine, so the
+			// shards axis never touches them (its length collapses to one
+			// for async algorithms below).
+			if len(g.Shards) > 0 && !scenario.AsyncAlgo(s.Algo) {
 				s.Shards = g.Shards[i]
 			}
 		}, func(s *scenario.Spec, i int) string {
-			if len(g.Shards) == 0 {
+			if len(g.Shards) == 0 || scenario.AsyncAlgo(s.Algo) {
 				return ""
 			}
 			return "sh" + strconv.Itoa(g.Shards[i])
@@ -347,6 +354,14 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 	var cells []Cell
 	ids := map[string]int{}
 	for _, algo := range algos {
+		algoAxes := axes
+		if scenario.AsyncAlgo(algo) {
+			// The shards axis (always last) collapses for asynchronous
+			// algorithms: every shard count would yield the identical
+			// unsharded cell.
+			algoAxes = append([]axis(nil), axes...)
+			algoAxes[len(algoAxes)-1].n = 1
+		}
 		comps := g.Compression
 		if len(comps) == 0 || !hasCompressionKnob(algo) {
 			// Axis absent, or the algorithm has no ratio knob: a single
@@ -358,15 +373,15 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 			// nodes › rounds › bandwidth › seed › shards. Iterate a mixed-
 			// radix counter so the nesting order is explicit and stable.
 			total := 1
-			for _, a := range axes {
+			for _, a := range algoAxes {
 				total *= a.n
 			}
 			for k := 0; k < total; k++ {
-				idx := make([]int, len(axes))
+				idx := make([]int, len(algoAxes))
 				rem := k
-				for a := len(axes) - 1; a >= 0; a-- {
-					idx[a] = rem % axes[a].n
-					rem /= axes[a].n
+				for a := len(algoAxes) - 1; a >= 0; a-- {
+					idx[a] = rem % algoAxes[a].n
+					rem /= algoAxes[a].n
 				}
 				s := base.Clone()
 				s.Algo = algo
@@ -379,6 +394,12 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 					s.Faults = nil
 					s.Trace = false
 				}
+				if !scenario.AsyncAlgo(algo) {
+					// The async block does not transfer to synchronous
+					// algorithms; asynchronous cells instead require the
+					// base to carry one (Validate names the cell if not).
+					s.Async = nil
+				}
 				var parts []string
 				if len(g.Algo) > 0 {
 					parts = append(parts, algo)
@@ -386,7 +407,7 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 				// Apply nodes/rounds/bandwidth before compression so the
 				// ratio lands on the final algorithm/knob combination.
 				curBW = ""
-				for a, ax := range axes {
+				for a, ax := range algoAxes {
 					ax.apply(s, idx[a])
 				}
 				cell := Cell{Spec: s, Bandwidth: curBW}
@@ -394,7 +415,7 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 					applyCompression(s, comp)
 					cell.Compression = comp
 				}
-				for a, ax := range axes {
+				for a, ax := range algoAxes {
 					if p := ax.part(s, idx[a]); p != "" {
 						parts = append(parts, p)
 					}

@@ -1,0 +1,206 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sapspsgd/internal/rng"
+)
+
+// randomEvents draws n events with deliberately colliding times and keys, so
+// the ordering tests exercise the tie-breaking chain, not just the time
+// comparison.
+func randomEvents(n int, src *rng.Source) []Event {
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = Event{
+			// A coarse time grid forces many exact-time collisions.
+			Time:  float64(src.Intn(n/4+1)) * 0.25,
+			Kind:  EventKind(src.Intn(3)),
+			Rank:  int32(src.Intn(n)),
+			Peer:  int32(src.Intn(n+1) - 1),
+			Round: int32(src.Intn(4)),
+			Bytes: int64(src.Intn(3)) * 1000,
+		}
+	}
+	return events
+}
+
+func drain(q *EventQueue) []Event {
+	var out []Event
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// TestEventOrderInsertionInvariant is the determinism property the async
+// driver rests on: the drain order of an event set is invariant under the
+// order the events were inserted, across 5 seeds at N ∈ {8, 64, 512}.
+func TestEventOrderInsertionInvariant(t *testing.T) {
+	for _, n := range []int{8, 64, 512} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("n%d/seed%d", n, seed), func(t *testing.T) {
+				src := rng.New(seed).Derive(0xe4e4)
+				events := randomEvents(n, src)
+				var q EventQueue
+				for _, e := range events {
+					q.Push(e)
+				}
+				want := drain(&q)
+				for shuffle := 0; shuffle < 4; shuffle++ {
+					src.Shuffle(len(events), func(i, j int) {
+						events[i], events[j] = events[j], events[i]
+					})
+					for _, e := range events {
+						q.Push(e)
+					}
+					got := drain(&q)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("shuffle %d: event %d = %+v, want %+v", shuffle, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEventOrderSeedStable pins that the drained sequence is a pure function
+// of the seed: regenerating the same seeded event set yields a byte-identical
+// serialized log, and the sequence is sorted under the total order.
+func TestEventOrderSeedStable(t *testing.T) {
+	for _, n := range []int{8, 64, 512} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			logs := make([][]byte, 2)
+			for rep := 0; rep < 2; rep++ {
+				events := randomEvents(n, rng.New(seed).Derive(0xe4e4))
+				var q EventQueue
+				for _, e := range events {
+					q.Push(e)
+				}
+				var log EventLog
+				prev := Event{Time: -1}
+				for {
+					e, ok := q.Pop()
+					if !ok {
+						break
+					}
+					if eventLess(e, prev) {
+						t.Fatalf("n=%d seed=%d: %+v drained after %+v", n, seed, e, prev)
+					}
+					prev = e
+					log.Append(e)
+				}
+				logs[rep] = log.Bytes()
+			}
+			if !bytes.Equal(logs[0], logs[1]) {
+				t.Fatalf("n=%d seed=%d: two generations of the same seed serialized differently", n, seed)
+			}
+		}
+	}
+}
+
+// TestEventTieBreaking pins the documented key order at exactly equal times:
+// kind, then rank, then peer.
+func TestEventTieBreaking(t *testing.T) {
+	var q EventQueue
+	q.Push(Event{Time: 1, Kind: EventTransferComplete, Rank: 0})
+	q.Push(Event{Time: 1, Kind: EventComputeDone, Rank: 5})
+	q.Push(Event{Time: 1, Kind: EventTransferStart, Rank: 2, Peer: 3})
+	q.Push(Event{Time: 1, Kind: EventTransferStart, Rank: 2, Peer: 1})
+	q.Push(Event{Time: 0.5, Kind: EventTransferComplete, Rank: 9})
+	got := drain(&q)
+	want := []Event{
+		{Time: 0.5, Kind: EventTransferComplete, Rank: 9},
+		{Time: 1, Kind: EventComputeDone, Rank: 5},
+		{Time: 1, Kind: EventTransferStart, Rank: 2, Peer: 1},
+		{Time: 1, Kind: EventTransferStart, Rank: 2, Peer: 3},
+		{Time: 1, Kind: EventTransferComplete, Rank: 0},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLedgerEventView checks the ledger's two views of one round agree: the
+// sink receives one start/complete pair per charged endpoint, the stream is
+// globally ordered, the latest completion equals the round's wall time, and
+// RoundCompletions matches the per-endpoint completion events.
+func TestLedgerEventView(t *testing.T) {
+	const n = 6
+	bw := RandomUniform(n, 5, 50, rng.New(7))
+	led := NewLedger(bw)
+	var log EventLog
+	led.SetSink(&log)
+
+	src := rng.New(42)
+	var exchanges int
+	for round := 0; round < 4; round++ {
+		clockBefore := led.Clock()
+		for k := 0; k < 5; k++ {
+			i := src.Intn(n)
+			j := (i + 1 + src.Intn(n-1)) % n
+			led.Exchange(i, j, 1000, 1000)
+			exchanges++
+		}
+		led.ServerTransfer(0, 500, 500, 25)
+		wall := led.EndRound()
+		if led.Clock() != clockBefore+wall {
+			t.Fatalf("round %d: clock %v, want %v + %v", round, led.Clock(), clockBefore, wall)
+		}
+		comps := led.RoundCompletions()
+		maxComp := 0.0
+		for _, c := range comps {
+			if c > maxComp {
+				maxComp = c
+			}
+		}
+		if maxComp != led.Clock() {
+			t.Fatalf("round %d: max completion %v, clock %v", round, maxComp, led.Clock())
+		}
+	}
+	// 2 endpoints per exchange + 1 per server transfer, a start/complete pair
+	// each.
+	wantEvents := (exchanges*2 + 4) * 2
+	if log.Len() != wantEvents {
+		t.Fatalf("sink has %d events, want %d", log.Len(), wantEvents)
+	}
+	prev := Event{Time: -1}
+	completes := map[int32]float64{}
+	for _, e := range log.Events {
+		if eventLess(e, prev) && e.Round == prev.Round {
+			t.Fatalf("event %+v drained after %+v", e, prev)
+		}
+		if e.Time < prev.Time {
+			t.Fatalf("event stream time went backwards: %+v after %+v", e, prev)
+		}
+		prev = e
+		if e.Kind == EventTransferComplete {
+			completes[e.Rank] = e.Time
+		}
+	}
+	for rank, tEnd := range completes {
+		if tEnd > led.Clock() {
+			t.Fatalf("rank %d completion %v beyond final clock %v", rank, tEnd, led.Clock())
+		}
+	}
+	// The serialized log is deterministic.
+	if !bytes.Equal(log.Bytes(), log.Bytes()) {
+		t.Fatal("EventLog.Bytes not stable")
+	}
+	var csv bytes.Buffer
+	if err := log.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(csv.Bytes(), []byte("\n")); lines != wantEvents+1 {
+		t.Fatalf("CSV has %d lines, want %d", lines, wantEvents+1)
+	}
+}

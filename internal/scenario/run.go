@@ -9,6 +9,7 @@ import (
 	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/dataset"
+	"sapspsgd/internal/engine"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
@@ -191,6 +192,14 @@ type RunOptions struct {
 	// Series collects the per-round convergence series (Losses, CumBytes,
 	// CumSimSeconds) the campaign aggregator turns into paper figures.
 	Series bool
+	// Events attaches a netsim.EventLog to the run and returns it in
+	// RunOutput.Events — the virtual-time transfer/compute event stream.
+	// Only async runs emit events; synchronous runs ignore the flag.
+	Events bool
+	// Params returns every rank's final flat parameter vector in
+	// RunOutput.Params — the determinism gate's model artifact. Only async
+	// runs honor the flag.
+	Params bool
 }
 
 // RunOutput is one execution's full yield: the BENCH-row Result plus the
@@ -209,6 +218,15 @@ type RunOutput struct {
 	// Trace is the round recorder, non-nil when the spec or options asked
 	// for tracing and the algorithm supports it.
 	Trace *trace.Recorder
+	// Events is the virtual-time event stream (async runs with
+	// RunOptions.Events only).
+	Events *netsim.EventLog
+	// Params holds every rank's final flat parameter vector (async runs
+	// with RunOptions.Params only).
+	Params [][]float64
+	// SentBytes and RecvBytes are the per-rank cumulative byte ledgers
+	// (async runs only; synchronous runs read them off the netsim ledger).
+	SentBytes, RecvBytes []int64
 }
 
 // RunFull builds and executes the scenario against a bandwidth-accounted
@@ -220,6 +238,12 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 			return nil, err
 		}
 		return s.runPlannerOnly(opts)
+	}
+	if s.Async != nil {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		return s.runAsync(opts)
 	}
 	alg, bw, dyn, err := s.build(opts.Shards)
 	if err != nil {
@@ -335,6 +359,89 @@ func (s *Spec) runPlannerOnly(opts RunOptions) (*RunOutput, error) {
 		WallSeconds:  wall,
 		TotalBytes:   fleetBytes(led, s.Nodes),
 		SimSeconds:   led.TotalTime(),
+		PeakRSSBytes: profiling.PeakRSS(),
+	}
+	if wall > 0 {
+		out.Result.RoundsPerSec = float64(s.Rounds) / wall
+	}
+	return out, nil
+}
+
+// runAsync executes an asynchronous spec on the engine's event-driven
+// driver: the fleet gossips without a global barrier against the virtual
+// clock, and the per-round series slots carry the sample series instead
+// (Losses[k] is sample k's window-mean loss, CumSimSeconds[k] its virtual
+// time). Result.Shards is always 0 — async runs have no engine sharding —
+// and the run is bit-reproducible regardless of GOMAXPROCS.
+func (s *Spec) runAsync(opts RunOptions) (*RunOutput, error) {
+	profiling.ResetPeakRSS()
+	a := s.Async
+	tr, _ := dataset.TinyTask(s.Data.Samples, s.Data.Classes, s.Seed)
+	fc := algos.FleetConfig{
+		N:       s.Nodes,
+		Factory: func() *nn.Model { return nn.NewMLP(tr.Dim(), s.Model.Hidden, s.Data.Classes, s.Seed) },
+		Shards:  dataset.PartitionIID(tr, s.Nodes, s.Seed),
+		LR:      s.LR,
+		Batch:   s.Batch,
+		Seed:    s.Seed,
+	}
+	rec := s.recipe()
+	af := algos.NewAsyncFleet(fc, rec)
+	var slow []int
+	if a.SlowFraction > 0 {
+		k := int(math.Ceil(a.SlowFraction * float64(s.Nodes)))
+		perm := rng.New(s.Seed).Derive(0xa51c).Perm(s.Nodes)
+		slow = append([]int(nil), perm[:k]...)
+	}
+	eopts := engine.AsyncOptions{
+		Nodes:     af.Nodes,
+		Codecs:    af.Codecs,
+		Bandwidth: s.Env(),
+		Seed:      s.Seed,
+		Steps:     s.Rounds,
+		OneWay:    rec.OneWay(),
+		Compute: engine.AsyncComputeModel{
+			MeanSeconds: a.ComputeSeconds,
+			Jitter:      a.Jitter,
+			SlowFactor:  a.SlowFactor,
+			SlowRanks:   slow,
+		},
+		SampleEvery: a.SampleEvery,
+	}
+	out := &RunOutput{}
+	if opts.Events {
+		out.Events = &netsim.EventLog{}
+		eopts.Sink = out.Events
+	}
+	eng, err := engine.NewAsync(eopts)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	start := time.Now()
+	res, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	wall := time.Since(start).Seconds()
+	if opts.Series {
+		for _, smp := range res.Samples {
+			out.Losses = append(out.Losses, smp.MeanLoss)
+			out.CumBytes = append(out.CumBytes, smp.CumBytes)
+			out.CumSimSeconds = append(out.CumSimSeconds, smp.Time)
+		}
+	}
+	if opts.Params {
+		for _, m := range af.Models {
+			out.Params = append(out.Params, m.FlatParams(nil))
+		}
+	}
+	out.SentBytes = res.SentBytes
+	out.RecvBytes = res.RecvBytes
+	out.Result = Result{
+		WallSeconds:  wall,
+		TotalBytes:   res.TotalBytes,
+		SimSeconds:   res.FinalTime,
+		FinalLoss:    res.FinalLoss,
 		PeakRSSBytes: profiling.PeakRSS(),
 	}
 	if wall > 0 {

@@ -33,7 +33,9 @@ type Spec struct {
 	// Name identifies the scenario in sweeps and BENCH.json rows.
 	Name string `json:"name"`
 	// Algo is the algorithm to run: saps | psgd | topk-psgd | qsgd-psgd |
-	// d-psgd | dcd-psgd | ps-psgd | fedavg | s-fedavg.
+	// d-psgd | dcd-psgd | ps-psgd | fedavg | s-fedavg, or one of the
+	// asynchronous recipes adpsgd | gradpush (which require the async
+	// block).
 	Algo string `json:"algo"`
 	// Nodes is the trainer count (hub algorithms add their server rank on
 	// top, exactly as algos.Recipe does).
@@ -76,6 +78,15 @@ type Spec struct {
 	// Straggler slows a deterministic subset of workers' links, modelling
 	// bandwidth-starved stragglers in an otherwise healthy fleet.
 	Straggler *StragglerSpec `json:"straggler,omitempty"`
+
+	// Async switches the run to the barrier-free event-driven engine and is
+	// required exactly when Algo is an asynchronous recipe (adpsgd or
+	// gradpush). Rounds then counts the gossip cycles each rank initiates
+	// rather than synchronous rounds. Async runs are single-process
+	// discrete-event simulations, so they exclude churn, faults, trace,
+	// planner_only, bandwidth jitter, and engine sharding; the straggler
+	// block still applies (it shapes the bandwidth environment).
+	Async *AsyncSpec `json:"async,omitempty"`
 
 	// Shards is the default engine shard count for this scenario (0 = the
 	// engine's goroutine-per-node pool). Sweeps usually override it.
@@ -200,6 +211,29 @@ func (f *FaultsSpec) Schedule(n int, seed uint64) algos.FaultSchedule {
 	return sched
 }
 
+// AsyncSpec is the virtual-compute model of an asynchronous run: how long
+// each rank's local SGD block takes on the event clock between gossips.
+// Durations are virtual time only — they shape the event timeline (and so
+// the rendezvous order), never the numerics of the training streams.
+type AsyncSpec struct {
+	// ComputeSeconds is the mean virtual compute duration per gossip cycle
+	// (> 0).
+	ComputeSeconds float64 `json:"compute_seconds"`
+	// Jitter in [0, 1) scales each compute block by an independent uniform
+	// draw from [1-jitter, 1+jitter].
+	Jitter float64 `json:"jitter,omitempty"`
+	// SlowFraction in [0, 1] marks that share of ranks (rounded up, drawn
+	// from the spec seed) as compute stragglers.
+	SlowFraction float64 `json:"slow_fraction,omitempty"`
+	// SlowFactor (≥ 1, required when slow_fraction > 0) multiplies the
+	// slow ranks' compute durations.
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+	// SampleEvery emits one convergence-series sample per that many
+	// completed gossips fleet-wide (0 = one per node count, roughly a
+	// synchronous round's worth).
+	SampleEvery int `json:"sample_every,omitempty"`
+}
+
 // StragglerSpec slows a deterministic worker subset's links.
 type StragglerSpec struct {
 	// Fraction of workers (rounded up, at least one when positive) whose
@@ -207,6 +241,17 @@ type StragglerSpec struct {
 	Fraction float64 `json:"fraction"`
 	// Slowdown divides every link touching a straggler (≥ 1).
 	Slowdown float64 `json:"slowdown"`
+}
+
+// AsyncAlgo reports whether algo names an asynchronous recipe — one that
+// requires the spec's async block and runs on the event-driven engine.
+func AsyncAlgo(algo string) bool {
+	for _, a := range algos.AsyncAlgoNames {
+		if a == algo {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse decodes a strict-schema spec: unknown fields are rejected, and the
@@ -317,6 +362,10 @@ func (s *Spec) Clone() *Spec {
 	if s.Straggler != nil {
 		st := *s.Straggler
 		c.Straggler = &st
+	}
+	if s.Async != nil {
+		a := *s.Async
+		c.Async = &a
 	}
 	return &c
 }
@@ -445,6 +494,33 @@ func (s *Spec) Validate() error {
 		}
 		if st.Slowdown < 1 {
 			return fmt.Errorf("scenario %s: straggler slowdown %v", s.Name, st.Slowdown)
+		}
+	}
+	// The async block and the asynchronous recipes come as a pair; the
+	// churn/faults/trace/planner_only/gossip exclusions hold automatically
+	// (each of those already requires algo saps).
+	if s.recipe().Async() != (s.Async != nil) {
+		if s.Async == nil {
+			return fmt.Errorf("scenario %s: algo %s requires the async block", s.Name, s.Algo)
+		}
+		return fmt.Errorf("scenario %s: async block requires an asynchronous algo (adpsgd or gradpush), have %s", s.Name, s.Algo)
+	}
+	if a := s.Async; a != nil {
+		switch {
+		case a.ComputeSeconds <= 0:
+			return fmt.Errorf("scenario %s: async compute_seconds %v", s.Name, a.ComputeSeconds)
+		case a.Jitter < 0 || a.Jitter >= 1:
+			return fmt.Errorf("scenario %s: async jitter %v outside [0, 1)", s.Name, a.Jitter)
+		case a.SlowFraction < 0 || a.SlowFraction > 1:
+			return fmt.Errorf("scenario %s: async slow_fraction %v", s.Name, a.SlowFraction)
+		case a.SlowFraction > 0 && a.SlowFactor < 1:
+			return fmt.Errorf("scenario %s: async slow_factor %v with slow_fraction %v (need ≥ 1)", s.Name, a.SlowFactor, a.SlowFraction)
+		case a.SampleEvery < 0:
+			return fmt.Errorf("scenario %s: async sample_every %d", s.Name, a.SampleEvery)
+		case s.Shards != 0:
+			return fmt.Errorf("scenario %s: async runs have no engine shards (drop shards)", s.Name)
+		case s.Bandwidth.Jitter > 0:
+			return fmt.Errorf("scenario %s: async runs use a static bandwidth environment (drop bandwidth.jitter)", s.Name)
 		}
 	}
 	return nil
