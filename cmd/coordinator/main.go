@@ -20,6 +20,12 @@
 // random permanent deaths down to a floor of 4 workers. Unscheduled worker
 // losses are detected, the affected round is aborted and rolled back on
 // every survivor, and training re-plans over the remaining fleet.
+//
+// Trace replay (DESIGN.md §11): -trace fleet.csv replays a committed
+// per-node bandwidth-multiplier trace over the environment (configured or
+// -measure'd); -trace-events additionally replays its join/leave events as
+// scripted membership (saps only — absent workers stay connected but sit
+// rounds out, exactly as the simulated backends exclude them).
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"sapspsgd/internal/algos"
 	"sapspsgd/internal/engine"
+	"sapspsgd/internal/fleettrace"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/rng"
@@ -67,6 +74,9 @@ func main() {
 		probeKB     = flag.Int("probe-kb", 64, "probe payload size in KiB when -measure is set")
 		crash       = flag.String("crash", "", "fault injection (saps only): comma-separated rank:round[:rejoin_after] crash events, e.g. 2:30:10,5:40")
 		mortality   = flag.String("mortality", "", "fault injection (saps only): prob:min_alive seeded random permanent worker deaths, e.g. 0.01:4")
+		traceFile   = flag.String("trace", "", "fleet trace CSV to replay (per-round bandwidth multipliers; see internal/fleettrace)")
+		traceInterp = flag.String("trace-interp", "hold", "trace multiplier interpolation: hold|linear")
+		traceEvents = flag.Bool("trace-events", false, "replay the trace's join/leave membership events (saps only)")
 		rejoinWait  = flag.Duration("rejoin-wait", time.Minute, "how long to hold a round boundary for a scheduled rejoiner")
 		out         = flag.String("out", "model.gob", "output file for the final model")
 	)
@@ -75,6 +85,13 @@ func main() {
 	faults, err := parseFaults(*crash, *mortality, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	replay, err := parseTrace(*traceFile, *traceInterp, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *traceEvents && replay == nil {
+		log.Fatal("-trace-events requires -trace")
 	}
 
 	spec := transport.TaskSpec{
@@ -94,13 +111,15 @@ func main() {
 		// Without real link measurements, the coordinator assumes a random
 		// uniform environment; in production each worker pair would report
 		// measured speeds (paper §II-C footnote 3).
-		BW:         netsim.RandomUniform(rec.Nodes(), 1, 5, rng.New(*seed)),
-		Measure:    *measure,
-		ProbeBytes: *probeKB << 10,
-		Gossip:     gossip.Config{BThres: *bthres, TThres: *tthres},
-		Faults:     faults,
-		RejoinWait: *rejoinWait,
-		Logf:       log.Printf,
+		BW:           netsim.RandomUniform(rec.Nodes(), 1, 5, rng.New(*seed)),
+		Measure:      *measure,
+		ProbeBytes:   *probeKB << 10,
+		Gossip:       gossip.Config{BThres: *bthres, TThres: *tthres},
+		Faults:       faults,
+		Replay:       replay,
+		ReplayEvents: *traceEvents,
+		RejoinWait:   *rejoinWait,
+		Logf:         log.Printf,
 	}
 	led := &engine.CountingLedger{}
 	srv.Ledger = led
@@ -131,6 +150,23 @@ func serverNote(rec algos.Recipe) string {
 		return " + 1 parameter server"
 	}
 	return ""
+}
+
+// parseTrace loads and binds the -trace replay for the fleet size. An empty
+// path returns nil.
+func parseTrace(path, interpName string, n int) (*fleettrace.Replay, error) {
+	if path == "" {
+		return nil, nil
+	}
+	tr, err := fleettrace.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	interp, err := fleettrace.ParseInterp(interpName)
+	if err != nil {
+		return nil, fmt.Errorf("-trace-interp: %v", err)
+	}
+	return fleettrace.NewReplay(tr, n, interp)
 }
 
 // parseFaults builds the fault schedule from the -crash and -mortality

@@ -26,6 +26,8 @@ type AggregateRow struct {
 	Seed        uint64  `json:"seed"`
 	Shards      int     `json:"shards"`
 	Bandwidth   string  `json:"bandwidth,omitempty"`
+	FleetTrace  string  `json:"fleet_trace,omitempty"`
+	Partition   string  `json:"partition,omitempty"`
 	Compression float64 `json:"compression,omitempty"`
 	// TotalBytes, FinalLoss and SimSeconds are the cell's deterministic
 	// totals.
@@ -95,6 +97,8 @@ func Aggregate(c *Spec, cells []Cell, outDir string) error {
 			Seed:        res.Seed,
 			Shards:      res.Shards,
 			Bandwidth:   res.Bandwidth,
+			FleetTrace:  res.FleetTrace,
+			Partition:   res.Partition,
 			Compression: res.Compression,
 			TotalBytes:  res.TotalBytes,
 			FinalLoss:   res.FinalLoss,
@@ -110,15 +114,16 @@ func Aggregate(c *Spec, cells []Cell, outDir string) error {
 	}
 
 	summary := metrics.NewTable("Campaign "+c.Name,
-		"cell", "algo", "nodes", "rounds", "bandwidth", "compression", "seed", "shards",
-		"total", "sim_s", "final_loss")
+		"cell", "algo", "nodes", "rounds", "bandwidth", "trace", "partition",
+		"compression", "seed", "shards", "total", "sim_s", "final_loss")
 	for _, r := range results {
 		comp := ""
 		if r.Compression > 0 {
 			comp = compact(r.Compression)
 		}
 		summary.Add(r.Cell, r.Algo, strconv.Itoa(r.Nodes), strconv.Itoa(r.Rounds),
-			r.Bandwidth, comp, strconv.FormatUint(r.Seed, 10), strconv.Itoa(r.Shards),
+			r.Bandwidth, r.FleetTrace, r.Partition, comp,
+			strconv.FormatUint(r.Seed, 10), strconv.Itoa(r.Shards),
 			metrics.MB(r.TotalBytes), metrics.F(r.SimSeconds), metrics.F(r.FinalLoss))
 	}
 	if err := writeTable(outDir, "summary", summary); err != nil {

@@ -55,13 +55,15 @@ type Spec struct {
 // Grid lists the swept axes. An omitted (empty) axis keeps the base
 // scenario's value; the run matrix is the cartesian product of the
 // non-empty axes, expanded in the fixed nesting order algo › compression ›
-// nodes › rounds › bandwidth › seed › shards (innermost varies fastest),
-// so the same spec always yields the same cell ordering.
+// nodes › rounds › bandwidth › trace › partition › seed › shards (innermost
+// varies fastest), so the same spec always yields the same cell ordering.
 type Grid struct {
 	// Algo sweeps the algorithm (any -algo value the scenario layer
 	// accepts, the asynchronous recipes included). Cells whose algorithm is
 	// not saps drop the base spec's saps-only blocks (compression, gossip,
-	// churn, faults, trace). Synchronous cells drop the base's async block;
+	// churn, faults, record_trace, trace membership events — the trace
+	// block itself survives as bandwidth-multiplier replay, which is
+	// algorithm-agnostic). Synchronous cells drop the base's async block;
 	// asynchronous cells (adpsgd, gradpush) require the base to carry one
 	// and run unsharded on the event-driven engine, so the shards axis
 	// collapses for them.
@@ -83,6 +85,20 @@ type Grid struct {
 	// ps-psgd, fedavg, qsgd-psgd) the axis collapses: only one cell is
 	// generated, with the base spec's parameters.
 	Compression []float64 `json:"compression,omitempty"`
+	// Traces sweeps the fleet-trace replay; each entry is a full scenario
+	// trace block (file, interp, events) plus an optional name used in cell
+	// IDs (defaults to the file's base name without extension). An entry
+	// with an empty file clears the base's trace block — a static-network
+	// control cell — and must carry a name. Trace files resolve against the
+	// base scenario's directory, exactly as if the block were written there.
+	// Membership events only drive the SAPS family; on other algorithms the
+	// entry degrades to bandwidth-multiplier replay (events are dropped).
+	Traces []GridTrace `json:"traces,omitempty"`
+	// Partition sweeps the data split; each entry is a full scenario
+	// partition block (kind, alpha, min_per_node) plus an optional name
+	// used in cell IDs (defaults to the kind). A kind-"iid" entry clears
+	// the base's partition block.
+	Partition []GridPartition `json:"partition,omitempty"`
 	// Seeds sweeps the reproducibility seed.
 	Seeds []uint64 `json:"seeds,omitempty"`
 	// Shards sweeps the engine shard count (the scenario shards field).
@@ -100,6 +116,42 @@ type GridBandwidth struct {
 
 // label returns the entry's cell-ID label.
 func (g *GridBandwidth) label() string {
+	if g.Name != "" {
+		return g.Name
+	}
+	return g.Kind
+}
+
+// GridTrace is one trace-axis entry: a scenario trace block plus the name
+// cell IDs use. An empty File means "no trace" (the base's block is
+// cleared), in which case Name is mandatory.
+type GridTrace struct {
+	// Name labels the trace in cell IDs and aggregates. Optional when File
+	// is set; defaults to the file's base name without extension.
+	Name string `json:"name,omitempty"`
+	scenario.TraceSpec
+}
+
+// label returns the entry's cell-ID label.
+func (g *GridTrace) label() string {
+	if g.Name != "" {
+		return g.Name
+	}
+	base := filepath.Base(g.File)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// GridPartition is one partition-axis entry: a scenario partition block
+// plus the name cell IDs use.
+type GridPartition struct {
+	// Name labels the split in cell IDs and aggregates. Optional; defaults
+	// to the kind.
+	Name string `json:"name,omitempty"`
+	scenario.PartitionSpec
+}
+
+// label returns the entry's cell-ID label.
+func (g *GridPartition) label() string {
 	if g.Name != "" {
 		return g.Name
 	}
@@ -163,6 +215,7 @@ func (c *Spec) Validate() error {
 	}
 	g := &c.Grid
 	if len(g.Algo) == 0 && len(g.Nodes) == 0 && len(g.Rounds) == 0 && len(g.Bandwidth) == 0 &&
+		len(g.Traces) == 0 && len(g.Partition) == 0 &&
 		len(g.Compression) == 0 && len(g.Seeds) == 0 && len(g.Shards) == 0 {
 		return fmt.Errorf("campaign %s: empty grid (declare at least one axis)", c.Name)
 	}
@@ -197,6 +250,35 @@ func (c *Spec) Validate() error {
 		}
 		if seen[label] {
 			return fmt.Errorf("campaign %s: duplicate bandwidth label %q (give entries distinct names)", c.Name, label)
+		}
+		seen[label] = true
+	}
+	seen = map[string]bool{}
+	for i := range g.Traces {
+		e := &g.Traces[i]
+		if e.File == "" && e.Name == "" {
+			return fmt.Errorf("campaign %s: trace entry %d has neither file nor name (a no-trace entry needs a name)", c.Name, i)
+		}
+		label := e.label()
+		if !safeLabel(label) {
+			return fmt.Errorf("campaign %s: trace label %q is not filename-safe (want [A-Za-z0-9][A-Za-z0-9._-]*)", c.Name, label)
+		}
+		if seen[label] {
+			return fmt.Errorf("campaign %s: duplicate trace label %q (give entries distinct names)", c.Name, label)
+		}
+		seen[label] = true
+	}
+	seen = map[string]bool{}
+	for i := range g.Partition {
+		label := g.Partition[i].label()
+		if label == "" {
+			return fmt.Errorf("campaign %s: partition entry %d has neither name nor kind", c.Name, i)
+		}
+		if !safeLabel(label) {
+			return fmt.Errorf("campaign %s: partition label %q is not filename-safe (want [A-Za-z0-9][A-Za-z0-9._-]*)", c.Name, label)
+		}
+		if seen[label] {
+			return fmt.Errorf("campaign %s: duplicate partition label %q (give entries distinct names)", c.Name, label)
 		}
 		seen[label] = true
 	}
@@ -240,6 +322,11 @@ type Cell struct {
 	// Bandwidth is the bandwidth-axis label ("" when the axis is not
 	// swept).
 	Bandwidth string
+	// Trace is the trace-axis label ("" when the axis is not swept).
+	Trace string
+	// Partition is the partition-axis label ("" when the axis is not
+	// swept).
+	Partition string
 	// Compression is the swept compression ratio c (0 when the axis does
 	// not apply to this cell's algorithm or is not swept).
 	Compression float64
@@ -286,15 +373,18 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 		apply func(s *scenario.Spec, i int)
 		part  func(s *scenario.Spec, i int) string
 	}
-	// curBW carries the bandwidth axis's label out of its apply closure to
-	// the cell under construction (Expand is sequential).
-	var curBW string
+	// curBW/curTrace/curPart carry each axis's label out of its apply
+	// closure to the cell under construction (Expand is sequential).
+	var curBW, curTrace, curPart string
 	oneOrLen := func(n int) int {
 		if n == 0 {
 			return 1
 		}
 		return n
 	}
+	// axTrace is the trace axis's index in axes (it collapses for async
+	// algorithms below, like the always-last shards axis).
+	const axTrace = 3
 	axes := []axis{
 		{oneOrLen(len(g.Nodes)), func(s *scenario.Spec, i int) {
 			if len(g.Nodes) > 0 {
@@ -327,6 +417,51 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 			}
 			return g.Bandwidth[i].label()
 		}},
+		{oneOrLen(len(g.Traces)), func(s *scenario.Spec, i int) {
+			if len(g.Traces) == 0 || scenario.AsyncAlgo(s.Algo) {
+				return
+			}
+			e := &g.Traces[i]
+			curTrace = e.label()
+			if e.File == "" {
+				// The static-network control cell: no replay at all.
+				s.Trace = nil
+				return
+			}
+			ts := e.TraceSpec
+			if s.Algo != "saps" {
+				// Membership events only drive the SAPS family; every other
+				// algorithm replays the bandwidth multipliers only. (The
+				// algo axis applies before this closure runs, so s.Algo is
+				// the cell's final algorithm.)
+				ts.Events = false
+			}
+			s.Trace = &ts
+		}, func(s *scenario.Spec, i int) string {
+			if len(g.Traces) == 0 || scenario.AsyncAlgo(s.Algo) {
+				return ""
+			}
+			return g.Traces[i].label()
+		}},
+		{oneOrLen(len(g.Partition)), func(s *scenario.Spec, i int) {
+			if len(g.Partition) == 0 {
+				return
+			}
+			e := &g.Partition[i]
+			curPart = e.label()
+			if e.Kind == "iid" {
+				// The uniform-split control cell: no partition block.
+				s.Partition = nil
+				return
+			}
+			ps := e.PartitionSpec
+			s.Partition = &ps
+		}, func(s *scenario.Spec, i int) string {
+			if len(g.Partition) == 0 {
+				return ""
+			}
+			return g.Partition[i].label()
+		}},
 		{oneOrLen(len(g.Seeds)), func(s *scenario.Spec, i int) {
 			if len(g.Seeds) > 0 {
 				s.Seed = g.Seeds[i]
@@ -358,9 +493,12 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 		if scenario.AsyncAlgo(algo) {
 			// The shards axis (always last) collapses for asynchronous
 			// algorithms: every shard count would yield the identical
-			// unsharded cell.
+			// unsharded cell. So does the trace axis (index axTrace):
+			// async runs use a static bandwidth environment, so every
+			// trace entry would yield the identical untraced cell.
 			algoAxes = append([]axis(nil), axes...)
 			algoAxes[len(algoAxes)-1].n = 1
+			algoAxes[axTrace].n = 1
 		}
 		comps := g.Compression
 		if len(comps) == 0 || !hasCompressionKnob(algo) {
@@ -370,8 +508,9 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 		}
 		for _, comp := range comps {
 			// The fixed-order cartesian product over the remaining axes:
-			// nodes › rounds › bandwidth › seed › shards. Iterate a mixed-
-			// radix counter so the nesting order is explicit and stable.
+			// nodes › rounds › bandwidth › trace › partition › seed ›
+			// shards. Iterate a mixed-radix counter so the nesting order is
+			// explicit and stable.
 			total := 1
 			for _, a := range algoAxes {
 				total *= a.n
@@ -392,13 +531,22 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 					s.Gossip = nil
 					s.Churn = nil
 					s.Faults = nil
-					s.Trace = false
+					s.RecordTrace = false
+					if s.Trace != nil {
+						// The bandwidth multipliers replay for every
+						// algorithm; membership events are saps-only.
+						s.Trace.Events = false
+					}
 				}
 				if !scenario.AsyncAlgo(algo) {
 					// The async block does not transfer to synchronous
 					// algorithms; asynchronous cells instead require the
 					// base to carry one (Validate names the cell if not).
 					s.Async = nil
+				} else {
+					// Async runs use a static bandwidth environment, so a
+					// base trace block does not transfer either.
+					s.Trace = nil
 				}
 				var parts []string
 				if len(g.Algo) > 0 {
@@ -406,11 +554,11 @@ func (c *Spec) Expand(base *scenario.Spec) ([]Cell, error) {
 				}
 				// Apply nodes/rounds/bandwidth before compression so the
 				// ratio lands on the final algorithm/knob combination.
-				curBW = ""
+				curBW, curTrace, curPart = "", "", ""
 				for a, ax := range algoAxes {
 					ax.apply(s, idx[a])
 				}
-				cell := Cell{Spec: s, Bandwidth: curBW}
+				cell := Cell{Spec: s, Bandwidth: curBW, Trace: curTrace, Partition: curPart}
 				if comp > 0 {
 					applyCompression(s, comp)
 					cell.Compression = comp

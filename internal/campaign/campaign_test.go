@@ -126,6 +126,16 @@ func TestCampaignRejectsMalformed(t *testing.T) {
 			`{"bandwidth": [{"name": "../escape", "kind": "uniform", "lo": 1, "hi": 5}]}`, 1), "not filename-safe"},
 		{"separator in bandwidth name", strings.Replace(valid, `{"seeds": [1, 2]}`,
 			`{"bandwidth": [{"name": "a/b", "kind": "uniform", "lo": 1, "hi": 5}]}`, 1), "not filename-safe"},
+		{"duplicate trace labels", strings.Replace(valid, `{"seeds": [1, 2]}`,
+			`{"traces": [{"file": "a/edge.csv"}, {"file": "b/edge.csv"}]}`, 1), "duplicate trace label"},
+		{"path-traversal trace name", strings.Replace(valid, `{"seeds": [1, 2]}`,
+			`{"traces": [{"name": "../escape", "file": "edge.csv"}]}`, 1), "not filename-safe"},
+		{"anonymous no-trace entry", strings.Replace(valid, `{"seeds": [1, 2]}`,
+			`{"traces": [{"events": true}]}`, 1), "neither file nor name"},
+		{"duplicate partition labels", strings.Replace(valid, `{"seeds": [1, 2]}`,
+			`{"partition": [{"kind": "dirichlet", "alpha": 0.1}, {"kind": "dirichlet", "alpha": 0.5}]}`, 1), "duplicate partition label"},
+		{"anonymous kindless partition entry", strings.Replace(valid, `{"seeds": [1, 2]}`,
+			`{"partition": [{"alpha": 0.5}]}`, 1), "neither name nor kind"},
 	}
 	for _, tc := range cases {
 		tc := tc

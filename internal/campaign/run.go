@@ -28,15 +28,17 @@ type CellResult struct {
 	// Cell and SpecSHA key the record to the run matrix.
 	Cell    string `json:"cell"`
 	SpecSHA string `json:"spec_sha"`
-	// Algo, Nodes, Rounds, Seed, Shards, Bandwidth and Compression label
-	// the cell for aggregation (Bandwidth and Compression are the grid
-	// labels; empty/zero when the axis is not swept).
+	// Algo through Compression label the cell for aggregation (Bandwidth,
+	// FleetTrace, Partition and Compression are the grid labels;
+	// empty/zero when the axis is not swept).
 	Algo        string  `json:"algo"`
 	Nodes       int     `json:"nodes"`
 	Rounds      int     `json:"rounds"`
 	Seed        uint64  `json:"seed"`
 	Shards      int     `json:"shards"`
 	Bandwidth   string  `json:"bandwidth,omitempty"`
+	FleetTrace  string  `json:"fleet_trace,omitempty"`
+	Partition   string  `json:"partition,omitempty"`
 	Compression float64 `json:"compression,omitempty"`
 	// TotalBytes is the fleet's deterministic traffic total, FinalLoss the
 	// last round's mean training loss, SimSeconds the simulated
@@ -301,6 +303,8 @@ func runCell(c *Spec, cell Cell, outDir string) (*CellResult, error) {
 		Seed:          cell.Spec.Seed,
 		Shards:        cell.Spec.Shards,
 		Bandwidth:     cell.Bandwidth,
+		FleetTrace:    cell.Trace,
+		Partition:     cell.Partition,
 		Compression:   cell.Compression,
 		TotalBytes:    out.Result.TotalBytes,
 		FinalLoss:     out.Result.FinalLoss,

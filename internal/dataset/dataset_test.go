@@ -226,6 +226,8 @@ func TestPartitionSharesBackingArrays(t *testing.T) {
 	for _, shards := range [][]*Dataset{
 		PartitionIID(tr, 8, 1),
 		PartitionByLabel(tr, 8, 2, 1),
+		PartitionDirichlet(tr, 8, 0.3, 4, 1),
+		PartitionQuantitySkew(tr, 8, 0.5, 4, 1),
 	} {
 		for w, s := range shards {
 			for k := range s.Samples {

@@ -69,6 +69,141 @@ func PartitionByLabel(d *Dataset, n, shardsPerWorker int, seed uint64) []*Datase
 	return shards
 }
 
+// PartitionDirichlet produces the FedAvg-style label-skew partition: for
+// each class, the class's samples are split among the n workers in
+// proportions drawn from a symmetric Dirichlet(alpha) — small alpha
+// concentrates each class on few workers (strong heterogeneity), large
+// alpha approaches IID. Counts are rounded by largest remainder so every
+// sample lands in exactly one shard, and workers below minPerNode steal
+// from the largest shards so no loader ever starves. Shards alias the
+// parent's sample storage (headers are copied, pixels are not), exactly
+// like PartitionIID. Everything derives from seed.
+func PartitionDirichlet(d *Dataset, n int, alpha float64, minPerNode int, seed uint64) []*Dataset {
+	if n < 1 || !(alpha > 0) {
+		panic(fmt.Sprintf("dataset: PartitionDirichlet n=%d alpha=%v", n, alpha))
+	}
+	r := rng.New(seed)
+	draws := r.Derive(0xd112)
+	byLabel := make([][]int, d.Classes)
+	for i, s := range d.Samples {
+		byLabel[s.Label] = append(byLabel[s.Label], i)
+	}
+	assign := make([][]int, n)
+	weights := make([]float64, n)
+	for _, idxs := range byLabel {
+		r.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for w := range weights {
+			weights[w] = draws.Gamma(alpha)
+		}
+		pos := 0
+		for w, cnt := range apportion(weights, len(idxs)) {
+			assign[w] = append(assign[w], idxs[pos:pos+cnt]...)
+			pos += cnt
+		}
+	}
+	rebalance(assign, minPerNode, len(d.Samples))
+	return shardsFrom(d, assign, "dirichlet")
+}
+
+// PartitionQuantitySkew splits d IID in content but unevenly in size: shard
+// sizes follow a symmetric Dirichlet(alpha) over the workers (small alpha =
+// a few data-rich workers and many data-poor ones), with the same
+// largest-remainder rounding, minPerNode floor, and storage aliasing as
+// PartitionDirichlet.
+func PartitionQuantitySkew(d *Dataset, n int, alpha float64, minPerNode int, seed uint64) []*Dataset {
+	if n < 1 || !(alpha > 0) {
+		panic(fmt.Sprintf("dataset: PartitionQuantitySkew n=%d alpha=%v", n, alpha))
+	}
+	r := rng.New(seed)
+	draws := r.Derive(0xd112)
+	idx := r.Perm(len(d.Samples))
+	weights := make([]float64, n)
+	for w := range weights {
+		weights[w] = draws.Gamma(alpha)
+	}
+	assign := make([][]int, n)
+	pos := 0
+	for w, cnt := range apportion(weights, len(idx)) {
+		assign[w] = append(assign[w], idx[pos:pos+cnt]...)
+		pos += cnt
+	}
+	rebalance(assign, minPerNode, len(d.Samples))
+	return shardsFrom(d, assign, "qskew")
+}
+
+// apportion rounds total·weights[i]/sum(weights) to integers summing to
+// total by largest remainder (ties to the lower index).
+func apportion(weights []float64, total int) []int {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	counts := make([]int, len(weights))
+	fracs := make([]float64, len(weights))
+	used := 0
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		counts[i] = int(exact)
+		fracs[i] = exact - float64(counts[i])
+		used += counts[i]
+	}
+	for used < total {
+		best := 0
+		for i := 1; i < len(fracs); i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		used++
+	}
+	return counts
+}
+
+// rebalance enforces the minPerNode floor (at least 1: every worker runs a
+// loader) by moving samples, one at a time, from the currently largest
+// shard to the most starved one. Deterministic: ties resolve to the lowest
+// index, and the donor always gives up its last sample.
+func rebalance(assign [][]int, minPerNode, samples int) {
+	floor := minPerNode
+	if floor < 1 {
+		floor = 1
+	}
+	if floor*len(assign) > samples {
+		panic(fmt.Sprintf("dataset: %d samples cannot give %d workers %d each", samples, len(assign), floor))
+	}
+	for {
+		need, donor := -1, 0
+		for i, a := range assign {
+			if len(a) < floor && (need < 0 || len(a) < len(assign[need])) {
+				need = i
+			}
+			if len(a) > len(assign[donor]) {
+				donor = i
+			}
+		}
+		if need < 0 {
+			return
+		}
+		last := assign[donor][len(assign[donor])-1]
+		assign[donor] = assign[donor][:len(assign[donor])-1]
+		assign[need] = append(assign[need], last)
+	}
+}
+
+// shardsFrom materializes per-worker shards from sample-index assignments.
+func shardsFrom(d *Dataset, assign [][]int, kind string) []*Dataset {
+	shards := make([]*Dataset, len(assign))
+	for w, idxs := range assign {
+		shards[w] = emptyLike(d, fmt.Sprintf("%s/worker%d-%s", d.Name, w, kind))
+		for _, i := range idxs {
+			shards[w].Samples = append(shards[w].Samples, d.Samples[i])
+		}
+	}
+	return shards
+}
+
 func emptyLike(d *Dataset, name string) *Dataset {
 	return &Dataset{Name: name, C: d.C, H: d.H, W: d.W, Classes: d.Classes}
 }

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"testing"
+
+	"sapspsgd/internal/rng"
+)
+
+func TestNodeScaledDense(t *testing.T) {
+	base := RandomUniform(4, 1, 5, rng.New(7))
+	s := NewNodeScaledBandwidth(base)
+	cur := s.Current()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if cur.MBps(i, j) != base.MBps(i, j) {
+				t.Fatalf("initial snapshot link %d-%d = %v, want base %v", i, j, cur.MBps(i, j), base.MBps(i, j))
+			}
+		}
+	}
+	mult := []float64{0.5, 1, 0.25, 2}
+	if got := s.Apply(mult); got != cur {
+		t.Fatal("Apply returned a different snapshot pointer")
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i != j {
+				scale := mult[i]
+				if mult[j] < scale {
+					scale = mult[j]
+				}
+				want = base.MBps(i, j) * scale
+			}
+			if cur.MBps(i, j) != want {
+				t.Fatalf("scaled link %d-%d = %v, want %v", i, j, cur.MBps(i, j), want)
+			}
+		}
+	}
+	// nil restores unit multipliers on the same pointer.
+	s.Apply(nil)
+	if cur.MBps(0, 1) != base.MBps(0, 1) {
+		t.Fatal("Apply(nil) did not restore base speeds")
+	}
+}
+
+func TestNodeScaledSparse(t *testing.T) {
+	base := SparseRandomUniform(16, 4, 1, 5, rng.New(9))
+	s := NewNodeScaledBandwidth(base)
+	mult := make([]float64, 16)
+	r := rng.New(11)
+	for i := range mult {
+		mult[i] = 0.25 + r.Float64()
+	}
+	cur := s.Apply(mult)
+	if !cur.Sparse() {
+		t.Fatal("snapshot of a sparse base is dense")
+	}
+	links := 0
+	base.ForEachEdge(0, func(u, v int, w float64) {
+		links++
+		scale := mult[u]
+		if mult[v] < scale {
+			scale = mult[v]
+		}
+		if got, want := cur.MBps(u, v), w*scale; got != want {
+			t.Fatalf("sparse link %d-%d = %v, want %v", u, v, got, want)
+		}
+		if cur.MBps(u, v) != cur.MBps(v, u) {
+			t.Fatalf("asymmetric scaled link %d-%d", u, v)
+		}
+	})
+	if links == 0 {
+		t.Fatal("sparse base has no edges")
+	}
+}
+
+// TestNodeScaledOverDynamic pins the composition order the scenario runner
+// relies on: the scaler's base may be a DynamicBandwidth snapshot, and
+// because Apply rereads the base, a Tick-then-Apply sequence yields
+// jittered-then-scaled speeds on the scaler's stable pointer.
+func TestNodeScaledOverDynamic(t *testing.T) {
+	env := RandomUniform(4, 1, 5, rng.New(3))
+	dyn := NewDynamicBandwidth(env, 0.3, 99)
+	s := NewNodeScaledBandwidth(dyn.Current())
+	mult := []float64{1, 0.5, 1, 1}
+	for tick := 0; tick < 3; tick++ {
+		dyn.Tick()
+		cur := s.Apply(mult)
+		want := dyn.Current().MBps(0, 1) * 0.5
+		if got := cur.MBps(0, 1); got != want {
+			t.Fatalf("tick %d: composed link 0-1 = %v, want %v", tick, got, want)
+		}
+	}
+}

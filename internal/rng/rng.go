@@ -161,6 +161,38 @@ func (r *Source) NormFloat64() float64 {
 	}
 }
 
+// Gamma returns a Gamma(alpha, 1) sample via Marsaglia-Tsang squeeze
+// rejection, with the standard U^(1/alpha) boost for shape < 1. It panics if
+// alpha is not positive. Dirichlet draws (non-IID data partitions) normalize
+// a vector of these.
+func (r *Source) Gamma(alpha float64) float64 {
+	if !(alpha > 0) {
+		panic("rng: Gamma with non-positive alpha")
+	}
+	if alpha < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a); 1-Float64 keeps U in (0, 1].
+		u := 1 - r.Float64()
+		return r.Gamma(alpha+1) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
 // Perm returns a uniformly random permutation of [0, n).
 func (r *Source) Perm(n int) []int {
 	p := make([]int, n)

@@ -264,3 +264,35 @@ func TestReseedMatchesNewDerive(t *testing.T) {
 		}
 	}
 }
+
+func TestGammaMoments(t *testing.T) {
+	// Gamma(alpha, 1) has mean alpha and variance alpha; check both within
+	// a loose Monte-Carlo tolerance for shapes below and above 1.
+	for _, alpha := range []float64{0.3, 1.0, 2.5, 7.0} {
+		r := New(42)
+		const n = 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			g := r.Gamma(alpha)
+			if !(g > 0) {
+				t.Fatalf("alpha=%v: non-positive sample %v", alpha, g)
+			}
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-alpha) > 0.05*alpha+0.01 {
+			t.Errorf("alpha=%v: mean %v", alpha, mean)
+		}
+		if math.Abs(variance-alpha) > 0.15*alpha+0.02 {
+			t.Errorf("alpha=%v: variance %v", alpha, variance)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	New(1).Gamma(0)
+}

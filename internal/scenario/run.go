@@ -10,6 +10,7 @@ import (
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/dataset"
 	"sapspsgd/internal/engine"
+	"sapspsgd/internal/fleettrace"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
@@ -63,16 +64,78 @@ func (s *Spec) gossipConfig() gossip.Config {
 // Build assembles the spec's algorithm over the sharded engine runtime.
 // shards overrides the spec's default shard count when > 0; pass 0 to use
 // the spec's and -1 to force the serial goroutine-per-node pool. With
-// bandwidth.jitter set, the returned *netsim.Bandwidth is the dynamic
-// environment's stable snapshot (rewritten in place every round by Run).
+// bandwidth.jitter or a trace block set, the returned *netsim.Bandwidth is
+// the time-varying environment's stable snapshot (rewritten in place every
+// round by Run).
 func (s *Spec) Build(shards int) (algos.Algorithm, *netsim.Bandwidth, error) {
 	alg, bw, _, err := s.build(shards)
 	return alg, bw, err
 }
 
-// build is Build plus the dynamic-bandwidth wrapper Run ticks each round
-// (nil for static environments).
-func (s *Spec) build(shards int) (algos.Algorithm, *netsim.Bandwidth, *netsim.DynamicBandwidth, error) {
+// roundEnv is the per-round environment machinery RunFull advances at every
+// round boundary: the jitter resampler and/or the trace-multiplier scaler.
+// The composition order is fixed — straggler scaling is baked into the base
+// environment, jitter resamples from that base, and the trace multipliers
+// scale the jittered links — so every backend evaluating the same spec
+// walks the same bandwidth sequence.
+type roundEnv struct {
+	dyn     *netsim.DynamicBandwidth
+	scaler  *netsim.NodeScaledBandwidth
+	replay  *fleettrace.Replay
+	multBuf []float64
+}
+
+// tick advances the environment to round r. Round 0's state was produced at
+// construction time.
+func (e *roundEnv) tick(r int) {
+	if e == nil || r == 0 {
+		return
+	}
+	if e.dyn != nil {
+		e.dyn.Tick()
+	}
+	if e.scaler != nil {
+		e.multBuf = e.replay.Multipliers(r, e.multBuf)
+		e.scaler.Apply(e.multBuf)
+	}
+}
+
+// traceReplay parses the spec's trace block and binds it to the fleet.
+func (s *Spec) traceReplay() (*fleettrace.Replay, error) {
+	tr, err := fleettrace.ParseFile(s.TracePath())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	interp, err := fleettrace.ParseInterp(s.Trace.Interp)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	rp, err := fleettrace.NewReplay(tr, s.Nodes, interp)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return rp, nil
+}
+
+// partitionShards splits the training set per the partition block (IID when
+// absent).
+func (s *Spec) partitionShards(tr *dataset.Dataset) []*dataset.Dataset {
+	p := s.Partition
+	if p == nil || p.Kind == "iid" {
+		return dataset.PartitionIID(tr, s.Nodes, s.Seed)
+	}
+	switch p.Kind {
+	case "dirichlet":
+		return dataset.PartitionDirichlet(tr, s.Nodes, p.Alpha, p.MinPerNode, s.Seed)
+	case "quantity":
+		return dataset.PartitionQuantitySkew(tr, s.Nodes, p.Alpha, p.MinPerNode, s.Seed)
+	}
+	panic("scenario: partitionShards on unvalidated spec: " + p.Kind)
+}
+
+// build is Build plus the per-round environment machinery Run ticks each
+// round (nil when the environment is static).
+func (s *Spec) build(shards int) (algos.Algorithm, *netsim.Bandwidth, *roundEnv, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -81,20 +144,35 @@ func (s *Spec) build(shards int) (algos.Algorithm, *netsim.Bandwidth, *netsim.Dy
 	fc := algos.FleetConfig{
 		N:             s.Nodes,
 		Factory:       func() *nn.Model { return nn.NewMLP(tr.Dim(), s.Model.Hidden, s.Data.Classes, s.Seed) },
-		Shards:        dataset.PartitionIID(tr, s.Nodes, s.Seed),
+		Shards:        s.partitionShards(tr),
 		LR:            s.LR,
 		Batch:         s.Batch,
 		Seed:          s.Seed,
 		RuntimeShards: runtimeShards,
 	}
 	bw := s.Env()
-	var dyn *netsim.DynamicBandwidth
+	env := &roundEnv{}
 	if s.Bandwidth.Jitter > 0 {
 		// The dynamic wrapper's snapshot pointer is stable, so the planner
 		// and ledger built over it observe the fresh speeds after every
 		// Tick. Round 0 uses the constructor's initial sample.
-		dyn = netsim.NewDynamicBandwidth(bw, s.Bandwidth.Jitter, rng.New(s.Seed).Derive(0xd14a).Uint64())
-		bw = dyn.Current()
+		env.dyn = netsim.NewDynamicBandwidth(bw, s.Bandwidth.Jitter, rng.New(s.Seed).Derive(0xd14a).Uint64())
+		bw = env.dyn.Current()
+	}
+	if s.Trace != nil {
+		rp, err := s.traceReplay()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// The scaler stacks on the (possibly jittered) environment; its
+		// snapshot pointer is what the algorithm, planner, and ledger see.
+		env.replay = rp
+		env.scaler = netsim.NewNodeScaledBandwidth(bw)
+		env.multBuf = rp.Multipliers(0, nil)
+		bw = env.scaler.Apply(env.multBuf)
+	}
+	if env.dyn == nil && env.scaler == nil {
+		env = nil
 	}
 	var alg algos.Algorithm
 	switch s.Algo {
@@ -109,6 +187,13 @@ func (s *Spec) build(shards int) (algos.Algorithm, *netsim.Bandwidth, *netsim.Dy
 			Seed:        s.Seed,
 		}
 		switch {
+		case s.Trace != nil && s.Trace.Events:
+			var sched *algos.FaultSchedule
+			if s.Faults != nil {
+				fs := s.Faults.Schedule(s.Nodes, s.Seed)
+				sched = &fs
+			}
+			alg = algos.NewSAPSTrace(fc, bw, cfg, env.replay, sched)
 		case s.Churn != nil:
 			alg = algos.NewSAPSChurn(fc, bw, cfg, algos.ChurnModel{
 				LeaveProb: s.Churn.LeaveProb, JoinProb: s.Churn.JoinProb, MinActive: s.Churn.MinActive,
@@ -137,7 +222,7 @@ func (s *Spec) build(shards int) (algos.Algorithm, *netsim.Bandwidth, *netsim.Dy
 	default:
 		return nil, nil, nil, fmt.Errorf("scenario %s: unknown algorithm %q", s.Name, s.Algo)
 	}
-	return alg, bw, dyn, nil
+	return alg, bw, env, nil
 }
 
 // effectiveShards resolves a sweep override against the spec default:
@@ -245,7 +330,7 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 		}
 		return s.runAsync(opts)
 	}
-	alg, bw, dyn, err := s.build(opts.Shards)
+	alg, bw, env, err := s.build(opts.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +344,7 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 		out.CumBytes = make([]int64, 0, s.Rounds)
 		out.CumSimSeconds = make([]float64, 0, s.Rounds)
 	}
-	if opts.Trace || s.Trace {
+	if opts.Trace || s.RecordTrace {
 		if tr, ok := alg.(interface{ SetTrace(*trace.Recorder) }); ok {
 			out.Trace = trace.NewRecorder()
 			tr.SetTrace(out.Trace)
@@ -269,11 +354,10 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 	var loss float64
 	start := time.Now()
 	for r := 0; r < s.Rounds; r++ {
-		if dyn != nil && r > 0 {
-			// Round 0 runs on the constructor's sample; every later round
-			// resamples the links in place before planning.
-			dyn.Tick()
-		}
+		// Round 0 runs on the environment built at construction; every
+		// later round advances the jitter and/or trace multipliers in
+		// place before planning.
+		env.tick(r)
 		loss = alg.Step(r, led)
 		if opts.Series {
 			out.Losses = append(out.Losses, loss)
@@ -380,7 +464,7 @@ func (s *Spec) runAsync(opts RunOptions) (*RunOutput, error) {
 	fc := algos.FleetConfig{
 		N:       s.Nodes,
 		Factory: func() *nn.Model { return nn.NewMLP(tr.Dim(), s.Model.Hidden, s.Data.Classes, s.Seed) },
-		Shards:  dataset.PartitionIID(tr, s.Nodes, s.Seed),
+		Shards:  s.partitionShards(tr),
 		LR:      s.LR,
 		Batch:   s.Batch,
 		Seed:    s.Seed,

@@ -112,7 +112,28 @@ func TestSpecRejectsMalformed(t *testing.T) {
 		{"straggler slowdown below one", func(s *Spec) { s.Straggler = &StragglerSpec{Fraction: 0.5, Slowdown: 0.5} }, "straggler slowdown"},
 		{"jitter at one", func(s *Spec) { s.Bandwidth.Jitter = 1 }, "jitter"},
 		{"negative jitter", func(s *Spec) { s.Bandwidth.Jitter = -0.2 }, "jitter"},
-		{"trace on non-saps", func(s *Spec) { s.Trace = true }, "trace requires algo saps"},
+		{"record_trace on non-saps", func(s *Spec) { s.RecordTrace = true }, "record_trace requires algo saps"},
+		{"trace without file", func(s *Spec) { s.Trace = &TraceSpec{} }, "trace block missing file"},
+		{"trace bad interp", func(s *Spec) { s.Trace = &TraceSpec{File: "t.csv", Interp: "cubic"} }, "trace interp"},
+		{"trace events on non-saps", func(s *Spec) { s.Trace = &TraceSpec{File: "t.csv", Events: true} }, "trace events require algo saps"},
+		{"trace with churn", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.Trace = &TraceSpec{File: "t.csv", Events: true}
+			s.Churn = &ChurnSpec{LeaveProb: 0.1, JoinProb: 0.5, MinActive: 2}
+		}, "trace and churn are mutually exclusive"},
+		{"planner_only with trace block", func(s *Spec) {
+			s.Algo, s.Compression = "saps", 10
+			s.PlannerOnly = true
+			s.Trace = &TraceSpec{File: "t.csv"}
+		}, "excludes churn/faults/trace"},
+		{"partition unknown kind", func(s *Spec) { s.Partition = &PartitionSpec{Kind: "sorted"} }, "unknown partition kind"},
+		{"partition dirichlet without alpha", func(s *Spec) { s.Partition = &PartitionSpec{Kind: "dirichlet"} }, "needs alpha > 0"},
+		{"partition quantity negative alpha", func(s *Spec) { s.Partition = &PartitionSpec{Kind: "quantity", Alpha: -1} }, "needs alpha > 0"},
+		{"partition iid with alpha", func(s *Spec) { s.Partition = &PartitionSpec{Kind: "iid", Alpha: 0.5} }, "iid takes no alpha"},
+		{"partition negative floor", func(s *Spec) { s.Partition = &PartitionSpec{Kind: "dirichlet", Alpha: 1, MinPerNode: -1} }, "min_per_node -1"},
+		{"partition floor exceeds samples", func(s *Spec) {
+			s.Partition = &PartitionSpec{Kind: "quantity", Alpha: 1, MinPerNode: 100}
+		}, "exceeds 64 samples"},
 		{"negative shards", func(s *Spec) { s.Shards = -2 }, "-2 shards"},
 		{"wrong schema version", func(s *Spec) { s.SchemaVersion = 99 }, "schema_version"},
 		{"saps without compression", func(s *Spec) { s.Algo = "saps" }, "compression"},
@@ -407,6 +428,7 @@ func TestClone(t *testing.T) {
 	orig.Gossip = &GossipSpec{BThres: 1, TThres: 5}
 	orig.Churn = &ChurnSpec{LeaveProb: 0.1, JoinProb: 0.5, MinActive: 2}
 	orig.Straggler = &StragglerSpec{Fraction: 0.25, Slowdown: 2}
+	orig.Partition = &PartitionSpec{Kind: "dirichlet", Alpha: 0.3, MinPerNode: 2}
 	clone := orig.Clone()
 	clone.Rounds = 99
 	clone.Model.Hidden[0] = 77
@@ -414,9 +436,24 @@ func TestClone(t *testing.T) {
 	clone.Gossip.TThres = 42
 	clone.Churn.MinActive = 3
 	clone.Straggler.Slowdown = 9
+	clone.Partition.Alpha = 7
 	if orig.Rounds == 99 || orig.Model.Hidden[0] == 77 || orig.Bandwidth.Matrix[0][1] == 42 ||
-		orig.Gossip.TThres == 42 || orig.Churn.MinActive == 3 || orig.Straggler.Slowdown == 9 {
+		orig.Gossip.TThres == 42 || orig.Churn.MinActive == 3 || orig.Straggler.Slowdown == 9 ||
+		orig.Partition.Alpha == 7 {
 		t.Fatalf("clone shares state with the original: %+v", orig)
+	}
+	traced := minimal()
+	traced.Algo, traced.Compression = "saps", 10
+	traced.Trace = &TraceSpec{File: "traces/edge.csv", Events: true}
+	traced.SetDir("testdata")
+	tclone := traced.Clone()
+	tclone.Trace.Events = false
+	tclone.Trace.File = "other.csv"
+	if !traced.Trace.Events || traced.Trace.File != "traces/edge.csv" {
+		t.Fatalf("trace block shared between clone and original")
+	}
+	if tclone.TracePath() != filepath.Join("testdata", "other.csv") {
+		t.Fatalf("clone lost the spec directory: %q", tclone.TracePath())
 	}
 	fault := minimal()
 	fault.Algo, fault.Compression, fault.Rounds = "saps", 10, 6

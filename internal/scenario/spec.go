@@ -18,13 +18,15 @@ import (
 	"strings"
 
 	"sapspsgd/internal/algos"
+	"sapspsgd/internal/fleettrace"
 )
 
 // SpecSchemaVersion is the scenario file schema this package reads and
 // writes. Bump it when a field changes meaning; Parse rejects other
 // versions so stale specs fail loudly instead of silently misconfiguring a
-// sweep.
-const SpecSchemaVersion = 1
+// sweep. Version 2 renamed the recorder flag to record_trace and gave
+// "trace" to the fleet-replay block (with its sibling "partition").
+const SpecSchemaVersion = 2
 
 // Spec is one declarative fleet experiment.
 type Spec struct {
@@ -66,6 +68,19 @@ type Spec struct {
 	Data      DataSpec      `json:"data"`
 	Bandwidth BandwidthSpec `json:"bandwidth"`
 
+	// Trace replays a committed per-node CSV series (internal/fleettrace):
+	// bandwidth multipliers reshape every algorithm's link environment each
+	// round, and — with events enabled — join/leave events drive SAPS
+	// membership, identically in the sim, sharded, and TCP backends. The
+	// multipliers compose on top of bandwidth.jitter and the straggler
+	// block; events compose with faults. Mutually exclusive with churn.
+	Trace *TraceSpec `json:"trace,omitempty"`
+
+	// Partition selects how the synthetic training set is split across the
+	// fleet: IID (the default), Dirichlet label skew, or quantity skew —
+	// the FedAvg-setting heterogeneity axis.
+	Partition *PartitionSpec `json:"partition,omitempty"`
+
 	// Churn switches SAPS to dynamic membership (leave/rejoin per round).
 	Churn *ChurnSpec `json:"churn,omitempty"`
 	// Faults is the declarative fault-injection schedule (SAPS only):
@@ -92,12 +107,12 @@ type Spec struct {
 	// engine's goroutine-per-node pool). Sweeps usually override it.
 	Shards int `json:"shards,omitempty"`
 
-	// Trace attaches a trace.Recorder to the run (RunFull returns it):
-	// one event per round with the matched pairs, their link bandwidths,
-	// the forced-reconnection flag, payload size, active-worker count and
-	// loss. Only the SAPS family records traces, so trace requires algo
-	// saps (with or without churn/faults).
-	Trace bool `json:"trace,omitempty"`
+	// RecordTrace attaches a trace.Recorder to the run (RunFull returns
+	// it): one event per round with the matched pairs, their link
+	// bandwidths, the forced-reconnection flag, payload size, active-worker
+	// count and loss. Only the SAPS family records traces, so record_trace
+	// requires algo saps (with or without churn/faults/trace).
+	RecordTrace bool `json:"record_trace,omitempty"`
 
 	// PlannerOnly runs the coordinator side alone (Algorithm 3 matching +
 	// mask accounting + ledger charging) with no models, data, or workers —
@@ -107,6 +122,58 @@ type Spec struct {
 	// stream and matchings are identical); FinalLoss is 0. Requires algo
 	// saps without churn/faults/trace.
 	PlannerOnly bool `json:"planner_only,omitempty"`
+
+	// dir is the directory the spec was loaded from; trace files resolve
+	// against it, so a spec's relative paths stay machine-independent (and
+	// the canonical form never embeds an absolute path). Set by Load or
+	// SetDir; empty means the current working directory.
+	dir string
+}
+
+// SetDir sets the directory the spec's relative file references (the trace
+// block) resolve against — what Load does automatically.
+func (s *Spec) SetDir(dir string) { s.dir = dir }
+
+// TracePath resolves the trace block's file against the spec's directory.
+// It returns "" when the spec has no trace block.
+func (s *Spec) TracePath() string {
+	if s.Trace == nil {
+		return ""
+	}
+	if filepath.IsAbs(s.Trace.File) || s.dir == "" {
+		return s.Trace.File
+	}
+	return filepath.Join(s.dir, s.Trace.File)
+}
+
+// TraceSpec replays a committed fleet trace (see internal/fleettrace for
+// the CSV schema and semantics).
+type TraceSpec struct {
+	// File is the CSV path, resolved relative to the spec file's directory.
+	File string `json:"file"`
+	// Interp evaluates bandwidth multipliers between samples: "hold" (the
+	// default — each sample holds until the next) or "linear".
+	Interp string `json:"interp,omitempty"`
+	// Events enables membership replay: the trace's join/leave events
+	// decide which workers are present each round. Requires algo saps (the
+	// baselines have fixed topologies); without events only the bandwidth
+	// multipliers apply, which every algorithm honors.
+	Events bool `json:"events,omitempty"`
+}
+
+// PartitionSpec selects the data split across the fleet.
+type PartitionSpec struct {
+	// Kind is "iid" (the default when the block is omitted), "dirichlet"
+	// (label skew: each class spread over workers by a symmetric
+	// Dirichlet-alpha draw), or "quantity" (size skew: shard sizes follow
+	// the Dirichlet draw).
+	Kind string `json:"kind"`
+	// Alpha is the Dirichlet concentration (> 0; smaller = more skew).
+	// Required by dirichlet and quantity, meaningless for iid.
+	Alpha float64 `json:"alpha,omitempty"`
+	// MinPerNode floors every shard's sample count (default 1 — every
+	// worker must be able to run a loader).
+	MinPerNode int `json:"min_per_node,omitempty"`
 }
 
 // GossipSpec is Algorithm 3's tuning (SAPS only).
@@ -282,6 +349,7 @@ func Load(path string) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	s.dir = filepath.Dir(path)
 	return s, nil
 }
 
@@ -359,6 +427,14 @@ func (s *Spec) Clone() *Spec {
 		}
 		c.Faults = &f
 	}
+	if s.Trace != nil {
+		tr := *s.Trace
+		c.Trace = &tr
+	}
+	if s.Partition != nil {
+		p := *s.Partition
+		c.Partition = &p
+	}
 	if s.Straggler != nil {
 		st := *s.Straggler
 		c.Straggler = &st
@@ -434,15 +510,53 @@ func (s *Spec) Validate() error {
 	if err := s.Bandwidth.validate(s.Name, s.Nodes); err != nil {
 		return err
 	}
-	if s.Trace && s.Algo != "saps" {
-		return fmt.Errorf("scenario %s: trace requires algo saps, have %s", s.Name, s.Algo)
+	if s.RecordTrace && s.Algo != "saps" {
+		return fmt.Errorf("scenario %s: record_trace requires algo saps, have %s", s.Name, s.Algo)
 	}
 	if s.PlannerOnly {
 		if s.Algo != "saps" {
 			return fmt.Errorf("scenario %s: planner_only requires algo saps, have %s", s.Name, s.Algo)
 		}
-		if s.Churn != nil || s.Faults != nil || s.Trace {
-			return fmt.Errorf("scenario %s: planner_only excludes churn/faults/trace", s.Name)
+		if s.Churn != nil || s.Faults != nil || s.RecordTrace || s.Trace != nil || s.Partition != nil {
+			return fmt.Errorf("scenario %s: planner_only excludes churn/faults/trace/partition/record_trace", s.Name)
+		}
+	}
+	if tr := s.Trace; tr != nil {
+		if tr.File == "" {
+			return fmt.Errorf("scenario %s: trace block missing file", s.Name)
+		}
+		if _, err := fleettrace.ParseInterp(tr.Interp); err != nil {
+			return fmt.Errorf("scenario %s: trace interp %q (want hold or linear)", s.Name, tr.Interp)
+		}
+		if tr.Events && s.Algo != "saps" {
+			return fmt.Errorf("scenario %s: trace events require algo saps, have %s (drop events to replay bandwidth only)", s.Name, s.Algo)
+		}
+		if s.Churn != nil {
+			return fmt.Errorf("scenario %s: trace and churn are mutually exclusive (trace events already script membership)", s.Name)
+		}
+	}
+	if p := s.Partition; p != nil {
+		switch p.Kind {
+		case "iid":
+			if p.Alpha != 0 {
+				return fmt.Errorf("scenario %s: partition iid takes no alpha", s.Name)
+			}
+		case "dirichlet", "quantity":
+			if !(p.Alpha > 0) {
+				return fmt.Errorf("scenario %s: partition %s needs alpha > 0, have %v", s.Name, p.Kind, p.Alpha)
+			}
+		default:
+			return fmt.Errorf("scenario %s: unknown partition kind %q (want iid, dirichlet or quantity)", s.Name, p.Kind)
+		}
+		if p.MinPerNode < 0 {
+			return fmt.Errorf("scenario %s: partition min_per_node %d", s.Name, p.MinPerNode)
+		}
+		floor := p.MinPerNode
+		if floor < 1 {
+			floor = 1
+		}
+		if floor*s.Nodes > s.Data.Samples {
+			return fmt.Errorf("scenario %s: partition floor %d × %d nodes exceeds %d samples", s.Name, floor, s.Nodes, s.Data.Samples)
 		}
 	}
 	if g := s.Gossip; g != nil {
@@ -521,6 +635,8 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: async runs have no engine shards (drop shards)", s.Name)
 		case s.Bandwidth.Jitter > 0:
 			return fmt.Errorf("scenario %s: async runs use a static bandwidth environment (drop bandwidth.jitter)", s.Name)
+		case s.Trace != nil:
+			return fmt.Errorf("scenario %s: async runs use a static bandwidth environment (drop trace)", s.Name)
 		}
 	}
 	return nil

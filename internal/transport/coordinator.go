@@ -12,6 +12,7 @@ import (
 	"sapspsgd/internal/algos"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine"
+	"sapspsgd/internal/fleettrace"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
 )
@@ -81,6 +82,17 @@ type CoordinatorServer struct {
 	// coordinator crashes the scheduled workers at their boundaries and
 	// waits for scheduled rejoiners. Its N must equal the trainer count.
 	Faults *algos.FaultSchedule
+	// Replay, when set, replays a fleet trace (DESIGN.md §11) over the
+	// deployment: every round boundary the trace's bandwidth multipliers
+	// rescale the planner's environment in place, exactly as the simulated
+	// backends do. Its node count must equal the trainer count.
+	Replay *fleettrace.Replay
+	// ReplayEvents additionally replays the trace's join/leave events
+	// (SAPS only): scripted-absent workers are excluded from planning
+	// through the same PlanActive path the fault schedule uses — they stay
+	// connected but neither train nor communicate, mirroring the
+	// in-process SAPSTrace planner bit for bit.
+	ReplayEvents bool
 	// RejoinWait bounds how long the coordinator blocks at a round boundary
 	// for a scheduled rejoiner's handshake (default 60s).
 	RejoinWait time.Duration
@@ -100,8 +112,13 @@ type CoordinatorServer struct {
 	ap   activePlanner
 	proc *algos.FaultProcess
 	// schedActive is the fault schedule's membership for schedRound,
-	// computed once per round (replans reuse it).
+	// computed once per round (replans reuse it). traceActive is the
+	// replay's membership for the same round; both intersect with detected
+	// liveness in effectiveActive.
 	schedActive []bool
+	traceActive []bool
+	scaler      *netsim.NodeScaledBandwidth
+	multBuf     []float64
 	schedRound  int
 	attempt     int
 	addrsDirty  bool
@@ -181,6 +198,17 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 		}
 		s.proc = algos.NewFaultProcess(*s.Faults)
 	}
+	if s.ReplayEvents && s.Replay == nil {
+		return nil, fmt.Errorf("transport: ReplayEvents without a Replay")
+	}
+	if s.Replay != nil {
+		if s.Replay.N() != s.N {
+			return nil, fmt.Errorf("transport: trace replay over %d nodes for %d trainers", s.Replay.N(), s.N)
+		}
+		if s.ReplayEvents && rec.Algo != "saps" {
+			return nil, fmt.Errorf("transport: trace membership events require algo saps, have %s", rec.Algo)
+		}
+	}
 	if s.RejoinWait <= 0 {
 		s.RejoinWait = 60 * time.Second
 	}
@@ -241,6 +269,16 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 		go s.readConn(rank, s.gen[rank], s.conns[rank])
 	}
 	go s.acceptRejoins()
+
+	// Trace replay wraps whatever environment we ended up with (configured
+	// or measured): the planner sees the stable *Bandwidth the scaler
+	// rewrites in place each boundary, identically to the simulated
+	// backends' composition.
+	if s.Replay != nil {
+		s.scaler = netsim.NewNodeScaledBandwidth(bw)
+		s.multBuf = s.Replay.Multipliers(0, s.multBuf)
+		bw = s.scaler.Apply(s.multBuf)
+	}
 
 	// Round loop (Algorithm 1 lines 3–7), executed by the canonical engine
 	// driver: planning, the worker barrier, and traffic accounting are the
@@ -368,6 +406,17 @@ func (s *CoordinatorServer) acceptRejoins() {
 func (s *CoordinatorServer) beginRound(t int) error {
 	s.schedRound = t
 	s.schedActive = nil
+	if s.Replay != nil {
+		if t > 0 {
+			// Round 0's multipliers applied at construction, matching the
+			// simulated backends' tick placement.
+			s.multBuf = s.Replay.Multipliers(t, s.multBuf)
+			s.scaler.Apply(s.multBuf)
+		}
+		if s.ReplayEvents {
+			s.traceActive = s.Replay.Active(t, s.traceActive)
+		}
+	}
 	if s.proc != nil {
 		sched, err := s.proc.Step(t)
 		if err != nil {
@@ -506,11 +555,14 @@ func (s *CoordinatorServer) canContinue() error {
 	return nil
 }
 
-// effectiveActive combines the fault schedule's membership with detected
-// liveness. nil means "everyone" — the fault-free, loss-free fast path that
-// keeps the planner on the same stream as a plain run.
+// effectiveActive combines the fault schedule's and trace replay's
+// membership with detected liveness. nil means "everyone" — the fault-free,
+// trace-free, loss-free fast path that keeps the planner on the same stream
+// as a plain run. (With membership replay on, the slice is non-nil every
+// round even when the whole fleet is present, matching the in-process
+// SAPSTrace planner's unconditional PlanActive stream.)
 func (s *CoordinatorServer) effectiveActive() []bool {
-	if s.schedActive == nil && s.aliveCount() == s.total {
+	if s.schedActive == nil && s.traceActive == nil && s.aliveCount() == s.total {
 		return nil
 	}
 	eff := make([]bool, s.total)
@@ -518,6 +570,9 @@ func (s *CoordinatorServer) effectiveActive() []bool {
 		eff[r] = s.alive[r]
 		if s.schedActive != nil && r < len(s.schedActive) {
 			eff[r] = eff[r] && s.schedActive[r]
+		}
+		if s.traceActive != nil && r < len(s.traceActive) {
+			eff[r] = eff[r] && s.traceActive[r]
 		}
 	}
 	return eff
