@@ -19,12 +19,14 @@ import (
 	"os"
 	"path/filepath"
 
+	"sapspsgd/internal/obs"
 	"sapspsgd/internal/scenario"
 )
 
 var (
 	flagSpec = flag.String("spec", "", "asynchronous scenario spec (required; algo adpsgd or gradpush)")
 	flagOut  = flag.String("out", "asyncsim-out", "artifact output directory")
+	obsFlags obs.FlagConfig
 )
 
 // ledgerFile is the deterministic ledger.json artifact: every field is a
@@ -42,8 +44,14 @@ type ledgerFile struct {
 }
 
 func main() {
+	obsFlags.AddFlags(nil)
 	flag.Parse()
-	if err := run(); err != nil {
+	obsSrv, err := obsFlags.Start()
+	if err == nil {
+		err = run()
+	}
+	obsSrv.Close()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "asyncsim:", err)
 		os.Exit(1)
 	}

@@ -21,21 +21,34 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sapspsgd/internal/campaign"
+	"sapspsgd/internal/obs"
 )
 
 var (
-	flagSpec     = flag.String("spec", "", "campaign spec file (required)")
-	flagOut      = flag.String("out", "campaign-out", "output directory (manifest, cells/, aggregates)")
-	flagWorkers  = flag.Int("workers", 0, "concurrent cells (0 = spec value, then GOMAXPROCS)")
-	flagMaxCells = flag.Int("max-cells", 0, "stop after executing this many cells (0 = run all; the campaign stays resumable)")
-	flagDryRun   = flag.Bool("dry-run", false, "print the expanded run matrix and exit without running")
+	flagSpec      = flag.String("spec", "", "campaign spec file (required)")
+	flagOut       = flag.String("out", "campaign-out", "output directory (manifest, cells/, aggregates)")
+	flagWorkers   = flag.Int("workers", 0, "concurrent cells (0 = spec value, then GOMAXPROCS)")
+	flagMaxCells  = flag.Int("max-cells", 0, "stop after executing this many cells (0 = run all; the campaign stays resumable)")
+	flagDryRun    = flag.Bool("dry-run", false, "print the expanded run matrix and exit without running")
+	flagObsLinger = flag.Duration("obs-linger", 0, "keep the -obs-addr server up this long after the campaign finishes (lets a scraper take a final /metrics sample)")
+	obsFlags      obs.FlagConfig
 )
 
 func main() {
+	obsFlags.AddFlags(nil)
 	flag.Parse()
-	if err := run(); err != nil {
+	obsSrv, err := obsFlags.Start()
+	if err == nil {
+		err = run()
+		if obsSrv != nil && *flagObsLinger > 0 {
+			time.Sleep(*flagObsLinger)
+		}
+	}
+	obsSrv.Close()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)
 	}

@@ -43,6 +43,7 @@ import (
 	"sapspsgd/internal/fleettrace"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/obs"
 	"sapspsgd/internal/rng"
 	"sapspsgd/internal/transport"
 )
@@ -80,7 +81,20 @@ func main() {
 		rejoinWait  = flag.Duration("rejoin-wait", time.Minute, "how long to hold a round boundary for a scheduled rejoiner")
 		out         = flag.String("out", "model.gob", "output file for the final model")
 	)
+	var obsFlags obs.FlagConfig
+	obsFlags.AddFlags(nil)
 	flag.Parse()
+
+	// The observability sink must be live before the server is constructed:
+	// components capture their metric bundles at construction time.
+	obsSrv, err := obsFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsSrv.Close()
+	if obsSrv != nil {
+		log.Printf("observability server on %s (/metrics, /healthz, /runs, /debug/pprof)", obsSrv.Addr)
+	}
 
 	faults, err := parseFaults(*crash, *mortality, *n, *seed)
 	if err != nil {

@@ -26,8 +26,10 @@ import (
 	"strconv"
 	"strings"
 
+	"sapspsgd/internal/obs"
 	"sapspsgd/internal/profiling"
 	"sapspsgd/internal/scenario"
+	"sapspsgd/internal/trace"
 )
 
 var (
@@ -39,20 +41,18 @@ var (
 	flagDiff      = flag.String("diff", "", "baseline BENCH.json: diff mode, compares against the fresh file given as the positional argument (default BENCH.json)")
 	flagMaxWall   = flag.Float64("max-wall-regress", 0.25, "diff mode: tolerated fractional wall-time regression")
 	prof          profiling.Config
+	obsFlags      obs.FlagConfig
 )
 
 func main() {
 	prof.AddFlags(nil)
+	obsFlags.AddFlags(nil)
 	flag.Parse()
-	stopProf, err := prof.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fleetbench:", err)
-		os.Exit(1)
+	obsSrv, err := obsFlags.Start()
+	if err == nil {
+		err = prof.Run(run)
 	}
-	err = run()
-	if perr := stopProf(); err == nil {
-		err = perr
-	}
+	obsSrv.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetbench:", err)
 		os.Exit(1)
@@ -135,7 +135,34 @@ func sweep() error {
 		}
 		sw := scenario.ScenarioSweep{Name: spec.Name, Algo: spec.Algo, Nodes: spec.Nodes, Rounds: spec.Rounds}
 		for _, sc := range shards {
-			run, err := spec.RunFull(scenario.RunOptions{Shards: sc, Trace: *flagTraceDir != ""})
+			// Traces stream straight to disk: the recorder holds one round
+			// of scratch instead of the whole history, so a 50k-node
+			// planner_only sweep over tens of thousands of rounds stays
+			// flat in memory.
+			var rec *trace.Recorder
+			var tf *os.File
+			if *flagTraceDir != "" && spec.Traceable() {
+				path := filepath.Join(*flagTraceDir, fmt.Sprintf("%s-shards%d.csv", spec.Name, sc))
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				tf = f
+				rec = trace.NewRecorder()
+				if err := rec.Stream(tf); err != nil {
+					tf.Close()
+					return err
+				}
+			}
+			run, err := spec.RunFull(scenario.RunOptions{Shards: sc, Recorder: rec})
+			if tf != nil {
+				if err == nil {
+					err = rec.Err()
+				}
+				if cerr := tf.Close(); err == nil {
+					err = cerr
+				}
+			}
 			if err != nil {
 				return fmt.Errorf("scenario %s shards=%d: %w", spec.Name, sc, err)
 			}
@@ -143,20 +170,6 @@ func sweep() error {
 			sw.Runs = append(sw.Runs, res)
 			fmt.Printf("%-24s shards=%-3d %8.3fs wall  %6.2f rounds/s  %12d B  sim %.2fs  loss %.4f\n",
 				spec.Name, sc, res.WallSeconds, res.RoundsPerSec, res.TotalBytes, res.SimSeconds, res.FinalLoss)
-			if *flagTraceDir != "" && run.Trace != nil {
-				path := filepath.Join(*flagTraceDir, fmt.Sprintf("%s-shards%d.csv", spec.Name, sc))
-				f, err := os.Create(path)
-				if err != nil {
-					return err
-				}
-				if err := run.Trace.WriteCSV(f); err != nil {
-					f.Close()
-					return err
-				}
-				if err := f.Close(); err != nil {
-					return err
-				}
-			}
 		}
 		sw.ComputeSpeedup()
 		if sw.Speedup > 0 {

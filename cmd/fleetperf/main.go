@@ -145,16 +145,12 @@ func run() error {
 			return fmt.Errorf("pin: %w", err)
 		}
 	}
-	stopProf, err := prof.Start()
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			fmt.Fprintln(os.Stderr, "fleetperf: profiling:", err)
-		}
-	}()
+	// Profiling starts after pinning so the profile covers only the
+	// measured grid, never the setup.
+	return prof.Run(func() error { return measure(procs) })
+}
 
+func measure(procs []int) error {
 	type sweep struct {
 		cells        []cell
 		rounds, warm int

@@ -53,18 +53,13 @@ var (
 	prof         profiling.Config
 )
 
-func run() (err error) {
+func run() error {
 	prof.AddFlags(nil)
 	flag.Parse()
-	stopProf, err := prof.Start()
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if perr := stopProf(); err == nil {
-			err = perr
-		}
-	}()
+	return prof.Run(dispatch)
+}
+
+func dispatch() error {
 	switch *flagExp {
 	case "table1":
 		return table1()

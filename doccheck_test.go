@@ -19,6 +19,7 @@ import (
 var docCheckedPackages = []string{
 	"internal/campaign",
 	"internal/engine",
+	"internal/obs",
 	"internal/scenario",
 	"internal/transport",
 }

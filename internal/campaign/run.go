@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"sapspsgd/internal/obs"
 	"sapspsgd/internal/scenario"
 )
 
@@ -56,7 +57,7 @@ type CellResult struct {
 
 // tracesRounds reports whether the cell's algorithm records a round trace
 // (the SAPS family — the only implementers of SetTrace).
-func tracesRounds(s *scenario.Spec) bool { return s.Algo == "saps" }
+func tracesRounds(s *scenario.Spec) bool { return s.Traceable() }
 
 // cellFile is the cell's result path under the campaign output directory.
 func cellFile(outDir, id string) string {
@@ -188,6 +189,9 @@ func Run(c *Spec, opts Options) (Stats, error) {
 	if opts.MaxCells > 0 && len(capped) > opts.MaxCells {
 		capped = capped[:opts.MaxCells]
 	}
+	cm := obs.Current().CampaignM()
+	cm.CellsPlanned.Set(int64(st.Planned))
+	cm.CellsResumedTotal.Add(int64(st.Skipped))
 	fmt.Fprintf(logw, "campaign %s: %d cell(s), %d already done, running %d\n",
 		c.Name, st.Planned, st.Skipped, len(capped))
 
@@ -236,10 +240,22 @@ func Run(c *Spec, opts Options) (Stats, error) {
 					continue
 				}
 				start := time.Now()
+				cm.CellsRunning.Inc()
 				res, err := runCell(c, cell, opts.OutDir)
+				cm.CellsRunning.Dec()
 				if err != nil {
+					cm.CellsFailedTotal.Inc()
+					if l := obs.Logger(); l != nil {
+						l.Error("cell failed", "campaign", c.Name, "cell", cell.ID, "err", err)
+					}
 					fail(fmt.Errorf("campaign %s: cell %s: %w", c.Name, cell.ID, err))
 					continue
+				}
+				cm.CellsDoneTotal.Inc()
+				if l := obs.Logger(); l != nil {
+					l.Info("cell complete", "campaign", c.Name, "cell", cell.ID,
+						"bytes", res.TotalBytes, "sim_seconds", res.SimSeconds,
+						"loss", res.FinalLoss, "wall_seconds", time.Since(start).Seconds())
 				}
 				if err := journal.Append(ManifestEntry{
 					Cell:        cell.ID,

@@ -10,6 +10,7 @@ import (
 
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine"
+	"sapspsgd/internal/obs"
 )
 
 // fillDeterministic gives the codecs a non-trivial input (distinct
@@ -88,6 +89,58 @@ func TestCodecZeroAlloc(t *testing.T) {
 				t.Errorf("steady-state decode allocates %.1f times per call, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestShardedRoundZeroAllocWithObs re-runs the round-loop allocation gate
+// with the observability sink enabled: the instrumented hot path (round
+// and phase timers, codec latency histograms, rendezvous-wait tracking,
+// byte counters) must stay allocation-free too — atomics and clock reads
+// only.
+func TestShardedRoundZeroAllocWithObs(t *testing.T) {
+	const (
+		n      = 16
+		dim    = 256
+		rounds = 30
+	)
+	obs.Enable(obs.New())
+	defer obs.Disable()
+
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i ^ 1
+	}
+	planner := engine.PlannerFunc(func(tt int) core.RoundPlan {
+		return core.RoundPlan{Round: tt, Seed: (uint64(tt) + 1) * 0x9e3779b97f4a7c15, Peer: peers}
+	})
+	nodes := make([]engine.Node, n)
+	codecs := make([]engine.Codec, n)
+	for r := range nodes {
+		nodes[r] = newAllocNode(dim, uint64(r))
+		codecs[r] = engine.NewTopK(8, dim, true)
+	}
+	eng := engine.New(engine.Options{Nodes: nodes, Codecs: codecs, Pattern: engine.Pairwise{}, Planner: planner, Shards: 2})
+	defer eng.Close()
+	led := &engine.CountingLedger{}
+	led.Reserve(n, rounds)
+
+	round := 0
+	step := func() {
+		if _, err := eng.Step(round, led); err != nil {
+			t.Fatal(err)
+		}
+		round++
+	}
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(10, step)
+	if allocs != 0 {
+		t.Errorf("instrumented sharded round allocates %.1f times per round, want 0", allocs)
+	}
+	m := obs.Current()
+	if m.Engine.RoundSeconds.Count() == 0 || m.Engine.CodecEncodeSeconds.Count() == 0 {
+		t.Fatal("instrumented run recorded no timings — the obs-enabled gate is not exercising the sink")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/obs"
 	"sapspsgd/internal/rng"
 )
 
@@ -129,6 +130,10 @@ type AsyncEngine struct {
 	sent    []int64
 	recv    []int64
 	q       netsim.EventQueue
+	// nm/em are the observability sinks (zero value = disabled), captured
+	// once at construction.
+	nm obs.NetsimMetrics
+	em obs.EngineMetrics
 }
 
 // NewAsync validates the options and builds the driver.
@@ -177,6 +182,8 @@ func NewAsync(opts AsyncOptions) (*AsyncEngine, error) {
 		pending: make([]pendingTransfer, n),
 		sent:    make([]int64, n),
 		recv:    make([]int64, n),
+		nm:      obs.Current().NetsimM(),
+		em:      obs.Current().EngineM(),
 	}
 	base := rng.New(opts.Seed)
 	for r := 0; r < n; r++ {
@@ -257,6 +264,9 @@ func (e *AsyncEngine) Run() (*AsyncResult, error) {
 		}
 		e.emit(ev)
 		res.FinalTime = ev.Time
+		e.nm.EventsTotal.Inc()
+		e.nm.VirtualSeconds.Set(ev.Time)
+		e.nm.EventQueueDepth.Set(int64(e.q.Len()))
 		r := int(ev.Rank)
 		switch ev.Kind {
 		case netsim.EventComputeDone:
@@ -325,6 +335,7 @@ func (e *AsyncEngine) Run() (*AsyncResult, error) {
 			e.sent[r] += pend.bytes
 			e.recv[p] += pend.bytes
 			cumBytes += pend.bytes
+			e.em.WireBytesTotal.Add(2 * pend.bytes)
 			if !e.opts.OneWay {
 				// The rendezvous is atomic at delivery time: the partner
 				// surrenders its *current* vector, so both endpoints average
@@ -347,6 +358,7 @@ func (e *AsyncEngine) Run() (*AsyncResult, error) {
 				e.sent[p] += backBytes
 				e.recv[r] += backBytes
 				cumBytes += backBytes
+				e.em.WireBytesTotal.Add(2 * backBytes)
 				if err := e.opts.Nodes[r].Merge(rctx, []PeerMsg{{From: p, Vals: backVals, Words: back, Bytes: backBytes}}); err != nil {
 					return nil, fmt.Errorf("engine: async rank %d step %d merge: %w", r, step, err)
 				}

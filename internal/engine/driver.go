@@ -1,5 +1,11 @@
 package engine
 
+import (
+	"time"
+
+	"sapspsgd/internal/obs"
+)
+
 // Driver is Algorithm 1's round loop, backend- and algorithm-agnostic: plan
 // the round (Algorithm 3 via the Planner), run it on every node through the
 // Control barrier, then account the round's traffic in the Ledger — one
@@ -8,10 +14,18 @@ package engine
 type Driver struct {
 	Planner Planner
 	Control Control
+	// Metrics is the observability sink for round counters and timings.
+	// The zero value is a fully disabled sink; constructors capture
+	// obs.Current().EngineM() once so hot rounds never reload the global.
+	Metrics obs.EngineMetrics
 }
 
 // Round executes round t against the ledger and returns its stats.
 func (d *Driver) Round(t int, led Ledger) (RoundStats, error) {
+	var start time.Time
+	if d.Metrics.Enabled() {
+		start = time.Now()
+	}
 	plan := d.Planner.Plan(t)
 	rep, err := d.Control.RunRound(plan)
 	if err != nil {
@@ -23,6 +37,15 @@ func (d *Driver) Round(t int, led Ledger) (RoundStats, error) {
 		total += p.IToJ + p.JToI
 	}
 	secs := led.EndRound()
+	d.Metrics.RoundsTotal.Inc()
+	// The wire counter follows the repo's fleet-traffic convention
+	// (Result.TotalBytes, BENCH.json): every payload counted at both its
+	// sender and its receiver.
+	d.Metrics.WireBytesTotal.Add(2 * total)
+	d.Metrics.SimSecondsTotal.Add(secs)
+	if d.Metrics.Enabled() {
+		d.Metrics.RoundSeconds.Observe(time.Since(start).Seconds())
+	}
 	return RoundStats{
 		Plan:        plan,
 		PayloadLen:  rep.PayloadLen,

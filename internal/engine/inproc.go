@@ -9,6 +9,7 @@ import (
 	"sapspsgd/internal/compress"
 	"sapspsgd/internal/core"
 	"sapspsgd/internal/engine/memtransport"
+	"sapspsgd/internal/obs"
 )
 
 // Options configures an in-process Engine.
@@ -154,7 +155,7 @@ func New(opts Options) *Engine {
 		workers: workers,
 		pattern: pat,
 	}
-	e.driver = Driver{Planner: opts.Planner, Control: e}
+	e.driver = Driver{Planner: opts.Planner, Control: e, Metrics: obs.Current().EngineM()}
 	limit := opts.MaxParallel
 	if opts.Shards > 0 {
 		pp, okPat := pat.(PhasedPattern)

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sapspsgd/internal/obs"
 )
 
 // denseSlotLimit bounds the dense slot array: fleets with at most this many
@@ -48,6 +51,9 @@ type Hub struct {
 	dense []atomic.Pointer[chan []float64]
 	// stripes is the sparse fallback for large n.
 	stripes []slotStripe
+	// wait observes how long blocking receives stall for the peer's
+	// deposit; nil (observability off) costs one pointer check per recv.
+	wait *obs.Histogram
 }
 
 // slotStripe is one lock shard of the sparse slot table.
@@ -62,7 +68,7 @@ func NewHub(n int) *Hub {
 	if n < 1 {
 		panic(fmt.Sprintf("memtransport: hub of %d", n))
 	}
-	h := &Hub{n: n}
+	h := &Hub{n: n, wait: obs.Current().EngineM().RendezvousWaitSeconds}
 	if n*n <= denseSlotLimit {
 		h.dense = make([]atomic.Pointer[chan []float64], n*n)
 	} else {
@@ -121,7 +127,20 @@ func (h *Hub) Exchange(round, self, peer int, payload []float64) ([]float64, err
 		return nil, err
 	}
 	h.slot(self, peer) <- payload
-	return <-h.slot(peer, self), nil
+	return h.recv(peer, self), nil
+}
+
+// recv drains the from→to FIFO, timing the blocked wait when
+// observability is on.
+func (h *Hub) recv(from, to int) []float64 {
+	c := h.slot(from, to)
+	if h.wait == nil {
+		return <-c
+	}
+	start := time.Now()
+	p := <-c
+	h.wait.Observe(time.Since(start).Seconds())
+	return p
 }
 
 // Send implements engine.PhasedTransport: a one-way deposit into the
@@ -145,5 +164,5 @@ func (h *Hub) Recv(round, self, peer int) ([]float64, error) {
 	if err := h.check(self, peer); err != nil {
 		return nil, err
 	}
-	return <-h.slot(peer, self), nil
+	return h.recv(peer, self), nil
 }

@@ -91,7 +91,7 @@ func (Pairwise) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transpo
 		gate.Release()
 		return rep, nil
 	}
-	words, err := codecs[ctx.Self].Encode(ctx, out)
+	words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 	if err != nil {
 		gate.Release()
 		return NodeReport{}, err
@@ -107,7 +107,7 @@ func (Pairwise) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transpo
 
 	gate.Acquire()
 	defer gate.Release()
-	vals, err := codecs[peer].Decode(ctx, peerWords)
+	vals, err := decodeTimed(codecs[peer], ctx, peerWords)
 	if err != nil {
 		return NodeReport{}, err
 	}
@@ -193,7 +193,7 @@ func (p *Neighborhood) RunRound(ctx RoundContext, node Node, codecs []Codec, tr 
 		gate.Release()
 		return rep, nil
 	}
-	words, err := codecs[ctx.Self].Encode(ctx, out)
+	words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 	if err != nil {
 		gate.Release()
 		return NodeReport{}, err
@@ -202,7 +202,7 @@ func (p *Neighborhood) RunRound(ctx RoundContext, node Node, codecs []Codec, tr 
 	rep.PayloadLen = len(words)
 	msgs := make([]PeerMsg, 0, len(peers)+1)
 	if p.includeSelf {
-		vals, err := codecs[ctx.Self].Decode(ctx, words)
+		vals, err := decodeTimed(codecs[ctx.Self], ctx, words)
 		if err != nil {
 			gate.Release()
 			return NodeReport{}, err
@@ -223,7 +223,7 @@ func (p *Neighborhood) RunRound(ctx RoundContext, node Node, codecs []Codec, tr 
 	gate.Acquire()
 	defer gate.Release()
 	for i, q := range peers {
-		vals, err := codecs[q].Decode(ctx, recvWords[i])
+		vals, err := decodeTimed(codecs[q], ctx, recvWords[i])
 		if err != nil {
 			return NodeReport{}, err
 		}
@@ -309,7 +309,7 @@ func (h Hub) serverRound(ctx RoundContext, node Node, codecs []Codec, tr Transpo
 		return NodeReport{}, err
 	}
 	rep := NodeReport{Loss: loss, Trained: trained(loss)}
-	words, err := codecs[ctx.Self].Encode(ctx, out)
+	words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 	if err != nil {
 		gate.Release()
 		return NodeReport{}, err
@@ -340,7 +340,7 @@ func (h Hub) serverRound(ctx RoundContext, node Node, codecs []Codec, tr Transpo
 	defer gate.Release()
 	msgs := make([]PeerMsg, 0, len(chosen))
 	for i, w := range chosen {
-		vals, err := codecs[w].Decode(ctx, ups[i])
+		vals, err := decodeTimed(codecs[w], ctx, ups[i])
 		if err != nil {
 			return NodeReport{}, err
 		}
@@ -363,7 +363,7 @@ func (h Hub) workerRound(ctx RoundContext, node Node, codecs []Codec, tr Transpo
 	}
 
 	gate.Acquire()
-	vals, err := codecs[h.Server].Decode(ctx, downWords)
+	vals, err := decodeTimed(codecs[h.Server], ctx, downWords)
 	if err != nil {
 		gate.Release()
 		return NodeReport{}, err
@@ -379,7 +379,7 @@ func (h Hub) workerRound(ctx RoundContext, node Node, codecs []Codec, tr Transpo
 		return NodeReport{}, err
 	}
 	rep := NodeReport{Loss: loss, Trained: trained(loss)}
-	words, err := codecs[ctx.Self].Encode(ctx, out)
+	words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 	if err != nil {
 		gate.Release()
 		return NodeReport{}, err
@@ -436,7 +436,7 @@ func (Collective) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Trans
 			err = halvingDoubling(ctx, codecs, tr, gate, sum, &rep)
 		} else {
 			gate.Acquire()
-			words, encErr := codecs[ctx.Self].Encode(ctx, out)
+			words, encErr := encodeTimed(codecs[ctx.Self], ctx, out)
 			gate.Release()
 			if encErr != nil {
 				return NodeReport{}, encErr
@@ -479,7 +479,7 @@ func segAfter(rank, depth, D, n int) (int, int) {
 func exchangeChunk(ctx RoundContext, codecs []Codec, tr Transport, gate Gate, vec []float64, lo, hi, partner int, rep *NodeReport) ([]float64, error) {
 	gate.Acquire()
 	chunk := append([]float64(nil), vec[lo:hi]...)
-	words, err := codecs[ctx.Self].Encode(ctx, chunk)
+	words, err := encodeTimed(codecs[ctx.Self], ctx, chunk)
 	if err != nil {
 		gate.Release()
 		return nil, err
@@ -495,7 +495,7 @@ func exchangeChunk(ctx RoundContext, codecs []Codec, tr Transport, gate Gate, ve
 
 	gate.Acquire()
 	defer gate.Release()
-	vals, err := codecs[partner].Decode(ctx, pw)
+	vals, err := decodeTimed(codecs[partner], ctx, pw)
 	if err != nil {
 		return nil, err
 	}
@@ -570,7 +570,7 @@ func sumAllGather(ctx RoundContext, codecs []Codec, tr Transport, gate Gate, wor
 	gate.Acquire()
 	defer gate.Release()
 	for i, p := range peers {
-		vals, err := codecs[p].Decode(ctx, recvWords[i])
+		vals, err := decodeTimed(codecs[p], ctx, recvWords[i])
 		if err != nil {
 			return err
 		}
@@ -613,13 +613,13 @@ func (AllGather) RunRound(ctx RoundContext, node Node, codecs []Codec, tr Transp
 		return NodeReport{}, err
 	}
 	rep := NodeReport{Loss: loss, Trained: trained(loss)}
-	words, err := codecs[ctx.Self].Encode(ctx, out)
+	words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 	if err != nil {
 		gate.Release()
 		return NodeReport{}, err
 	}
 	rep.PayloadLen = len(words)
-	own, err := codecs[ctx.Self].Decode(ctx, words)
+	own, err := decodeTimed(codecs[ctx.Self], ctx, words)
 	if err != nil {
 		gate.Release()
 		return NodeReport{}, err

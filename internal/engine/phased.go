@@ -115,14 +115,14 @@ func (st *PhaseState) reset() {
 // decodeScratch call on the same state — callers consume it immediately.
 func (st *PhaseState) decodeScratch(c Codec, ctx RoundContext, words []float64) ([]float64, error) {
 	if d, ok := c.(DecoderInto); ok {
-		out, err := d.DecodeInto(st.dec, ctx, words)
+		out, err := decodeIntoTimed(d, st.dec, ctx, words)
 		if err != nil {
 			return nil, err
 		}
 		st.dec = out
 		return out, nil
 	}
-	return c.Decode(ctx, words)
+	return decodeTimed(c, ctx, words)
 }
 
 // decodeMsg decodes words into the next pooled per-message buffer; results
@@ -132,12 +132,12 @@ func (st *PhaseState) decodeScratch(c Codec, ctx RoundContext, words []float64) 
 func (st *PhaseState) decodeMsg(c Codec, ctx RoundContext, words []float64) ([]float64, error) {
 	d, ok := c.(DecoderInto)
 	if !ok {
-		return c.Decode(ctx, words)
+		return decodeTimed(c, ctx, words)
 	}
 	if st.decUsed == len(st.decBufs) {
 		st.decBufs = append(st.decBufs, nil)
 	}
-	out, err := d.DecodeInto(st.decBufs[st.decUsed], ctx, words)
+	out, err := decodeIntoTimed(d, st.decBufs[st.decUsed], ctx, words)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +184,7 @@ func (Pairwise) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr 
 			st.skip = true
 			return nil
 		}
-		words, err := codecs[ctx.Self].Encode(ctx, out)
+		words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 		if err != nil {
 			return err
 		}
@@ -236,7 +236,7 @@ func (p *Neighborhood) RunPhase(ctx RoundContext, phase int, node Node, codecs [
 			st.skip = true
 			return nil
 		}
-		words, err := codecs[ctx.Self].Encode(ctx, out)
+		words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 		if err != nil {
 			return err
 		}
@@ -312,7 +312,7 @@ func (h Hub) serverPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr 
 			return err
 		}
 		st.Rep.Loss, st.Rep.Trained = loss, trained(loss)
-		words, err := codecs[ctx.Self].Encode(ctx, out)
+		words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 		if err != nil {
 			return err
 		}
@@ -367,7 +367,7 @@ func (h Hub) workerPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr 
 		return err
 	}
 	st.Rep.Loss, st.Rep.Trained = loss, trained(loss)
-	words, err := codecs[ctx.Self].Encode(ctx, out)
+	words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 	if err != nil {
 		return err
 	}
@@ -441,7 +441,7 @@ func (AllGather) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec, tr
 			return err
 		}
 		st.Rep.Loss, st.Rep.Trained = loss, trained(loss)
-		words, err := codecs[ctx.Self].Encode(ctx, out)
+		words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 		if err != nil {
 			return err
 		}
@@ -499,7 +499,7 @@ func (c Collective) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec,
 		if ctx.N == 1 {
 			return st.mergeOne(ctx, node, PeerMsg{From: -1, Vals: st.vec})
 		}
-		words, err := codecs[ctx.Self].Encode(ctx, out)
+		words, err := encodeTimed(codecs[ctx.Self], ctx, out)
 		if err != nil {
 			return err
 		}
@@ -521,7 +521,7 @@ func (c Collective) RunPhase(ctx RoundContext, p int, node Node, codecs []Codec,
 // the barrier-separated phase p+1, so the buffer is free again when the
 // parity repeats at p+2.
 func (st *PhaseState) sendChunk(ctx RoundContext, codecs []Codec, tr PhasedTransport, lo, hi, partner, p int) error {
-	words, err := codecs[ctx.Self].Encode(ctx, st.vec[lo:hi])
+	words, err := encodeTimed(codecs[ctx.Self], ctx, st.vec[lo:hi])
 	if err != nil {
 		return err
 	}

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"sapspsgd/internal/core"
+	"sapspsgd/internal/obs"
 )
 
 // shardRunner is the sharded phased runtime: ranks are partitioned into
@@ -61,6 +63,10 @@ type shardRunner struct {
 	lastRun  []int // per shard: index of its last dispatch
 	bounds   []int // shard i covers ranks [bounds[i], bounds[i+1])
 	agg      flowAgg
+
+	// metrics is the coordinator-side observability sink (zero value =
+	// disabled), captured once at construction.
+	metrics obs.EngineMetrics
 }
 
 // shardCmd is one dispatch to a shard: execute phases [lo, hi) over the
@@ -97,6 +103,7 @@ func newShardRunner(nodes []Node, codecs []Codec, pat PhasedPattern, tr PhasedTr
 		tr:       tr,
 		cmds:     make([]chan shardCmd, shards),
 		done:     make(chan error, shards),
+		metrics:  obs.Current().EngineM(),
 		states:   make([]PhaseState, n),
 		ctxs:     make([]RoundContext, n),
 		active:   make([]bool, n),
@@ -217,6 +224,10 @@ func (s *shardRunner) runRound(plan core.RoundPlan) (ControlReport, error) {
 	}
 
 	for ri, run := range s.runs {
+		var start time.Time
+		if s.metrics.Enabled() {
+			start = time.Now()
+		}
 		dispatched := 0
 		for i, c := range s.cmds {
 			if ri < s.firstRun[i] || ri > s.lastRun[i] {
@@ -233,6 +244,9 @@ func (s *shardRunner) runRound(plan core.RoundPlan) (ControlReport, error) {
 		}
 		if firstErr != nil {
 			return ControlReport{}, firstErr
+		}
+		if s.metrics.Enabled() {
+			s.metrics.PhaseSeconds.Observe(time.Since(start).Seconds())
 		}
 	}
 	return buildReport(&s.agg, s.reports), nil

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+
+	"sapspsgd/internal/obs"
 )
 
 // Ledger accounts for every byte each worker sends and receives and converts
@@ -44,6 +46,9 @@ type Ledger struct {
 	q           EventQueue
 	sink        *EventLog
 	completions []float64
+	// nm is the observability sink (zero value = disabled), captured once
+	// at construction.
+	nm obs.NetsimMetrics
 }
 
 // NewLedger returns a ledger over the given bandwidth environment.
@@ -54,6 +59,7 @@ func NewLedger(bw *Bandwidth) *Ledger {
 		recvBytes:   make([]int64, bw.N),
 		roundTime:   make([]float64, bw.N),
 		completions: make([]float64, bw.N),
+		nm:          obs.Current().NetsimM(),
 	}
 }
 
@@ -133,6 +139,7 @@ func (l *Ledger) EndRound() float64 {
 		l.completions[i] = l.totalTime + t
 		l.roundTime[i] = 0
 	}
+	l.nm.EventsTotal.Add(int64(l.q.Len()))
 	if l.sink != nil {
 		for {
 			e, ok := l.q.Pop()
@@ -146,6 +153,8 @@ func (l *Ledger) EndRound() float64 {
 	}
 	l.totalTime += maxT
 	l.rounds++
+	l.nm.VirtualSeconds.Set(l.totalTime)
+	l.nm.EventQueueDepth.Set(int64(l.q.Len()))
 	return maxT
 }
 

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+)
+
+// FlagConfig is the shared -obs-addr / -obs-log wiring for the cmd
+// binaries: register the flags, then Start once at startup. Leaving
+// -obs-addr empty keeps the whole layer disabled (the default), which
+// is the zero-cost path the determinism CI job compares against.
+type FlagConfig struct {
+	// Addr is the -obs-addr listen address; empty disables the server
+	// and the metrics sink.
+	Addr string
+	// Log is the -obs-log format: off, text or json (stderr).
+	Log string
+}
+
+// AddFlags registers -obs-addr and -obs-log on fs (the default
+// CommandLine set when fs is nil).
+func (c *FlagConfig) AddFlags(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&c.Addr, "obs-addr", "", "observability HTTP listen address (/metrics, /healthz, /runs, /debug/pprof); empty disables")
+	fs.StringVar(&c.Log, "obs-log", "off", "structured log format on stderr: off|text|json")
+}
+
+// Start applies the flags: it installs the structured logger (if
+// requested), and when Addr is set, enables the global metrics sink and
+// serves it. The returned server is nil when Addr is empty; Close is
+// nil-safe either way.
+func (c FlagConfig) Start() (*Server, error) {
+	if err := EnableLogging(os.Stderr, c.Log, slog.LevelInfo); err != nil {
+		return nil, err
+	}
+	if c.Addr == "" {
+		return nil, nil
+	}
+	m := New()
+	Enable(m)
+	return StartServer(c.Addr, m)
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// logger is the process-global structured logger. Nil (the default)
+// means logging is off and Logger() returns nil, which callers must
+// treat as "skip the log line" — instrumented code checks once per
+// emission, never per round.
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger installs (or, with nil, removes) the global structured
+// logger.
+func SetLogger(l *slog.Logger) { logger.Store(l) }
+
+// Logger returns the installed structured logger, or nil when logging
+// is off.
+func Logger() *slog.Logger { return logger.Load() }
+
+// EnableLogging installs a slog logger writing to w in the named
+// format: "text" or "json" enable it, "off" (or "") removes it. It
+// returns an error on an unknown format.
+func EnableLogging(w io.Writer, format string, level slog.Level) error {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "off", "":
+		SetLogger(nil)
+	case "text":
+		SetLogger(slog.New(slog.NewTextHandler(w, opts)))
+	case "json":
+		SetLogger(slog.New(slog.NewJSONHandler(w, opts)))
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want off|text|json)", format)
+	}
+	return nil
+}

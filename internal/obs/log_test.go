@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestEnableLogging(t *testing.T) {
+	defer SetLogger(nil)
+	var buf bytes.Buffer
+
+	if err := EnableLogging(&buf, "json", slog.LevelInfo); err != nil {
+		t.Fatal(err)
+	}
+	Logger().Info("run complete", "scenario", "saps-512", "rounds", 300)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json log line invalid: %v\n%s", err, buf.Bytes())
+	}
+	if line["scenario"] != "saps-512" || line["rounds"] != float64(300) {
+		t.Fatalf("log line = %v", line)
+	}
+
+	buf.Reset()
+	if err := EnableLogging(&buf, "text", slog.LevelInfo); err != nil {
+		t.Fatal(err)
+	}
+	Logger().Info("cell complete", "cell", "c1")
+	if !strings.Contains(buf.String(), "cell=c1") {
+		t.Fatalf("text log line = %q", buf.String())
+	}
+
+	if err := EnableLogging(&buf, "off", slog.LevelInfo); err != nil {
+		t.Fatal(err)
+	}
+	if Logger() != nil {
+		t.Fatal("off did not remove the logger")
+	}
+
+	if err := EnableLogging(&buf, "yaml", slog.LevelInfo); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,409 @@
+// Package obs is the fleet's observability layer: an atomic metrics
+// registry (counters, gauges, fixed-bucket histograms) with Prometheus
+// text-format and JSON exposition, a run tracker for live progress, and
+// log/slog-based structured logging — all dependency-free and, by
+// construction, off the deterministic path.
+//
+// The package is built around a nil-safe sink. Every metric method is a
+// no-op on a nil receiver, and the per-subsystem bundles (EngineMetrics,
+// TransportMetrics, ...) are value structs of metric pointers, so a
+// disabled run pays exactly one atomic pointer load per instrumentation
+// site capture and one nil check per hot-path event. Enabling
+// observability (Enable) never draws randomness, never reorders events,
+// and records only monotonic wall-clock timings and atomic tallies, so
+// run artifacts are byte-identical with obs on or off — a property CI
+// enforces by diffing golden sync and async scenario outputs.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Collector is the interface the Registry exposes over every metric it
+// holds. Only types in this package implement it: the unexported methods
+// keep the exposition formats (Prometheus text, JSON snapshot) in one
+// place.
+type Collector interface {
+	// Name returns the full metric name, e.g. "sapspsgd_engine_rounds_total".
+	Name() string
+	// Help returns the one-line metric description.
+	Help() string
+	// Kind returns the Prometheus type: "counter", "gauge" or "histogram".
+	Kind() string
+
+	writeProm(w io.Writer) error
+	snapshot() any
+}
+
+// desc carries the name/help pair shared by every metric type.
+type desc struct {
+	name string
+	help string
+}
+
+// Name returns the full metric name.
+func (d desc) Name() string { return d.name }
+
+// Help returns the metric description.
+func (d desc) Help() string { return d.help }
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe on a nil receiver (no-ops), so instrumented code never branches
+// on whether observability is enabled.
+type Counter struct {
+	desc
+	v atomic.Int64
+}
+
+// NewCounter creates an unregistered counter.
+func NewCounter(name, help string) *Counter { return &Counter{desc: desc{name, help}} }
+
+// Kind returns "counter".
+func (c *Counter) Kind() string { return "counter" }
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) writeProm(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+	return err
+}
+
+func (c *Counter) snapshot() any { return c.Value() }
+
+// Gauge is an integer metric that can go up and down. All methods are
+// safe on a nil receiver.
+type Gauge struct {
+	desc
+	v atomic.Int64
+}
+
+// NewGauge creates an unregistered gauge.
+func NewGauge(name, help string) *Gauge { return &Gauge{desc: desc{name, help}} }
+
+// Kind returns "gauge".
+func (g *Gauge) Kind() string { return "gauge" }
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (which may be negative). No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one. No-op on a nil receiver.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) writeProm(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+	return err
+}
+
+func (g *Gauge) snapshot() any { return g.Value() }
+
+// FloatCounter is a monotonically increasing float64 metric (e.g.
+// accumulated simulated seconds). All methods are safe on a nil
+// receiver.
+type FloatCounter struct {
+	desc
+	bits atomic.Uint64
+}
+
+// NewFloatCounter creates an unregistered float counter.
+func NewFloatCounter(name, help string) *FloatCounter {
+	return &FloatCounter{desc: desc{name, help}}
+}
+
+// Kind returns "counter".
+func (c *FloatCounter) Kind() string { return "counter" }
+
+// Add accumulates v via a CAS loop. No-op on a nil receiver.
+func (c *FloatCounter) Add(v float64) {
+	if c != nil {
+		addFloat(&c.bits, v)
+	}
+}
+
+// Value returns the accumulated total (0 on a nil receiver).
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+func (c *FloatCounter) writeProm(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", c.name, formatFloat(c.Value()))
+	return err
+}
+
+func (c *FloatCounter) snapshot() any { return c.Value() }
+
+// FloatGauge is a float64 gauge (e.g. the simulator's virtual clock).
+// All methods are safe on a nil receiver.
+type FloatGauge struct {
+	desc
+	bits atomic.Uint64
+}
+
+// NewFloatGauge creates an unregistered float gauge.
+func NewFloatGauge(name, help string) *FloatGauge {
+	return &FloatGauge{desc: desc{name, help}}
+}
+
+// Kind returns "gauge".
+func (g *FloatGauge) Kind() string { return "gauge" }
+
+// Set stores v. No-op on a nil receiver.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *FloatGauge) writeProm(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
+	return err
+}
+
+func (g *FloatGauge) snapshot() any { return g.Value() }
+
+// Histogram is a fixed-bucket histogram with Prometheus cumulative-bucket
+// semantics: an observation v lands in the first bucket whose upper bound
+// satisfies v <= le, with an implicit +Inf overflow bucket. Observe is a
+// linear scan over the (small, fixed) bound slice plus three atomic adds
+// — no allocation, no locks. All methods are safe on a nil receiver.
+type Histogram struct {
+	desc
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// NewHistogram creates an unregistered histogram over the given strictly
+// increasing upper bounds. It panics if the bounds are unsorted or
+// duplicated — bucket layout is part of the metric contract.
+func NewHistogram(name, help string, bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted: " + name)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic("obs: duplicate histogram bound: " + name)
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{desc: desc{name, help}, bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Kind returns "histogram".
+func (h *Histogram) Kind() string { return "histogram" }
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the total number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// BucketCounts returns the cumulative count at each bound, ending with
+// the +Inf bucket (equal to Count). Nil receivers return nil.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+func (h *Histogram) writeProm(w io.Writer) error {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+	return err
+}
+
+func (h *Histogram) snapshot() any {
+	snap := struct {
+		Bounds  []float64 `json:"bounds"`
+		Buckets []int64   `json:"buckets"`
+		Sum     float64   `json:"sum"`
+		Count   int64     `json:"count"`
+	}{Bounds: h.bounds, Buckets: h.BucketCounts(), Sum: h.Sum(), Count: h.Count()}
+	return snap
+}
+
+// Registry holds an ordered set of metrics and renders them as
+// Prometheus text exposition or a JSON snapshot. Registration order is
+// exposition order, which keeps golden-file tests and scrapes stable.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []Collector
+	byName  map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]bool)} }
+
+// MustRegister adds metrics to the registry, panicking on a duplicate
+// name — duplicates would emit invalid exposition.
+func (r *Registry) MustRegister(cs ...Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cs {
+		if r.byName[c.Name()] {
+			panic("obs: duplicate metric name: " + c.Name())
+		}
+		r.byName[c.Name()] = true
+		r.metrics = append(r.metrics, c)
+	}
+}
+
+// collectors returns a stable copy of the registered metrics.
+func (r *Registry) collectors() []Collector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Collector(nil), r.metrics...)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, c := range r.collectors() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.Name(), c.Help(), c.Name(), c.Kind()); err != nil {
+			return err
+		}
+		if err := c.writeProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders a point-in-time snapshot of every registered metric
+// as a JSON object keyed by metric name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	cs := r.collectors()
+	type entry struct {
+		Kind  string `json:"kind"`
+		Help  string `json:"help"`
+		Value any    `json:"value"`
+	}
+	out := make(map[string]entry, len(cs))
+	for _, c := range cs {
+		out[c.Name()] = entry{Kind: c.Kind(), Help: c.Help(), Value: c.snapshot()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// addFloat atomically accumulates v into the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

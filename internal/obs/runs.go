@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxFinishedRuns bounds the finished-run history kept for /runs so a
+// long campaign doesn't grow the tracker without bound.
+const maxFinishedRuns = 64
+
+// RunInfo is the live progress record of one scenario run. Updates are
+// lock-free atomics; the tracker snapshots them for /runs. All methods
+// are safe on a nil receiver, so disabled runs carry a nil *RunInfo.
+type RunInfo struct {
+	// ID is the tracker-assigned sequence number.
+	ID int64
+	// Name is the scenario name.
+	Name string
+	// Algo is the algorithm identifier.
+	Algo string
+	// Nodes is the fleet size.
+	Nodes int
+	// Rounds is the planned round count (or async step budget).
+	Rounds int
+	// Started is the wall-clock start time.
+	Started time.Time
+
+	round    atomic.Int64
+	doneBits atomic.Int64 // unix nanos of completion; 0 while running
+}
+
+// SetRound records the most recently completed round. No-op on nil.
+func (r *RunInfo) SetRound(n int) {
+	if r != nil {
+		r.round.Store(int64(n))
+	}
+}
+
+// Finish marks the run complete. No-op on nil.
+func (r *RunInfo) Finish() {
+	if r != nil {
+		r.doneBits.Store(time.Now().UnixNano())
+	}
+}
+
+// runSnapshot is the JSON shape served by /runs.
+type runSnapshot struct {
+	ID      int64   `json:"id"`
+	Name    string  `json:"name"`
+	Algo    string  `json:"algo"`
+	Nodes   int     `json:"nodes"`
+	Rounds  int     `json:"rounds"`
+	Round   int64   `json:"round"`
+	Running bool    `json:"running"`
+	Started string  `json:"started"`
+	Seconds float64 `json:"seconds"`
+}
+
+func (r *RunInfo) snapshot() runSnapshot {
+	done := r.doneBits.Load()
+	s := runSnapshot{
+		ID: r.ID, Name: r.Name, Algo: r.Algo, Nodes: r.Nodes, Rounds: r.Rounds,
+		Round: r.round.Load(), Running: done == 0,
+		Started: r.Started.UTC().Format(time.RFC3339Nano),
+	}
+	if done == 0 {
+		s.Seconds = time.Since(r.Started).Seconds()
+	} else {
+		s.Seconds = time.Unix(0, done).Sub(r.Started).Seconds()
+	}
+	return s
+}
+
+// RunTracker registers scenario runs and serves their live state as
+// JSON. A nil tracker is a valid disabled sink: Start returns nil and
+// the RunInfo methods no-op from there.
+type RunTracker struct {
+	active *Gauge
+
+	mu       sync.Mutex
+	nextID   int64
+	running  []*RunInfo
+	finished []*RunInfo
+}
+
+// NewRunTracker creates an empty tracker.
+func NewRunTracker() *RunTracker {
+	return &RunTracker{active: NewGauge(Prefix+"runs_active", "Scenario runs currently in flight.")}
+}
+
+// Start registers a run and returns its live record. Returns nil (a
+// valid disabled record) on a nil tracker.
+func (t *RunTracker) Start(name, algo string, nodes, rounds int) *RunInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	r := &RunInfo{ID: t.nextID, Name: name, Algo: algo, Nodes: nodes, Rounds: rounds, Started: time.Now()}
+	t.running = append(t.running, r)
+	t.active.Set(int64(len(t.running)))
+	return r
+}
+
+// Done moves a run from the running set to the bounded finished
+// history. It is called by RunInfo-owning code after Finish; no-op on a
+// nil tracker or nil run.
+func (t *RunTracker) Done(r *RunInfo) {
+	if t == nil || r == nil {
+		return
+	}
+	r.Finish()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, x := range t.running {
+		if x == r {
+			t.running = append(t.running[:i], t.running[i+1:]...)
+			break
+		}
+	}
+	t.active.Set(int64(len(t.running)))
+	t.finished = append(t.finished, r)
+	if len(t.finished) > maxFinishedRuns {
+		t.finished = t.finished[len(t.finished)-maxFinishedRuns:]
+	}
+}
+
+// WriteJSON renders the running and finished runs as a JSON document.
+func (t *RunTracker) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"running":[],"finished":[]}`+"\n")
+		return err
+	}
+	t.mu.Lock()
+	running := append([]*RunInfo(nil), t.running...)
+	finished := append([]*RunInfo(nil), t.finished...)
+	t.mu.Unlock()
+	out := struct {
+		Running  []runSnapshot `json:"running"`
+		Finished []runSnapshot `json:"finished"`
+	}{Running: []runSnapshot{}, Finished: []runSnapshot{}}
+	for _, r := range running {
+		out.Running = append(out.Running, r.snapshot())
+	}
+	for _, r := range finished {
+		out.Finished = append(out.Finished, r.snapshot())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

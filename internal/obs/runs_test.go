@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestRunTrackerLifecycle(t *testing.T) {
+	rt := NewRunTracker()
+	a := rt.Start("a", "saps", 8, 10)
+	b := rt.Start("b", "adpsgd", 4, 20)
+	if rt.active.Value() != 2 {
+		t.Fatalf("active = %d, want 2", rt.active.Value())
+	}
+	if a.ID == b.ID {
+		t.Fatal("run IDs not unique")
+	}
+	a.SetRound(5)
+	rt.Done(a)
+	if rt.active.Value() != 1 {
+		t.Fatalf("active after Done = %d, want 1", rt.active.Value())
+	}
+
+	var buf bytes.Buffer
+	if err := rt.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Running []struct {
+			Name    string `json:"name"`
+			Running bool   `json:"running"`
+		} `json:"running"`
+		Finished []struct {
+			Name    string  `json:"name"`
+			Round   int64   `json:"round"`
+			Running bool    `json:"running"`
+			Seconds float64 `json:"seconds"`
+		} `json:"finished"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("WriteJSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(out.Running) != 1 || out.Running[0].Name != "b" || !out.Running[0].Running {
+		t.Fatalf("running = %+v", out.Running)
+	}
+	if len(out.Finished) != 1 || out.Finished[0].Name != "a" || out.Finished[0].Round != 5 ||
+		out.Finished[0].Running || out.Finished[0].Seconds < 0 {
+		t.Fatalf("finished = %+v", out.Finished)
+	}
+}
+
+// TestRunTrackerBoundedHistory proves a long campaign cannot grow the
+// finished list past maxFinishedRuns.
+func TestRunTrackerBoundedHistory(t *testing.T) {
+	rt := NewRunTracker()
+	for i := 0; i < maxFinishedRuns+10; i++ {
+		rt.Done(rt.Start(fmt.Sprintf("r%d", i), "saps", 1, 1))
+	}
+	if len(rt.finished) != maxFinishedRuns {
+		t.Fatalf("finished history = %d, want %d", len(rt.finished), maxFinishedRuns)
+	}
+	// The oldest entries are the ones evicted.
+	if rt.finished[0].Name != "r10" {
+		t.Fatalf("oldest kept = %s, want r10", rt.finished[0].Name)
+	}
+}
+
+func TestNilTrackerWriteJSON(t *testing.T) {
+	var rt *RunTracker
+	var buf bytes.Buffer
+	if err := rt.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Running  []any `json:"running"`
+		Finished []any `json:"finished"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil tracker JSON invalid: %v\n%s", err, buf.Bytes())
+	}
+}

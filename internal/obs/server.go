@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in observability HTTP endpoint. It serves:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  JSON snapshot of the same catalog
+//	/healthz       liveness probe ("ok")
+//	/runs          live + recently finished runs as JSON
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// The server reads atomics and snapshots; it never feeds back into the
+// run, so scraping cannot perturb determinism.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartServer binds addr and serves m's endpoints in a background
+// goroutine until Close.
+func StartServer(addr string, m *Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m.Runs.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

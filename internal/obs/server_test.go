@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches a path from the test server and returns the body and
+// content type.
+func get(t *testing.T, srv *Server, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	m := New()
+	m.Engine.RoundsTotal.Add(17)
+	r := m.Runs.Start("saps-512", "saps", 512, 300)
+	r.SetRound(42)
+	srv, err := StartServer("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body, ct := get(t, srv, "/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE sapspsgd_engine_rounds_total counter",
+		"sapspsgd_engine_rounds_total 17",
+		"sapspsgd_engine_round_seconds_bucket{le=\"+Inf\"} 0",
+		"sapspsgd_runs_active 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	body, ct = get(t, srv, "/metrics.json")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json content type = %q", ct)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if _, ok := snap["sapspsgd_engine_rounds_total"]; !ok {
+		t.Fatal("/metrics.json missing engine rounds counter")
+	}
+
+	body, _ = get(t, srv, "/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	body, _ = get(t, srv, "/runs")
+	var runs struct {
+		Running []struct {
+			Name  string `json:"name"`
+			Round int64  `json:"round"`
+		} `json:"running"`
+		Finished []any `json:"finished"`
+	}
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/runs not valid JSON: %v", err)
+	}
+	if len(runs.Running) != 1 || runs.Running[0].Name != "saps-512" || runs.Running[0].Round != 42 {
+		t.Fatalf("/runs running = %+v", runs.Running)
+	}
+
+	// pprof rides on the same mux; cmdline is the cheapest handler.
+	if body, _ = get(t, srv, "/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+func TestServerCloseNil(t *testing.T) {
+	var s *Server
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Server.Close = %v", err)
+	}
+}

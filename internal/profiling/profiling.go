@@ -89,3 +89,18 @@ func (c Config) Start() (stop func() error, err error) {
 		return nil
 	}, nil
 }
+
+// Run wraps fn with the configured recordings: Start, invoke fn, then
+// stop, preferring fn's error over the stop error. It is the shared
+// main-body wrapper for every binary that takes the profiling flags.
+func (c Config) Run(fn func() error) error {
+	stop, err := c.Start()
+	if err != nil {
+		return err
+	}
+	err = fn()
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	return err
+}

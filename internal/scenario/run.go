@@ -12,8 +12,10 @@ import (
 	"sapspsgd/internal/engine"
 	"sapspsgd/internal/fleettrace"
 	"sapspsgd/internal/gossip"
+	"sapspsgd/internal/graph"
 	"sapspsgd/internal/netsim"
 	"sapspsgd/internal/nn"
+	"sapspsgd/internal/obs"
 	"sapspsgd/internal/profiling"
 	"sapspsgd/internal/rng"
 	"sapspsgd/internal/trace"
@@ -274,6 +276,12 @@ type RunOptions struct {
 	// trace; it is ignored for algorithms that cannot record one (only
 	// the SAPS family can).
 	Trace bool
+	// Recorder, when non-nil, is the trace recorder to attach instead of
+	// a fresh one (implies Trace). Pass a streaming recorder
+	// (trace.Recorder.Stream) to write rows incrementally — the way long
+	// large-N runs avoid holding every round in memory. Honored by SAPS
+	// runs and by planner_only (which records loss-less rounds).
+	Recorder *trace.Recorder
 	// Series collects the per-round convergence series (Losses, CumBytes,
 	// CumSimSeconds) the campaign aggregator turns into paper figures.
 	Series bool
@@ -344,13 +352,17 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 		out.CumBytes = make([]int64, 0, s.Rounds)
 		out.CumSimSeconds = make([]float64, 0, s.Rounds)
 	}
-	if opts.Trace || s.RecordTrace {
+	if opts.Recorder != nil || opts.Trace || s.RecordTrace {
 		if tr, ok := alg.(interface{ SetTrace(*trace.Recorder) }); ok {
-			out.Trace = trace.NewRecorder()
+			out.Trace = opts.Recorder
+			if out.Trace == nil {
+				out.Trace = trace.NewRecorder()
+			}
 			tr.SetTrace(out.Trace)
 		}
 	}
 	led := netsim.NewLedger(bw)
+	ri := obs.Current().RunsM().Start(s.Name, s.Algo, s.Nodes, s.Rounds)
 	var loss float64
 	start := time.Now()
 	for r := 0; r < s.Rounds; r++ {
@@ -359,6 +371,7 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 		// place before planning.
 		env.tick(r)
 		loss = alg.Step(r, led)
+		ri.SetRound(r + 1)
 		if opts.Series {
 			out.Losses = append(out.Losses, loss)
 			out.CumBytes = append(out.CumBytes, fleetBytes(led, s.Nodes))
@@ -366,6 +379,7 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 		}
 	}
 	wall := time.Since(start).Seconds()
+	obs.Current().RunsM().Done(ri)
 	if c, ok := alg.(interface{ Close() }); ok {
 		c.Close()
 	}
@@ -380,6 +394,7 @@ func (s *Spec) RunFull(opts RunOptions) (*RunOutput, error) {
 	if wall > 0 {
 		out.Result.RoundsPerSec = float64(s.Rounds) / wall
 	}
+	s.logRunSummary("sync", out)
 	return out, nil
 }
 
@@ -416,6 +431,12 @@ func (s *Spec) runPlannerOnly(opts RunOptions) (*RunOutput, error) {
 		out.CumBytes = make([]int64, 0, s.Rounds)
 		out.CumSimSeconds = make([]float64, 0, s.Rounds)
 	}
+	if opts.Recorder != nil {
+		out.Trace = opts.Recorder
+	} else if opts.Trace {
+		out.Trace = trace.NewRecorder()
+	}
+	ri := obs.Current().RunsM().Start(s.Name, s.Algo+"/planner", s.Nodes, s.Rounds)
 	var mask []bool
 	start := time.Now()
 	for r := 0; r < s.Rounds; r++ {
@@ -431,6 +452,12 @@ func (s *Spec) runPlannerOnly(opts RunOptions) (*RunOutput, error) {
 			}
 		}
 		led.EndRound()
+		ri.SetRound(r + 1)
+		if out.Trace != nil {
+			// The plan's peer array is the round's matching; losses are not
+			// computed on the coordinator side, so the column reads zero.
+			out.Trace.Record(r, graph.Matching(plan.Peer), bw, plan.Forced, payload, s.Nodes, 0)
+		}
 		if opts.Series {
 			out.Losses = append(out.Losses, 0)
 			out.CumBytes = append(out.CumBytes, fleetBytes(led, s.Nodes))
@@ -438,6 +465,7 @@ func (s *Spec) runPlannerOnly(opts RunOptions) (*RunOutput, error) {
 		}
 	}
 	wall := time.Since(start).Seconds()
+	obs.Current().RunsM().Done(ri)
 	out.Result = Result{
 		Shards:       s.effectiveShards(opts.Shards),
 		WallSeconds:  wall,
@@ -448,6 +476,7 @@ func (s *Spec) runPlannerOnly(opts RunOptions) (*RunOutput, error) {
 	if wall > 0 {
 		out.Result.RoundsPerSec = float64(s.Rounds) / wall
 	}
+	s.logRunSummary("planner_only", out)
 	return out, nil
 }
 
@@ -501,8 +530,10 @@ func (s *Spec) runAsync(opts RunOptions) (*RunOutput, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	ri := obs.Current().RunsM().Start(s.Name, s.Algo+"/async", s.Nodes, s.Rounds)
 	start := time.Now()
 	res, err := eng.Run()
+	obs.Current().RunsM().Done(ri)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
@@ -531,7 +562,30 @@ func (s *Spec) runAsync(opts RunOptions) (*RunOutput, error) {
 	if wall > 0 {
 		out.Result.RoundsPerSec = float64(s.Rounds) / wall
 	}
+	s.logRunSummary("async", out)
 	return out, nil
+}
+
+// logRunSummary emits the structured end-of-run line through the global
+// logger (a no-op when logging is off), making batch logs greppable
+// without parsing artifacts.
+func (s *Spec) logRunSummary(mode string, out *RunOutput) {
+	l := obs.Logger()
+	if l == nil {
+		return
+	}
+	l.Info("run complete",
+		"scenario", s.Name,
+		"algo", s.Algo,
+		"mode", mode,
+		"nodes", s.Nodes,
+		"rounds", s.Rounds,
+		"total_bytes", out.Result.TotalBytes,
+		"wall_seconds", out.Result.WallSeconds,
+		"sim_seconds", out.Result.SimSeconds,
+		"final_loss", out.Result.FinalLoss,
+		"peak_rss_bytes", out.Result.PeakRSSBytes,
+	)
 }
 
 // fleetBytes sums every endpoint's sent+received bytes, server included.

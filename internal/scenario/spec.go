@@ -399,6 +399,13 @@ func LoadDir(dir string) ([]*Spec, error) {
 	return specs, nil
 }
 
+// Traceable reports whether a run of this spec can record a per-round
+// trace: only the SAPS family implements SetTrace (planner_only records
+// coordinator-side rounds through the same recorder). Callers that
+// stream traces to disk use this to decide up front whether to open the
+// file.
+func (s *Spec) Traceable() bool { return s.Algo == "saps" && s.Async == nil }
+
 // Clone returns a deep copy of the spec: mutating the copy (sweep round
 // overrides, campaign grid cells) never alters the loaded original. Every
 // pointer block and slice is duplicated.

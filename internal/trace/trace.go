@@ -3,6 +3,13 @@
 // whether the round was a forced reconnection — and renders them as CSV for
 // offline analysis. The experiment drivers attach a Recorder to SAPS runs
 // when round-level introspection is wanted; it costs one append per round.
+//
+// A Recorder has two modes. The default accumulates every round in memory
+// and renders the CSV at the end (WriteCSV). Stream switches it to
+// incremental output: the header is written immediately and every Record
+// appends one row to the writer, so a 50k-node planner_only run over tens
+// of thousands of rounds holds one round of scratch instead of the whole
+// history. Both modes produce byte-identical CSV for the same rounds.
 package trace
 
 import (
@@ -33,101 +40,154 @@ type RoundEvent struct {
 	Loss float64
 }
 
-// Recorder accumulates round events.
+// Recorder accumulates round events (default), or streams them row by row
+// after Stream.
 type Recorder struct {
 	events []RoundEvent
+
+	// Streaming state: w non-nil selects streaming mode. The summary
+	// statistics (MeanMatchedBandwidth, ForcedFraction, Len) stay
+	// available because their accumulators are maintained per Record;
+	// the full event history is not.
+	w       io.Writer
+	err     error
+	rounds  int
+	meanSum float64
+	meanN   int
+	forcedN int
+	scratch RoundEvent
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty in-memory recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Record appends one round's event, deriving pair statistics from the
-// matching and the environment.
-func (r *Recorder) Record(round int, match graph.Matching, bw *netsim.Bandwidth, forced bool, payloadBytes int64, active int, loss float64) {
-	ev := RoundEvent{
-		Round:         round,
-		Forced:        forced,
-		PayloadBytes:  payloadBytes,
-		ActiveWorkers: active,
-		Loss:          loss,
+// Stream switches the recorder to streaming mode: the CSV header is written
+// to w immediately and every subsequent Record appends one row instead of
+// accumulating the event. Must be called before the first Record; write
+// failures latch into Err (later Records become no-ops). The recorder
+// cannot be switched back.
+func (r *Recorder) Stream(w io.Writer) error {
+	if r.w != nil {
+		return fmt.Errorf("trace: recorder already streaming")
 	}
+	if len(r.events) > 0 {
+		return fmt.Errorf("trace: Stream after %d recorded rounds", len(r.events))
+	}
+	r.w = w
+	if err := writeHeader(w); err != nil {
+		r.err = err
+		return err
+	}
+	return nil
+}
+
+// Streaming reports whether the recorder is in streaming mode.
+func (r *Recorder) Streaming() bool { return r.w != nil }
+
+// Err returns the first write error of a streaming recorder (nil in
+// in-memory mode or while the stream is healthy).
+func (r *Recorder) Err() error { return r.err }
+
+// Record appends one round's event, deriving pair statistics from the
+// matching and the environment. In streaming mode the row goes straight to
+// the writer and only summary accumulators are retained.
+func (r *Recorder) Record(round int, match graph.Matching, bw *netsim.Bandwidth, forced bool, payloadBytes int64, active int, loss float64) {
+	ev := &r.scratch
+	if r.w == nil {
+		r.events = append(r.events, RoundEvent{})
+		ev = &r.events[len(r.events)-1]
+	}
+	ev.Round = round
+	ev.Forced = forced
+	ev.PayloadBytes = payloadBytes
+	ev.ActiveWorkers = active
+	ev.Loss = loss
+	ev.Pairs = ev.Pairs[:0]
+	ev.PairMBps = ev.PairMBps[:0]
 	for v, p := range match {
 		if p > v {
 			ev.Pairs = append(ev.Pairs, [2]int{v, p})
 			ev.PairMBps = append(ev.PairMBps, bw.MBps(v, p))
 		}
 	}
-	r.events = append(r.events, ev)
-}
-
-// Events returns the recorded rounds.
-func (r *Recorder) Events() []RoundEvent { return r.events }
-
-// Len returns the number of recorded rounds.
-func (r *Recorder) Len() int { return len(r.events) }
-
-// MeanMatchedBandwidth returns the across-round mean of the per-round mean
-// pair bandwidth — the Fig. 5 summary statistic.
-func (r *Recorder) MeanMatchedBandwidth() float64 {
-	if len(r.events) == 0 {
-		return 0
+	r.rounds++
+	if forced {
+		r.forcedN++
 	}
-	total := 0.0
-	counted := 0
-	for _, ev := range r.events {
-		if len(ev.PairMBps) == 0 {
-			continue
-		}
+	if len(ev.PairMBps) > 0 {
 		s := 0.0
 		for _, v := range ev.PairMBps {
 			s += v
 		}
-		total += s / float64(len(ev.PairMBps))
-		counted++
+		r.meanSum += s / float64(len(ev.PairMBps))
+		r.meanN++
 	}
-	if counted == 0 {
+	if r.w != nil && r.err == nil {
+		r.err = writeEvent(r.w, ev)
+	}
+}
+
+// Events returns the recorded rounds (nil in streaming mode).
+func (r *Recorder) Events() []RoundEvent { return r.events }
+
+// Len returns the number of recorded rounds (both modes).
+func (r *Recorder) Len() int { return r.rounds }
+
+// MeanMatchedBandwidth returns the across-round mean of the per-round mean
+// pair bandwidth — the Fig. 5 summary statistic.
+func (r *Recorder) MeanMatchedBandwidth() float64 {
+	if r.meanN == 0 {
 		return 0
 	}
-	return total / float64(counted)
+	return r.meanSum / float64(r.meanN)
 }
 
 // ForcedFraction returns the share of rounds that needed forced
 // reconnection.
 func (r *Recorder) ForcedFraction() float64 {
-	if len(r.events) == 0 {
+	if r.rounds == 0 {
 		return 0
 	}
-	forced := 0
-	for _, ev := range r.events {
-		if ev.Forced {
-			forced++
-		}
-	}
-	return float64(forced) / float64(len(r.events))
+	return float64(r.forcedN) / float64(r.rounds)
 }
 
-// WriteCSV renders one row per round: round, pairs (u-v|u-v|…), mean pair
+// writeHeader emits the CSV column header.
+func writeHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "round,pairs,mean_pair_mbps,forced,payload_bytes,active,loss")
+	return err
+}
+
+// writeEvent renders one round's row: round, pairs (u-v|u-v|…), mean pair
 // bandwidth, forced, payload bytes, active workers, loss.
+func writeEvent(w io.Writer, ev *RoundEvent) error {
+	pairs := make([]string, len(ev.Pairs))
+	for i, p := range ev.Pairs {
+		pairs[i] = strconv.Itoa(p[0]) + "-" + strconv.Itoa(p[1])
+	}
+	mean := 0.0
+	if len(ev.PairMBps) > 0 {
+		for _, v := range ev.PairMBps {
+			mean += v
+		}
+		mean /= float64(len(ev.PairMBps))
+	}
+	_, err := fmt.Fprintf(w, "%d,%s,%.4f,%t,%d,%d,%.6f\n",
+		ev.Round, strings.Join(pairs, "|"), mean, ev.Forced,
+		ev.PayloadBytes, ev.ActiveWorkers, ev.Loss)
+	return err
+}
+
+// WriteCSV renders the in-memory history, one row per round. Streaming
+// recorders have already emitted their rows and return an error.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "round,pairs,mean_pair_mbps,forced,payload_bytes,active,loss"); err != nil {
+	if r.w != nil {
+		return fmt.Errorf("trace: WriteCSV on a streaming recorder (rows already written)")
+	}
+	if err := writeHeader(w); err != nil {
 		return err
 	}
-	for _, ev := range r.events {
-		pairs := make([]string, len(ev.Pairs))
-		for i, p := range ev.Pairs {
-			pairs[i] = strconv.Itoa(p[0]) + "-" + strconv.Itoa(p[1])
-		}
-		mean := 0.0
-		if len(ev.PairMBps) > 0 {
-			for _, v := range ev.PairMBps {
-				mean += v
-			}
-			mean /= float64(len(ev.PairMBps))
-		}
-		_, err := fmt.Fprintf(w, "%d,%s,%.4f,%t,%d,%d,%.6f\n",
-			ev.Round, strings.Join(pairs, "|"), mean, ev.Forced,
-			ev.PayloadBytes, ev.ActiveWorkers, ev.Loss)
-		if err != nil {
+	for i := range r.events {
+		if err := writeEvent(w, &r.events[i]); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"sapspsgd/internal/fleettrace"
 	"sapspsgd/internal/gossip"
 	"sapspsgd/internal/netsim"
+	"sapspsgd/internal/obs"
 )
 
 // GossipConfig aliases gossip.Config (Algorithm 3's BThres/TThres knobs).
@@ -126,6 +127,10 @@ type CoordinatorServer struct {
 	inbox    chan connMsg
 	rejoinCh chan rejoinReq
 
+	// tm is the observability sink (zero value = disabled), captured once
+	// when Run starts.
+	tm obs.TransportMetrics
+
 	mu      sync.Mutex
 	started bool
 }
@@ -175,6 +180,7 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 	}
 	s.started = true
 	s.mu.Unlock()
+	s.tm = obs.Current().TransportM()
 	if s.ln == nil {
 		return nil, fmt.Errorf("transport: Run before Listen")
 	}
@@ -230,6 +236,7 @@ func (s *CoordinatorServer) Run() ([]float64, error) {
 		}
 		s.conns = append(s.conns, conn)
 		s.addrs = append(s.addrs, hello.ListenAddr)
+		s.tm.ConnectsTotal.Inc()
 		s.logf("coordinator: worker %d registered at %s", rank, hello.ListenAddr)
 	}
 	s.alive = make([]bool, s.total)
@@ -428,6 +435,7 @@ func (s *CoordinatorServer) beginRound(t int) error {
 		for rank := 0; rank < len(sched); rank++ {
 			if !sched[rank] && s.alive[rank] {
 				s.logf("coordinator: fault injection: crashing rank %d at round %d", rank, t)
+				s.tm.CrashInjectionsTotal.Inc()
 				if err := s.conns[rank].Send(CrashMsg{Round: t}); err != nil {
 					s.logf("coordinator: crash directive to %d: %v (already gone)", rank, err)
 				}
@@ -509,6 +517,8 @@ func (s *CoordinatorServer) admitRejoin(req rejoinReq, t int) {
 		return
 	}
 	go s.readConn(rj.Rank, s.gen[rj.Rank], req.conn)
+	s.tm.RejoinsTotal.Inc()
+	s.tm.ConnectsTotal.Inc()
 	s.logf("coordinator: rank %d rejoined at round %d (peer addr %s)", rj.Rank, t, rj.ListenAddr)
 }
 
@@ -735,6 +745,7 @@ func (s *tcpControl) RunRound(plan core.RoundPlan) (engine.ControlReport, error)
 // loop retries on.
 func (s *tcpControl) abort(plan core.RoundPlan, lostRank int, cause error) error {
 	t := plan.Round
+	s.tm.AbortsTotal.Inc()
 	pending := map[int]bool{}
 	for rank := 0; rank < s.total; rank++ {
 		if !s.alive[rank] {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"sapspsgd/internal/engine"
+	"sapspsgd/internal/obs"
 )
 
 // WorkerSnapshotVersion is the on-disk worker snapshot schema.
@@ -49,6 +50,7 @@ func SaveWorkerSnapshot(path string, s *WorkerSnapshot) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("transport: commit snapshot: %w", err)
 	}
+	obs.Current().TransportM().SnapshotWritesTotal.Inc()
 	return nil
 }
 
